@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runDetect(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return out.String(), errBuf.String(), code
+}
+
+func TestSeparableProgram(t *testing.T) {
+	out, _, code := runDetect(t, "-program", "../../testdata/buys.dl")
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, out)
+	}
+	for _, want := range []string{"separable recursion", "1 equivalence class", "persistent columns: {2}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNonSeparableProgram(t *testing.T) {
+	out, _, code := runDetect(t, "-program", "../../testdata/nonseparable.dl")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(out, "NOT separable") || !strings.Contains(out, "condition 4") {
+		t.Errorf("output missing diagnosis:\n%s", out)
+	}
+}
+
+func TestRelaxedFlag(t *testing.T) {
+	out, _, code := runDetect(t, "-relaxed", "-program", "../../testdata/nonseparable.dl")
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, out)
+	}
+	if !strings.Contains(out, "separable recursion") {
+		t.Errorf("relaxed analysis failed:\n%s", out)
+	}
+}
+
+func TestExplicitPredicateList(t *testing.T) {
+	out, _, code := runDetect(t, "-program", "../../testdata/buys.dl", "buys")
+	if code != 0 || !strings.Contains(out, "buys/2") {
+		t.Fatalf("exit=%d out=%q", code, out)
+	}
+}
+
+func TestMissingProgram(t *testing.T) {
+	_, errOut, code := runDetect(t)
+	if code != 2 || !strings.Contains(errOut, "-program is required") {
+		t.Fatalf("exit=%d err=%q", code, errOut)
+	}
+}
+
+func TestUnreadableFile(t *testing.T) {
+	_, errOut, code := runDetect(t, "-program", "nope.dl")
+	if code != 1 || !strings.Contains(errOut, "nope.dl") {
+		t.Fatalf("exit=%d err=%q", code, errOut)
+	}
+}

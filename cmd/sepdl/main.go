@@ -1,0 +1,183 @@
+// Command sepdl loads a Datalog program and fact files and evaluates
+// queries, choosing the evaluation strategy automatically (the Separable
+// algorithm when the recursion passes the Definition 2.4 test) unless one
+// is forced with -strategy.
+//
+// Usage:
+//
+//	sepdl -program rules.dl -facts data.dl -query 'buys(tom, Y)?' [-strategy separable] [-stats] [-explain]
+//	sepdl -program rules.dl -facts data.dl            # REPL on stdin
+//
+// In the REPL, enter queries like "buys(tom, Y)?"; lines starting with
+// ":explain " explain the strategy choice, ":analyze PRED" prints the
+// separability analysis, ":compile QUERY" prints the instantiated Figure 2
+// schema, ":why FACT" prints a derivation tree for a ground fact, and
+// ":quit" exits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sepdl"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sepdl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		programPath = fs.String("program", "", "path to the Datalog rules file (required)")
+		factsPath   = fs.String("facts", "", "comma-separated paths to ground-facts files")
+		query       = fs.String("query", "", "query to evaluate; omit for a REPL")
+		strategy    = fs.String("strategy", "auto", "auto|separable|magic|magic-sup|counting|hn|aho|tabling|seminaive|naive")
+		showStats   = fs.Bool("stats", false, "print evaluation statistics (relation sizes, iterations, time)")
+		explain     = fs.Bool("explain", false, "print the strategy Auto would choose and why")
+		relaxed     = fs.Bool("relaxed", false, "allow condition-4-violating recursions in the Separable strategy (§5)")
+		dumpPath    = fs.String("dump", "", "write the loaded facts to this file (sorted, parseable) and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *programPath == "" {
+		fmt.Fprintln(stderr, "sepdl: -program is required")
+		fs.Usage()
+		return 2
+	}
+	e := sepdl.New()
+	src, err := os.ReadFile(*programPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "sepdl:", err)
+		return 1
+	}
+	if err := e.LoadProgram(string(src)); err != nil {
+		fmt.Fprintln(stderr, "sepdl:", err)
+		return 1
+	}
+	if *factsPath != "" {
+		for _, p := range strings.Split(*factsPath, ",") {
+			data, err := os.ReadFile(strings.TrimSpace(p))
+			if err != nil {
+				fmt.Fprintln(stderr, "sepdl:", err)
+				return 1
+			}
+			if err := e.LoadFacts(string(data)); err != nil {
+				fmt.Fprintln(stderr, "sepdl:", err)
+				return 1
+			}
+		}
+	}
+
+	if *dumpPath != "" {
+		f, err := os.Create(*dumpPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "sepdl:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := e.WriteFacts(f); err != nil {
+			fmt.Fprintln(stderr, "sepdl:", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *query != "" {
+		if err := runQuery(e, stdout, *query, *strategy, *relaxed, *showStats, *explain); err != nil {
+			fmt.Fprintln(stderr, "sepdl:", err)
+			return 1
+		}
+		return 0
+	}
+
+	fmt.Fprintf(stdout, "sepdl: %d facts over %d constants loaded; enter queries (\":quit\" to exit)\n",
+		e.NumFacts(), e.DistinctConstants())
+	sc := bufio.NewScanner(stdin)
+	for {
+		fmt.Fprint(stdout, "?- ")
+		if !sc.Scan() {
+			return 0
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == ":quit" || line == ":q":
+			return 0
+		case strings.HasPrefix(line, ":explain "):
+			out, err := e.Explain(strings.TrimPrefix(line, ":explain "))
+			if err != nil {
+				fmt.Fprintln(stdout, "error:", err)
+				continue
+			}
+			fmt.Fprintln(stdout, out)
+		case strings.HasPrefix(line, ":compile "):
+			out, err := e.CompilePlan(strings.TrimPrefix(line, ":compile "))
+			if err != nil {
+				fmt.Fprintln(stdout, "error:", err)
+				continue
+			}
+			fmt.Fprint(stdout, out)
+		case strings.HasPrefix(line, ":why "):
+			out, err := e.Why(strings.TrimPrefix(line, ":why "))
+			if err != nil {
+				fmt.Fprintln(stdout, "error:", err)
+				continue
+			}
+			fmt.Fprint(stdout, out)
+		case strings.HasPrefix(line, ":analyze "):
+			report, _ := e.AnalyzeSeparability(strings.TrimSpace(strings.TrimPrefix(line, ":analyze ")))
+			fmt.Fprintln(stdout, report)
+		default:
+			if err := runQuery(e, stdout, line, *strategy, *relaxed, *showStats, false); err != nil {
+				fmt.Fprintln(stdout, "error:", err)
+			}
+		}
+	}
+}
+
+func runQuery(e *sepdl.Engine, w io.Writer, query, strategy string, relaxed, showStats, explain bool) error {
+	if explain {
+		out, err := e.Explain(query)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, out)
+	}
+	opts := []sepdl.QueryOption{sepdl.WithStrategy(sepdl.Strategy(strategy))}
+	if relaxed {
+		opts = append(opts, sepdl.WithRelaxedConnectivity())
+	}
+	res, err := e.Query(query, opts...)
+	if err != nil {
+		return err
+	}
+	if len(res.Columns) == 0 {
+		if res.True() {
+			fmt.Fprintln(w, "true")
+		} else {
+			fmt.Fprintln(w, "false")
+		}
+	} else {
+		fmt.Fprintf(w, "%% %s\n", strings.Join(res.Columns, ", "))
+		for _, row := range res.Rows() {
+			fmt.Fprintln(w, strings.Join(row, ", "))
+		}
+		fmt.Fprintf(w, "%% %d answer(s)\n", res.Len())
+	}
+	if showStats {
+		st := res.Stats
+		fmt.Fprintf(w, "%% strategy=%s time=%s iterations=%d inserted=%d max=%s(%d)\n",
+			st.Strategy, st.Duration, st.Iterations, st.Inserted, st.MaxRelation, st.MaxRelationSize)
+		for name, size := range st.RelationSizes {
+			fmt.Fprintf(w, "%%   %s: %d\n", name, size)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+const (
+	rulesPath = "../../testdata/buys.dl"
+	factsPath = "../../testdata/buys_facts.dl"
+)
+
+func runCLI(t *testing.T, stdin string, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errBuf)
+	return out.String(), errBuf.String(), code
+}
+
+func TestQueryMode(t *testing.T) {
+	out, _, code := runCLI(t, "", "-program", rulesPath, "-facts", factsPath, "-query", "buys(tom, Y)?")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"radio", "tv", "2 answer(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "car") {
+		t.Errorf("answer leaked unreachable tuple:\n%s", out)
+	}
+}
+
+func TestGroundQueryPrintsTruth(t *testing.T) {
+	out, _, code := runCLI(t, "", "-program", rulesPath, "-facts", factsPath, "-query", "buys(tom, radio)?")
+	if code != 0 || !strings.Contains(out, "true") {
+		t.Fatalf("exit=%d out=%q", code, out)
+	}
+	out, _, _ = runCLI(t, "", "-program", rulesPath, "-facts", factsPath, "-query", "buys(alice, radio)?")
+	if !strings.Contains(out, "false") {
+		t.Fatalf("out=%q", out)
+	}
+}
+
+func TestStatsFlag(t *testing.T) {
+	out, _, code := runCLI(t, "", "-program", rulesPath, "-facts", factsPath, "-stats", "-query", "buys(tom, Y)?")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "strategy=separable") || !strings.Contains(out, "seen1") {
+		t.Errorf("stats missing:\n%s", out)
+	}
+}
+
+func TestExplainFlag(t *testing.T) {
+	out, _, code := runCLI(t, "", "-program", rulesPath, "-facts", factsPath, "-explain", "-query", "buys(tom, Y)?")
+	if code != 0 || !strings.Contains(out, "Separable evaluation schema") {
+		t.Fatalf("exit=%d out=%q", code, out)
+	}
+}
+
+func TestForcedStrategy(t *testing.T) {
+	out, _, code := runCLI(t, "", "-program", rulesPath, "-facts", factsPath,
+		"-strategy", "magic", "-stats", "-query", "buys(tom, Y)?")
+	if code != 0 || !strings.Contains(out, "strategy=magic") {
+		t.Fatalf("exit=%d out=%q", code, out)
+	}
+}
+
+func TestREPL(t *testing.T) {
+	stdin := `
+buys(tom, Y)?
+:explain buys(tom, Y)?
+:analyze buys
+bogus query here
+:quit
+`
+	out, _, code := runCLI(t, stdin, "-program", rulesPath, "-facts", factsPath)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"facts over", "radio", "Separable evaluation schema", "equivalence class", "error:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("REPL output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMissingProgramFlag(t *testing.T) {
+	_, errOut, code := runCLI(t, "", "-query", "x(Y)?")
+	if code != 2 || !strings.Contains(errOut, "-program is required") {
+		t.Fatalf("exit=%d err=%q", code, errOut)
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	_, errOut, code := runCLI(t, "", "-program", "no-such-file.dl", "-query", "x(Y)?")
+	if code != 1 || !strings.Contains(errOut, "no-such-file.dl") {
+		t.Fatalf("exit=%d err=%q", code, errOut)
+	}
+}
+
+func TestBadQueryExitCode(t *testing.T) {
+	_, errOut, code := runCLI(t, "", "-program", rulesPath, "-query", "buys(tom,")
+	if code != 1 || !strings.Contains(errOut, "parse error") {
+		t.Fatalf("exit=%d err=%q", code, errOut)
+	}
+}
+
+func TestREPLCompile(t *testing.T) {
+	stdin := ":compile buys(tom, Y)?\n:quit\n"
+	out, _, code := runCLI(t, stdin, "-program", rulesPath, "-facts", factsPath)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"carry1(tom);", "while carry1 not empty do", "ans(V2) := seen2(V2);"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compile output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/dump.dl"
+	_, _, code := runCLI(t, "", "-program", rulesPath, "-facts", factsPath, "-dump", path)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "friend(tom, dick).") {
+		t.Fatalf("dump missing fact:\n%s", data)
+	}
+	// The dump must be reloadable.
+	_, _, code = runCLI(t, "", "-program", rulesPath, "-facts", path, "-query", "buys(tom, Y)?")
+	if code != 0 {
+		t.Fatal("dump not reloadable")
+	}
+}
+
+func TestREPLWhy(t *testing.T) {
+	stdin := ":why buys(tom, radio)\n:quit\n"
+	out, _, code := runCLI(t, stdin, "-program", rulesPath, "-facts", factsPath)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "[base fact]") {
+		t.Fatalf("why output missing derivation:\n%s", out)
+	}
+}

@@ -1,0 +1,401 @@
+package sepdl
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"sepdl/internal/aho"
+	"sepdl/internal/ast"
+	"sepdl/internal/core"
+	"sepdl/internal/counting"
+	"sepdl/internal/database"
+	"sepdl/internal/eval"
+	"sepdl/internal/hn"
+	"sepdl/internal/magic"
+	"sepdl/internal/parser"
+	"sepdl/internal/provenance"
+	"sepdl/internal/rel"
+	"sepdl/internal/stats"
+	"sepdl/internal/tabling"
+)
+
+// Strategy selects how a query is evaluated.
+type Strategy string
+
+// Available strategies. Auto runs the separability test and picks
+// Separable, MagicSets, or SemiNaive.
+const (
+	Auto          Strategy = "auto"
+	Separable     Strategy = "separable"
+	MagicSets     Strategy = "magic"
+	MagicSetsSup  Strategy = "magic-sup" // supplementary-magic variant [BR87]
+	Counting      Strategy = "counting"
+	HenschenNaqvi Strategy = "hn"
+	AhoUllman     Strategy = "aho"     // selection pushing [AU79]; stable columns only
+	Tabling       Strategy = "tabling" // memoized top-down (QSQ-style); positive programs
+	SemiNaive     Strategy = "seminaive"
+	Naive         Strategy = "naive"
+)
+
+// Engine holds a program and a fact database and answers queries.
+// The zero value is not usable; construct with New. An Engine is not safe
+// for concurrent use.
+type Engine struct {
+	prog     *ast.Program
+	db       *database.Database
+	analyses map[string]*core.Analysis
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	return &Engine{
+		prog:     &ast.Program{},
+		db:       database.New(),
+		analyses: make(map[string]*core.Analysis),
+	}
+}
+
+// LoadProgram parses src and appends its rules to the engine's program.
+func (e *Engine) LoadProgram(src string) error {
+	p, err := parser.Program(src)
+	if err != nil {
+		return err
+	}
+	combined := &ast.Program{Rules: append(append([]ast.Rule{}, e.prog.Rules...), p.Rules...)}
+	if err := combined.Validate(); err != nil {
+		return err
+	}
+	e.prog = combined
+	e.analyses = make(map[string]*core.Analysis)
+	return nil
+}
+
+// ClearProgram removes all rules (facts are kept).
+func (e *Engine) ClearProgram() {
+	e.prog = &ast.Program{}
+	e.analyses = make(map[string]*core.Analysis)
+}
+
+// ProgramText renders the current rules.
+func (e *Engine) ProgramText() string { return e.prog.String() }
+
+// LoadFacts parses ground atoms from src and adds them to the database.
+func (e *Engine) LoadFacts(src string) error {
+	fs, err := parser.Facts(src)
+	if err != nil {
+		return err
+	}
+	return e.db.Load(fs)
+}
+
+// AddFact adds a single fact.
+func (e *Engine) AddFact(pred string, args ...string) error {
+	_, err := e.db.AddFact(pred, args...)
+	return err
+}
+
+// Predicates returns the names of all relations with facts, sorted.
+func (e *Engine) Predicates() []string { return e.db.Preds() }
+
+// NumFacts returns the number of stored base facts.
+func (e *Engine) NumFacts() int { return e.db.NumTuples() }
+
+// DistinctConstants returns the paper's n: the number of distinct
+// constants appearing in base facts.
+func (e *Engine) DistinctConstants() int { return e.db.DistinctConstants() }
+
+// queryConfig collects query options.
+type queryConfig struct {
+	strategy          Strategy
+	allowDisconnected bool
+	maxIterations     int
+}
+
+// QueryOption customizes a single Query call.
+type QueryOption func(*queryConfig)
+
+// WithStrategy forces a particular evaluation strategy.
+func WithStrategy(s Strategy) QueryOption {
+	return func(c *queryConfig) { c.strategy = s }
+}
+
+// WithRelaxedConnectivity lets the Separable strategy accept recursions
+// that violate condition 4 of Definition 2.4 (still correct, §5, but the
+// selection no longer focuses the disconnected part).
+func WithRelaxedConnectivity() QueryOption {
+	return func(c *queryConfig) { c.allowDisconnected = true }
+}
+
+// WithMaxIterations bounds fixpoint rounds / levels for the strategies
+// that support a bound.
+func WithMaxIterations(n int) QueryOption {
+	return func(c *queryConfig) { c.maxIterations = n }
+}
+
+// Stats summarizes the work one query performed.
+type Stats struct {
+	// Strategy actually used (differs from the request only under Auto).
+	Strategy Strategy
+	// RelationSizes maps each relation the strategy materialized to its
+	// peak size — the paper's Definition 4.2 measure.
+	RelationSizes map[string]int
+	// MaxRelation and MaxRelationSize identify the largest of those.
+	MaxRelation     string
+	MaxRelationSize int
+	// Iterations counts fixpoint/carry-loop rounds; Inserted counts tuple
+	// insertions into derived relations.
+	Iterations int
+	Inserted   int
+	// Duration is wall-clock evaluation time.
+	Duration time.Duration
+}
+
+// Result is the answer to a query.
+type Result struct {
+	// Columns are the query's distinct variables in first-occurrence
+	// order; answers are tuples over these columns.
+	Columns []string
+	// Stats describes the evaluation.
+	Stats Stats
+
+	rel *rel.Relation
+	db  *database.Database
+}
+
+// Len returns the number of answer tuples.
+func (r *Result) Len() int { return r.rel.Len() }
+
+// Rows returns the answers as strings, one slice per tuple, in sorted
+// order.
+func (r *Result) Rows() [][]string {
+	out := make([][]string, 0, r.rel.Len())
+	for _, t := range r.rel.Rows() {
+		row := make([]string, len(t))
+		for i, v := range t {
+			row[i] = r.db.Syms.Name(v)
+		}
+		out = append(out, row)
+	}
+	sortRows(out)
+	return out
+}
+
+// True reports whether a fully ground query succeeded (its answer is the
+// empty tuple).
+func (r *Result) True() bool { return len(r.Columns) == 0 && r.rel.Len() == 1 }
+
+// String renders the result compactly, e.g. "{(radio) (tv)}".
+func (r *Result) String() string { return r.rel.Dump(r.db.Syms) }
+
+// ErrUnknownStrategy reports an unrecognized strategy name.
+var ErrUnknownStrategy = errors.New("sepdl: unknown strategy")
+
+// Query parses and evaluates a query such as "buys(tom, Y)?".
+func (e *Engine) Query(query string, opts ...QueryOption) (*Result, error) {
+	cfg := queryConfig{strategy: Auto}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	q, err := parser.Query(query)
+	if err != nil {
+		return nil, err
+	}
+	c := stats.New()
+	start := time.Now()
+
+	strategy := cfg.strategy
+	idb := e.prog.IDBPreds()
+	if !idb[q.Pred] {
+		// EDB query: answer directly from the base relations.
+		ans, err := eval.Answer(e.db, q)
+		if err != nil {
+			return nil, err
+		}
+		return e.result(q, ans, Stats{Strategy: strategy, Duration: time.Since(start)}, c), nil
+	}
+	if strategy == Auto {
+		strategy = e.pick(q, cfg)
+	}
+
+	var ans *rel.Relation
+	switch strategy {
+	case Separable:
+		ans, err = core.Answer(e.prog, e.db, q, core.EvalOptions{
+			Collector:         c,
+			Analysis:          e.analysis(q.Pred, cfg.allowDisconnected),
+			AllowDisconnected: cfg.allowDisconnected,
+		})
+	case MagicSets, MagicSetsSup:
+		ans, err = magic.Answer(e.prog, e.db, q, magic.Options{
+			Collector:     c,
+			MaxIterations: cfg.maxIterations,
+			Supplementary: strategy == MagicSetsSup,
+		})
+	case Counting:
+		ans, err = counting.Answer(e.prog, e.db, q, counting.Options{Collector: c, MaxLevels: cfg.maxIterations})
+	case HenschenNaqvi:
+		ans, err = hn.Answer(e.prog, e.db, q, hn.Options{Collector: c, MaxDepth: cfg.maxIterations})
+	case AhoUllman:
+		ans, err = aho.Answer(e.prog, e.db, q, aho.Options{Collector: c, MaxIterations: cfg.maxIterations})
+	case Tabling:
+		ans, err = tabling.Answer(e.prog, e.db, q, tabling.Options{Collector: c})
+	case SemiNaive, Naive:
+		var view *database.Database
+		view, err = eval.Run(e.prog, e.db, eval.Options{Collector: c, Naive: strategy == Naive, MaxIterations: cfg.maxIterations})
+		if err == nil {
+			ans, err = eval.Answer(view, q)
+		}
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownStrategy, strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st := Stats{Strategy: strategy, Duration: time.Since(start)}
+	return e.result(q, ans, st, c), nil
+}
+
+func (e *Engine) result(q ast.Atom, ans *rel.Relation, st Stats, c *stats.Collector) *Result {
+	st.RelationSizes = c.Sizes
+	st.MaxRelation, st.MaxRelationSize = c.MaxRelation()
+	st.Iterations = c.Iterations
+	st.Inserted = c.Inserted
+	return &Result{Columns: eval.QueryVars(q), Stats: st, rel: ans, db: e.db}
+}
+
+// analysis returns the cached separability analysis for pred, or nil if
+// the recursion is not separable (under the given relaxation).
+func (e *Engine) analysis(pred string, relaxed bool) *core.Analysis {
+	key := pred
+	if relaxed {
+		key = pred + "\x00relaxed"
+	}
+	if a, ok := e.analyses[key]; ok {
+		return a
+	}
+	a, err := core.AnalyzeOpts(e.prog, pred, core.Options{AllowDisconnected: relaxed})
+	if err != nil {
+		a = nil
+	}
+	e.analyses[key] = a
+	return a
+}
+
+// pick implements Auto: Separable when the recursion is separable and the
+// query is a selection; Magic Sets for other selections; semi-naive
+// otherwise.
+func (e *Engine) pick(q ast.Atom, cfg queryConfig) Strategy {
+	hasConst := false
+	for _, t := range q.Args {
+		if !t.IsVar() {
+			hasConst = true
+			break
+		}
+	}
+	if !hasConst {
+		return SemiNaive
+	}
+	if a := e.analysis(q.Pred, cfg.allowDisconnected); a != nil {
+		if sel, err := a.Classify(q); err == nil && sel.Kind != core.SelNone {
+			return Separable
+		}
+	}
+	return MagicSets
+}
+
+// Explain reports, without evaluating, which strategy Auto would use for
+// the query and why.
+func (e *Engine) Explain(query string) (string, error) {
+	q, err := parser.Query(query)
+	if err != nil {
+		return "", err
+	}
+	if !e.prog.IDBPreds()[q.Pred] {
+		return fmt.Sprintf("%s is a base predicate: direct index lookup", q.Pred), nil
+	}
+	hasConst := false
+	for _, t := range q.Args {
+		if !t.IsVar() {
+			hasConst = true
+		}
+	}
+	if !hasConst {
+		return "no selection constants: semi-naive bottom-up evaluation", nil
+	}
+	a, aerr := core.Analyze(e.prog, q.Pred)
+	if aerr != nil {
+		return fmt.Sprintf("recursion is not separable (%v): Generalized Magic Sets", aerr), nil
+	}
+	sel, err := a.Classify(q)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("separable recursion, %s: Separable evaluation schema\n%s", sel.Kind, a), nil
+}
+
+// AnalyzeSeparability runs the Definition 2.4 test on pred's definition
+// and returns the human-readable analysis, or the reason it fails.
+func (e *Engine) AnalyzeSeparability(pred string) (report string, separable bool) {
+	a, err := core.Analyze(e.prog, pred)
+	if err != nil {
+		return err.Error(), false
+	}
+	return a.String(), true
+}
+
+func sortRows(rows [][]string) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := range a {
+			if k >= len(b) {
+				return false
+			}
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// CompilePlan renders the instantiation of the paper's Figure 2 schema
+// that the Separable strategy runs for the query — the "compiled" form of
+// the recursion (Figures 3 and 4 of the paper for its examples). It fails
+// if the recursion is not separable or the query has no constants.
+func (e *Engine) CompilePlan(query string) (string, error) {
+	q, err := parser.Query(query)
+	if err != nil {
+		return "", err
+	}
+	a, err := core.Analyze(e.prog, q.Pred)
+	if err != nil {
+		return "", err
+	}
+	return a.CompileText(q)
+}
+
+// WriteFacts writes the engine's base facts as sorted, parseable ground
+// atoms, suitable for reloading with LoadFacts.
+func (e *Engine) WriteFacts(w io.Writer) error { return e.db.WriteFacts(w) }
+
+// Why explains a ground fact: it returns a well-founded derivation tree
+// (fact, the rule deriving it, and recursively the supporting facts),
+// rendered as indented text. The fact must actually hold.
+func (e *Engine) Why(fact string) (string, error) {
+	a, err := parser.Query(fact)
+	if err != nil {
+		return "", err
+	}
+	ex, err := provenance.New(e.prog, e.db)
+	if err != nil {
+		return "", err
+	}
+	n, err := ex.Explain(a)
+	if err != nil {
+		return "", err
+	}
+	return n.String(), nil
+}

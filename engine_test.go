@@ -1,0 +1,573 @@
+package sepdl
+
+import (
+	"strings"
+	"testing"
+)
+
+const example11 = `
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- idol(X, W) & buys(W, Y).
+buys(X, Y) :- perfectFor(X, Y).
+`
+
+const example11Facts = `
+friend(tom, dick). friend(dick, harry).
+idol(tom, harry).
+perfectFor(harry, radio). perfectFor(dick, tv). perfectFor(alice, car).
+`
+
+func newExample11(t *testing.T) *Engine {
+	t.Helper()
+	e := New()
+	if err := e.LoadProgram(example11); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadFacts(example11Facts); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	e := newExample11(t)
+	res, err := e.Query(`buys(tom, Y)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Strategy != Separable {
+		t.Errorf("Auto picked %s, want separable", res.Stats.Strategy)
+	}
+	rows := res.Rows()
+	if len(rows) != 2 || rows[0][0] != "radio" || rows[1][0] != "tv" {
+		t.Fatalf("Rows = %v", rows)
+	}
+	if len(res.Columns) != 1 || res.Columns[0] != "Y" {
+		t.Fatalf("Columns = %v", res.Columns)
+	}
+}
+
+func TestAllStrategiesAgree(t *testing.T) {
+	e := newExample11(t)
+	var want string
+	for _, s := range []Strategy{Separable, MagicSets, Counting, HenschenNaqvi, SemiNaive, Naive} {
+		res, err := e.Query(`buys(tom, Y)?`, WithStrategy(s))
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if want == "" {
+			want = res.String()
+			continue
+		}
+		if got := res.String(); got != want {
+			t.Errorf("%s = %s, want %s", s, got, want)
+		}
+	}
+}
+
+func TestAutoFallsBackToMagic(t *testing.T) {
+	e := New()
+	// Nonlinear: not separable.
+	if err := e.LoadProgram(`
+t(X, Y) :- t(X, W) & t(W, Y).
+t(X, Y) :- edge(X, Y).
+`); err != nil {
+		t.Fatal(err)
+	}
+	e.LoadFacts(`edge(a, b). edge(b, c).`)
+	res, err := e.Query(`t(a, Y)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Strategy != MagicSets {
+		t.Errorf("Auto picked %s, want magic", res.Stats.Strategy)
+	}
+	if res.Len() != 2 {
+		t.Errorf("answers = %s", res)
+	}
+}
+
+func TestAutoFallsBackToSemiNaive(t *testing.T) {
+	e := newExample11(t)
+	res, err := e.Query(`buys(X, Y)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Strategy != SemiNaive {
+		t.Errorf("Auto picked %s, want seminaive", res.Stats.Strategy)
+	}
+	if res.Len() != 6 {
+		t.Errorf("answers = %d: %s", res.Len(), res)
+	}
+}
+
+func TestEDBQuery(t *testing.T) {
+	e := newExample11(t)
+	res, err := e.Query(`friend(tom, Y)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows()
+	if len(rows) != 1 || rows[0][0] != "dick" {
+		t.Fatalf("Rows = %v", rows)
+	}
+}
+
+func TestGroundQueryTrue(t *testing.T) {
+	e := newExample11(t)
+	res, err := e.Query(`buys(tom, radio)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.True() {
+		t.Fatalf("buys(tom, radio) should be true; got %s", res)
+	}
+	res, err = e.Query(`buys(alice, radio)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.True() {
+		t.Fatal("buys(alice, radio) should be false")
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	e := newExample11(t)
+	res, err := e.Query(`buys(tom, Y)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.RelationSizes["seen1"] == 0 {
+		t.Errorf("missing seen1 in %v", st.RelationSizes)
+	}
+	if st.MaxRelation == "" || st.MaxRelationSize == 0 {
+		t.Errorf("max relation not reported: %+v", st)
+	}
+	if st.Duration <= 0 {
+		t.Error("duration not measured")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	e := newExample11(t)
+	for query, want := range map[string]string{
+		`buys(tom, Y)?`:   "Separable evaluation schema",
+		`buys(X, Y)?`:     "semi-naive",
+		`friend(tom, Y)?`: "base predicate",
+	} {
+		got, err := e.Explain(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(got, want) {
+			t.Errorf("Explain(%s) = %q, want contains %q", query, got, want)
+		}
+	}
+}
+
+func TestExplainNonSeparable(t *testing.T) {
+	e := New()
+	e.LoadProgram(`
+t(X, Y) :- t(X, W) & t(W, Y).
+t(X, Y) :- edge(X, Y).
+`)
+	got, err := e.Explain(`t(a, Y)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "Magic") {
+		t.Errorf("Explain = %q", got)
+	}
+}
+
+func TestAnalyzeSeparability(t *testing.T) {
+	e := newExample11(t)
+	report, ok := e.AnalyzeSeparability("buys")
+	if !ok || !strings.Contains(report, "equivalence class") {
+		t.Fatalf("report = %q, ok = %v", report, ok)
+	}
+	report, ok = e.AnalyzeSeparability("friend")
+	if ok {
+		t.Fatalf("EDB predicate reported separable: %q", report)
+	}
+}
+
+func TestRelaxedConnectivityOption(t *testing.T) {
+	e := New()
+	if err := e.LoadProgram(`
+t(X, Y) :- a(X, W) & t(W, Z) & b(Z, Y).
+t(X, Y) :- t0(X, Y).
+`); err != nil {
+		t.Fatal(err)
+	}
+	e.LoadFacts(`a(x, w). t0(w, m). b(m, y).`)
+	// Strict separable must refuse...
+	if _, err := e.Query(`t(x, Y)?`, WithStrategy(Separable)); err == nil {
+		t.Fatal("condition-4 violation accepted without relaxation")
+	}
+	// ...relaxed must work and agree with semi-naive.
+	res, err := e.Query(`t(x, Y)?`, WithStrategy(Separable), WithRelaxedConnectivity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := e.Query(`t(x, Y)?`, WithStrategy(SemiNaive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() != sn.String() {
+		t.Fatalf("relaxed %s != seminaive %s", res, sn)
+	}
+	// Auto with relaxation picks Separable too.
+	res, err = e.Query(`t(x, Y)?`, WithRelaxedConnectivity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Strategy != Separable {
+		t.Errorf("Auto+relaxed picked %s", res.Stats.Strategy)
+	}
+}
+
+func TestWithMaxIterations(t *testing.T) {
+	e := newExample11(t)
+	if _, err := e.Query(`buys(tom, Y)?`, WithStrategy(SemiNaive), WithMaxIterations(1)); err == nil {
+		t.Fatal("iteration bound ignored")
+	}
+}
+
+func TestUnknownStrategy(t *testing.T) {
+	e := newExample11(t)
+	if _, err := e.Query(`buys(tom, Y)?`, WithStrategy(Strategy("bogus"))); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestLoadProgramValidates(t *testing.T) {
+	e := New()
+	if err := e.LoadProgram(`t(X, Y) :- e(X).`); err == nil {
+		t.Fatal("unsafe rule accepted")
+	}
+	if err := e.LoadProgram(`p(X) :- q(X, X).`); err != nil {
+		t.Fatal(err)
+	}
+	// Conflicting arity across loads must be rejected and leave the
+	// program unchanged.
+	if err := e.LoadProgram(`p(X, Y) :- r(X, Y).`); err == nil {
+		t.Fatal("conflicting arity across loads accepted")
+	}
+	if !strings.Contains(e.ProgramText(), "q(X, X)") {
+		t.Fatal("failed load corrupted program")
+	}
+}
+
+func TestClearProgram(t *testing.T) {
+	e := newExample11(t)
+	e.ClearProgram()
+	if e.ProgramText() != "" {
+		t.Fatal("program not cleared")
+	}
+	// Facts survive.
+	if e.NumFacts() == 0 {
+		t.Fatal("facts lost on ClearProgram")
+	}
+}
+
+func TestEngineIntrospection(t *testing.T) {
+	e := newExample11(t)
+	preds := e.Predicates()
+	if len(preds) != 3 {
+		t.Fatalf("Predicates = %v", preds)
+	}
+	if e.NumFacts() != 6 {
+		t.Fatalf("NumFacts = %d", e.NumFacts())
+	}
+	if e.DistinctConstants() != 7 {
+		t.Fatalf("DistinctConstants = %d", e.DistinctConstants())
+	}
+}
+
+func TestAddFact(t *testing.T) {
+	e := newExample11(t)
+	if err := e.AddFact("friend", "harry", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(`buys(tom, Y)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 { // now reaches alice's car
+		t.Fatalf("answers = %s", res)
+	}
+}
+
+func TestQueryParseError(t *testing.T) {
+	e := newExample11(t)
+	if _, err := e.Query(`buys(tom,`); err == nil {
+		t.Fatal("bad query accepted")
+	}
+}
+
+func TestCountingAndHNStrategiesSurfaceDivergence(t *testing.T) {
+	e := New()
+	e.LoadProgram(example11)
+	e.LoadFacts(`friend(a, b). friend(b, a). perfectFor(a, thing).`)
+	if _, err := e.Query(`buys(a, Y)?`, WithStrategy(Counting)); err == nil {
+		t.Fatal("counting should diverge on cyclic data")
+	}
+	if _, err := e.Query(`buys(a, Y)?`, WithStrategy(HenschenNaqvi)); err == nil {
+		t.Fatal("HN should diverge on cyclic data")
+	}
+	// But separable answers fine.
+	res, err := e.Query(`buys(a, Y)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("answers = %s", res)
+	}
+}
+
+func TestSupplementaryMagicStrategy(t *testing.T) {
+	e := newExample11(t)
+	basic, err := e.Query(`buys(tom, Y)?`, WithStrategy(MagicSets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := e.Query(`buys(tom, Y)?`, WithStrategy(MagicSetsSup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if basic.String() != sup.String() {
+		t.Fatalf("basic %s != supplementary %s", basic, sup)
+	}
+	// Supplementary materializes sup predicates.
+	found := false
+	for name := range sup.Stats.RelationSizes {
+		if strings.HasPrefix(name, "sup@") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no sup relations in %v", sup.Stats.RelationSizes)
+	}
+}
+
+func TestAhoUllmanStrategy(t *testing.T) {
+	e := newExample11(t)
+	res, err := e.Query(`buys(X, radio)?`, WithStrategy(AhoUllman))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := e.Query(`buys(X, radio)?`, WithStrategy(SemiNaive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() != sn.String() {
+		t.Fatalf("aho %s != seminaive %s", res, sn)
+	}
+	// Class-column selections are outside [AU79]'s scope.
+	if _, err := e.Query(`buys(tom, Y)?`, WithStrategy(AhoUllman)); err == nil {
+		t.Fatal("aho accepted a class-column selection")
+	}
+}
+
+func TestCompilePlan(t *testing.T) {
+	e := newExample11(t)
+	out, err := e.CompilePlan(`buys(tom, Y)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "carry1(tom);") {
+		t.Fatalf("plan = %q", out)
+	}
+	if _, err := e.CompilePlan(`buys(X, Y)?`); err == nil {
+		t.Fatal("no-selection plan accepted")
+	}
+	if _, err := e.CompilePlan(`nope(`); err == nil {
+		t.Fatal("bad query accepted")
+	}
+}
+
+func TestNegationThroughEngine(t *testing.T) {
+	e := New()
+	if err := e.LoadProgram(`
+reach(X) :- start(X).
+reach(Y) :- reach(X) & edge(X, Y).
+node(X) :- edge(X, Y).
+node(Y) :- edge(X, Y).
+unreach(X) :- node(X) & not reach(X).
+`); err != nil {
+		t.Fatal(err)
+	}
+	e.LoadFacts(`start(a). edge(a, b). edge(c, d).`)
+	res, err := e.Query(`unreach(X)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows()
+	if len(rows) != 2 || rows[0][0] != "c" || rows[1][0] != "d" {
+		t.Fatalf("unreach = %v", rows)
+	}
+	// A selection on a negation-using predicate: Auto must not pick
+	// Separable (the definition has negation) but still answer correctly.
+	res, err = e.Query(`unreach(c)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.True() {
+		t.Fatal("unreach(c) should hold")
+	}
+	if res.Stats.Strategy == Separable {
+		t.Fatalf("Auto picked Separable for a negated definition")
+	}
+}
+
+func TestNonStratifiableSurfacesError(t *testing.T) {
+	e := New()
+	if err := e.LoadProgram(`win(X) :- move(X, Y) & not win(Y).`); err != nil {
+		t.Fatal(err)
+	}
+	e.LoadFacts(`move(a, b).`)
+	if _, err := e.Query(`win(X)?`); err == nil {
+		t.Fatal("non-stratifiable program evaluated")
+	}
+}
+
+func TestMaterializedView(t *testing.T) {
+	e := New()
+	if err := e.LoadProgram(`
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, W) & path(W, Y).
+`); err != nil {
+		t.Fatal(err)
+	}
+	e.LoadFacts(`edge(a, b).`)
+	v, err := e.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Query(`path(a, Y)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Stats.Strategy != Materialized {
+		t.Fatalf("initial view: %s via %s", res, res.Stats.Strategy)
+	}
+	// Incremental insert through the view.
+	if _, err := v.AddFact("edge", "b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = v.Query(`path(a, Y)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows()
+	if len(rows) != 2 || rows[0][0] != "b" || rows[1][0] != "c" {
+		t.Fatalf("after insert: %v", rows)
+	}
+	// The engine's own database is unaffected (snapshot semantics).
+	base, err := e.Query(`path(a, Y)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Len() != 1 {
+		t.Fatalf("engine saw view insert: %s", base)
+	}
+}
+
+func TestMaterializeRejectsNegation(t *testing.T) {
+	e := New()
+	if err := e.LoadProgram(`p(X) :- q(X) & not r(X).`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Materialize(); err == nil {
+		t.Fatal("negated program materialized")
+	}
+}
+
+func TestTablingStrategy(t *testing.T) {
+	e := newExample11(t)
+	res, err := e.Query(`buys(tom, Y)?`, WithStrategy(Tabling))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := e.Query(`buys(tom, Y)?`, WithStrategy(SemiNaive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() != sn.String() {
+		t.Fatalf("tabling %s != seminaive %s", res, sn)
+	}
+}
+
+func TestMaterializedViewDeletion(t *testing.T) {
+	e := New()
+	if err := e.LoadProgram(`
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, W) & path(W, Y).
+`); err != nil {
+		t.Fatal(err)
+	}
+	e.LoadFacts(`edge(a, b). edge(b, c). edge(a, c).`)
+	v, err := e.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.DeleteFact("edge", "a", "c"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Query(`path(a, c)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.True() {
+		t.Fatal("path(a,c) should survive via the chain")
+	}
+	if _, err := v.DeleteFact("edge", "b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = v.Query(`path(a, c)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.True() {
+		t.Fatal("path(a,c) should be gone")
+	}
+}
+
+func TestWhy(t *testing.T) {
+	e := newExample11(t)
+	out, err := e.Why(`buys(tom, radio)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"buys(tom, radio)", "[base fact]", "perfectFor(harry, radio)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Why missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := e.Why(`buys(alice, radio)`); err == nil {
+		t.Fatal("Why explained a false fact")
+	}
+}
+
+func TestViewEDBQuery(t *testing.T) {
+	e := New()
+	e.LoadProgram(`path(X, Y) :- edge(X, Y).`)
+	e.LoadFacts(`edge(a, b).`)
+	v, err := e.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Query(`edge(a, Y)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("edge query through view: %s", res)
+	}
+	// Builtin facts are rejected at the view boundary.
+	if _, err := v.AddFact("neq", "a", "b"); err == nil {
+		t.Fatal("builtin fact accepted by view")
+	}
+}

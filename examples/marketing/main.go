@@ -1,0 +1,65 @@
+// Marketing analytics: the paper's motivating domain at scale. A product
+// team wants to know, for one influencer, everything their influence chain
+// will end up buying (Example 1.2: products propagate down friendship
+// chains and across "will also buy anything cheaper"). The example builds a
+// synthetic social graph, runs the same selection under every strategy the
+// engine offers, and prints the paper's measure — the largest intermediate
+// relation — next to the wall-clock time, so the O(n) vs Ω(n²) gap is
+// visible on real output.
+//
+//	go run ./examples/marketing [-n 2000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sepdl"
+)
+
+func main() {
+	n := flag.Int("n", 2000, "chain length (people and products)")
+	flag.Parse()
+
+	e := sepdl.New()
+	if err := e.LoadProgram(`
+		buys(X, Y) :- friend(X, W) & buys(W, Y).
+		buys(X, Y) :- buys(X, W) & cheaper(Y, W).
+		buys(X, Y) :- perfectFor(X, Y).
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	// A follower chain p1 -> p2 -> ... -> pn, a price ladder g1 < g2 < ...
+	// < gn, and one seed recommendation at the end of the chain.
+	for i := 1; i < *n; i++ {
+		must(e.AddFact("friend", name("p", i), name("p", i+1)))
+		must(e.AddFact("cheaper", name("g", i), name("g", i+1)))
+	}
+	must(e.AddFact("perfectFor", name("p", *n), name("g", *n)))
+	fmt.Printf("social graph: %d facts over %d constants\n\n", e.NumFacts(), e.DistinctConstants())
+
+	query := "buys(p1, Y)?"
+	fmt.Printf("query: %s\n\n", query)
+	fmt.Printf("%-12s %9s %14s %10s %12s\n", "strategy", "answers", "max relation", "size", "time")
+	for _, s := range []sepdl.Strategy{sepdl.Separable, sepdl.MagicSets, sepdl.SemiNaive} {
+		res, err := e.Query(query, sepdl.WithStrategy(s))
+		if err != nil {
+			fmt.Printf("%-12s %s\n", s, err)
+			continue
+		}
+		st := res.Stats
+		fmt.Printf("%-12s %9d %14s %10d %12s\n", s, res.Len(), st.MaxRelation, st.MaxRelationSize, st.Duration)
+	}
+	fmt.Println("\nSeparable touches each person and product once (O(n) monadic relations);")
+	fmt.Println("Magic Sets materializes every (person, product) combination (Ω(n²)).")
+}
+
+func name(prefix string, i int) string { return fmt.Sprintf("%s%d", prefix, i) }
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module sepdl
+
+go 1.22

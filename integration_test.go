@@ -1,0 +1,279 @@
+package sepdl
+
+// Integration corpus: each entry is a program + database + queries; every
+// applicable strategy is run on every query and all results are
+// cross-validated against semi-naive evaluation (the reference semantics).
+// Strategies outside their scope must fail loudly, never return wrong
+// answers silently.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+type corpusEntry struct {
+	name    string
+	program string
+	facts   string
+	queries []string
+	// skip lists strategies that legitimately reject some queries of this
+	// entry (scope errors are fine; wrong answers are not).
+	skipOK []Strategy
+}
+
+var corpus = []corpusEntry{
+	{
+		name: "example11-tree",
+		program: `
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- idol(X, W) & buys(W, Y).
+buys(X, Y) :- perfectFor(X, Y).
+`,
+		facts: `
+friend(a, b). friend(a, c). friend(b, d). friend(c, d).
+idol(d, e). idol(a, e).
+perfectFor(e, g1). perfectFor(b, g2). perfectFor(z, g3).
+`,
+		queries: []string{
+			`buys(a, Y)?`, `buys(d, Y)?`, `buys(X, g1)?`, `buys(a, g2)?`,
+			`buys(z, g1)?`, `buys(X, Y)?`,
+		},
+		// Separable rejects the all-free query; the others reject
+		// non-stable selections.
+		skipOK: []Strategy{Separable, AhoUllman, Counting, HenschenNaqvi},
+	},
+	{
+		name: "example12-cycles",
+		program: `
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- buys(X, W) & cheaper(Y, W).
+buys(X, Y) :- perfectFor(X, Y).
+`,
+		facts: `
+friend(a, b). friend(b, a). friend(b, c).
+cheaper(g2, g1). cheaper(g3, g2). cheaper(g1, g3).
+perfectFor(c, g1).
+`,
+		queries: []string{`buys(a, Y)?`, `buys(X, g2)?`, `buys(b, g3)?`},
+		skipOK:  []Strategy{AhoUllman, Counting, HenschenNaqvi}, // cyclic data diverges / not stable
+	},
+	{
+		name: "three-classes",
+		program: `
+t(X, Y, Z) :- a(X, W) & t(W, Y, Z).
+t(X, Y, Z) :- t(X, W, Z) & b(W, Y).
+t(X, Y, Z) :- t(X, Y, W) & c(W, Z).
+t(X, Y, Z) :- t0(X, Y, Z).
+`,
+		facts: `
+a(x1, x2). a(x2, x3).
+b(y1, y2). b(y2, y3).
+c(z1, z2).
+t0(x3, y1, z1). t0(x1, y2, z2).
+`,
+		queries: []string{
+			`t(x1, Y, Z)?`, `t(X, y3, Z)?`, `t(X, Y, z2)?`, `t(x1, y3, Z)?`,
+			`t(x1, y3, z2)?`,
+		},
+		skipOK: []Strategy{AhoUllman},
+	},
+	{
+		name: "wide-class-partial",
+		program: `
+t(X, Y, Z) :- a(X, Y, U, V) & t(U, V, Z).
+t(X, Y, Z) :- t(X, Y, W) & b(W, Z).
+t(X, Y, Z) :- t0(X, Y, Z).
+`,
+		facts: `
+a(p1, q1, p2, q2). a(p2, q2, p3, q3).
+t0(p3, q3, w1). t0(p1, q1, w0).
+b(w1, w2). b(w0, w3). b(w2, w4).
+`,
+		queries: []string{
+			`t(p1, Y, Z)?`, `t(X, q1, Z)?`, `t(p1, q1, Z)?`, `t(X, Y, w4)?`,
+			`t(p1, Y, w2)?`,
+		},
+		skipOK: []Strategy{AhoUllman, Counting, HenschenNaqvi}, // partial selections out of scope
+	},
+	{
+		name: "idb-support-preds",
+		program: `
+contact(X, Y) :- friend(X, Y).
+contact(X, Y) :- colleague(X, Y).
+closeTo(X, Y) :- contact(X, Y) & contact(Y, X).
+buys(X, Y) :- closeTo(X, W) & buys(W, Y).
+buys(X, Y) :- perfectFor(X, Y).
+`,
+		facts: `
+friend(a, b). colleague(b, a). friend(b, c). friend(c, b).
+perfectFor(c, g).
+`,
+		queries: []string{`buys(a, Y)?`, `buys(X, g)?`},
+		// closeTo is cyclic, so Counting and HN legitimately diverge.
+		skipOK: []Strategy{AhoUllman, Counting, HenschenNaqvi},
+	},
+	{
+		name: "multiple-exits-and-pers",
+		program: `
+reach(X, Y, T) :- hop(X, W) & reach(W, Y, T).
+reach(X, Y, T) :- direct(X, Y, T).
+reach(X, Y, T) :- shuttle(Y, X, T).
+`,
+		facts: `
+hop(a, b). hop(b, c).
+direct(c, d, bus). direct(b, e, car).
+shuttle(f, c, bus).
+`,
+		queries: []string{
+			`reach(a, Y, T)?`, `reach(X, d, T)?`, `reach(X, Y, bus)?`,
+			`reach(a, f, bus)?`,
+		},
+		skipOK: []Strategy{AhoUllman},
+	},
+	{
+		name: "negation-strata",
+		program: `
+reach(X) :- start(X).
+reach(Y) :- reach(X) & edge(X, Y).
+node(X) :- edge(X, Y).
+node(Y) :- edge(X, Y).
+blocked(X) :- node(X) & not reach(X).
+`,
+		facts: `
+start(a). edge(a, b). edge(c, d). edge(d, c).
+`,
+		queries: []string{`blocked(X)?`, `blocked(c)?`, `reach(X)?`, `blocked(a)?`},
+		// The paper's algorithms are pure-Horn only; reach's rules make
+		// selections non-stable for Aho-Ullman; tabling rejects negated
+		// IDB atoms.
+		skipOK: []Strategy{Separable, Counting, HenschenNaqvi, AhoUllman, Tabling},
+	},
+}
+
+func TestCorpusCrossValidation(t *testing.T) {
+	strategies := []Strategy{
+		Separable, MagicSets, MagicSetsSup, Counting, HenschenNaqvi,
+		AhoUllman, Tabling, SemiNaive, Naive,
+	}
+	for _, entry := range corpus {
+		entry := entry
+		t.Run(entry.name, func(t *testing.T) {
+			skip := make(map[Strategy]bool)
+			for _, s := range entry.skipOK {
+				skip[s] = true
+			}
+			e := New()
+			if err := e.LoadProgram(entry.program); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.LoadFacts(entry.facts); err != nil {
+				t.Fatal(err)
+			}
+			for _, query := range entry.queries {
+				ref, err := e.Query(query, WithStrategy(SemiNaive))
+				if err != nil {
+					t.Fatalf("%s [seminaive]: %v", query, err)
+				}
+				for _, s := range strategies {
+					res, err := e.Query(query, WithStrategy(s))
+					if err != nil {
+						if skip[s] {
+							continue // legitimate scope rejection
+						}
+						t.Errorf("%s [%s]: %v", query, s, err)
+						continue
+					}
+					if res.String() != ref.String() {
+						t.Errorf("%s [%s] = %s, want %s", query, s, res, ref)
+					}
+				}
+				// Auto must always succeed and agree.
+				res, err := e.Query(query)
+				if err != nil {
+					t.Errorf("%s [auto]: %v", query, err)
+					continue
+				}
+				if res.String() != ref.String() {
+					t.Errorf("%s [auto via %s] = %s, want %s", query, res.Stats.Strategy, res, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusRuleOrderInvariance permutes rule order and checks that every
+// query of every corpus entry still gets the same answers under Auto.
+func TestCorpusRuleOrderInvariance(t *testing.T) {
+	for _, entry := range corpus {
+		entry := entry
+		t.Run(entry.name, func(t *testing.T) {
+			e1 := New()
+			if err := e1.LoadProgram(entry.program); err != nil {
+				t.Fatal(err)
+			}
+			e1.LoadFacts(entry.facts)
+
+			// Reverse the rule order by re-parsing line by line.
+			var lines []string
+			for _, l := range strings.Split(entry.program, "\n") {
+				if strings.TrimSpace(l) != "" {
+					lines = append(lines, l)
+				}
+			}
+			for i, j := 0, len(lines)-1; i < j; i, j = i+1, j-1 {
+				lines[i], lines[j] = lines[j], lines[i]
+			}
+			e2 := New()
+			if err := e2.LoadProgram(strings.Join(lines, "\n")); err != nil {
+				t.Fatal(err)
+			}
+			e2.LoadFacts(entry.facts)
+
+			for _, query := range entry.queries {
+				r1, err := e1.Query(query)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r2, err := e2.Query(query)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r1.String() != r2.String() {
+					t.Errorf("%s: order-sensitive answers: %s vs %s", query, r1, r2)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusScopeRejectionsAreErrors double-checks that a strategy listed
+// in skipOK actually errors (rather than silently succeeding with wrong
+// answers) for at least one query of the entry, guarding the skip lists
+// against rot.
+func TestCorpusScopeRejectionsAreErrors(t *testing.T) {
+	for _, entry := range corpus {
+		entry := entry
+		t.Run(entry.name, func(t *testing.T) {
+			e := New()
+			if err := e.LoadProgram(entry.program); err != nil {
+				t.Fatal(err)
+			}
+			e.LoadFacts(entry.facts)
+			for _, s := range entry.skipOK {
+				failed := false
+				for _, query := range entry.queries {
+					if _, err := e.Query(query, WithStrategy(s)); err != nil {
+						failed = true
+						var nothing error
+						_ = errors.Is(err, nothing)
+						break
+					}
+				}
+				if !failed {
+					t.Errorf("strategy %s listed in skipOK but never errored", s)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,102 @@
+// Package adorn implements predicate adornments and sideways information
+// passing (SIP): the bookkeeping of which argument positions are bound by
+// the query and by earlier body atoms as a rule is evaluated left to right.
+// The Magic Sets rewrite is driven by these adornments.
+package adorn
+
+import (
+	"strings"
+
+	"sepdl/internal/ast"
+)
+
+// Adornment is a string over {'b','f'}, one character per argument
+// position: 'b' for bound, 'f' for free.
+type Adornment string
+
+// FromQuery derives the adornment of a query atom: constants are bound,
+// variables free. (Repeated query variables are handled by post-filtering
+// in the answer step, not by the adornment.)
+func FromQuery(q ast.Atom) Adornment {
+	b := make([]byte, len(q.Args))
+	for i, t := range q.Args {
+		if t.IsVar() {
+			b[i] = 'f'
+		} else {
+			b[i] = 'b'
+		}
+	}
+	return Adornment(b)
+}
+
+// ForAtom derives the adornment of a body atom given the set of variables
+// bound before it: constants and bound variables are 'b'.
+func ForAtom(a ast.Atom, bound map[string]bool) Adornment {
+	b := make([]byte, len(a.Args))
+	for i, t := range a.Args {
+		if !t.IsVar() || bound[t.Name] {
+			b[i] = 'b'
+		} else {
+			b[i] = 'f'
+		}
+	}
+	return Adornment(b)
+}
+
+// BoundPositions returns the indexes of the bound positions.
+func (a Adornment) BoundPositions() []int {
+	var out []int
+	for i := 0; i < len(a); i++ {
+		if a[i] == 'b' {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FreePositions returns the indexes of the free positions.
+func (a Adornment) FreePositions() []int {
+	var out []int
+	for i := 0; i < len(a); i++ {
+		if a[i] == 'f' {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AllFree reports whether no position is bound.
+func (a Adornment) AllFree() bool { return !strings.ContainsRune(string(a), 'b') }
+
+// Name returns the adorned predicate name, e.g. "buys@bf". The '@'
+// separator cannot appear in parsed identifiers, so adorned names never
+// collide with user predicates.
+func Name(pred string, a Adornment) string {
+	return pred + "@" + string(a)
+}
+
+// MagicName returns the magic predicate name for an adorned predicate,
+// e.g. "magic@buys@bf".
+func MagicName(pred string, a Adornment) string {
+	return "magic@" + Name(pred, a)
+}
+
+// BoundArgs returns the arguments of a at the adornment's bound positions,
+// in position order — the argument list of the corresponding magic atom.
+func BoundArgs(a ast.Atom, ad Adornment) []ast.Term {
+	var out []ast.Term
+	for _, p := range ad.BoundPositions() {
+		out = append(out, a.Args[p])
+	}
+	return out
+}
+
+// BindVars adds the variables of a to bound (sideways information passing:
+// after an atom is evaluated, all its variables are bound).
+func BindVars(a ast.Atom, bound map[string]bool) {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			bound[t.Name] = true
+		}
+	}
+}

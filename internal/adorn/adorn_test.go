@@ -1,0 +1,66 @@
+package adorn
+
+import (
+	"testing"
+
+	"sepdl/internal/ast"
+)
+
+func TestFromQuery(t *testing.T) {
+	q := ast.A("buys", ast.C("tom"), ast.V("Y"))
+	if got := FromQuery(q); got != "bf" {
+		t.Fatalf("FromQuery = %s", got)
+	}
+	if got := FromQuery(ast.A("p")); got != "" {
+		t.Fatalf("nullary adornment = %q", got)
+	}
+}
+
+func TestForAtom(t *testing.T) {
+	bound := map[string]bool{"X": true}
+	a := ast.A("q", ast.V("X"), ast.V("Y"), ast.C("k"))
+	if got := ForAtom(a, bound); got != "bfb" {
+		t.Fatalf("ForAtom = %s", got)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	a := Adornment("bfb")
+	if b := a.BoundPositions(); len(b) != 2 || b[0] != 0 || b[1] != 2 {
+		t.Fatalf("BoundPositions = %v", b)
+	}
+	if f := a.FreePositions(); len(f) != 1 || f[0] != 1 {
+		t.Fatalf("FreePositions = %v", f)
+	}
+	if a.AllFree() {
+		t.Fatal("bfb is not all free")
+	}
+	if !Adornment("fff").AllFree() {
+		t.Fatal("fff is all free")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if got := Name("buys", "bf"); got != "buys@bf" {
+		t.Fatalf("Name = %s", got)
+	}
+	if got := MagicName("buys", "bf"); got != "magic@buys@bf" {
+		t.Fatalf("MagicName = %s", got)
+	}
+}
+
+func TestBoundArgs(t *testing.T) {
+	a := ast.A("q", ast.C("tom"), ast.V("Y"), ast.V("Z"))
+	args := BoundArgs(a, "bfb")
+	if len(args) != 2 || args[0] != ast.C("tom") || args[1] != ast.V("Z") {
+		t.Fatalf("BoundArgs = %v", args)
+	}
+}
+
+func TestBindVars(t *testing.T) {
+	bound := map[string]bool{}
+	BindVars(ast.A("q", ast.V("X"), ast.C("k"), ast.V("Y")), bound)
+	if !bound["X"] || !bound["Y"] || len(bound) != 2 {
+		t.Fatalf("BindVars = %v", bound)
+	}
+}

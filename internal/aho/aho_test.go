@@ -1,0 +1,245 @@
+package aho
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/database"
+	"sepdl/internal/eval"
+	"sepdl/internal/parser"
+	"sepdl/internal/rel"
+	"sepdl/internal/stats"
+)
+
+func mustProgram(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Program(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustQuery(t *testing.T, src string) ast.Atom {
+	t.Helper()
+	q, err := parser.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func mustLoad(t *testing.T, db *database.Database, facts string) {
+	t.Helper()
+	fs, err := parser.Facts(facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load(fs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seminaive(t *testing.T, prog *ast.Program, db *database.Database, q ast.Atom) *rel.Relation {
+	t.Helper()
+	view, err := eval.Run(prog, db, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := eval.Answer(view, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ans
+}
+
+const example11 = `
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- idol(X, W) & buys(W, Y).
+buys(X, Y) :- perfectFor(X, Y).
+`
+
+func TestStablePositions(t *testing.T) {
+	prog := mustProgram(t, example11)
+	stable, err := StablePositions(prog, "buys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stable) != 1 || stable[0] != 1 {
+		t.Fatalf("stable = %v, want [1]", stable)
+	}
+	// Nonlinear transitive closure: neither column is stable.
+	tc := mustProgram(t, `
+t(X, Y) :- t(X, W) & t(W, Y).
+t(X, Y) :- e(X, Y).
+`)
+	stable, err = StablePositions(tc, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stable) != 0 {
+		t.Fatalf("stable = %v, want none", stable)
+	}
+}
+
+func TestPushStableSelection(t *testing.T) {
+	prog := mustProgram(t, example11)
+	pushed, err := Push(prog, mustQuery(t, `buys(X, radio)?`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "buys(X, radio) :- friend(X, W) & buys(W, radio)."
+	found := false
+	for _, r := range pushed.Rules {
+		if r.String() == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pushed program missing %q:\n%s", want, pushed)
+	}
+}
+
+func TestAnswerMatchesSemiNaive(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `
+friend(tom, dick). friend(dick, harry). friend(sue, tom).
+idol(tom, harry).
+perfectFor(harry, radio). perfectFor(dick, tv).
+`)
+	prog := mustProgram(t, example11)
+	q := mustQuery(t, `buys(X, radio)?`)
+	got, err := Answer(prog, db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seminaive(t, prog, db, q)
+	if !got.Equal(want) {
+		t.Fatalf("aho %s != semi-naive %s", got.Dump(db.Syms), want.Dump(db.Syms))
+	}
+}
+
+func TestNonStableSelectionRejected(t *testing.T) {
+	prog := mustProgram(t, example11)
+	db := database.New()
+	mustLoad(t, db, `friend(a, b). perfectFor(b, tv).`)
+	// Column 1 is rewritten by the recursion: not stable.
+	_, err := Answer(prog, db, mustQuery(t, `buys(tom, Y)?`), Options{})
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+	// No constants at all.
+	_, err = Answer(prog, db, mustQuery(t, `buys(X, Y)?`), Options{})
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestNonlinearStableSelection(t *testing.T) {
+	// Unlike Separable, Aho-Ullman pushing handles nonlinear recursions
+	// when the selected column is stable (here: column 2 of a "within
+	// budget" style recursion).
+	prog := mustProgram(t, `
+reach(X, G) :- reach(X, G) & reach(X, G).
+reach(X, G) :- base(X, G).
+reach(X, G) :- step(X, W) & reach(W, G).
+`)
+	db := database.New()
+	mustLoad(t, db, `
+base(c, g1). base(d, g2).
+step(a, b). step(b, c).
+`)
+	q := mustQuery(t, `reach(X, g1)?`)
+	got, err := Answer(prog, db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seminaive(t, prog, db, q)
+	if !got.Equal(want) {
+		t.Fatalf("aho %s != semi-naive %s", got.Dump(db.Syms), want.Dump(db.Syms))
+	}
+}
+
+func TestFocusing(t *testing.T) {
+	// Pushing the selection keeps the fixpoint restricted to the selected
+	// product: the specialized buys relation holds only radio tuples.
+	db := database.New()
+	mustLoad(t, db, `
+friend(tom, dick).
+perfectFor(dick, radio). perfectFor(dick, tv). perfectFor(tom, car).
+`)
+	prog := mustProgram(t, example11)
+	c := stats.New()
+	_, err := Answer(prog, db, mustQuery(t, `buys(X, radio)?`), Options{Collector: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sizes["buys"] != 2 { // (dick, radio), (tom, radio)
+		t.Fatalf("specialized buys size = %d, want 2 (%s)", c.Sizes["buys"], c)
+	}
+}
+
+func TestDownstreamPredicateIgnored(t *testing.T) {
+	// A predicate that merely uses buys does not block pushing; its rules
+	// are simply not evaluated.
+	prog := mustProgram(t, `
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- perfectFor(X, Y).
+popular(Y) :- buys(X, Y).
+`)
+	db := database.New()
+	mustLoad(t, db, `friend(a, b). perfectFor(b, tv).`)
+	q := mustQuery(t, `buys(X, tv)?`)
+	got, err := Answer(prog, db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seminaive(t, prog, db, q)
+	if !got.Equal(want) {
+		t.Fatalf("aho %s != semi-naive %s", got.Dump(db.Syms), want.Dump(db.Syms))
+	}
+}
+
+func TestMutualRecursionRejected(t *testing.T) {
+	prog := mustProgram(t, `
+p(X, Y) :- s(X, Y).
+p(X, Y) :- e(X, W) & s(W, Y).
+s(X, Y) :- base(X, Y).
+s(X, Y) :- f(X, W) & p(W, Y).
+`)
+	db := database.New()
+	mustLoad(t, db, `base(a, g). e(a, b). f(b, a).`)
+	_, err := Answer(prog, db, mustQuery(t, `p(X, g)?`), Options{})
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestRandomizedStableCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	prog := mustProgram(t, example11)
+	for trial := 0; trial < 30; trial++ {
+		db := database.New()
+		n := 3 + rng.Intn(6)
+		name := func(prefix string, i int) string { return fmt.Sprintf("%s%d", prefix, i) }
+		for i := 0; i < 2*n; i++ {
+			db.AddFact("friend", name("p", rng.Intn(n)), name("p", rng.Intn(n)))
+			db.AddFact("idol", name("p", rng.Intn(n)), name("p", rng.Intn(n)))
+		}
+		for i := 0; i < n; i++ {
+			db.AddFact("perfectFor", name("p", rng.Intn(n)), name("g", rng.Intn(n)))
+		}
+		q := mustQuery(t, fmt.Sprintf("buys(X, g%d)?", rng.Intn(n)))
+		got, err := Answer(prog, db, q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := seminaive(t, prog, db, q)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: aho %s != semi-naive %s", trial, got.Dump(db.Syms), want.Dump(db.Syms))
+		}
+	}
+}

@@ -1,0 +1,330 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+)
+
+// buysProgram is Example 1.1 of the paper.
+func buysProgram() *Program {
+	return NewProgram(
+		R(A("buys", V("X"), V("Y")), A("friend", V("X"), V("W")), A("buys", V("W"), V("Y"))),
+		R(A("buys", V("X"), V("Y")), A("idol", V("X"), V("W")), A("buys", V("W"), V("Y"))),
+		R(A("buys", V("X"), V("Y")), A("perfectFor", V("X"), V("Y"))),
+	)
+}
+
+func TestTermApply(t *testing.T) {
+	s := Subst{"X": V("Z"), "Y": C("tom")}
+	if got := V("X").Apply(s); got != V("Z") {
+		t.Errorf("X -> %v", got)
+	}
+	if got := V("Y").Apply(s); got != C("tom") {
+		t.Errorf("Y -> %v", got)
+	}
+	if got := V("W").Apply(s); got != V("W") {
+		t.Errorf("unmapped W -> %v", got)
+	}
+	if got := C("X").Apply(s); got != C("X") {
+		t.Errorf("constant rewritten: %v", got)
+	}
+}
+
+func TestAtomString(t *testing.T) {
+	a := A("buys", V("X"), C("radio"))
+	if got := a.String(); got != "buys(X, radio)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := A("halt").String(); got != "halt" {
+		t.Errorf("propositional String = %q", got)
+	}
+}
+
+func TestAtomSharesVar(t *testing.T) {
+	a := A("a", V("X"), V("W"))
+	b := A("b", V("W"), V("Y"))
+	c := A("c", V("Z"))
+	if !a.SharesVar(b) {
+		t.Error("a and b share W")
+	}
+	if a.SharesVar(c) {
+		t.Error("a and c share nothing")
+	}
+}
+
+func TestAtomGround(t *testing.T) {
+	if !A("p", C("a"), C("b")).IsGround() {
+		t.Error("ground atom not ground")
+	}
+	if A("p", C("a"), V("X")).IsGround() {
+		t.Error("nonground atom ground")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := buysProgram().Rules[0]
+	want := "buys(X, Y) :- friend(X, W) & buys(W, Y)."
+	if got := r.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestRuleRecursionPredicates(t *testing.T) {
+	p := buysProgram()
+	if !p.Rules[0].IsRecursive() || !p.Rules[0].IsLinearIn("buys") {
+		t.Error("rule 0 should be linear recursive")
+	}
+	if p.Rules[2].IsRecursive() {
+		t.Error("exit rule marked recursive")
+	}
+}
+
+func TestRuleSafety(t *testing.T) {
+	safe := R(A("p", V("X")), A("q", V("X")))
+	if !safe.IsSafe() {
+		t.Error("safe rule flagged unsafe")
+	}
+	unsafe := R(A("p", V("X"), V("Y")), A("q", V("X")))
+	if unsafe.IsSafe() {
+		t.Error("unsafe rule flagged safe")
+	}
+}
+
+func TestProgramIDBAndEDB(t *testing.T) {
+	p := buysProgram()
+	idb := p.IDBPreds()
+	if !idb["buys"] || len(idb) != 1 {
+		t.Errorf("IDB = %v", idb)
+	}
+	edb := p.EDBPreds()
+	want := []string{"friend", "idol", "perfectFor"}
+	if len(edb) != len(want) {
+		t.Fatalf("EDB = %v", edb)
+	}
+	for i := range want {
+		if edb[i] != want[i] {
+			t.Fatalf("EDB = %v, want %v", edb, want)
+		}
+	}
+}
+
+func TestAritiesConflict(t *testing.T) {
+	p := NewProgram(
+		R(A("p", V("X")), A("q", V("X"), V("X"))),
+		R(A("q", V("X")), A("r", V("X"))),
+	)
+	if _, err := p.Arities(); err == nil {
+		t.Fatal("conflicting arities not detected")
+	}
+}
+
+func TestDependsOn(t *testing.T) {
+	p := NewProgram(
+		R(A("a", V("X")), A("b", V("X"))),
+		R(A("b", V("X")), A("c", V("X"))),
+		R(A("d", V("X")), A("d", V("X")), A("e", V("X"))),
+	)
+	deps := p.DependsOn("a")
+	if !deps["b"] || !deps["c"] || deps["d"] {
+		t.Errorf("DependsOn(a) = %v", deps)
+	}
+	if !p.DependsOn("d")["d"] {
+		t.Error("recursive d should depend on itself")
+	}
+}
+
+func TestIsLinearRecursionFor(t *testing.T) {
+	if !buysProgram().IsLinearRecursionFor("buys") {
+		t.Error("Example 1.1 should be linear")
+	}
+	nonlinear := NewProgram(
+		R(A("t", V("X"), V("Y")), A("t", V("X"), V("W")), A("t", V("W"), V("Y"))),
+		R(A("t", V("X"), V("Y")), A("e", V("X"), V("Y"))),
+	)
+	if nonlinear.IsLinearRecursionFor("t") {
+		t.Error("nonlinear recursion accepted")
+	}
+	mutual := NewProgram(
+		R(A("t", V("X")), A("s", V("X"))),
+		R(A("s", V("X")), A("t", V("X"))),
+	)
+	if mutual.IsLinearRecursionFor("t") {
+		t.Error("mutual recursion accepted")
+	}
+}
+
+func TestValidateUnsafe(t *testing.T) {
+	p := NewProgram(R(A("p", V("X"), V("Y")), A("q", V("X"))))
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "unsafe") {
+		t.Fatalf("Validate = %v, want unsafe error", err)
+	}
+}
+
+func TestRectifyDefinition(t *testing.T) {
+	rules := buysProgram().RulesFor("buys")
+	rect, err := RectifyDefinition(rules, "buys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rect {
+		if len(r.Head.Args) != 2 || r.Head.Args[0].Name != "%h0" || r.Head.Args[1].Name != "%h1" {
+			t.Errorf("rule %d head not canonical: %s", i, r)
+		}
+	}
+	// The recursive body atom must carry the renamed variables.
+	body := rect[0].Body
+	if body[0].Args[0].Name != "%h0" {
+		t.Errorf("friend first arg = %s, want %%h0", body[0].Args[0].Name)
+	}
+	if body[1].Args[1].Name != "%h1" {
+		t.Errorf("recursive buys second arg = %s, want %%h1", body[1].Args[1].Name)
+	}
+	if body[0].Args[1].Name != body[1].Args[0].Name {
+		t.Error("shared W renamed inconsistently")
+	}
+}
+
+func TestRectifyRejectsConstHead(t *testing.T) {
+	rules := []Rule{R(A("t", C("a"), V("Y")), A("e", V("Y")))}
+	if _, err := RectifyDefinition(rules, "t"); err == nil {
+		t.Fatal("constant head accepted")
+	}
+}
+
+func TestRectifyRejectsRepeatedHeadVar(t *testing.T) {
+	rules := []Rule{R(A("t", V("X"), V("X")), A("e", V("X")))}
+	if _, err := RectifyDefinition(rules, "t"); err == nil {
+		t.Fatal("repeated head variable accepted")
+	}
+}
+
+func TestRectifyDistinctRulesDistinctBodyVars(t *testing.T) {
+	rules := buysProgram().RulesFor("buys")
+	rect, err := RectifyDefinition(rules, "buys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// W appears in rules 0 and 1; after rectification the body-only
+	// variables must differ between rules.
+	v0 := rect[0].Body[0].Args[1].Name
+	v1 := rect[1].Body[0].Args[1].Name
+	if v0 == v1 {
+		t.Errorf("body vars collide across rules: %s", v0)
+	}
+}
+
+func TestSplitDefinition(t *testing.T) {
+	rules := buysProgram().RulesFor("buys")
+	recur, exit, err := SplitDefinition(rules, "buys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recur) != 2 || len(exit) != 1 {
+		t.Fatalf("split = %d recursive, %d exit", len(recur), len(exit))
+	}
+	nonlinear := []Rule{R(A("t", V("X")), A("t", V("X")), A("t", V("X")))}
+	if _, _, err := SplitDefinition(nonlinear, "t"); err == nil {
+		t.Fatal("nonlinear rule accepted")
+	}
+}
+
+func TestProgramClone(t *testing.T) {
+	p := buysProgram()
+	c := p.Clone()
+	c.Rules[0].Head.Pred = "mutated"
+	c.Rules[0].Body[0].Args[0] = C("x")
+	if p.Rules[0].Head.Pred != "buys" || p.Rules[0].Body[0].Args[0] != V("X") {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestStratifyPositiveProgram(t *testing.T) {
+	strata, err := buysProgram().Stratify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strata) != 1 || len(strata[0]) != 1 || strata[0][0] != "buys" {
+		t.Fatalf("strata = %v", strata)
+	}
+}
+
+func TestStratifyLayers(t *testing.T) {
+	p := NewProgram(
+		R(A("reach", V("X")), A("start", V("X"))),
+		R(A("reach", V("Y")), A("reach", V("X")), A("edge", V("X"), V("Y"))),
+		R(A("node", V("X")), A("edge", V("X"), V("Y"))),
+		R(A("unreach", V("X")), A("node", V("X")), Not(A("reach", V("X")))),
+	)
+	strata, err := p.Stratify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strata) != 2 {
+		t.Fatalf("strata = %v", strata)
+	}
+	if strata[0][0] != "node" || strata[0][1] != "reach" {
+		t.Fatalf("stratum 0 = %v", strata[0])
+	}
+	if strata[1][0] != "unreach" {
+		t.Fatalf("stratum 1 = %v", strata[1])
+	}
+}
+
+func TestStratifyRejectsNegativeCycle(t *testing.T) {
+	p := NewProgram(
+		R(A("win", V("X")), A("move", V("X"), V("Y")), Not(A("win", V("Y")))),
+	)
+	if _, err := p.Stratify(); err == nil {
+		t.Fatal("win-move accepted")
+	}
+	// Mutual negative recursion.
+	p = NewProgram(
+		R(A("p", V("X")), A("u", V("X")), Not(A("q", V("X")))),
+		R(A("q", V("X")), A("u", V("X")), Not(A("p", V("X")))),
+	)
+	if _, err := p.Stratify(); err == nil {
+		t.Fatal("mutual negation accepted")
+	}
+}
+
+func TestHasNegation(t *testing.T) {
+	if buysProgram().HasNegation() {
+		t.Error("positive program reports negation")
+	}
+	p := NewProgram(R(A("p", V("X")), A("q", V("X")), Not(A("r", V("X")))))
+	if !p.HasNegation() {
+		t.Error("negation not detected")
+	}
+	if !p.Rules[0].HasNegation() {
+		t.Error("rule negation not detected")
+	}
+}
+
+func TestNegationSafety(t *testing.T) {
+	safe := R(A("p", V("X")), A("q", V("X")), Not(A("r", V("X"))))
+	if !safe.NegationSafe() {
+		t.Error("safe negation flagged unsafe")
+	}
+	unsafe := R(A("p", V("X")), A("q", V("X")), Not(A("r", V("X"), V("Y"))))
+	if unsafe.NegationSafe() {
+		t.Error("unsafe negation flagged safe")
+	}
+	// Ground negated atoms are always safe.
+	ground := R(A("p", V("X")), A("q", V("X")), Not(A("r", C("a"))))
+	if !ground.NegationSafe() {
+		t.Error("ground negation flagged unsafe")
+	}
+}
+
+func TestNotConstructor(t *testing.T) {
+	a := Not(A("p", V("X")))
+	if !a.Negated {
+		t.Fatal("Not did not negate")
+	}
+	if got := a.String(); got != "not p(X)" {
+		t.Fatalf("String = %q", got)
+	}
+	if a.Equal(A("p", V("X"))) {
+		t.Fatal("negated atom equal to positive atom")
+	}
+}

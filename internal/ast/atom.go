@@ -1,0 +1,135 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Atom is a predicate applied to terms, e.g. buys(X, Y) or friend(tom, W).
+// A negated atom ("not p(X)") may appear in rule bodies; the engine
+// evaluates negation under the stratified semantics.
+type Atom struct {
+	Pred    string
+	Args    []Term
+	Negated bool
+}
+
+// A is a convenience constructor for positive atoms.
+func A(pred string, args ...Term) Atom {
+	return Atom{Pred: pred, Args: args}
+}
+
+// Not returns the negation of a.
+func Not(a Atom) Atom {
+	a.Negated = true
+	return a
+}
+
+// Arity returns the number of arguments.
+func (a Atom) Arity() int { return len(a.Args) }
+
+// String renders the atom in Prolog syntax, with a "not " prefix when
+// negated.
+func (a Atom) String() string {
+	neg := ""
+	if a.Negated {
+		neg = "not "
+	}
+	if len(a.Args) == 0 {
+		return neg + a.Pred
+	}
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return neg + a.Pred + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Apply returns the atom with the substitution applied to every argument.
+func (a Atom) Apply(s Subst) Atom {
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = t.Apply(s)
+	}
+	return Atom{Pred: a.Pred, Args: args, Negated: a.Negated}
+}
+
+// Clone returns a deep copy of the atom.
+func (a Atom) Clone() Atom {
+	return Atom{Pred: a.Pred, Args: append([]Term(nil), a.Args...), Negated: a.Negated}
+}
+
+// Equal reports structural equality.
+func (a Atom) Equal(b Atom) bool {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) || a.Negated != b.Negated {
+		return false
+	}
+	for i := range a.Args {
+		if !a.Args[i].equal(b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars appends the names of the variables occurring in a to dst, in
+// left-to-right order with duplicates preserved.
+func (a Atom) Vars(dst []string) []string {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			dst = append(dst, t.Name)
+		}
+	}
+	return dst
+}
+
+// VarSet returns the set of variable names occurring in a.
+func (a Atom) VarSet() map[string]bool {
+	out := make(map[string]bool)
+	for _, t := range a.Args {
+		if t.IsVar() {
+			out[t.Name] = true
+		}
+	}
+	return out
+}
+
+// IsGround reports whether the atom contains no variables.
+func (a Atom) IsGround() bool {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+// SharesVar reports whether a and b have at least one variable in common.
+func (a Atom) SharesVar(b Atom) bool {
+	vs := a.VarSet()
+	for _, t := range b.Args {
+		if t.IsVar() && vs[t.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+// Builtin reports whether pred is one of the engine's built-in comparison
+// predicates, evaluated procedurally over bound arguments instead of
+// against a stored relation: eq(X, Y) and neq(X, Y).
+func Builtin(pred string) bool {
+	return pred == "eq" || pred == "neq"
+}
+
+func checkAtom(a Atom) error {
+	if a.Pred == "" {
+		return fmt.Errorf("ast: atom with empty predicate name")
+	}
+	for _, t := range a.Args {
+		if err := checkTerm(t); err != nil {
+			return fmt.Errorf("in %s: %w", a.Pred, err)
+		}
+	}
+	return nil
+}

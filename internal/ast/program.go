@@ -1,0 +1,194 @@
+package ast
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Program is a set of rules. Predicates that appear in some rule head are
+// IDB predicates; all others are EDB (base) predicates defined by their
+// extent in a database (§2 of the paper).
+type Program struct {
+	Rules []Rule
+}
+
+// NewProgram builds a program from rules.
+func NewProgram(rules ...Rule) *Program {
+	return &Program{Rules: rules}
+}
+
+// String renders the program one rule per line, in rule order.
+func (p *Program) String() string {
+	parts := make([]string, len(p.Rules))
+	for i, r := range p.Rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Clone returns a deep copy of the program.
+func (p *Program) Clone() *Program {
+	rules := make([]Rule, len(p.Rules))
+	for i, r := range p.Rules {
+		rules[i] = r.Clone()
+	}
+	return &Program{Rules: rules}
+}
+
+// IDBPreds returns the set of predicates appearing in some rule head.
+func (p *Program) IDBPreds() map[string]bool {
+	out := make(map[string]bool)
+	for _, r := range p.Rules {
+		out[r.Head.Pred] = true
+	}
+	return out
+}
+
+// EDBPreds returns the sorted list of predicates that occur only in rule
+// bodies.
+func (p *Program) EDBPreds() []string {
+	idb := p.IDBPreds()
+	seen := make(map[string]bool)
+	var out []string
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			if !idb[a.Pred] && !Builtin(a.Pred) && !seen[a.Pred] {
+				seen[a.Pred] = true
+				out = append(out, a.Pred)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RulesFor returns the definition of pred: every rule with pred in the head,
+// in program order.
+func (p *Program) RulesFor(pred string) []Rule {
+	var out []Rule
+	for _, r := range p.Rules {
+		if r.Head.Pred == pred {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Arities returns the arity of every predicate mentioned in the program, or
+// an error if some predicate is used with inconsistent arities.
+func (p *Program) Arities() (map[string]int, error) {
+	out := make(map[string]int)
+	note := func(a Atom) error {
+		if prev, ok := out[a.Pred]; ok {
+			if prev != a.Arity() {
+				return fmt.Errorf("ast: predicate %s used with arity %d and %d", a.Pred, prev, a.Arity())
+			}
+			return nil
+		}
+		out[a.Pred] = a.Arity()
+		return nil
+	}
+	for _, r := range p.Rules {
+		if err := note(r.Head); err != nil {
+			return nil, err
+		}
+		for _, a := range r.Body {
+			if err := note(a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// DependsOn returns the set of predicates reachable from pred in the
+// rule-dependency graph (pred's head depends on every body predicate of its
+// rules, transitively). pred itself is included only if it is reachable
+// through at least one rule application (i.e. it is recursive).
+func (p *Program) DependsOn(pred string) map[string]bool {
+	adj := make(map[string][]string)
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			adj[r.Head.Pred] = append(adj[r.Head.Pred], a.Pred)
+		}
+	}
+	out := make(map[string]bool)
+	var stack []string
+	stack = append(stack, adj[pred]...)
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if out[q] {
+			continue
+		}
+		out[q] = true
+		stack = append(stack, adj[q]...)
+	}
+	return out
+}
+
+// IsLinearRecursionFor reports whether the definition of pred consists only
+// of rules that are either nonrecursive or linear recursive in pred, with no
+// other IDB predicate mutually recursive with pred (the program class of
+// §2).
+func (p *Program) IsLinearRecursionFor(pred string) bool {
+	for _, r := range p.RulesFor(pred) {
+		occ := len(r.BodyOccurrences(pred))
+		if occ > 1 {
+			return false
+		}
+	}
+	// No other predicate may depend back on pred.
+	for _, r := range p.Rules {
+		if r.Head.Pred == pred {
+			continue
+		}
+		deps := p.DependsOn(r.Head.Pred)
+		if deps[pred] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks basic well-formedness: nonempty names, consistent
+// arities, and rule safety.
+func (p *Program) Validate() error {
+	if _, err := p.Arities(); err != nil {
+		return err
+	}
+	for i, r := range p.Rules {
+		if err := checkAtom(r.Head); err != nil {
+			return fmt.Errorf("rule %d: %w", i, err)
+		}
+		for _, a := range r.Body {
+			if err := checkAtom(a); err != nil {
+				return fmt.Errorf("rule %d: %w", i, err)
+			}
+		}
+		if r.Head.Negated {
+			return fmt.Errorf("rule %d (%s): negated head", i, r)
+		}
+		if Builtin(r.Head.Pred) {
+			return fmt.Errorf("rule %d (%s): cannot define builtin predicate %s", i, r, r.Head.Pred)
+		}
+		for _, a := range r.Body {
+			if Builtin(a.Pred) {
+				if a.Arity() != 2 {
+					return fmt.Errorf("rule %d (%s): builtin %s takes 2 arguments", i, r, a.Pred)
+				}
+				if a.Negated {
+					return fmt.Errorf("rule %d (%s): negated builtin %s (use the dual builtin instead)", i, r, a.Pred)
+				}
+			}
+		}
+		if len(r.Body) > 0 && !r.IsSafe() {
+			return fmt.Errorf("rule %d (%s): unsafe: head variable not bound in a positive body atom", i, r)
+		}
+		if !r.NegationSafe() {
+			return fmt.Errorf("rule %d (%s): unsafe negation: variable of a negated atom not bound in a positive body atom", i, r)
+		}
+	}
+	return nil
+}

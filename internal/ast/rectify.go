@@ -1,0 +1,67 @@
+package ast
+
+import "fmt"
+
+// CanonicalHeadVar returns the canonical name used for head argument
+// position i after rectification. The "%" prefix cannot be produced by the
+// parser, so canonical names never collide with user variables.
+func CanonicalHeadVar(i int) string { return fmt.Sprintf("%%h%d", i) }
+
+// RectifyDefinition rewrites the definition of pred so that every rule head
+// is exactly pred(%h0, ..., %h{k-1}) (the "rectified" form of §3.3,
+// following Ullman). The paper requires heads with no constants and no
+// repeated variables; RectifyDefinition returns an error if a head violates
+// that. Body-only variables are renamed with a per-rule prefix so distinct
+// rules never share a variable by accident.
+func RectifyDefinition(rules []Rule, pred string) ([]Rule, error) {
+	out := make([]Rule, len(rules))
+	for i, r := range rules {
+		if r.Head.Pred != pred {
+			return nil, fmt.Errorf("ast: rectify: rule %d head is %s, want %s", i, r.Head.Pred, pred)
+		}
+		s := make(Subst, len(r.Head.Args))
+		seen := make(map[string]bool, len(r.Head.Args))
+		for pos, t := range r.Head.Args {
+			if !t.IsVar() {
+				return nil, fmt.Errorf("ast: rectify: rule %d has constant %q in head position %d (paper §2 requires variable heads)", i, t.Name, pos)
+			}
+			if seen[t.Name] {
+				return nil, fmt.Errorf("ast: rectify: rule %d repeats variable %s in head (paper §2 requires distinct head variables)", i, t.Name)
+			}
+			seen[t.Name] = true
+			s[t.Name] = V(CanonicalHeadVar(pos))
+		}
+		// Rename body-only variables to per-rule fresh names.
+		n := 0
+		for _, a := range r.Body {
+			for _, t := range a.Args {
+				if t.IsVar() {
+					if _, ok := s[t.Name]; !ok {
+						s[t.Name] = V(fmt.Sprintf("%%b%d_%d", i, n))
+						n++
+					}
+				}
+			}
+		}
+		out[i] = r.Apply(s)
+	}
+	return out, nil
+}
+
+// SplitDefinition partitions the rectified rules for pred into the linear
+// recursive rules and the nonrecursive (exit) rules, preserving order. It
+// returns an error if any rule mentions pred more than once in its body
+// (nonlinear) — the paper's class is linear recursions only.
+func SplitDefinition(rules []Rule, pred string) (recursive, exit []Rule, err error) {
+	for i, r := range rules {
+		switch len(r.BodyOccurrences(pred)) {
+		case 0:
+			exit = append(exit, r)
+		case 1:
+			recursive = append(recursive, r)
+		default:
+			return nil, nil, fmt.Errorf("ast: rule %d is nonlinear in %s", i, pred)
+		}
+	}
+	return recursive, exit, nil
+}

@@ -1,0 +1,147 @@
+package ast
+
+import "strings"
+
+// Rule is a Horn clause Head :- Body. A rule with an empty body is a fact
+// schema (rare in this code base; facts normally live in the database).
+type Rule struct {
+	Head Atom
+	Body []Atom
+}
+
+// R is a convenience constructor for rules.
+func R(head Atom, body ...Atom) Rule {
+	return Rule{Head: head, Body: body}
+}
+
+// String renders the rule in Prolog syntax.
+func (r Rule) String() string {
+	if len(r.Body) == 0 {
+		return r.Head.String() + "."
+	}
+	parts := make([]string, len(r.Body))
+	for i, a := range r.Body {
+		parts[i] = a.String()
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, " & ") + "."
+}
+
+// Clone returns a deep copy of the rule.
+func (r Rule) Clone() Rule {
+	body := make([]Atom, len(r.Body))
+	for i, a := range r.Body {
+		body[i] = a.Clone()
+	}
+	return Rule{Head: r.Head.Clone(), Body: body}
+}
+
+// Apply returns the rule with the substitution applied throughout.
+func (r Rule) Apply(s Subst) Rule {
+	body := make([]Atom, len(r.Body))
+	for i, a := range r.Body {
+		body[i] = a.Apply(s)
+	}
+	return Rule{Head: r.Head.Apply(s), Body: body}
+}
+
+// Equal reports structural equality of rules.
+func (r Rule) Equal(o Rule) bool {
+	if !r.Head.Equal(o.Head) || len(r.Body) != len(o.Body) {
+		return false
+	}
+	for i := range r.Body {
+		if !r.Body[i].Equal(o.Body[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// BodyOccurrences returns the indexes of body atoms whose predicate is pred.
+func (r Rule) BodyOccurrences(pred string) []int {
+	var out []int
+	for i, a := range r.Body {
+		if a.Pred == pred {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IsLinearIn reports whether pred occurs exactly once in the rule body.
+func (r Rule) IsLinearIn(pred string) bool {
+	return len(r.BodyOccurrences(pred)) == 1
+}
+
+// IsRecursive reports whether the head predicate also occurs in the body.
+func (r Rule) IsRecursive() bool {
+	return len(r.BodyOccurrences(r.Head.Pred)) > 0
+}
+
+// Vars returns the set of variable names occurring anywhere in the rule.
+func (r Rule) Vars() map[string]bool {
+	out := r.Head.VarSet()
+	for _, a := range r.Body {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				out[t.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// IsSafe reports whether every head variable occurs in a positive body
+// atom (range restriction), the standard Datalog safety condition.
+func (r Rule) IsSafe() bool {
+	posVars := r.positiveBodyVars()
+	for _, t := range r.Head.Args {
+		if t.IsVar() && !posVars[t.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// NegationSafe reports whether every variable of every negated or builtin
+// body atom also occurs in a positive non-builtin body atom, so these
+// filters can be evaluated over fully bound arguments.
+func (r Rule) NegationSafe() bool {
+	posVars := r.positiveBodyVars()
+	for _, a := range r.Body {
+		if !a.Negated && !Builtin(a.Pred) {
+			continue
+		}
+		for _, t := range a.Args {
+			if t.IsVar() && !posVars[t.Name] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (r Rule) positiveBodyVars() map[string]bool {
+	out := make(map[string]bool)
+	for _, a := range r.Body {
+		if a.Negated || Builtin(a.Pred) {
+			continue
+		}
+		for _, t := range a.Args {
+			if t.IsVar() {
+				out[t.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// HasNegation reports whether any body atom is negated.
+func (r Rule) HasNegation() bool {
+	for _, a := range r.Body {
+		if a.Negated {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,72 @@
+package ast
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stratify computes a stratification of the program's IDB predicates:
+// stratum(h) ≥ stratum(b) for every positive body dependency and
+// stratum(h) > stratum(b) for every negated one. It returns the predicate
+// groups in evaluation order, or an error when no stratification exists
+// (negation through recursion).
+//
+// Programs without negation always stratify into a single stratum.
+func (p *Program) Stratify() ([][]string, error) {
+	idb := p.IDBPreds()
+	stratum := make(map[string]int, len(idb))
+	// Bellman-Ford-style relaxation; more than |idb| rounds of change
+	// means a cycle through negation.
+	for round := 0; ; round++ {
+		if round > len(idb)+1 {
+			return nil, fmt.Errorf("ast: program is not stratifiable (negation through recursion)")
+		}
+		changed := false
+		for _, r := range p.Rules {
+			h := r.Head.Pred
+			for _, b := range r.Body {
+				if !idb[b.Pred] {
+					continue
+				}
+				want := stratum[b.Pred]
+				if b.Negated {
+					want++
+				}
+				if stratum[h] < want {
+					stratum[h] = want
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	max := 0
+	for _, s := range stratum {
+		if s > max {
+			max = s
+		}
+	}
+	out := make([][]string, max+1)
+	var preds []string
+	for pred := range idb {
+		preds = append(preds, pred)
+	}
+	sort.Strings(preds)
+	for _, pred := range preds {
+		s := stratum[pred]
+		out[s] = append(out[s], pred)
+	}
+	return out, nil
+}
+
+// HasNegation reports whether any rule body contains a negated atom.
+func (p *Program) HasNegation() bool {
+	for _, r := range p.Rules {
+		if r.HasNegation() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+// Package ast defines the abstract syntax of the function-free pure Horn
+// clause programs the paper considers (§2): terms, atoms, rules, programs,
+// and queries, together with validation, rectification, and dependency
+// analysis.
+//
+// Constants are kept as strings at this level; the evaluation layers intern
+// them through symtab when a program meets a database.
+package ast
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// TermKind discriminates Term.
+type TermKind int
+
+const (
+	// Var is a logic variable.
+	Var TermKind = iota
+	// Const is a constant symbol.
+	Const
+)
+
+// Term is a variable or a constant argument of an atom. Programs are
+// function-free, so there is no deeper term structure.
+type Term struct {
+	Kind TermKind
+	// Name is the variable name for Kind==Var and the constant symbol for
+	// Kind==Const.
+	Name string
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Kind: Var, Name: name} }
+
+// C returns a constant term.
+func C(name string) Term { return Term{Kind: Const, Name: name} }
+
+// IsVar reports whether t is a variable.
+func (t Term) IsVar() bool { return t.Kind == Var }
+
+// String renders the term in Prolog style: variables as-is (they are
+// required to start with an upper-case letter or underscore by the parser);
+// constants are quoted when necessary so the rendering parses back to the
+// same term.
+func (t Term) String() string {
+	if t.Kind == Const {
+		return QuoteConst(t.Name)
+	}
+	return t.Name
+}
+
+// QuoteConst renders a constant symbol so the parser reads it back
+// unchanged: lower-case identifiers and integers pass through, anything
+// else is double-quoted. (Constants containing '"' or newlines cannot be
+// represented in the surface syntax; they still get quoted, best-effort.)
+func QuoteConst(s string) string {
+	if s == "" {
+		return `""`
+	}
+	runes := []rune(s)
+	plainIdent := unicode.IsLower(runes[0])
+	plainNum := unicode.IsDigit(runes[0]) || (runes[0] == '-' && len(runes) > 1)
+	for i, r := range runes {
+		if i == 0 {
+			continue
+		}
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+			plainIdent = false
+		}
+		if !unicode.IsDigit(r) {
+			plainNum = false
+		}
+	}
+	if plainIdent || plainNum {
+		return s
+	}
+	return `"` + s + `"`
+}
+
+// Subst is a mapping from variable names to replacement terms.
+type Subst map[string]Term
+
+// Apply returns the term with the substitution applied (identity for
+// constants and unmapped variables).
+func (t Term) Apply(s Subst) Term {
+	if t.Kind == Var {
+		if r, ok := s[t.Name]; ok {
+			return r
+		}
+	}
+	return t
+}
+
+func (t Term) equal(u Term) bool { return t.Kind == u.Kind && t.Name == u.Name }
+
+func checkTerm(t Term) error {
+	if t.Name == "" {
+		return fmt.Errorf("ast: empty term name")
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+// Package bench implements the experiment harness: for every claim of the
+// paper's §4 (and the §5 relaxation), a runner that builds the paper's
+// database, evaluates the query under each algorithm, and reports the
+// paper's measure — the size of the largest relation each algorithm
+// constructs (Definition 4.2) — alongside wall-clock time.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sepdl/internal/aho"
+	"sepdl/internal/ast"
+	"sepdl/internal/core"
+	"sepdl/internal/counting"
+	"sepdl/internal/database"
+	"sepdl/internal/eval"
+	"sepdl/internal/hn"
+	"sepdl/internal/magic"
+	"sepdl/internal/parser"
+	"sepdl/internal/stats"
+	"sepdl/internal/tabling"
+)
+
+// Algo names an evaluation strategy.
+type Algo string
+
+// The strategies the harness can run.
+const (
+	SemiNaive     Algo = "seminaive"
+	Naive         Algo = "naive"
+	MagicSets     Algo = "magic"
+	MagicSetsSup  Algo = "magic-sup"
+	Counting      Algo = "counting"
+	HenschenNaqvi Algo = "hn"
+	AhoUllman     Algo = "aho"
+	TablingAlgo   Algo = "tabling"
+	Separable     Algo = "separable"
+)
+
+// Row is one measurement: algorithm x parameter point.
+type Row struct {
+	Exp        string
+	Param      string // e.g. "n=16" or "n=16 k=3"
+	Algo       Algo
+	Answers    int
+	MaxRel     string // name of the largest relation constructed
+	MaxRelSize int
+	TotalSize  int
+	Iterations int
+	Duration   time.Duration
+	Err        string // nonempty when the method failed (divergence etc.)
+}
+
+// Run evaluates query q over prog and db with one algorithm and returns the
+// measurement row.
+func Run(exp, param string, algo Algo, prog *ast.Program, db *database.Database, query string) Row {
+	q, err := parser.Query(query)
+	if err != nil {
+		return Row{Exp: exp, Param: param, Algo: algo, Err: err.Error()}
+	}
+	c := stats.New()
+	row := Row{Exp: exp, Param: param, Algo: algo}
+	start := time.Now()
+	var ansLen = -1
+	switch algo {
+	case SemiNaive, Naive:
+		view, err2 := eval.Run(prog, db, eval.Options{Collector: c, Naive: algo == Naive})
+		if err2 != nil {
+			row.Err = err2.Error()
+			break
+		}
+		ans, err2 := eval.Answer(view, q)
+		if err2 != nil {
+			row.Err = err2.Error()
+			break
+		}
+		ansLen = ans.Len()
+	case MagicSets, MagicSetsSup:
+		ans, err2 := magic.Answer(prog, db, q, magic.Options{Collector: c, Supplementary: algo == MagicSetsSup})
+		if err2 != nil {
+			row.Err = err2.Error()
+			break
+		}
+		ansLen = ans.Len()
+	case AhoUllman:
+		ans, err2 := aho.Answer(prog, db, q, aho.Options{Collector: c})
+		if err2 != nil {
+			row.Err = err2.Error()
+			break
+		}
+		ansLen = ans.Len()
+	case TablingAlgo:
+		ans, err2 := tabling.Answer(prog, db, q, tabling.Options{Collector: c})
+		if err2 != nil {
+			row.Err = err2.Error()
+			break
+		}
+		ansLen = ans.Len()
+	case Counting:
+		ans, err2 := counting.Answer(prog, db, q, counting.Options{Collector: c})
+		if err2 != nil {
+			row.Err = err2.Error()
+			break
+		}
+		ansLen = ans.Len()
+	case HenschenNaqvi:
+		ans, err2 := hn.Answer(prog, db, q, hn.Options{Collector: c})
+		if err2 != nil {
+			row.Err = err2.Error()
+			break
+		}
+		ansLen = ans.Len()
+	case Separable:
+		ans, err2 := core.Answer(prog, db, q, core.EvalOptions{Collector: c, AllowDisconnected: true})
+		if err2 != nil {
+			row.Err = err2.Error()
+			break
+		}
+		ansLen = ans.Len()
+	default:
+		row.Err = fmt.Sprintf("unknown algorithm %q", algo)
+	}
+	row.Duration = time.Since(start)
+	row.Answers = ansLen
+	row.MaxRel, row.MaxRelSize = c.MaxRelation()
+	row.TotalSize = c.TotalSize()
+	row.Iterations = c.Iterations
+	return row
+}
+
+// Experiment is one reproducible unit: a paper claim plus the runner that
+// measures it.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string
+	// Run produces the measurement rows. quick asks for a reduced sweep
+	// (used by tests); the full sweep is for the CLI and benchmarks.
+	Run func(quick bool) []Row
+}
+
+// All returns every experiment in the per-experiment index of DESIGN.md.
+func All() []Experiment {
+	return []Experiment{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9()}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"sepdl/internal/ast"
+	db "sepdl/internal/database"
+	"sepdl/internal/parser"
+)
+
+// findRow returns the first row for the given algorithm and param.
+func findRow(t *testing.T, rows []Row, algo Algo, param string) Row {
+	t.Helper()
+	for _, r := range rows {
+		if r.Algo == algo && r.Param == param {
+			return r
+		}
+	}
+	t.Fatalf("no row for %s %s in %+v", algo, param, rows)
+	return Row{}
+}
+
+func TestE1ShapeQuick(t *testing.T) {
+	rows := E1().Run(true)
+	for _, n := range []string{"n=8", "n=16"} {
+		m := findRow(t, rows, MagicSets, n)
+		s := findRow(t, rows, Separable, n)
+		if m.Err != "" || s.Err != "" {
+			t.Fatalf("errors: magic=%q separable=%q", m.Err, s.Err)
+		}
+		if m.Answers != s.Answers {
+			t.Fatalf("%s: answers disagree: %d vs %d", n, m.Answers, s.Answers)
+		}
+	}
+	// The paper's shape: magic's largest relation is quadratic, separable's
+	// linear. At n=16 vs n=8 magic should grow ~4x, separable ~2x.
+	m8, m16 := findRow(t, rows, MagicSets, "n=8"), findRow(t, rows, MagicSets, "n=16")
+	s8, s16 := findRow(t, rows, Separable, "n=8"), findRow(t, rows, Separable, "n=16")
+	if m16.MaxRelSize < 3*m8.MaxRelSize {
+		t.Errorf("magic growth %d -> %d not quadratic-like", m8.MaxRelSize, m16.MaxRelSize)
+	}
+	if s16.MaxRelSize > 3*s8.MaxRelSize {
+		t.Errorf("separable growth %d -> %d not linear-like", s8.MaxRelSize, s16.MaxRelSize)
+	}
+}
+
+func TestE2ShapeQuick(t *testing.T) {
+	rows := E2().Run(true)
+	c6 := findRow(t, rows, Counting, "n=6")
+	c10 := findRow(t, rows, Counting, "n=10")
+	s10 := findRow(t, rows, Separable, "n=10")
+	if c6.MaxRelSize != 1<<6-1 || c10.MaxRelSize != 1<<10-1 {
+		t.Errorf("counting sizes = %d, %d; want 63, 1023", c6.MaxRelSize, c10.MaxRelSize)
+	}
+	if s10.MaxRelSize > 11 {
+		t.Errorf("separable max relation = %d, want <= n+1", s10.MaxRelSize)
+	}
+	if c10.Answers != s10.Answers {
+		t.Errorf("answers disagree: %d vs %d", c10.Answers, s10.Answers)
+	}
+}
+
+func TestE3ShapeQuick(t *testing.T) {
+	rows := E3().Run(true)
+	m := findRow(t, rows, MagicSets, "n=8 k=3")
+	s := findRow(t, rows, Separable, "n=8 k=3")
+	if m.Err != "" || s.Err != "" {
+		t.Fatalf("errors: %q %q", m.Err, s.Err)
+	}
+	if m.Answers != s.Answers {
+		t.Fatalf("answers disagree: %d vs %d", m.Answers, s.Answers)
+	}
+	// Magic materializes the full n^k = 512 t tuples; separable stays at
+	// n^{k-1} = 64.
+	if m.MaxRelSize < 512 {
+		t.Errorf("magic max relation = %d, want >= n^k = 512", m.MaxRelSize)
+	}
+	if s.MaxRelSize > 64 {
+		t.Errorf("separable max relation = %d, want <= n^{k-1} = 64", s.MaxRelSize)
+	}
+}
+
+func TestE4ShapeQuick(t *testing.T) {
+	rows := E4().Run(true)
+	c2 := findRow(t, rows, Counting, "n=6 p=2")
+	c3 := findRow(t, rows, Counting, "n=5 p=3")
+	// p=2, n=6: count = 2^6 - 1 = 63; p=3, n=5: (3^5-1)/2 = 121.
+	if c2.MaxRelSize != 63 {
+		t.Errorf("p=2 count = %d, want 63", c2.MaxRelSize)
+	}
+	if c3.MaxRelSize != 121 {
+		t.Errorf("p=3 count = %d, want 121", c3.MaxRelSize)
+	}
+	s := findRow(t, rows, Separable, "n=6 p=2")
+	if s.MaxRelSize > 7 {
+		t.Errorf("separable max relation = %d, want <= n+1", s.MaxRelSize)
+	}
+}
+
+func TestE5Quick(t *testing.T) {
+	rows := E5().Run(true)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			t.Errorf("%s: %s", r.Param, r.Err)
+		}
+		if r.Duration <= 0 {
+			t.Errorf("%s: nonpositive duration", r.Param)
+		}
+	}
+}
+
+func TestE6Quick(t *testing.T) {
+	rows := E6().Run(true)
+	s := findRow(t, rows, Separable, "n=8")
+	sn := findRow(t, rows, SemiNaive, "n=8")
+	if s.Err != "" {
+		t.Fatal(s.Err)
+	}
+	if s.Answers != sn.Answers {
+		t.Errorf("relaxed separable answers %d != semi-naive %d", s.Answers, sn.Answers)
+	}
+}
+
+func TestE7Quick(t *testing.T) {
+	rows := E7().Run(true)
+	if r := findRow(t, rows, Separable, "n=8"); r.Err != "" {
+		t.Errorf("separable failed on cyclic data: %s", r.Err)
+	}
+	if r := findRow(t, rows, MagicSets, "n=8"); r.Err != "" {
+		t.Errorf("magic failed on cyclic data: %s", r.Err)
+	}
+	if r := findRow(t, rows, Counting, "n=8"); r.Err == "" {
+		t.Error("counting should diverge on cyclic data")
+	}
+	if r := findRow(t, rows, HenschenNaqvi, "n=8"); r.Err == "" {
+		t.Error("HN should diverge on cyclic data")
+	}
+	// And the terminating methods agree.
+	s := findRow(t, rows, Separable, "n=8")
+	m := findRow(t, rows, MagicSets, "n=8")
+	if s.Answers != m.Answers {
+		t.Errorf("answers disagree on cyclic data: %d vs %d", s.Answers, m.Answers)
+	}
+}
+
+func TestE8Quick(t *testing.T) {
+	rows := E8().Run(true)
+	var sepAns, magAns = -2, -3
+	for _, r := range rows {
+		if r.Exp != "e8/ex1.1" {
+			continue
+		}
+		switch r.Algo {
+		case Separable:
+			sepAns = r.Answers
+		case MagicSets:
+			magAns = r.Answers
+		}
+	}
+	if sepAns != magAns {
+		t.Errorf("random graph: separable %d answers, magic %d", sepAns, magAns)
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"} {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("found nonexistent experiment")
+	}
+}
+
+func TestFormatRows(t *testing.T) {
+	rows := []Row{
+		{Exp: "e1", Param: "n=8", Algo: Separable, Answers: 8, MaxRel: "seen1", MaxRelSize: 8, TotalSize: 20, Iterations: 9},
+		{Exp: "e1", Param: "n=8", Algo: Counting, Err: "counting: diverged"},
+	}
+	s := FormatRows(rows)
+	if !strings.Contains(s, "seen1") || !strings.Contains(s, "diverged") {
+		t.Fatalf("table missing content:\n%s", s)
+	}
+	e, _ := ByID("e1")
+	s = FormatExperiment(e, rows)
+	if !strings.Contains(s, "claim:") {
+		t.Fatalf("experiment header missing:\n%s", s)
+	}
+}
+
+func TestRunUnknownAlgo(t *testing.T) {
+	prog := testProg(t)
+	r := Run("x", "n=1", Algo("bogus"), prog, testDB(), "t(a, Y)?")
+	if r.Err == "" {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRunBadQuery(t *testing.T) {
+	r := Run("x", "n=1", Separable, testProg(t), testDB(), "t(a, Y")
+	if r.Err == "" {
+		t.Fatal("bad query accepted")
+	}
+}
+
+func testProg(t *testing.T) *ast.Program {
+	t.Helper()
+	p, err := parser.Program(`
+t(X, Y) :- a(X, W) & t(W, Y).
+t(X, Y) :- e(X, Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func testDB() *db.Database {
+	d := db.New()
+	d.AddFact("a", "a", "b")
+	d.AddFact("e", "b", "c")
+	return d
+}
+
+func TestE9Quick(t *testing.T) {
+	rows := E9().Run(true)
+	s := findRow(t, rows, Separable, "n=16")
+	a := findRow(t, rows, AhoUllman, "n=16")
+	if s.Err != "" || a.Err != "" {
+		t.Fatalf("errors: %q %q", s.Err, a.Err)
+	}
+	if s.Answers != a.Answers {
+		t.Errorf("answers disagree: separable %d, aho %d", s.Answers, a.Answers)
+	}
+	bad := findRow(t, rows, AhoUllman, "n=16 class-col")
+	if bad.Err == "" {
+		t.Error("aho should reject a class-column selection")
+	}
+}
+
+func TestFormatCSVErrors(t *testing.T) {
+	rows := []Row{
+		{Exp: "e7", Param: "n=8", Algo: Counting, Err: "diverged, with \"quotes\""},
+	}
+	out := FormatCSV(rows)
+	if !strings.Contains(out, "e7,n=8,counting") || !strings.Contains(out, `"diverged, with ""quotes"""`) {
+		t.Fatalf("CSV error row wrong:\n%s", out)
+	}
+}

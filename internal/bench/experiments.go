@@ -1,0 +1,291 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sepdl/internal/core"
+	db "sepdl/internal/database"
+	"sepdl/internal/datagen"
+)
+
+func pick(quick bool, small, full []int) []int {
+	if quick {
+		return small
+	}
+	return full
+}
+
+// E1 — §4 walkthrough of Example 1.2: on buys(a1, Y)? over the friend
+// chain / cheaper chain database, Generalized Magic Sets materializes the
+// n² buys tuples; Separable builds only monadic relations of size O(n).
+func E1() Experiment {
+	return Experiment{
+		ID:    "e1",
+		Title: "Example 1.2 query buys(a1, Y)?: Magic Ω(n²) vs Separable O(n)",
+		Claim: "Magic Sets' largest relation grows ~n²; Separable's grows ~n.",
+		Run: func(quick bool) []Row {
+			var rows []Row
+			prog := datagen.Example12Program()
+			for _, n := range pick(quick, []int{8, 16}, []int{8, 16, 32, 64, 128, 256}) {
+				db := datagen.Example12DB(n)
+				param := fmt.Sprintf("n=%d", n)
+				rows = append(rows,
+					Run("e1", param, MagicSets, prog, db, "buys(a1, Y)?"),
+					Run("e1", param, TablingAlgo, prog, db, "buys(a1, Y)?"),
+					Run("e1", param, Separable, prog, db, "buys(a1, Y)?"),
+					Run("e1", param, SemiNaive, prog, db, "buys(a1, Y)?"),
+				)
+			}
+			return rows
+		},
+	}
+}
+
+// E2 — §4 walkthrough of Example 1.1: with friend = idol = a chain,
+// Generalized Counting's count relation is Ω(2ⁿ) (and Henschen-Naqvi
+// enumerates Ω(2ⁿ) rule strings), while Separable stays O(n).
+func E2() Experiment {
+	return Experiment{
+		ID:    "e2",
+		Title: "Example 1.1 query buys(a1, Y)?: Counting Ω(2ⁿ), HN Ω(2ⁿ) vs Separable O(n)",
+		Claim: "Counting's count relation doubles per unit n; Separable grows linearly.",
+		Run: func(quick bool) []Row {
+			var rows []Row
+			prog := datagen.Example11Program()
+			for _, n := range pick(quick, []int{6, 10}, []int{6, 10, 14, 18}) {
+				db := datagen.Example11DB(n, true)
+				param := fmt.Sprintf("n=%d", n)
+				rows = append(rows,
+					Run("e2", param, Counting, prog, db, "buys(a1, Y)?"),
+					Run("e2", param, HenschenNaqvi, prog, db, "buys(a1, Y)?"),
+					Run("e2", param, Separable, prog, db, "buys(a1, Y)?"),
+					Run("e2", param, MagicSets, prog, db, "buys(a1, Y)?"),
+					Run("e2", param, TablingAlgo, prog, db, "buys(a1, Y)?"),
+				)
+			}
+			return rows
+		},
+	}
+}
+
+// E3 — Lemmas 4.1 and 4.2: on the left-linear arity-k recursion with the
+// full n^k t0 relation, Magic Sets is Ω(n^k) while Separable is
+// O(n^max(w, k-w)) = O(n^{k-1}) for the width-1 driving class.
+func E3() Experiment {
+	return Experiment{
+		ID:    "e3",
+		Title: "Lemma 4.2: Magic Ω(n^k) vs Separable O(n^{k-1}) on t(c1, Ȳ)?",
+		Claim: "Magic's largest relation carries the extra factor n (the k-th column).",
+		Run: func(quick bool) []Row {
+			var rows []Row
+			for _, k := range []int{2, 3} {
+				prog := datagen.LeftLinearProgram(k, 2)
+				ns := pick(quick, []int{4, 8}, []int{4, 8, 16, 32})
+				if k == 3 && !quick {
+					ns = []int{4, 8, 16}
+				}
+				for _, n := range ns {
+					db := datagen.Lemma42DB(n, k, 2)
+					param := fmt.Sprintf("n=%d k=%d", n, k)
+					query := "t(c1"
+					for i := 1; i < k; i++ {
+						query += fmt.Sprintf(", Y%d", i)
+					}
+					query += ")?"
+					rows = append(rows,
+						Run("e3", param, MagicSets, prog, db, query),
+						Run("e3", param, Separable, prog, db, query),
+					)
+				}
+			}
+			return rows
+		},
+	}
+}
+
+// E4 — Lemma 4.3: with p identical chain relations, Generalized Counting's
+// count relation is Ω(pⁿ); Separable is O(n) regardless of p.
+func E4() Experiment {
+	return Experiment{
+		ID:    "e4",
+		Title: "Lemma 4.3: Counting Ω(pⁿ) vs Separable O(n), p rules",
+		Claim: "count grows as pⁿ: doubling per step for p=2, tripling for p=3.",
+		Run: func(quick bool) []Row {
+			var rows []Row
+			type pt struct{ p, n int }
+			var points []pt
+			if quick {
+				points = []pt{{1, 8}, {2, 6}, {3, 5}}
+			} else {
+				for _, n := range []int{4, 6, 8, 10, 12} {
+					points = append(points, pt{1, n}, pt{2, n}, pt{3, n})
+				}
+			}
+			for _, x := range points {
+				prog := datagen.LeftLinearProgram(2, x.p)
+				db := datagen.Lemma43DB(x.n, 2, x.p)
+				param := fmt.Sprintf("n=%d p=%d", x.n, x.p)
+				rows = append(rows,
+					Run("e4", param, Counting, prog, db, "t(c1, Y)?"),
+					Run("e4", param, Separable, prog, db, "t(c1, Y)?"),
+				)
+			}
+			return rows
+		},
+	}
+}
+
+// E5 — §3.1: detection cost is a small polynomial in the rule parameters
+// (r rules, arity k, body length l) and independent of the database.
+func E5() Experiment {
+	return Experiment{
+		ID:    "e5",
+		Title: "§3.1 detection cost vs rule parameters (r, k, l)",
+		Claim: "Analyze runs in microseconds and scales polynomially in r, k, l.",
+		Run: func(quick bool) []Row {
+			var rows []Row
+			type pt struct{ r, k, l int }
+			points := []pt{{2, 2, 2}, {8, 2, 2}, {32, 2, 2}, {2, 8, 2}, {2, 32, 2}, {2, 2, 8}, {2, 2, 32}, {16, 16, 16}}
+			if quick {
+				points = points[:3]
+			}
+			for _, x := range points {
+				prog := datagen.DetectionProgram(x.r, x.k, x.l)
+				param := fmt.Sprintf("r=%d k=%d l=%d", x.r, x.k, x.l)
+				start := time.Now()
+				const reps = 100
+				var err error
+				for i := 0; i < reps; i++ {
+					_, err = core.Analyze(prog, "t")
+				}
+				d := time.Since(start) / reps
+				row := Row{Exp: "e5", Param: param, Algo: "detect", Duration: d}
+				if err != nil {
+					row.Err = err.Error()
+				}
+				rows = append(rows, row)
+			}
+			return rows
+		},
+	}
+}
+
+// E6 — §5: dropping condition 4 keeps the algorithm correct but loses the
+// focusing effect — the whole b relation is scanned even though only a
+// fraction is reachable.
+func E6() Experiment {
+	return Experiment{
+		ID:    "e6",
+		Title: "§5 condition-4 relaxation: correct but unfocused",
+		Claim: "Relaxed Separable matches semi-naive answers; its carry relations cover the whole b side.",
+		Run: func(quick bool) []Row {
+			var rows []Row
+			prog := datagen.DisconnectedProgram()
+			for _, n := range pick(quick, []int{8}, []int{8, 32, 128}) {
+				db := datagen.DisconnectedDB(n)
+				param := fmt.Sprintf("n=%d", n)
+				rows = append(rows,
+					Run("e6", param, Separable, prog, db, "t(x1, Y)?"),
+					Run("e6", param, MagicSets, prog, db, "t(x1, Y)?"),
+					Run("e6", param, SemiNaive, prog, db, "t(x1, Y)?"),
+				)
+			}
+			return rows
+		},
+	}
+}
+
+// E7 — cyclic data: Separable and Magic Sets terminate; Counting and
+// Henschen-Naqvi diverge (reported as errors), per §1.
+func E7() Experiment {
+	return Experiment{
+		ID:    "e7",
+		Title: "Cyclic data: Separable/Magic terminate, Counting/HN diverge",
+		Claim: "Counting and HN report divergence; Separable and Magic return the answers.",
+		Run: func(quick bool) []Row {
+			var rows []Row
+			prog := datagen.Example11Program()
+			for _, n := range pick(quick, []int{8}, []int{8, 64}) {
+				db := cyclicDB(n)
+				param := fmt.Sprintf("n=%d", n)
+				rows = append(rows,
+					Run("e7", param, Separable, prog, db, "buys(a1, Y)?"),
+					Run("e7", param, MagicSets, prog, db, "buys(a1, Y)?"),
+					Run("e7", param, Counting, prog, db, "buys(a1, Y)?"),
+					Run("e7", param, HenschenNaqvi, prog, db, "buys(a1, Y)?"),
+				)
+			}
+			return rows
+		},
+	}
+}
+
+// cyclicDB builds the cyclic friend/idol database for E7.
+func cyclicDB(n int) *db.Database {
+	d := db.New()
+	datagen.Cycle(d, "friend", "a", n)
+	datagen.Chain(d, "idol", "a", n)
+	d.AddFact("perfectFor", datagen.Name("a", n), "item")
+	return d
+}
+
+// E8 — average case on random sparse graphs (standing in for the [Nau88]
+// empirical study): all four algorithms on the Example 1.1/1.2 programs.
+func E8() Experiment {
+	return Experiment{
+		ID:    "e8",
+		Title: "Random sparse graphs: average-case comparison",
+		Claim: "Separable's relations stay smallest; Magic tracks the reachable subgraph; Counting/HN may diverge on cycles.",
+		Run: func(quick bool) []Row {
+			var rows []Row
+			prog11 := datagen.Example11Program()
+			prog12 := datagen.Example12Program()
+			for _, n := range pick(quick, []int{32}, []int{32, 128, 512}) {
+				for seed := int64(1); seed <= 3; seed++ {
+					db := datagen.RandomBuysDB(n, 1.5, seed)
+					param := fmt.Sprintf("n=%d seed=%d", n, seed)
+					rows = append(rows,
+						Run("e8/ex1.1", param, Separable, prog11, db, "buys(p1, Y)?"),
+						Run("e8/ex1.1", param, MagicSets, prog11, db, "buys(p1, Y)?"),
+						Run("e8/ex1.1", param, Counting, prog11, db, "buys(p1, Y)?"),
+						Run("e8/ex1.1", param, HenschenNaqvi, prog11, db, "buys(p1, Y)?"),
+						Run("e8/ex1.2", param, Separable, prog12, db, "buys(p1, Y)?"),
+						Run("e8/ex1.2", param, MagicSets, prog12, db, "buys(p1, Y)?"),
+					)
+					if quick {
+						break
+					}
+				}
+			}
+			return rows
+		},
+	}
+}
+
+// E9 — the related-work remark (§1): on selections in t|pers of a
+// separable recursion, Aho-Ullman selection pushing combined with
+// semi-naive evaluation coincides with the Separable algorithm; on
+// class-column selections it does not apply at all.
+func E9() Experiment {
+	return Experiment{
+		ID:    "e9",
+		Title: "Aho-Ullman pushing vs Separable on persistent-column selections",
+		Claim: "Both stay O(reachable) on buys(X, item)?; Aho-Ullman errors on buys(a1, Y)?.",
+		Run: func(quick bool) []Row {
+			var rows []Row
+			prog := datagen.Example11Program()
+			for _, n := range pick(quick, []int{16}, []int{16, 64, 256}) {
+				d := datagen.Example11DB(n, true)
+				param := fmt.Sprintf("n=%d", n)
+				rows = append(rows,
+					Run("e9", param, Separable, prog, d, "buys(X, item)?"),
+					Run("e9", param, AhoUllman, prog, d, "buys(X, item)?"),
+					Run("e9", param, MagicSets, prog, d, "buys(X, item)?"),
+					Run("e9", param+" class-col", AhoUllman, prog, d, "buys(a1, Y)?"),
+				)
+			}
+			return rows
+		},
+	}
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// FormatRows renders measurement rows as an aligned text table, the output
+// of cmd/sepbench and the content of EXPERIMENTS.md.
+func FormatRows(rows []Row) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "exp\tparams\talgorithm\tanswers\tmax relation\tsize\ttotal\titers\ttime")
+	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(w, "%s\t%s\t%s\t-\t%s\t-\t-\t-\t%s\n", r.Exp, r.Param, r.Algo, truncate(r.Err, 48), r.Duration.Round(10e3))
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%s\t%d\t%d\t%d\t%s\n",
+			r.Exp, r.Param, r.Algo, r.Answers, r.MaxRel, r.MaxRelSize, r.TotalSize, r.Iterations, r.Duration.Round(10e3))
+	}
+	w.Flush()
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// FormatExperiment renders one experiment's header and rows.
+func FormatExperiment(e Experiment, rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s\n   claim: %s\n\n", e.ID, e.Title, e.Claim)
+	b.WriteString(FormatRows(rows))
+	return b.String()
+}
+
+// FormatCSV renders rows as CSV with a header, for spreadsheet import.
+func FormatCSV(rows []Row) string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	w.Write([]string{"exp", "params", "algorithm", "answers", "max_relation", "max_size", "total_size", "iterations", "microseconds", "error"})
+	for _, r := range rows {
+		if r.Err != "" {
+			w.Write([]string{r.Exp, r.Param, string(r.Algo), "", "", "", "", "", fmt.Sprintf("%d", r.Duration.Microseconds()), r.Err})
+			continue
+		}
+		w.Write([]string{
+			r.Exp, r.Param, string(r.Algo),
+			fmt.Sprintf("%d", r.Answers), r.MaxRel,
+			fmt.Sprintf("%d", r.MaxRelSize), fmt.Sprintf("%d", r.TotalSize),
+			fmt.Sprintf("%d", r.Iterations), fmt.Sprintf("%d", r.Duration.Microseconds()), "",
+		})
+	}
+	w.Flush()
+	return b.String()
+}

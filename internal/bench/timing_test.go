@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sepdl/internal/datagen"
+)
+
+// TestTablingE1Timing guards against the tabling evaluator regressing to
+// whole-table re-solving: the e1 sweep's largest point must finish fast.
+func TestTablingE1Timing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	prog := datagen.Example12Program()
+	db := datagen.Example12DB(256)
+	start := time.Now()
+	row := Run("x", "n=256", TablingAlgo, prog, db, "buys(a1, Y)?")
+	if row.Err != "" {
+		t.Fatal(row.Err)
+	}
+	if row.Answers != 256 {
+		t.Fatalf("answers = %d", row.Answers)
+	}
+	if d := time.Since(start); d > 30*time.Second {
+		t.Fatalf("tabling too slow: %v", d)
+	}
+	fmt.Printf("tabling n=256: total=%d in %v\n", row.TotalSize, time.Since(start))
+}

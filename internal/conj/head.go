@@ -1,0 +1,52 @@
+package conj
+
+import (
+	"fmt"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/rel"
+)
+
+// Projector builds head (or answer) tuples from a plan's variable bindings.
+type Projector struct {
+	slots  []int       // slot per output column, or -1 for a constant
+	consts []rel.Value // constant per output column (parallel)
+}
+
+// NewProjector compiles a projection of the atom's arguments against plan's
+// slots. Every variable of the atom must have a slot in the plan.
+func NewProjector(a ast.Atom, plan *Plan, intern func(string) rel.Value) (*Projector, error) {
+	p := &Projector{
+		slots:  make([]int, len(a.Args)),
+		consts: make([]rel.Value, len(a.Args)),
+	}
+	for i, t := range a.Args {
+		if t.IsVar() {
+			s, ok := plan.Slot(t.Name)
+			if !ok {
+				return nil, fmt.Errorf("conj: head variable %s not bound by body", t.Name)
+			}
+			p.slots[i] = s
+		} else {
+			p.slots[i] = -1
+			p.consts[i] = intern(t.Name)
+		}
+	}
+	return p, nil
+}
+
+// Arity returns the width of produced tuples.
+func (p *Projector) Arity() int { return len(p.slots) }
+
+// Tuple fills dst (which must have the projector's arity) from binding and
+// returns it.
+func (p *Projector) Tuple(binding []rel.Value, dst rel.Tuple) rel.Tuple {
+	for i, s := range p.slots {
+		if s < 0 {
+			dst[i] = p.consts[i]
+		} else {
+			dst[i] = binding[s]
+		}
+	}
+	return dst
+}

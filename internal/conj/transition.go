@@ -1,0 +1,69 @@
+package conj
+
+import (
+	"sepdl/internal/ast"
+	"sepdl/internal/rel"
+)
+
+// Transition is a compiled carry-extension operator (the f_i of the paper's
+// Figure 2 schema): evaluate a conjunction with some variables bound from a
+// carry tuple and project new values. Bound variables may repeat — repeated
+// positions become equality guards on the carry tuple.
+type Transition struct {
+	plan    *Plan
+	proj    *Projector
+	eqPairs [][2]int // carry-column pairs that must be equal
+	inIdx   []int    // carry columns feeding the plan's bound inputs
+}
+
+// NewTransition compiles a transition over atoms. boundVars are supplied
+// positionally from the carry tuple at Apply time (duplicates allowed);
+// outVars are projected in order.
+func NewTransition(atoms []ast.Atom, boundVars, outVars []string, intern func(string) rel.Value) (*Transition, error) {
+	tr := &Transition{}
+	var uniq []string
+	firstAt := make(map[string]int)
+	for i, v := range boundVars {
+		if j, ok := firstAt[v]; ok {
+			tr.eqPairs = append(tr.eqPairs, [2]int{j, i})
+			continue
+		}
+		firstAt[v] = i
+		uniq = append(uniq, v)
+		tr.inIdx = append(tr.inIdx, i)
+	}
+	plan, err := Compile(atoms, uniq, intern)
+	if err != nil {
+		return nil, err
+	}
+	terms := make([]ast.Term, len(outVars))
+	for i, v := range outVars {
+		terms[i] = ast.V(v)
+	}
+	proj, err := NewProjector(ast.Atom{Pred: "out", Args: terms}, plan, intern)
+	if err != nil {
+		return nil, err
+	}
+	tr.plan = plan
+	tr.proj = proj
+	return tr, nil
+}
+
+// Apply runs the transition for one carry tuple and emits projected output
+// tuples. The emitted tuple is reused between calls; emit must copy
+// anything it keeps.
+func (tr *Transition) Apply(src RelSource, carry rel.Tuple, emit func(rel.Tuple)) {
+	for _, p := range tr.eqPairs {
+		if carry[p[0]] != carry[p[1]] {
+			return
+		}
+	}
+	in := make([]rel.Value, len(tr.inIdx))
+	for i, j := range tr.inIdx {
+		in[i] = carry[j]
+	}
+	row := make(rel.Tuple, tr.proj.Arity())
+	tr.plan.Run(src, in, func(b []rel.Value) {
+		emit(tr.proj.Tuple(b, row))
+	})
+}

@@ -1,0 +1,100 @@
+package conj
+
+import (
+	"testing"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/database"
+	"sepdl/internal/rel"
+)
+
+func TestTransitionForward(t *testing.T) {
+	db := testDB(t)
+	atoms := []ast.Atom{ast.A("friend", ast.V("X"), ast.V("W"))}
+	tr, err := NewTransition(atoms, []string{"X"}, []string{"W"}, db.Syms.Intern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tom, _ := db.Syms.Lookup("tom")
+	dick, _ := db.Syms.Lookup("dick")
+	var got []rel.Value
+	tr.Apply(DBSource(db.Relation), rel.Tuple{tom}, func(out rel.Tuple) {
+		got = append(got, out[0])
+	})
+	if len(got) != 1 || got[0] != dick {
+		t.Fatalf("Apply = %v", got)
+	}
+}
+
+func TestTransitionDuplicateBoundVars(t *testing.T) {
+	// Bound variable repeated across carry columns: values must agree.
+	db := database.New()
+	db.AddFact("e", "a", "b")
+	atoms := []ast.Atom{ast.A("e", ast.V("X"), ast.V("Y"))}
+	tr, err := NewTransition(atoms, []string{"X", "X"}, []string{"Y"}, db.Syms.Intern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := db.Syms.Lookup("a")
+	b, _ := db.Syms.Lookup("b")
+	n := 0
+	tr.Apply(DBSource(db.Relation), rel.Tuple{a, a}, func(rel.Tuple) { n++ })
+	if n != 1 {
+		t.Fatalf("consistent duplicate: %d rows", n)
+	}
+	n = 0
+	tr.Apply(DBSource(db.Relation), rel.Tuple{a, b}, func(rel.Tuple) { n++ })
+	if n != 0 {
+		t.Fatalf("inconsistent duplicate produced %d rows", n)
+	}
+}
+
+func TestTransitionMultiOut(t *testing.T) {
+	db := testDB(t)
+	atoms := []ast.Atom{
+		ast.A("friend", ast.V("X"), ast.V("W")),
+		ast.A("friend", ast.V("W"), ast.V("Y")),
+	}
+	tr, err := NewTransition(atoms, []string{"X"}, []string{"W", "Y"}, db.Syms.Intern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tom, _ := db.Syms.Lookup("tom")
+	var rows [][2]string
+	tr.Apply(DBSource(db.Relation), rel.Tuple{tom}, func(out rel.Tuple) {
+		rows = append(rows, [2]string{db.Syms.Name(out[0]), db.Syms.Name(out[1])})
+	})
+	if len(rows) != 1 || rows[0] != [2]string{"dick", "harry"} {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestTransitionBadOutVar(t *testing.T) {
+	db := database.New()
+	atoms := []ast.Atom{ast.A("e", ast.V("X"))}
+	if _, err := NewTransition(atoms, nil, []string{"Missing"}, db.Syms.Intern); err == nil {
+		t.Fatal("unknown output variable accepted")
+	}
+}
+
+func TestPlanIntrospection(t *testing.T) {
+	db := testDB(t)
+	atoms := []ast.Atom{ast.A("friend", ast.V("X"), ast.V("Y"))}
+	plan, err := Compile(atoms, []string{"Z"}, db.Syms.Intern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumVars() != 3 {
+		t.Fatalf("NumVars = %d", plan.NumVars())
+	}
+	vars := plan.Vars()
+	if len(vars) != 3 || vars[0] != "Z" {
+		t.Fatalf("Vars = %v", vars)
+	}
+	if _, ok := plan.Slot("X"); !ok {
+		t.Fatal("missing slot for X")
+	}
+	if _, ok := plan.Slot("Q"); ok {
+		t.Fatal("found slot for unknown var")
+	}
+}

@@ -1,0 +1,371 @@
+// Package core implements the paper's contribution: detection of separable
+// recursions (Definition 2.4), classification of selection queries
+// (Definition 2.7), the partial-to-full selection rewrite (Lemma 2.1), and
+// the Separable evaluation algorithm (the schema of Figure 2).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sepdl/internal/ast"
+)
+
+// NotSeparableError reports why a recursion fails Definition 2.4.
+type NotSeparableError struct {
+	// Condition is the number (1-4) of the violated condition of
+	// Definition 2.4, or 0 for violations of the paper's standing
+	// assumptions (§2: linear recursion, no mutual recursion, variable
+	// heads).
+	Condition int
+	Reason    string
+}
+
+func (e *NotSeparableError) Error() string {
+	if e.Condition == 0 {
+		return "not separable: " + e.Reason
+	}
+	return fmt.Sprintf("not separable (condition %d of Definition 2.4): %s", e.Condition, e.Reason)
+}
+
+// ClassRule is one recursive rule prepared for evaluation: the rule in
+// rectified form, split into the recursive body atom and the nonrecursive
+// conjunction a_ij.
+type ClassRule struct {
+	// Rule is the rectified rule.
+	Rule ast.Rule
+	// Conj is the rule body with the recursive atom removed — the a_ij of
+	// the paper.
+	Conj []ast.Atom
+	// RecAtom is the body instance of the recursive predicate.
+	RecAtom ast.Atom
+	// BodyVars are the variables at the class's columns in RecAtom, in
+	// column order — V_b(t|e_i) restricted to this rule.
+	BodyVars []string
+}
+
+// Class is one equivalence class e_i of recursive rules (Definition 2.4,
+// condition 3): the rules r_ij whose bound column set t|e_i is Cols.
+type Class struct {
+	// Cols are the argument positions t|e_i, sorted ascending.
+	Cols []int
+	// HeadVars are the canonical head variables at Cols (identical for
+	// every rule in the class because the definition is rectified) —
+	// V_h(t|e_i).
+	HeadVars []string
+	// Rules are the class's recursive rules in program order.
+	Rules []ClassRule
+}
+
+// Analysis is the result of separability detection for one recursive
+// predicate.
+type Analysis struct {
+	// Pred is the recursive predicate t.
+	Pred string
+	// Arity is t's arity.
+	Arity int
+	// Classes are the equivalence classes e_1..e_n.
+	Classes []Class
+	// Pers are the persistent column positions t|pers, sorted ascending.
+	Pers []int
+	// Exit are the rectified nonrecursive rules for t.
+	Exit []ast.Rule
+	// Dropped counts recursive rules whose nonrecursive part shares no
+	// variable with the recursive atom; such rules can only rederive
+	// existing tuples and are removed from evaluation.
+	Dropped int
+	// AllowDisconnected records that condition 4 was not enforced (§5
+	// relaxation).
+	AllowDisconnected bool
+}
+
+// Options configure Analyze.
+type Options struct {
+	// AllowDisconnected skips condition 4 of Definition 2.4. Per §5 the
+	// evaluation algorithm remains correct but loses the focusing effect
+	// of the selection constant.
+	AllowDisconnected bool
+}
+
+// Analyze checks whether the definition of pred in prog is a separable
+// recursion and, if so, returns its equivalence-class structure. The cost
+// is polynomial in the size of the rules and independent of any database
+// (§3.1).
+func Analyze(prog *ast.Program, pred string) (*Analysis, error) {
+	return AnalyzeOpts(prog, pred, Options{})
+}
+
+// AnalyzeOpts is Analyze with options.
+func AnalyzeOpts(prog *ast.Program, pred string, opts Options) (*Analysis, error) {
+	rules := prog.RulesFor(pred)
+	if len(rules) == 0 {
+		return nil, &NotSeparableError{Reason: fmt.Sprintf("no rules define %s", pred)}
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, &NotSeparableError{Reason: err.Error()}
+	}
+	// §2: the predicates t's definition depends on must not depend back on
+	// t (no mutual recursion). Predicates elsewhere in the program that
+	// merely use t are irrelevant to evaluating a query on t.
+	for q := range prog.DependsOn(pred) {
+		if q != pred && prog.DependsOn(q)[pred] {
+			return nil, &NotSeparableError{Reason: fmt.Sprintf("%s is mutually recursive with %s", q, pred)}
+		}
+	}
+	for i, r := range rules {
+		if r.HasNegation() {
+			return nil, &NotSeparableError{Reason: fmt.Sprintf(
+				"rule %d contains negation; the paper's program class is pure Horn clauses", i)}
+		}
+	}
+	rect, err := ast.RectifyDefinition(rules, pred)
+	if err != nil {
+		return nil, &NotSeparableError{Reason: err.Error()}
+	}
+	recursive, exit, err := ast.SplitDefinition(rect, pred)
+	if err != nil {
+		return nil, &NotSeparableError{Reason: err.Error()}
+	}
+	arity := len(rules[0].Head.Args)
+	a := &Analysis{Pred: pred, Arity: arity, Exit: exit, AllowDisconnected: opts.AllowDisconnected}
+
+	type ruleInfo struct {
+		cr   ClassRule
+		cols []int // t^h_i (== t^b_i by condition 2)
+	}
+	var infos []ruleInfo
+	for ri, r := range recursive {
+		occ := r.BodyOccurrences(pred)[0]
+		rec := r.Body[occ]
+		var conjAtoms []ast.Atom
+		for i, b := range r.Body {
+			if i != occ {
+				conjAtoms = append(conjAtoms, b)
+			}
+		}
+		// Variables occurring in the nonrecursive part.
+		conjVars := make(map[string]bool)
+		for _, b := range conjAtoms {
+			for _, t := range b.Args {
+				if t.IsVar() {
+					conjVars[t.Name] = true
+				}
+			}
+		}
+		// Constants in the recursive body atom are outside the paper's
+		// program class.
+		for p, t := range rec.Args {
+			if !t.IsVar() {
+				return nil, &NotSeparableError{Reason: fmt.Sprintf(
+					"rule %d has constant %q at position %d of the recursive body atom", ri, t.Name, p)}
+			}
+		}
+		// Condition 1: no shifting variables. Heads are rectified, so the
+		// head variable of position p is exactly CanonicalHeadVar(p); a
+		// head variable at a different position of the body atom shifts.
+		headPos := make(map[string]int, arity)
+		for p := 0; p < arity; p++ {
+			headPos[ast.CanonicalHeadVar(p)] = p
+		}
+		for q, t := range rec.Args {
+			if hp, ok := headPos[t.Name]; ok && hp != q {
+				return nil, &NotSeparableError{Condition: 1, Reason: fmt.Sprintf(
+					"rule %d: variable of head position %d appears at body position %d", ri, hp, q)}
+			}
+		}
+		// t^h_i: head positions sharing a variable with the nonrecursive
+		// part; t^b_i: body positions doing so.
+		var th, tb []int
+		for p := 0; p < arity; p++ {
+			if conjVars[ast.CanonicalHeadVar(p)] {
+				th = append(th, p)
+			}
+		}
+		for q, t := range rec.Args {
+			if conjVars[t.Name] {
+				tb = append(tb, q)
+			}
+		}
+		// Condition 2: t^h_i == t^b_i.
+		if !equalInts(th, tb) {
+			return nil, &NotSeparableError{Condition: 2, Reason: fmt.Sprintf(
+				"rule %d: head-bound positions %v differ from body-bound positions %v", ri, th, tb)}
+		}
+		// Persistent positions of this rule must carry the head variable
+		// through unchanged; anything else is unsafe or shifting.
+		inClass := make(map[int]bool, len(th))
+		for _, p := range th {
+			inClass[p] = true
+		}
+		for q, t := range rec.Args {
+			if !inClass[q] && t.Name != ast.CanonicalHeadVar(q) {
+				return nil, &NotSeparableError{Reason: fmt.Sprintf(
+					"rule %d: position %d of the recursive body atom carries %s, not the head variable (unsafe or shifting)", ri, q, t.Name)}
+			}
+		}
+		// Condition 4: the nonrecursive part is one maximal connected set.
+		if !opts.AllowDisconnected && len(conjAtoms) > 1 && !connected(conjAtoms) {
+			return nil, &NotSeparableError{Condition: 4, Reason: fmt.Sprintf(
+				"rule %d: nonrecursive body atoms form more than one connected set", ri)}
+		}
+		if len(th) == 0 {
+			// The rule cannot change any column of t, so it can only
+			// rederive existing tuples; drop it from evaluation.
+			a.Dropped++
+			continue
+		}
+		bodyVars := make([]string, len(th))
+		for i, q := range th {
+			bodyVars[i] = rec.Args[q].Name
+		}
+		infos = append(infos, ruleInfo{
+			cr:   ClassRule{Rule: r, Conj: conjAtoms, RecAtom: rec, BodyVars: bodyVars},
+			cols: th,
+		})
+	}
+
+	// Condition 3: the column sets partition into equal-or-disjoint
+	// classes.
+	for _, info := range infos {
+		placed := false
+		for ci := range a.Classes {
+			c := &a.Classes[ci]
+			if equalInts(c.Cols, info.cols) {
+				c.Rules = append(c.Rules, info.cr)
+				placed = true
+				break
+			}
+			if !disjointInts(c.Cols, info.cols) {
+				return nil, &NotSeparableError{Condition: 3, Reason: fmt.Sprintf(
+					"column sets %v and %v are neither equal nor disjoint", c.Cols, info.cols)}
+			}
+		}
+		if !placed {
+			hv := make([]string, len(info.cols))
+			for i, p := range info.cols {
+				hv[i] = ast.CanonicalHeadVar(p)
+			}
+			a.Classes = append(a.Classes, Class{Cols: info.cols, HeadVars: hv, Rules: []ClassRule{info.cr}})
+		}
+	}
+	// Persistent columns: in no class.
+	classed := make(map[int]bool)
+	for _, c := range a.Classes {
+		for _, p := range c.Cols {
+			classed[p] = true
+		}
+	}
+	for p := 0; p < arity; p++ {
+		if !classed[p] {
+			a.Pers = append(a.Pers, p)
+		}
+	}
+	return a, nil
+}
+
+// connected reports whether atoms form a single connected component under
+// the shared-variable relation (Definitions 2.1 and 2.2).
+func connected(atoms []ast.Atom) bool {
+	n := len(atoms)
+	if n <= 1 {
+		return true
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	byVar := make(map[string]int)
+	for i, a := range atoms {
+		for _, t := range a.Args {
+			if !t.IsVar() {
+				continue
+			}
+			if j, ok := byVar[t.Name]; ok {
+				parent[find(i)] = find(j)
+			} else {
+				byVar[t.Name] = i
+			}
+		}
+	}
+	root := find(0)
+	for i := 1; i < n; i++ {
+		if find(i) != root {
+			return false
+		}
+	}
+	return true
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func disjointInts(a, b []int) bool {
+	set := make(map[int]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, y := range b {
+		if set[y] {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the analysis for humans (cmd/sepdetect output).
+func (a *Analysis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%d is a separable recursion with %d equivalence class(es)\n", a.Pred, a.Arity, len(a.Classes))
+	for i, c := range a.Classes {
+		cols := make([]string, len(c.Cols))
+		for j, p := range c.Cols {
+			cols[j] = fmt.Sprintf("%d", p+1)
+		}
+		fmt.Fprintf(&b, "  e%d: columns {%s}, %d rule(s)\n", i+1, strings.Join(cols, ","), len(c.Rules))
+		for _, r := range c.Rules {
+			fmt.Fprintf(&b, "    %s\n", r.Rule)
+		}
+	}
+	if len(a.Pers) > 0 {
+		cols := make([]string, len(a.Pers))
+		for j, p := range a.Pers {
+			cols[j] = fmt.Sprintf("%d", p+1)
+		}
+		fmt.Fprintf(&b, "  persistent columns: {%s}\n", strings.Join(cols, ","))
+	}
+	fmt.Fprintf(&b, "  %d exit rule(s)", len(a.Exit))
+	if a.Dropped > 0 {
+		fmt.Fprintf(&b, ", %d no-op recursive rule(s) dropped", a.Dropped)
+	}
+	return b.String()
+}
+
+// ClassFor returns the index of the class whose column set is cols, or -1.
+func (a *Analysis) ClassFor(cols []int) int {
+	c := append([]int(nil), cols...)
+	sort.Ints(c)
+	for i := range a.Classes {
+		if equalInts(a.Classes[i].Cols, c) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/parser"
+)
+
+func mustProgram(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Program(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const example11 = `
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- idol(X, W) & buys(W, Y).
+buys(X, Y) :- perfectFor(X, Y).
+`
+
+const example12 = `
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- buys(X, W) & cheaper(Y, W).
+buys(X, Y) :- perfectFor(X, Y).
+`
+
+// example24 is the three-column recursion of Example 2.4.
+const example24 = `
+t(X, Y, Z) :- a(X, Y, U, V) & t(U, V, Z).
+t(X, Y, Z) :- t(X, Y, W) & b(W, Z).
+t(X, Y, Z) :- t0(X, Y, Z).
+`
+
+func TestAnalyzeExample11(t *testing.T) {
+	a, err := Analyze(mustProgram(t, example11), "buys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Classes) != 1 {
+		t.Fatalf("classes = %d, want 1", len(a.Classes))
+	}
+	if len(a.Classes[0].Cols) != 1 || a.Classes[0].Cols[0] != 0 {
+		t.Fatalf("e1 cols = %v, want [0]", a.Classes[0].Cols)
+	}
+	if len(a.Classes[0].Rules) != 2 {
+		t.Fatalf("e1 rules = %d, want 2", len(a.Classes[0].Rules))
+	}
+	if len(a.Pers) != 1 || a.Pers[0] != 1 {
+		t.Fatalf("pers = %v, want [1]", a.Pers)
+	}
+	if len(a.Exit) != 1 {
+		t.Fatalf("exit rules = %d", len(a.Exit))
+	}
+}
+
+func TestAnalyzeExample12(t *testing.T) {
+	a, err := Analyze(mustProgram(t, example12), "buys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Classes) != 2 {
+		t.Fatalf("classes = %d, want 2", len(a.Classes))
+	}
+	if a.ClassFor([]int{0}) < 0 || a.ClassFor([]int{1}) < 0 {
+		t.Fatalf("classes have wrong columns: %+v", a.Classes)
+	}
+	if len(a.Pers) != 0 {
+		t.Fatalf("pers = %v, want empty", a.Pers)
+	}
+}
+
+func TestAnalyzeExample24(t *testing.T) {
+	a, err := Analyze(mustProgram(t, example24), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Classes) != 2 {
+		t.Fatalf("classes = %d, want 2", len(a.Classes))
+	}
+	if a.ClassFor([]int{0, 1}) < 0 {
+		t.Fatalf("missing {1,2} class: %+v", a.Classes)
+	}
+	if a.ClassFor([]int{2}) < 0 {
+		t.Fatalf("missing {3} class: %+v", a.Classes)
+	}
+}
+
+func wantCondition(t *testing.T, err error, cond int) {
+	t.Helper()
+	var nse *NotSeparableError
+	if !errors.As(err, &nse) {
+		t.Fatalf("err = %v, want NotSeparableError", err)
+	}
+	if nse.Condition != cond {
+		t.Fatalf("condition = %d (%s), want %d", nse.Condition, nse.Reason, cond)
+	}
+}
+
+func TestShiftingVariablesRejected(t *testing.T) {
+	// X moves from position 1 of the head to position 2 of the body.
+	prog := mustProgram(t, `
+t(X, Y) :- a(Y, W) & t(W, X).
+t(X, Y) :- e(X, Y).
+`)
+	_, err := Analyze(prog, "t")
+	wantCondition(t, err, 1)
+}
+
+func TestCondition2Rejected(t *testing.T) {
+	// The head is bound at positions {1,2} but the body only at {2}.
+	prog := mustProgram(t, `
+t(X, Y) :- a(X, Y) & t(W, Y).
+t(X, Y) :- e(X, Y).
+`)
+	_, err := Analyze(prog, "t")
+	wantCondition(t, err, 2)
+}
+
+func TestCondition3Rejected(t *testing.T) {
+	// One rule binds {1}, another binds {1,2}: neither equal nor disjoint.
+	prog := mustProgram(t, `
+t(X, Y) :- a(X, W) & t(W, Y).
+t(X, Y) :- b(X, U, Y, V) & t(U, V).
+t(X, Y) :- e(X, Y).
+`)
+	_, err := Analyze(prog, "t")
+	wantCondition(t, err, 3)
+}
+
+func TestCondition4Rejected(t *testing.T) {
+	// a and b do not share variables: two maximal connected sets.
+	prog := mustProgram(t, `
+t(X, Y) :- a(X, W) & t(W, Z) & b(Z, Y).
+t(X, Y) :- e(X, Y).
+`)
+	_, err := Analyze(prog, "t")
+	wantCondition(t, err, 4)
+}
+
+func TestCondition4Relaxed(t *testing.T) {
+	prog := mustProgram(t, `
+t(X, Y) :- a(X, W) & t(W, Z) & b(Z, Y).
+t(X, Y) :- e(X, Y).
+`)
+	a, err := AnalyzeOpts(prog, "t", Options{AllowDisconnected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.AllowDisconnected || len(a.Classes) != 1 {
+		t.Fatalf("relaxed analysis wrong: %+v", a)
+	}
+	if got := a.Classes[0].Cols; len(got) != 2 {
+		t.Fatalf("relaxed class cols = %v, want both columns", got)
+	}
+}
+
+func TestNonlinearRejected(t *testing.T) {
+	prog := mustProgram(t, `
+t(X, Y) :- t(X, W) & t(W, Y).
+t(X, Y) :- e(X, Y).
+`)
+	_, err := Analyze(prog, "t")
+	wantCondition(t, err, 0)
+}
+
+func TestMutualRecursionRejected(t *testing.T) {
+	prog := mustProgram(t, `
+t(X) :- s(X).
+s(X) :- t(X).
+t(X) :- e(X).
+`)
+	_, err := Analyze(prog, "t")
+	wantCondition(t, err, 0)
+	if !strings.Contains(err.Error(), "mutually recursive") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConstantInRecursiveBodyRejected(t *testing.T) {
+	prog := mustProgram(t, `
+t(X, Y) :- a(X, W) & b(Y) & t(W, tom).
+t(X, Y) :- e(X, Y).
+`)
+	if _, err := Analyze(prog, "t"); err == nil {
+		t.Fatal("constant in recursive body atom accepted")
+	}
+}
+
+func TestRepeatedHeadVarRejected(t *testing.T) {
+	prog := &ast.Program{Rules: []ast.Rule{
+		ast.R(ast.A("t", ast.V("X"), ast.V("X")), ast.A("a", ast.V("X"), ast.V("W")), ast.A("t", ast.V("W"), ast.V("W"))),
+		ast.R(ast.A("t", ast.V("X"), ast.V("Y")), ast.A("e", ast.V("X"), ast.V("Y"))),
+	}}
+	if _, err := Analyze(prog, "t"); err == nil {
+		t.Fatal("repeated head variable accepted")
+	}
+}
+
+func TestNoOpRuleDropped(t *testing.T) {
+	prog := mustProgram(t, `
+t(X, Y) :- a(X, W) & t(W, Y).
+t(X, Y) :- t(X, Y) & c(Z, Z).
+t(X, Y) :- e(X, Y).
+`)
+	a, err := Analyze(prog, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", a.Dropped)
+	}
+	if len(a.Classes) != 1 {
+		t.Fatalf("classes = %d, want 1", len(a.Classes))
+	}
+}
+
+func TestNoRecursiveRules(t *testing.T) {
+	prog := mustProgram(t, `t(X, Y) :- e(X, Y).`)
+	a, err := Analyze(prog, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Classes) != 0 || len(a.Pers) != 2 {
+		t.Fatalf("degenerate analysis wrong: %+v", a)
+	}
+}
+
+func TestUnknownPredicate(t *testing.T) {
+	prog := mustProgram(t, example11)
+	if _, err := Analyze(prog, "nothing"); err == nil {
+		t.Fatal("unknown predicate accepted")
+	}
+}
+
+func TestAnalysisString(t *testing.T) {
+	a, err := Analyze(mustProgram(t, example12), "buys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.String()
+	for _, want := range []string{"2 equivalence class", "e1:", "e2:", "1 exit rule"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestClassifyKinds(t *testing.T) {
+	a11, err := Analyze(mustProgram(t, example11), "buys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		query string
+		want  SelectionKind
+	}{
+		{`buys(tom, Y)?`, SelFullClass},
+		{`buys(X, radio)?`, SelPers},
+		{`buys(tom, radio)?`, SelPers}, // pers constant takes the dummy-class route
+		{`buys(X, Y)?`, SelNone},
+	}
+	for _, c := range cases {
+		q, err := parser.Query(c.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, err := a11.Classify(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.Kind != c.want {
+			t.Errorf("Classify(%s) = %s, want %s", c.query, sel.Kind, c.want)
+		}
+	}
+}
+
+func TestClassifyPartial(t *testing.T) {
+	a24, err := Analyze(mustProgram(t, example24), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := parser.Query(`t(c, Y, Z)?`)
+	sel, err := a24.Classify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Kind != SelPartial {
+		t.Fatalf("Classify(t(c,Y,Z)) = %s, want partial", sel.Kind)
+	}
+	if got := a24.Classes[sel.Driver].Cols; len(got) != 2 {
+		t.Fatalf("partial driver cols = %v, want the {1,2} class", got)
+	}
+	// Binding the third column fully binds the singleton class.
+	q2, _ := parser.Query(`t(X, Y, c)?`)
+	sel2, err := a24.Classify(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel2.Kind != SelFullClass {
+		t.Fatalf("Classify(t(X,Y,c)) = %s, want full class", sel2.Kind)
+	}
+}
+
+func TestClassifyErrors(t *testing.T) {
+	a, err := Analyze(mustProgram(t, example11), "buys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Classify(ast.A("other", ast.C("x"))); err == nil {
+		t.Error("wrong predicate accepted")
+	}
+	if _, err := a.Classify(ast.A("buys", ast.C("x"))); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestDownstreamDependentsAllowed(t *testing.T) {
+	// Predicates that USE the recursive predicate do not affect its
+	// separability; only mutual recursion does (§2).
+	prog := mustProgram(t, `
+member(U, G) :- belongs(U, G).
+member(U, G) :- belongs(U, H) & member(H, G).
+canRead(U, D) :- member(U, G) & grant(G, D).
+`)
+	a, err := Analyze(prog, "member")
+	if err != nil {
+		t.Fatalf("downstream user of member blocked separability: %v", err)
+	}
+	if len(a.Classes) != 1 {
+		t.Fatalf("classes = %d", len(a.Classes))
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"sepdl/internal/ast"
+)
+
+// CompileText renders the instantiation of the Figure 2 schema for a
+// query, in the paper's notation — the artifact the paper's title refers
+// to. For the queries of Examples 1.1 and 1.2 the output matches Figures 3
+// and 4. The pseudocode is produced from the same Analysis the evaluator
+// runs, so it is a faithful description of what Answer executes.
+func (a *Analysis) CompileText(q ast.Atom) (string, error) {
+	sel, err := a.Classify(q)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	switch sel.Kind {
+	case SelNone:
+		return "", ErrNoSelection
+	case SelPers:
+		a.compilePers(&b, q, sel)
+	case SelFullClass:
+		a.compileFull(&b, q, sel)
+	case SelPartial:
+		cls := &a.Classes[sel.Driver]
+		fmt.Fprintf(&b, "-- partial selection: a proper subset of t|e%d is bound (Lemma 2.1);\n", sel.Driver+1)
+		fmt.Fprintf(&b, "-- evaluated as the union of the t_part branch (no e%d applications)\n", sel.Driver+1)
+		fmt.Fprintf(&b, "-- and tagged t_full branches seeded through each rule of e%d.\n", sel.Driver+1)
+		fmt.Fprintf(&b, "-- bound columns: %s; free columns carried as tags.\n", colList(boundColsOf(cls, q)))
+	}
+	return b.String(), nil
+}
+
+func boundColsOf(cls *Class, q ast.Atom) []int {
+	var out []int
+	for _, p := range cls.Cols {
+		if !q.Args[p].IsVar() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func colList(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprintf("%d", c+1)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// varNames maps canonical head variables back to short display names
+// (V1, V2, ... in column order), keeping output readable.
+func (a *Analysis) displayName(canonical string) string {
+	for p := 0; p < a.Arity; p++ {
+		if canonical == ast.CanonicalHeadVar(p) {
+			return fmt.Sprintf("V%d", p+1)
+		}
+	}
+	return strings.NewReplacer("%", "", "_", "").Replace(canonical)
+}
+
+func (a *Analysis) renderAtom(at ast.Atom) string {
+	parts := make([]string, len(at.Args))
+	for i, t := range at.Args {
+		if t.IsVar() {
+			parts[i] = a.displayName(t.Name)
+		} else {
+			parts[i] = t.String()
+		}
+	}
+	return at.Pred + "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (a *Analysis) renderVars(vars []string) string {
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		parts[i] = a.displayName(v)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func constsText(q ast.Atom, cols []int) string {
+	parts := make([]string, len(cols))
+	for i, p := range cols {
+		parts[i] = q.Args[p].String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// compileFull renders the class-driven instantiation (Figures 3 and 4).
+func (a *Analysis) compileFull(b *strings.Builder, q ast.Atom, sel Selection) {
+	cls := &a.Classes[sel.Driver]
+	hv := a.renderVars(cls.HeadVars)
+
+	fmt.Fprintf(b, "carry1(%s);\n", constsText(q, cls.Cols))
+	fmt.Fprintf(b, "seen1(%s) := carry1(%s);\n", hv, hv)
+	fmt.Fprintf(b, "while carry1 not empty do\n")
+	var terms []string
+	for _, r := range cls.Rules {
+		conj := make([]string, 0, len(r.Conj)+1)
+		conj = append(conj, fmt.Sprintf("carry1(%s)", hv))
+		for _, at := range r.Conj {
+			conj = append(conj, a.renderAtom(at))
+		}
+		terms = append(terms, strings.Join(conj, " & "))
+	}
+	bv := a.renderVars(cls.Rules[0].BodyVars)
+	fmt.Fprintf(b, "    carry1(%s) := %s;\n", bv, strings.Join(terms, " ∪ "))
+	fmt.Fprintf(b, "    carry1 := carry1 - seen1;\n")
+	fmt.Fprintf(b, "    seen1 := seen1 ∪ carry1;\n")
+	fmt.Fprintf(b, "endwhile;\n")
+
+	a.compilePhase2(b, cls.Cols, sel.Driver)
+}
+
+// compilePers renders the dummy-class variant: no first loop.
+func (a *Analysis) compilePers(b *strings.Builder, q ast.Atom, sel Selection) {
+	fmt.Fprintf(b, "seen1(%s);  -- selection constants in t|pers: first loop elided\n",
+		constsText(q, sel.PersPos))
+	a.compilePhase2(b, sel.PersPos, -1)
+}
+
+func (a *Analysis) compilePhase2(b *strings.Builder, driverCols []int, excludeClass int) {
+	inDriver := make(map[int]bool)
+	for _, p := range driverCols {
+		inDriver[p] = true
+	}
+	var outCols []int
+	for p := 0; p < a.Arity; p++ {
+		if !inDriver[p] {
+			outCols = append(outCols, p)
+		}
+	}
+	outVars := make([]string, len(outCols))
+	for i, p := range outCols {
+		outVars[i] = a.displayName(ast.CanonicalHeadVar(p))
+	}
+	ov := strings.Join(outVars, ", ")
+	dv := a.renderVars(headVarsAt(driverCols))
+
+	for _, ex := range a.Exit {
+		conj := make([]string, 0, len(ex.Body)+1)
+		conj = append(conj, fmt.Sprintf("seen1(%s)", dv))
+		for _, at := range ex.Body {
+			conj = append(conj, a.renderAtom(at))
+		}
+		fmt.Fprintf(b, "carry2(%s) := %s;\n", ov, strings.Join(conj, " & "))
+	}
+	fmt.Fprintf(b, "seen2(%s) := carry2(%s);\n", ov, ov)
+
+	var terms []string
+	for ci := range a.Classes {
+		if ci == excludeClass {
+			continue
+		}
+		cls := &a.Classes[ci]
+		for _, r := range cls.Rules {
+			conj := make([]string, 0, len(r.Conj)+1)
+			// carry2 holds the body-side values of this class's columns.
+			carryVars := make([]string, len(outCols))
+			for i, p := range outCols {
+				carryVars[i] = a.displayName(ast.CanonicalHeadVar(p))
+			}
+			for i, p := range cls.Cols {
+				for j, oc := range outCols {
+					if oc == p {
+						carryVars[j] = a.displayName(r.BodyVars[i])
+					}
+				}
+			}
+			conj = append(conj, fmt.Sprintf("carry2(%s)", strings.Join(carryVars, ", ")))
+			for _, at := range r.Conj {
+				conj = append(conj, a.renderAtom(at))
+			}
+			terms = append(terms, strings.Join(conj, " & "))
+		}
+	}
+	if len(terms) > 0 {
+		fmt.Fprintf(b, "while carry2 not empty do\n")
+		fmt.Fprintf(b, "    carry2(%s) := %s;\n", ov, strings.Join(terms, " ∪ "))
+		fmt.Fprintf(b, "    carry2 := carry2 - seen2;\n")
+		fmt.Fprintf(b, "    seen2 := seen2 ∪ carry2;\n")
+		fmt.Fprintf(b, "endwhile;\n")
+	}
+	fmt.Fprintf(b, "ans(%s) := seen2(%s);\n", ov, ov)
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sepdl/internal/parser"
+)
+
+func compileText(t *testing.T, progSrc, query string) string {
+	t.Helper()
+	a, err := Analyze(mustProgram(t, progSrc), "buys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := a.CompileText(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestCompileFigure3 reproduces Figure 3 of the paper: the instantiated
+// algorithm for buys(tom, Y)? on Example 1.1.
+func TestCompileFigure3(t *testing.T) {
+	got := compileText(t, example11, `buys(tom, Y)?`)
+	want := `carry1(tom);
+seen1(V1) := carry1(V1);
+while carry1 not empty do
+    carry1(b00) := carry1(V1) & friend(V1, b00) ∪ carry1(V1) & idol(V1, b10);
+    carry1 := carry1 - seen1;
+    seen1 := seen1 ∪ carry1;
+endwhile;
+carry2(V2) := seen1(V1) & perfectFor(V1, V2);
+seen2(V2) := carry2(V2);
+ans(V2) := seen2(V2);
+`
+	if got != want {
+		t.Fatalf("Figure 3 mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestCompileFigure4 reproduces Figure 4: buys(tom, Y)? on Example 1.2,
+// which has a second while loop for the cheaper class.
+func TestCompileFigure4(t *testing.T) {
+	got := compileText(t, example12, `buys(tom, Y)?`)
+	for _, want := range []string{
+		"carry1(tom);",
+		"carry1(b00) := carry1(V1) & friend(V1, b00);",
+		"carry2(V2) := seen1(V1) & perfectFor(V1, V2);",
+		"while carry2 not empty do",
+		"carry2(V2) := carry2(b10) & cheaper(V2, b10);",
+		"ans(V2) := seen2(V2);",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Figure 4 missing %q:\n%s", want, got)
+		}
+	}
+	// Exactly two while loops ("endwhile" also contains "while", so count
+	// the loop headers).
+	if strings.Count(got, "while carry") != 2 {
+		t.Errorf("want 2 while loops:\n%s", got)
+	}
+}
+
+func TestCompilePersistentSelection(t *testing.T) {
+	got := compileText(t, example11, `buys(X, radio)?`)
+	if !strings.Contains(got, "seen1(radio);") {
+		t.Errorf("pers variant missing seeded seen1:\n%s", got)
+	}
+	if strings.Contains(got, "while carry1") {
+		t.Errorf("pers variant must elide the first loop:\n%s", got)
+	}
+	if !strings.Contains(got, "while carry2 not empty do") {
+		t.Errorf("pers variant must run the classes in the second loop:\n%s", got)
+	}
+}
+
+func TestCompilePartialSelection(t *testing.T) {
+	a, err := Analyze(mustProgram(t, example24), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := parser.Query(`t(c, Y, Z)?`)
+	got, err := a.CompileText(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "Lemma 2.1") || !strings.Contains(got, "bound columns: {1}") {
+		t.Errorf("partial compile text wrong:\n%s", got)
+	}
+}
+
+func TestCompileNoSelection(t *testing.T) {
+	a, err := Analyze(mustProgram(t, example11), "buys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := parser.Query(`buys(X, Y)?`)
+	if _, err := a.CompileText(q); !errors.Is(err, ErrNoSelection) {
+		t.Fatalf("err = %v, want ErrNoSelection", err)
+	}
+}

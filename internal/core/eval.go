@@ -1,0 +1,389 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/conj"
+	"sepdl/internal/database"
+	"sepdl/internal/eval"
+	"sepdl/internal/rel"
+	"sepdl/internal/stats"
+)
+
+// ErrNoSelection reports a query with no constants: the Separable algorithm
+// evaluates selections (§2); callers should fall back to plain bottom-up
+// evaluation.
+var ErrNoSelection = errors.New("core: query has no constants; the Separable algorithm requires a selection")
+
+// EvalOptions configure Answer.
+type EvalOptions struct {
+	// Collector, when non-nil, receives the sizes of carry_1, seen_1,
+	// carry_2, seen_2 and ans — the relations of Figure 2, which are the
+	// paper's §4 measure.
+	Collector *stats.Collector
+	// Analysis supplies a precomputed separability analysis; when nil,
+	// Answer runs Analyze itself.
+	Analysis *Analysis
+	// AllowDisconnected forwards to Analyze (§5 condition-4 relaxation).
+	AllowDisconnected bool
+	// NoCarryDedup disables the seen-differencing of lines 5 and 12 of
+	// Figure 2 (ablation). Tuples are then re-expanded once per derivation
+	// path; on cyclic data the loops no longer terminate, so this is only
+	// meaningful on acyclic databases.
+	NoCarryDedup bool
+}
+
+// Answer evaluates the selection query q on the separable recursion
+// defining q.Pred in prog over db, using the evaluation schema of Figure 2.
+// Partial selections are handled per Lemma 2.1 as a union of full
+// selections. The result is a relation over q's distinct variables in
+// first-occurrence order.
+func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts EvalOptions) (*rel.Relation, error) {
+	a := opts.Analysis
+	if a == nil {
+		var err error
+		a, err = AnalyzeOpts(prog, q.Pred, Options{AllowDisconnected: opts.AllowDisconnected})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sel, err := a.Classify(q)
+	if err != nil {
+		return nil, err
+	}
+	if sel.Kind == SelNone {
+		return nil, ErrNoSelection
+	}
+
+	// Materialize the IDB predicates t's definition depends on (they do
+	// not depend back on t, so a single pass suffices); they then act as
+	// base relations for the schema. Rules for predicates t does not use
+	// are irrelevant to the query and skipped.
+	base, err := MaterializeSupport(prog, db, q.Pred, opts.Collector)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &evaluator{a: a, db: base, col: opts.Collector, noDedup: opts.NoCarryDedup}
+	sink := eval.NewAnswerSink(q, base.Syms)
+
+	switch sel.Kind {
+	case SelPers:
+		seeds := rel.New(len(sel.PersPos))
+		seeds.Insert(constsAt(q, sel.PersPos, base.Syms.Intern))
+		res, outCols, err := e.run(sel.PersPos, -1, -1, seeds, 0)
+		if err != nil {
+			return nil, err
+		}
+		e.deliver(res, 0, nil, sel.PersPos, constsAt(q, sel.PersPos, base.Syms.Intern), outCols, sink)
+
+	case SelFullClass:
+		cls := &a.Classes[sel.Driver]
+		seeds := rel.New(len(cls.Cols))
+		seeds.Insert(constsAt(q, cls.Cols, base.Syms.Intern))
+		res, outCols, err := e.run(cls.Cols, sel.Driver, sel.Driver, seeds, 0)
+		if err != nil {
+			return nil, err
+		}
+		e.deliver(res, 0, nil, cls.Cols, constsAt(q, cls.Cols, base.Syms.Intern), outCols, sink)
+
+	case SelPartial:
+		if err := e.partial(q, sel, sink); err != nil {
+			return nil, err
+		}
+	}
+
+	opts.Collector.Observe("ans", sink.Result().Len())
+	return sink.Result(), nil
+}
+
+// evaluator holds the pieces shared by the schema's phases.
+type evaluator struct {
+	a       *Analysis
+	db      *database.Database
+	col     *stats.Collector
+	noDedup bool
+}
+
+// headVarsAt returns the canonical head variables for positions.
+func headVarsAt(positions []int) []string {
+	out := make([]string, len(positions))
+	for i, p := range positions {
+		out[i] = ast.CanonicalHeadVar(p)
+	}
+	return out
+}
+
+// constsAt interns the query constants at positions, in order.
+func constsAt(q ast.Atom, positions []int, intern func(string) rel.Value) rel.Tuple {
+	t := make(rel.Tuple, len(positions))
+	for i, p := range positions {
+		t[i] = intern(q.Args[p].Name)
+	}
+	return t
+}
+
+// run executes the schema of Figure 2.
+//
+// driverCols are the bound columns (V(t|e_1) for a class-driven run, the
+// selected persistent columns otherwise). phase1Class is the class whose
+// rules extend carry_1 head-to-body, or -1 to skip the first loop (the
+// SelPers "dummy class" variant and the t_part branch of Lemma 2.1).
+// excludePhase2 names a class omitted from the second loop (-1: none).
+// seeds initializes carry_1; its tuples are tagW tag columns followed by
+// one column per driver column. The result relation has tagW tag columns
+// followed by one column per output column; outCols lists the output
+// positions ascending (every position outside driverCols).
+func (e *evaluator) run(driverCols []int, phase1Class, excludePhase2 int, seeds *rel.Relation, tagW int) (*rel.Relation, []int, error) {
+	intern := e.db.Syms.Intern
+	src := conj.DBSource(e.db.Relation)
+	w := len(driverCols)
+
+	// Phase 1: carry_1/seen_1 over the driver columns (lines 1-7).
+	seen1 := seeds.Clone()
+	carry1 := seeds.Clone()
+	e.col.Observe("carry1", carry1.Len())
+	e.col.Observe("seen1", seen1.Len())
+	if phase1Class >= 0 {
+		cls := &e.a.Classes[phase1Class]
+		trans := make([]*conj.Transition, len(cls.Rules))
+		for i, r := range cls.Rules {
+			tr, err := conj.NewTransition(r.Conj, cls.HeadVars, r.BodyVars, intern)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: rule %s: %w", r.Rule, err)
+			}
+			trans[i] = tr
+		}
+		for !carry1.Empty() {
+			e.col.AddIteration()
+			next := rel.New(tagW + w)
+			for _, t := range carry1.Rows() {
+				tag, vals := t[:tagW], t[tagW:]
+				for _, tr := range trans {
+					tr.Apply(src, vals, func(out rel.Tuple) {
+						row := make(rel.Tuple, 0, tagW+w)
+						row = append(append(row, tag...), out...)
+						next.Insert(row)
+					})
+				}
+			}
+			if e.noDedup {
+				carry1 = next
+			} else {
+				carry1 = next.Difference(seen1)
+			}
+			added := seen1.InsertAll(carry1)
+			e.col.AddInserted(added)
+			e.col.Observe("carry1", carry1.Len())
+			e.col.Observe("seen1", seen1.Len())
+		}
+	}
+
+	// Output columns: every position outside the driver columns.
+	inDriver := make(map[int]bool, w)
+	for _, p := range driverCols {
+		inDriver[p] = true
+	}
+	var outCols []int
+	for p := 0; p < e.a.Arity; p++ {
+		if !inDriver[p] {
+			outCols = append(outCols, p)
+		}
+	}
+
+	// Phase 2 initialization (line 8): carry_2 := t_0 & seen_1.
+	carry2 := rel.New(tagW + len(outCols))
+	for _, ex := range e.a.Exit {
+		tr, err := conj.NewTransition(ex.Body, headVarsAt(driverCols), headVarsAt(outCols), intern)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: exit rule %s: %w", ex, err)
+		}
+		for _, t := range seen1.Rows() {
+			tag, vals := t[:tagW], t[tagW:]
+			tr.Apply(src, vals, func(out rel.Tuple) {
+				row := make(rel.Tuple, 0, tagW+len(outCols))
+				row = append(append(row, tag...), out...)
+				carry2.Insert(row)
+			})
+		}
+	}
+	seen2 := carry2.Clone()
+	e.col.Observe("carry2", carry2.Len())
+	e.col.Observe("seen2", seen2.Len())
+
+	// Phase 2 loop (lines 10-14): apply every remaining class body-to-head.
+	type phase2trans struct {
+		tr *conj.Transition
+		// colIdx maps the class's columns to indexes within outCols.
+		colIdx []int
+	}
+	outIdx := make(map[int]int, len(outCols))
+	for i, p := range outCols {
+		outIdx[p] = i
+	}
+	var p2 []phase2trans
+	for ci := range e.a.Classes {
+		if ci == excludePhase2 || ci == phase1Class {
+			continue
+		}
+		cls := &e.a.Classes[ci]
+		colIdx := make([]int, len(cls.Cols))
+		for i, p := range cls.Cols {
+			j, ok := outIdx[p]
+			if !ok {
+				return nil, nil, fmt.Errorf("core: internal error: class column %d overlaps driver columns", p)
+			}
+			colIdx[i] = j
+		}
+		for _, r := range cls.Rules {
+			tr, err := conj.NewTransition(r.Conj, r.BodyVars, cls.HeadVars, intern)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: rule %s: %w", r.Rule, err)
+			}
+			p2 = append(p2, phase2trans{tr: tr, colIdx: colIdx})
+		}
+	}
+	if len(p2) > 0 {
+		classVals := make(rel.Tuple, 0, 8)
+		for !carry2.Empty() {
+			e.col.AddIteration()
+			next := rel.New(tagW + len(outCols))
+			for _, t := range carry2.Rows() {
+				vals := t[tagW:]
+				for i := range p2 {
+					pt := &p2[i]
+					classVals = classVals[:0]
+					for _, j := range pt.colIdx {
+						classVals = append(classVals, vals[j])
+					}
+					pt.tr.Apply(src, classVals, func(out rel.Tuple) {
+						row := t.Clone()
+						for k, j := range pt.colIdx {
+							row[tagW+j] = out[k]
+						}
+						next.Insert(row)
+					})
+				}
+			}
+			if e.noDedup {
+				carry2 = next
+			} else {
+				carry2 = next.Difference(seen2)
+			}
+			added := seen2.InsertAll(carry2)
+			e.col.AddInserted(added)
+			e.col.Observe("carry2", carry2.Len())
+			e.col.Observe("seen2", seen2.Len())
+		}
+	}
+	return seen2, outCols, nil
+}
+
+// partial evaluates a partial selection as the union of full selections of
+// Lemma 2.1: the t_part branch (no driver-class applications; the bound
+// columns act as persistent) plus, for every rule of the driver class, a
+// t_full branch seeded through that rule's nonrecursive conjunction, with
+// the unbound driver-class head columns carried as tags.
+func (e *evaluator) partial(q ast.Atom, sel Selection, sink *eval.AnswerSink) error {
+	intern := e.db.Syms.Intern
+	src := conj.DBSource(e.db.Relation)
+	cls := &e.a.Classes[sel.Driver]
+	isConst := make(map[int]bool)
+	for _, p := range sel.ConstPos {
+		isConst[p] = true
+	}
+	var boundCols, freeCols []int
+	for _, p := range cls.Cols {
+		if isConst[p] {
+			boundCols = append(boundCols, p)
+		} else {
+			freeCols = append(freeCols, p)
+		}
+	}
+
+	// Branch A (t_part): zero applications of the driver class.
+	seedsA := rel.New(len(boundCols))
+	seedsA.Insert(constsAt(q, boundCols, intern))
+	resA, outColsA, err := e.run(boundCols, -1, sel.Driver, seedsA, 0)
+	if err != nil {
+		return err
+	}
+	e.deliver(resA, 0, nil, boundCols, constsAt(q, boundCols, intern), outColsA, sink)
+
+	// Branch B (t_full): at least one application of the driver class.
+	// The first application is made here, through each rule's a_1j, with
+	// the bound head columns fixed to the query constants; the resulting
+	// unbound head-column values become the tag, and the body-column
+	// values seed carry_1.
+	tagW := len(freeCols)
+	seedsB := rel.New(tagW + len(cls.Cols))
+	boundHead := headVarsAt(boundCols)
+	freeHead := headVarsAt(freeCols)
+	consts := constsAt(q, boundCols, intern)
+	for _, r := range cls.Rules {
+		outVars := append(append([]string{}, freeHead...), r.BodyVars...)
+		tr, err := conj.NewTransition(r.Conj, boundHead, outVars, intern)
+		if err != nil {
+			return fmt.Errorf("core: rule %s: %w", r.Rule, err)
+		}
+		tr.Apply(src, consts, func(out rel.Tuple) {
+			seedsB.Insert(out)
+		})
+	}
+	resB, outColsB, err := e.run(cls.Cols, sel.Driver, sel.Driver, seedsB, tagW)
+	if err != nil {
+		return err
+	}
+	// Driver values: constants at the bound positions; the free positions
+	// are placeholders overwritten by the tag in deliver.
+	driverVals := make(rel.Tuple, len(cls.Cols))
+	for i, p := range cls.Cols {
+		if isConst[p] {
+			driverVals[i] = intern(q.Args[p].Name)
+		}
+	}
+	e.deliver(resB, tagW, freeCols, cls.Cols, driverVals, outColsB, sink)
+	return nil
+}
+
+// deliver assembles full-arity tuples from a run's result and feeds them to
+// the answer sink. Result rows are tag columns (values for tagCols)
+// followed by output columns (values for outCols); driverCols take the
+// fixed driverVals. For partial selections driverVals holds interned query
+// constants at the bound positions and garbage at free positions — those
+// are overwritten by the tag.
+func (e *evaluator) deliver(res *rel.Relation, tagW int, tagCols []int, driverCols []int, driverVals rel.Tuple, outCols []int, sink *eval.AnswerSink) {
+	full := make(rel.Tuple, e.a.Arity)
+	for _, t := range res.Rows() {
+		for i, p := range driverCols {
+			full[p] = driverVals[i]
+		}
+		for i := 0; i < tagW; i++ {
+			full[tagCols[i]] = t[i]
+		}
+		for i, p := range outCols {
+			full[p] = t[tagW+i]
+		}
+		sink.Add(full)
+	}
+}
+
+// MaterializeSupport evaluates the IDB predicates that pred's definition
+// depends on (other than pred itself) and returns a database view exposing
+// them as base relations. When pred uses no other IDB predicate, db is
+// returned unchanged. The Counting and Henschen-Naqvi baselines share it.
+func MaterializeSupport(prog *ast.Program, db *database.Database, pred string, col *stats.Collector) (*database.Database, error) {
+	deps := prog.DependsOn(pred)
+	var subRules []ast.Rule
+	for _, r := range prog.Rules {
+		if r.Head.Pred != pred && deps[r.Head.Pred] {
+			subRules = append(subRules, r)
+		}
+	}
+	if len(subRules) == 0 {
+		return db, nil
+	}
+	return eval.Run(ast.NewProgram(subRules...), db, eval.Options{Collector: col})
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"sepdl/internal/ast"
+)
+
+// SelectionKind classifies a selection query against an Analysis, per
+// Definition 2.7.
+type SelectionKind int
+
+const (
+	// SelNone: the query has no constants; the Separable algorithm does
+	// not apply (fall back to plain bottom-up evaluation).
+	SelNone SelectionKind = iota
+	// SelPers: some constant lies in a persistent column — a full
+	// selection evaluated with the "dummy class" variant of the schema.
+	SelPers
+	// SelFullClass: some equivalence class has every column bound — a
+	// full selection driven by that class.
+	SelFullClass
+	// SelPartial: constants bind a proper, nonempty subset of a class and
+	// no class is fully bound — evaluated as a union of full selections
+	// via Lemma 2.1.
+	SelPartial
+)
+
+func (k SelectionKind) String() string {
+	switch k {
+	case SelNone:
+		return "no selection"
+	case SelPers:
+		return "full selection (persistent column)"
+	case SelFullClass:
+		return "full selection (class fully bound)"
+	case SelPartial:
+		return "partial selection (Lemma 2.1 rewrite)"
+	}
+	return "unknown"
+}
+
+// Selection is the classification of one query.
+type Selection struct {
+	Kind SelectionKind
+	// ConstPos are the query positions holding constants, ascending.
+	ConstPos []int
+	// Driver is the index into Analysis.Classes of the driving class for
+	// SelFullClass and SelPartial; -1 otherwise.
+	Driver int
+	// PersPos are the constant positions lying in t|pers (SelPers only).
+	PersPos []int
+}
+
+// Classify determines how the Separable algorithm evaluates query q
+// (Definition 2.7 and Lemma 2.1). The query atom must match the analysed
+// predicate and arity.
+func (a *Analysis) Classify(q ast.Atom) (Selection, error) {
+	if q.Pred != a.Pred {
+		return Selection{}, fmt.Errorf("core: query predicate %s, analysis is for %s", q.Pred, a.Pred)
+	}
+	if len(q.Args) != a.Arity {
+		return Selection{}, fmt.Errorf("core: query arity %d, %s has arity %d", len(q.Args), a.Pred, a.Arity)
+	}
+	sel := Selection{Driver: -1}
+	isConst := make(map[int]bool)
+	for i, t := range q.Args {
+		if !t.IsVar() {
+			sel.ConstPos = append(sel.ConstPos, i)
+			isConst[i] = true
+		}
+	}
+	if len(sel.ConstPos) == 0 {
+		sel.Kind = SelNone
+		return sel, nil
+	}
+	for _, p := range a.Pers {
+		if isConst[p] {
+			sel.PersPos = append(sel.PersPos, p)
+		}
+	}
+	if len(sel.PersPos) > 0 {
+		sel.Kind = SelPers
+		return sel, nil
+	}
+	// No persistent constants: look for a fully bound class, preferring
+	// the one with the most bound columns (they are all fully bound, so
+	// this just picks the widest driver, minimizing the free side).
+	best, bestW := -1, -1
+	partial, partialW := -1, -1
+	for i, c := range a.Classes {
+		bound := 0
+		for _, p := range c.Cols {
+			if isConst[p] {
+				bound++
+			}
+		}
+		if bound == len(c.Cols) && bound > 0 && bound > bestW {
+			best, bestW = i, bound
+		}
+		if bound > 0 && bound < len(c.Cols) && bound > partialW {
+			partial, partialW = i, bound
+		}
+	}
+	if best >= 0 {
+		sel.Kind = SelFullClass
+		sel.Driver = best
+		return sel, nil
+	}
+	if partial >= 0 {
+		sel.Kind = SelPartial
+		sel.Driver = partial
+		return sel, nil
+	}
+	// Constants exist but lie neither in pers nor in any class — cannot
+	// happen: every position is in exactly one class or in pers.
+	return Selection{}, fmt.Errorf("core: internal error: constants at %v fall outside classes and pers", sel.ConstPos)
+}

@@ -1,0 +1,18 @@
+package core
+
+import "testing"
+
+func TestSelectionKindString(t *testing.T) {
+	cases := map[SelectionKind]string{
+		SelNone:          "no selection",
+		SelPers:          "full selection (persistent column)",
+		SelFullClass:     "full selection (class fully bound)",
+		SelPartial:       "partial selection (Lemma 2.1 rewrite)",
+		SelectionKind(9): "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"sepdl/internal/ast"
+)
+
+// PartNames returns the predicate names used for the Lemma 2.1 rewrite of
+// pred: the t_part and t_full predicates. The '@' separator keeps them
+// disjoint from parseable user predicates.
+func PartNames(pred string) (part, full string) {
+	return pred + "@part", pred + "@full"
+}
+
+// RewritePartial builds the program transformation in the proof of
+// Lemma 2.1 for the given driving class: the original recursion R for t is
+// replaced by
+//
+//   - t_full — a copy of the whole recursion (rules of every class), and
+//   - t_part — the recursion with the driving class's rules removed, and
+//   - bridging rules  t :- t_part.  and, for each rule r_1j of the driving
+//     class,  t :- t_full', a_1j.  (t_full substituted for the recursive
+//     body atom).
+//
+// The rewritten definition computes exactly the same t relation
+// (Theorem 2.1), but a partial selection on t becomes, via sideways
+// information passing, a union of full selections: unchanged on t_part
+// (whose driving-class columns are now persistent) and, through each a_1j,
+// fully binding the driving class of t_full.
+//
+// The returned rules replace the definition of t; rules for other
+// predicates are unaffected and not included.
+func RewritePartial(a *Analysis, classIdx int) ([]ast.Rule, error) {
+	if classIdx < 0 || classIdx >= len(a.Classes) {
+		return nil, fmt.Errorf("core: class index %d out of range (%d classes)", classIdx, len(a.Classes))
+	}
+	partName, fullName := PartNames(a.Pred)
+	rename := func(r ast.Rule, headPred, recPred string) ast.Rule {
+		out := r.Clone()
+		out.Head.Pred = headPred
+		for i := range out.Body {
+			if out.Body[i].Pred == a.Pred {
+				out.Body[i].Pred = recPred
+			}
+		}
+		return out
+	}
+
+	var rules []ast.Rule
+	// t_full: every recursive rule plus the exit rules.
+	for _, c := range a.Classes {
+		for _, cr := range c.Rules {
+			rules = append(rules, rename(cr.Rule, fullName, fullName))
+		}
+	}
+	for _, ex := range a.Exit {
+		rules = append(rules, rename(ex, fullName, fullName))
+	}
+	// t_part: every class except the driver, plus the exit rules.
+	for ci, c := range a.Classes {
+		if ci == classIdx {
+			continue
+		}
+		for _, cr := range c.Rules {
+			rules = append(rules, rename(cr.Rule, partName, partName))
+		}
+	}
+	for _, ex := range a.Exit {
+		rules = append(rules, rename(ex, partName, partName))
+	}
+	// Bridges: t :- t_part. and t :- t_full, a_1j.
+	head := make([]ast.Term, a.Arity)
+	for p := 0; p < a.Arity; p++ {
+		head[p] = ast.V(ast.CanonicalHeadVar(p))
+	}
+	rules = append(rules, ast.Rule{
+		Head: ast.Atom{Pred: a.Pred, Args: head},
+		Body: []ast.Atom{{Pred: partName, Args: append([]ast.Term(nil), head...)}},
+	})
+	for _, cr := range a.Classes[classIdx].Rules {
+		r := cr.Rule.Clone()
+		for i := range r.Body {
+			if r.Body[i].Pred == a.Pred {
+				r.Body[i].Pred = fullName
+			}
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// ApplyPartialRewrite returns a copy of prog with the definition of
+// a.Pred replaced by the Lemma 2.1 rewrite for classIdx.
+func ApplyPartialRewrite(prog *ast.Program, a *Analysis, classIdx int) (*ast.Program, error) {
+	rw, err := RewritePartial(a, classIdx)
+	if err != nil {
+		return nil, err
+	}
+	out := &ast.Program{}
+	for _, r := range prog.Rules {
+		if r.Head.Pred != a.Pred {
+			out.Rules = append(out.Rules, r.Clone())
+		}
+	}
+	out.Rules = append(out.Rules, rw...)
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sepdl/internal/database"
+	"sepdl/internal/eval"
+)
+
+func TestRewritePartialShape(t *testing.T) {
+	// Example 2.4's rewrite, as displayed in the paper: t_part keeps only
+	// the b-rule, t_full keeps both, and t is bridged.
+	prog := mustProgram(t, example24)
+	a, err := Analyze(prog, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	driver := a.ClassFor([]int{0, 1})
+	if driver < 0 {
+		t.Fatal("missing {1,2} class")
+	}
+	rules, err := RewritePartial(a, driver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var partRules, fullRules, bridgeRules int
+	for _, r := range rules {
+		switch r.Head.Pred {
+		case "t@part":
+			partRules++
+			for _, b := range r.Body {
+				if b.Pred == "t" || b.Pred == "t@full" {
+					t.Errorf("t@part rule refers to %s: %s", b.Pred, r)
+				}
+				if b.Pred == "a" {
+					t.Errorf("t@part kept a driving-class rule: %s", r)
+				}
+			}
+		case "t@full":
+			fullRules++
+		case "t":
+			bridgeRules++
+		default:
+			t.Errorf("unexpected head %s in %s", r.Head.Pred, r)
+		}
+	}
+	// t_full: 2 recursive + 1 exit; t_part: 1 recursive + 1 exit;
+	// bridges: t :- t_part plus one per driving-class rule.
+	if fullRules != 3 || partRules != 2 || bridgeRules != 2 {
+		t.Fatalf("rule counts: full=%d part=%d bridge=%d\n%v", fullRules, partRules, bridgeRules, rules)
+	}
+}
+
+func TestRewritePartialPreservesRelation(t *testing.T) {
+	// Lemma 2.1: the rewritten program defines the same t relation as the
+	// original, on random databases.
+	prog := mustProgram(t, example24)
+	a, err := Analyze(prog, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	driver := a.ClassFor([]int{0, 1})
+	rw, err := ApplyPartialRewrite(prog, a, driver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Validate(); err != nil {
+		t.Fatalf("rewritten program invalid: %v\n%s", err, rw)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		db := database.New()
+		n := 3 + rng.Intn(4)
+		name := func(prefix string, i int) string { return fmt.Sprintf("%s%d", prefix, i) }
+		for i := 0; i < 2*n; i++ {
+			db.AddFact("a", name("c", rng.Intn(n)), name("c", rng.Intn(n)), name("c", rng.Intn(n)), name("c", rng.Intn(n)))
+		}
+		for i := 0; i < n; i++ {
+			db.AddFact("t0", name("c", rng.Intn(n)), name("c", rng.Intn(n)), name("w", rng.Intn(n)))
+			db.AddFact("b", name("w", rng.Intn(n)), name("w", rng.Intn(n)))
+		}
+		origView, err := eval.Run(prog, db, eval.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rwView, err := eval.Run(rw, db, eval.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !origView.Relation("t").Equal(rwView.Relation("t")) {
+			t.Fatalf("trial %d: rewrite changed t:\noriginal  %s\nrewritten %s",
+				trial, origView.Relation("t").Dump(db.Syms), rwView.Relation("t").Dump(db.Syms))
+		}
+	}
+}
+
+func TestRewritePartialOnTwoClassBinary(t *testing.T) {
+	// Example 1.2 under the Lemma 2.1 rewrite driven by either class.
+	prog := mustProgram(t, example12)
+	a, err := Analyze(prog, "buys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := database.New()
+	mustLoad(t, db, `
+friend(tom, dick). friend(dick, harry).
+perfectFor(harry, tv). perfectFor(dick, stereo).
+cheaper(radio, tv). cheaper(pencil, radio).
+`)
+	origView, err := eval.Run(prog, db, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range a.Classes {
+		rw, err := ApplyPartialRewrite(prog, a, ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rwView, err := eval.Run(rw, db, eval.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !origView.Relation("buys").Equal(rwView.Relation("buys")) {
+			t.Fatalf("class %d rewrite changed buys", ci)
+		}
+	}
+}
+
+func TestRewritePartialErrors(t *testing.T) {
+	prog := mustProgram(t, example24)
+	a, err := Analyze(prog, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RewritePartial(a, -1); err == nil {
+		t.Error("negative class accepted")
+	}
+	if _, err := RewritePartial(a, 99); err == nil {
+		t.Error("out-of-range class accepted")
+	}
+}
+
+func TestPartNames(t *testing.T) {
+	p, f := PartNames("t")
+	if p != "t@part" || f != "t@full" {
+		t.Fatalf("PartNames = %s, %s", p, f)
+	}
+	if !strings.Contains(p, "@") {
+		t.Fatal("part name must not be parseable")
+	}
+}

@@ -1,0 +1,224 @@
+package counting
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/database"
+	"sepdl/internal/eval"
+	"sepdl/internal/parser"
+	"sepdl/internal/rel"
+	"sepdl/internal/stats"
+)
+
+func mustProgram(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Program(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustQuery(t *testing.T, src string) ast.Atom {
+	t.Helper()
+	q, err := parser.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func mustLoad(t *testing.T, db *database.Database, facts string) {
+	t.Helper()
+	fs, err := parser.Facts(facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load(fs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seminaive(t *testing.T, prog *ast.Program, db *database.Database, q ast.Atom) *rel.Relation {
+	t.Helper()
+	view, err := eval.Run(prog, db, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := eval.Answer(view, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ans
+}
+
+const example11 = `
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- idol(X, W) & buys(W, Y).
+buys(X, Y) :- perfectFor(X, Y).
+`
+
+const example12 = `
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- buys(X, W) & cheaper(Y, W).
+buys(X, Y) :- perfectFor(X, Y).
+`
+
+func TestCountingMatchesSemiNaiveExample11(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `
+friend(tom, dick). friend(dick, harry).
+idol(tom, harry).
+perfectFor(harry, radio). perfectFor(dick, tv).
+`)
+	prog := mustProgram(t, example11)
+	q := mustQuery(t, `buys(tom, Y)?`)
+	got, err := Answer(prog, db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seminaive(t, prog, db, q)
+	if !got.Equal(want) {
+		t.Fatalf("counting %s != semi-naive %s", got.Dump(db.Syms), want.Dump(db.Syms))
+	}
+}
+
+func TestCountingMatchesSemiNaiveExample12(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `
+friend(tom, dick).
+perfectFor(dick, tv).
+cheaper(radio, tv). cheaper(pencil, radio).
+`)
+	prog := mustProgram(t, example12)
+	q := mustQuery(t, `buys(tom, Y)?`)
+	got, err := Answer(prog, db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seminaive(t, prog, db, q)
+	if !got.Equal(want) {
+		t.Fatalf("counting %s != semi-naive %s", got.Dump(db.Syms), want.Dump(db.Syms))
+	}
+}
+
+func TestCountingPersistentSelection(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `
+friend(tom, dick).
+perfectFor(dick, tv).
+`)
+	prog := mustProgram(t, example11)
+	q := mustQuery(t, `buys(X, tv)?`)
+	got, err := Answer(prog, db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seminaive(t, prog, db, q)
+	if !got.Equal(want) {
+		t.Fatalf("counting %s != semi-naive %s", got.Dump(db.Syms), want.Dump(db.Syms))
+	}
+}
+
+// exponentialDB builds the §4 worst case for counting: friend and idol hold
+// the same chain, so every node at depth i is reached by 2^i distinct
+// derivation paths.
+func exponentialDB(n int) *database.Database {
+	db := database.New()
+	for i := 1; i < n; i++ {
+		a, b := fmt.Sprintf("a%d", i), fmt.Sprintf("a%d", i+1)
+		db.AddFact("friend", a, b)
+		db.AddFact("idol", a, b)
+	}
+	db.AddFact("perfectFor", fmt.Sprintf("a%d", n), "item")
+	return db
+}
+
+func TestExponentialCountRelation(t *testing.T) {
+	// The paper: count contains tuples (i, j, 2^{i-1}, a_i) — Ω(2^n).
+	for _, n := range []int{4, 8, 10} {
+		db := exponentialDB(n)
+		c := stats.New()
+		ans, err := Answer(mustProgram(t, example11), db, mustQuery(t, `buys(a1, Y)?`), Options{Collector: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans.Len() != 1 {
+			t.Fatalf("n=%d: answers = %d", n, ans.Len())
+		}
+		// Count facts: sum over levels i of 2^i reaching nodes = 2^n - 1.
+		want := 1<<uint(n) - 1
+		if got := c.Sizes["count"]; got != want {
+			t.Fatalf("n=%d: count size = %d, want 2^n-1 = %d", n, got, want)
+		}
+	}
+}
+
+func TestDivergesOnCyclicData(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `
+friend(a, b). friend(b, a).
+perfectFor(b, thing).
+`)
+	_, err := Answer(mustProgram(t, example11), db, mustQuery(t, `buys(a, Y)?`), Options{})
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged", err)
+	}
+}
+
+func TestPartialSelectionUnsupported(t *testing.T) {
+	prog := mustProgram(t, `
+t(X, Y, Z) :- a(X, Y, U, V) & t(U, V, Z).
+t(X, Y, Z) :- t0(X, Y, Z).
+`)
+	db := database.New()
+	mustLoad(t, db, `a(c, d, e, f). t0(e, f, g).`)
+	_, err := Answer(prog, db, mustQuery(t, `t(c, Y, Z)?`), Options{})
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestNonSeparableUnsupported(t *testing.T) {
+	prog := mustProgram(t, `
+t(X, Y) :- t(X, W) & t(W, Y).
+t(X, Y) :- e(X, Y).
+`)
+	db := database.New()
+	mustLoad(t, db, `e(a, b).`)
+	_, err := Answer(prog, db, mustQuery(t, `t(a, Y)?`), Options{})
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestLevelBoundOption(t *testing.T) {
+	db := exponentialDB(12)
+	_, err := Answer(mustProgram(t, example11), db, mustQuery(t, `buys(a1, Y)?`), Options{MaxLevels: 3})
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged at the level bound", err)
+	}
+}
+
+func TestBranchingAnswersMatchSemiNaive(t *testing.T) {
+	// A branching (non-chain) acyclic database.
+	db := database.New()
+	mustLoad(t, db, `
+friend(r, s1). friend(r, s2). friend(s1, s3).
+idol(r, s3). idol(s2, s4).
+perfectFor(s3, x). perfectFor(s4, y). perfectFor(r, z).
+`)
+	prog := mustProgram(t, example11)
+	q := mustQuery(t, `buys(r, Y)?`)
+	got, err := Answer(prog, db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seminaive(t, prog, db, q)
+	if !got.Equal(want) {
+		t.Fatalf("counting %s != semi-naive %s", got.Dump(db.Syms), want.Dump(db.Syms))
+	}
+}

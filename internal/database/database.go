@@ -1,0 +1,136 @@
+// Package database manages the extensional database (EDB): named relations
+// over a shared symbol table, fact loading, and the constant-count measure n
+// that the paper's complexity claims are stated in.
+package database
+
+import (
+	"fmt"
+	"sort"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/rel"
+	"sepdl/internal/symtab"
+)
+
+// Database is a set of named relations sharing one symbol table. The zero
+// value is unusable; construct with New.
+type Database struct {
+	Syms *symtab.Table
+	rels map[string]*rel.Relation
+}
+
+// New returns an empty database with a fresh symbol table.
+func New() *Database {
+	return &Database{Syms: symtab.New(), rels: make(map[string]*rel.Relation)}
+}
+
+// Relation returns the relation for pred, or nil if pred has no facts.
+func (db *Database) Relation(pred string) *rel.Relation { return db.rels[pred] }
+
+// Ensure returns the relation for pred, creating an empty one of the given
+// arity if absent. It returns an error if pred exists with another arity.
+func (db *Database) Ensure(pred string, arity int) (*rel.Relation, error) {
+	if r, ok := db.rels[pred]; ok {
+		if r.Arity() != arity {
+			return nil, fmt.Errorf("database: %s has arity %d, want %d", pred, r.Arity(), arity)
+		}
+		return r, nil
+	}
+	r := rel.New(arity)
+	db.rels[pred] = r
+	return r, nil
+}
+
+// Set installs a relation under pred, replacing any existing one.
+func (db *Database) Set(pred string, r *rel.Relation) { db.rels[pred] = r }
+
+// AddFact interns args and inserts the tuple into pred's relation, creating
+// it if needed. It reports whether the tuple was new.
+func (db *Database) AddFact(pred string, args ...string) (bool, error) {
+	r, err := db.Ensure(pred, len(args))
+	if err != nil {
+		return false, err
+	}
+	t := make(rel.Tuple, len(args))
+	for i, a := range args {
+		t[i] = db.Syms.Intern(a)
+	}
+	return r.Insert(t), nil
+}
+
+// AddAtom inserts a ground atom as a fact.
+func (db *Database) AddAtom(a ast.Atom) (bool, error) {
+	args := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		if t.IsVar() {
+			return false, fmt.Errorf("database: fact %s contains variable %s", a, t.Name)
+		}
+		args[i] = t.Name
+	}
+	return db.AddFact(a.Pred, args...)
+}
+
+// Load inserts a batch of ground atoms, stopping at the first error.
+func (db *Database) Load(facts []ast.Atom) error {
+	for _, a := range facts {
+		if _, err := db.AddAtom(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Preds returns the sorted names of all relations, including empty ones.
+func (db *Database) Preds() []string {
+	out := make([]string, 0, len(db.rels))
+	for p := range db.rels {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumTuples returns the total number of tuples across all relations.
+func (db *Database) NumTuples() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// DistinctConstants returns the number of distinct constants appearing in
+// any relation — the parameter n of the paper's §4 bounds. (Constants
+// interned but never used in a fact do not count.)
+func (db *Database) DistinctConstants() int {
+	seen := make(map[rel.Value]bool)
+	for _, r := range db.rels {
+		for _, t := range r.Rows() {
+			for _, v := range t {
+				seen[v] = true
+			}
+		}
+	}
+	return len(seen)
+}
+
+// Clone returns a deep copy sharing the symbol table. Useful for algorithms
+// that add derived relations without disturbing the caller's EDB.
+func (db *Database) Clone() *Database {
+	out := &Database{Syms: db.Syms, rels: make(map[string]*rel.Relation, len(db.rels))}
+	for p, r := range db.rels {
+		out.rels[p] = r.Clone()
+	}
+	return out
+}
+
+// ShallowView returns a database that shares both the symbol table and the
+// relation objects with db. Algorithms use it to overlay derived relations:
+// Set on the view does not affect db, but mutating a shared relation does.
+func (db *Database) ShallowView() *Database {
+	out := &Database{Syms: db.Syms, rels: make(map[string]*rel.Relation, len(db.rels))}
+	for p, r := range db.rels {
+		out.rels[p] = r
+	}
+	return out
+}

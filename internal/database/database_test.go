@@ -1,0 +1,107 @@
+package database
+
+import (
+	"testing"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/rel"
+)
+
+func TestAddFactAndRelation(t *testing.T) {
+	db := New()
+	added, err := db.AddFact("friend", "tom", "dick")
+	if err != nil || !added {
+		t.Fatalf("AddFact = %v, %v", added, err)
+	}
+	added, err = db.AddFact("friend", "tom", "dick")
+	if err != nil || added {
+		t.Fatalf("duplicate AddFact = %v, %v", added, err)
+	}
+	r := db.Relation("friend")
+	if r == nil || r.Len() != 1 || r.Arity() != 2 {
+		t.Fatalf("friend relation wrong: %v", r)
+	}
+}
+
+func TestArityConflict(t *testing.T) {
+	db := New()
+	db.AddFact("p", "a")
+	if _, err := db.AddFact("p", "a", "b"); err == nil {
+		t.Fatal("arity conflict accepted")
+	}
+	if _, err := db.Ensure("p", 3); err == nil {
+		t.Fatal("Ensure with wrong arity accepted")
+	}
+}
+
+func TestAddAtomRejectsVariables(t *testing.T) {
+	db := New()
+	if _, err := db.AddAtom(ast.A("p", ast.V("X"))); err == nil {
+		t.Fatal("atom with variable accepted as fact")
+	}
+}
+
+func TestLoad(t *testing.T) {
+	db := New()
+	err := db.Load([]ast.Atom{
+		ast.A("e", ast.C("a"), ast.C("b")),
+		ast.A("e", ast.C("b"), ast.C("c")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumTuples() != 2 {
+		t.Fatalf("NumTuples = %d", db.NumTuples())
+	}
+}
+
+func TestPreds(t *testing.T) {
+	db := New()
+	db.AddFact("b", "x")
+	db.AddFact("a", "x")
+	ps := db.Preds()
+	if len(ps) != 2 || ps[0] != "a" || ps[1] != "b" {
+		t.Fatalf("Preds = %v", ps)
+	}
+}
+
+func TestDistinctConstants(t *testing.T) {
+	db := New()
+	db.AddFact("e", "a", "b")
+	db.AddFact("e", "b", "c")
+	db.AddFact("f", "a", "a")
+	if n := db.DistinctConstants(); n != 3 {
+		t.Fatalf("DistinctConstants = %d, want 3", n)
+	}
+	// Interned-but-unused symbols do not count.
+	db.Syms.Intern("ghost")
+	if n := db.DistinctConstants(); n != 3 {
+		t.Fatalf("DistinctConstants after ghost intern = %d, want 3", n)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	db := New()
+	db.AddFact("e", "a", "b")
+	c := db.Clone()
+	c.AddFact("e", "x", "y")
+	if db.Relation("e").Len() != 1 {
+		t.Fatal("Clone shares relation storage")
+	}
+	if c.Syms != db.Syms {
+		t.Fatal("Clone should share the symbol table")
+	}
+}
+
+func TestShallowViewOverlay(t *testing.T) {
+	db := New()
+	db.AddFact("e", "a", "b")
+	v := db.ShallowView()
+	v.Set("derived", rel.New(1))
+	if db.Relation("derived") != nil {
+		t.Fatal("Set on view leaked into base database")
+	}
+	if v.Relation("e") != db.Relation("e") {
+		t.Fatal("view should share base relations")
+	}
+}

@@ -1,0 +1,40 @@
+package database
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"sepdl/internal/ast"
+)
+
+// WriteFacts writes every fact as a parseable ground atom, one per line,
+// sorted by predicate and then tuple text, so dumps are deterministic and
+// round-trip through parser.Facts / Load.
+func (db *Database) WriteFacts(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, pred := range db.Preds() {
+		r := db.rels[pred]
+		lines := make([]string, 0, r.Len())
+		for _, t := range r.Rows() {
+			parts := make([]string, len(t))
+			for i, v := range t {
+				parts[i] = ast.QuoteConst(db.Syms.Name(v))
+			}
+			if len(parts) == 0 {
+				lines = append(lines, pred+".")
+			} else {
+				lines = append(lines, pred+"("+strings.Join(parts, ", ")+").")
+			}
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			if _, err := fmt.Fprintln(bw, l); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

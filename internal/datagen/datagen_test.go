@@ -1,0 +1,143 @@
+package datagen
+
+import (
+	"testing"
+
+	"sepdl/internal/core"
+	"sepdl/internal/database"
+)
+
+func TestChainAndCycle(t *testing.T) {
+	db := database.New()
+	Chain(db, "e", "a", 5)
+	if db.Relation("e").Len() != 4 {
+		t.Fatalf("chain edges = %d", db.Relation("e").Len())
+	}
+	Cycle(db, "c", "b", 5)
+	if db.Relation("c").Len() != 5 {
+		t.Fatalf("cycle edges = %d", db.Relation("c").Len())
+	}
+}
+
+func TestExampleProgramsAreSeparable(t *testing.T) {
+	if _, err := core.Analyze(Example11Program(), "buys"); err != nil {
+		t.Errorf("Example 1.1: %v", err)
+	}
+	a, err := core.Analyze(Example12Program(), "buys")
+	if err != nil {
+		t.Fatalf("Example 1.2: %v", err)
+	}
+	if len(a.Classes) != 2 {
+		t.Errorf("Example 1.2 classes = %d", len(a.Classes))
+	}
+}
+
+func TestExampleDBs(t *testing.T) {
+	db := Example11DB(10, true)
+	if db.Relation("friend").Len() != 9 || db.Relation("idol").Len() != 9 {
+		t.Fatal("Example11DB shared chains wrong")
+	}
+	db = Example11DB(10, false)
+	if db.Relation("idol") != nil {
+		t.Fatal("unshared Example11DB should have no idol facts")
+	}
+	db = Example12DB(10)
+	if db.Relation("cheaper").Len() != 9 || db.Relation("perfectFor").Len() != 1 {
+		t.Fatal("Example12DB wrong")
+	}
+}
+
+func TestLeftLinearProgram(t *testing.T) {
+	prog := LeftLinearProgram(3, 2)
+	if len(prog.Rules) != 3 {
+		t.Fatalf("rules = %d", len(prog.Rules))
+	}
+	a, err := core.Analyze(prog, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Classes) != 1 || len(a.Classes[0].Cols) != 1 || a.Classes[0].Cols[0] != 0 {
+		t.Fatalf("classes = %+v", a.Classes)
+	}
+	if len(a.Pers) != 2 {
+		t.Fatalf("pers = %v", a.Pers)
+	}
+}
+
+func TestLemma42DB(t *testing.T) {
+	db := Lemma42DB(3, 2, 2)
+	if db.Relation("t0").Len() != 9 {
+		t.Fatalf("t0 = %d tuples, want n^k = 9", db.Relation("t0").Len())
+	}
+	if db.Relation("a1").Len() != 2 {
+		t.Fatalf("a1 = %d", db.Relation("a1").Len())
+	}
+	if db.Relation("a2") == nil || db.Relation("a2").Len() != 0 {
+		t.Fatal("a2 should exist and be empty")
+	}
+}
+
+func TestLemma43DB(t *testing.T) {
+	db := Lemma43DB(4, 2, 3)
+	for _, p := range []string{"a1", "a2", "a3"} {
+		if db.Relation(p).Len() != 3 {
+			t.Fatalf("%s = %d", p, db.Relation(p).Len())
+		}
+	}
+	if db.Relation("t0").Len() != 1 {
+		t.Fatal("t0 missing")
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	prog := DisconnectedProgram()
+	if _, err := core.Analyze(prog, "t"); err == nil {
+		t.Fatal("disconnected program should fail strict analysis")
+	}
+	if _, err := core.AnalyzeOpts(prog, "t", core.Options{AllowDisconnected: true}); err != nil {
+		t.Fatal(err)
+	}
+	db := DisconnectedDB(4)
+	if db.Relation("t0").Len() != 4 {
+		t.Fatalf("t0 = %d", db.Relation("t0").Len())
+	}
+}
+
+func TestRandomBuysDBDeterministic(t *testing.T) {
+	a := RandomBuysDB(16, 1.5, 7)
+	b := RandomBuysDB(16, 1.5, 7)
+	if a.NumTuples() != b.NumTuples() {
+		t.Fatal("same seed produced different databases")
+	}
+	c := RandomBuysDB(16, 1.5, 8)
+	if a.Relation("friend").Equal(c.Relation("friend")) {
+		t.Fatal("different seeds produced identical friend relations")
+	}
+}
+
+func TestDetectionProgram(t *testing.T) {
+	prog := DetectionProgram(3, 4, 5)
+	if len(prog.Rules) != 4 {
+		t.Fatalf("rules = %d", len(prog.Rules))
+	}
+	a, err := core.Analyze(prog, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Classes) != 1 {
+		t.Fatalf("classes = %d", len(a.Classes))
+	}
+	for _, r := range a.Classes[0].Rules {
+		if len(r.Conj) != 4 { // l-1 chain atoms
+			t.Fatalf("conjunction size = %d", len(r.Conj))
+		}
+	}
+}
+
+func TestRandomGraph(t *testing.T) {
+	db := database.New()
+	RandomGraph(db, "e", "v", 10, 30, 1)
+	if db.Relation("e").Len() == 0 || db.Relation("e").Len() > 30 {
+		t.Fatalf("edges = %d", db.Relation("e").Len())
+	}
+}

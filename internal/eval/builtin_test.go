@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"testing"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/database"
+	"sepdl/internal/parser"
+)
+
+func TestBuiltinNeqSiblings(t *testing.T) {
+	prog := mustProgram(t, `
+sibling(X, Y) :- parent(X, P) & parent(Y, P) & neq(X, Y).
+`)
+	db := database.New()
+	mustLoad(t, db, `parent(a, p). parent(b, p). parent(c, q).`)
+	got := answerDump(t, prog, db, `sibling(X, Y)?`, Options{})
+	if got != "{(a,b) (b,a)}" {
+		t.Fatalf("sibling = %s", got)
+	}
+}
+
+func TestBuiltinEq(t *testing.T) {
+	prog := mustProgram(t, `
+selfloop(X) :- edge(X, Y) & eq(X, Y).
+`)
+	db := database.New()
+	mustLoad(t, db, `edge(a, a). edge(a, b).`)
+	got := answerDump(t, prog, db, `selfloop(X)?`, Options{})
+	if got != "{(a)}" {
+		t.Fatalf("selfloop = %s", got)
+	}
+}
+
+func TestBuiltinWithConstant(t *testing.T) {
+	prog := mustProgram(t, `
+other(X) :- node(X) & neq(X, hub).
+`)
+	db := database.New()
+	mustLoad(t, db, `node(hub). node(a). node(b).`)
+	got := answerDump(t, prog, db, `other(X)?`, Options{})
+	if got != "{(a) (b)}" {
+		t.Fatalf("other = %s", got)
+	}
+}
+
+func TestBuiltinInRecursion(t *testing.T) {
+	// Paths that never return to the start node.
+	prog := mustProgram(t, `
+away(S, Y) :- edge(S, Y) & neq(S, Y).
+away(S, Y) :- away(S, X) & edge(X, Y) & neq(Y, S).
+`)
+	db := database.New()
+	mustLoad(t, db, `edge(s, a). edge(a, b). edge(b, s). edge(b, c).`)
+	got := answerDump(t, prog, db, `away(s, Y)?`, Options{})
+	if got != "{(a) (b) (c)}" {
+		t.Fatalf("away = %s", got)
+	}
+}
+
+func TestBuiltinValidation(t *testing.T) {
+	db := database.New()
+	for _, src := range []string{
+		`eq(X, X) :- q(X).`,             // builtin head
+		`p(X) :- q(X) & neq(X).`,        // wrong arity
+		`p(X) :- q(X) & not neq(X, X).`, // negated builtin
+		`p(X) :- q(X) & neq(X, Y).`,     // unbound builtin variable
+	} {
+		r, err := parser.Rule(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		prog := &ast.Program{Rules: []ast.Rule{r}}
+		if _, err := Run(prog, db, Options{}); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package eval
+
+import (
+	"fmt"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/conj"
+	"sepdl/internal/rel"
+)
+
+// supportCheck decides whether a given head tuple of one rule has a
+// derivation from the current relations: the rule body evaluated with the
+// head variables bound to the tuple's values.
+type supportCheck struct {
+	rule ast.Rule
+	plan *conj.Plan
+	// varOf maps each distinct head variable (in plan bound order) to its
+	// first head position.
+	varPos []int
+	// eq lists (i, j) head position pairs that must agree (repeated head
+	// variables).
+	eq [][2]int
+	// constPos/constVal are head constants the tuple must match.
+	constPos []int
+	constVal []rel.Value
+}
+
+func newSupportCheck(r ast.Rule, intern func(string) rel.Value) (*supportCheck, error) {
+	sc := &supportCheck{rule: r}
+	first := make(map[string]int)
+	var boundVars []string
+	for i, t := range r.Head.Args {
+		if t.IsVar() {
+			if j, ok := first[t.Name]; ok {
+				sc.eq = append(sc.eq, [2]int{j, i})
+			} else {
+				first[t.Name] = i
+				boundVars = append(boundVars, t.Name)
+				sc.varPos = append(sc.varPos, i)
+			}
+		} else {
+			sc.constPos = append(sc.constPos, i)
+			sc.constVal = append(sc.constVal, intern(t.Name))
+		}
+	}
+	plan, err := conj.Compile(r.Body, boundVars, intern)
+	if err != nil {
+		return nil, err
+	}
+	sc.plan = plan
+	return sc, nil
+}
+
+// derives reports whether the rule can derive t from the relations in src.
+func (sc *supportCheck) derives(src conj.RelSource, t rel.Tuple) bool {
+	for i, p := range sc.constPos {
+		if t[p] != sc.constVal[i] {
+			return false
+		}
+	}
+	for _, pq := range sc.eq {
+		if t[pq[0]] != t[pq[1]] {
+			return false
+		}
+	}
+	in := make([]rel.Value, len(sc.varPos))
+	for i, p := range sc.varPos {
+		in[i] = t[p]
+	}
+	found := false
+	sc.plan.Run(src, in, func([]rel.Value) { found = true })
+	return found
+}
+
+// DeleteFact removes a base fact and maintains the IDB relations with
+// delete-and-rederive (DRed): first every tuple whose known derivations
+// may involve the deleted fact is over-deleted, then tuples with an
+// alternative derivation from the remaining data are re-derived. Reports
+// whether the fact was present.
+func (m *Materialized) DeleteFact(pred string, args ...string) (bool, error) {
+	if ast.Builtin(pred) {
+		return false, fmt.Errorf("eval: %s is a builtin predicate", pred)
+	}
+	if m.total[pred] != nil {
+		return false, fmt.Errorf("eval: %s is an IDB predicate; only base facts can be deleted", pred)
+	}
+	base := m.base[pred]
+	if base == nil {
+		return false, nil
+	}
+	t := make(rel.Tuple, len(args))
+	for i, a := range args {
+		v, ok := m.view.Syms.Lookup(a)
+		if !ok {
+			return false, nil
+		}
+		t[i] = v
+	}
+	if len(t) != base.Arity() || !base.Contains(t) {
+		return false, nil
+	}
+
+	// Phase 1: over-deletion, against the PRE-delete state (the base fact
+	// and marked IDB tuples stay visible to the other body atoms until
+	// marking finishes, so derivations using several doomed tuples are
+	// still found).
+	marked := make(map[string]*rel.Relation)
+	type work struct {
+		pred  string
+		delta *rel.Relation
+	}
+	seedDelta := rel.New(len(t))
+	seedDelta.Insert(t)
+	queue := []work{{pred, seedDelta}}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		for _, oc := range m.occs[w.pred] {
+			cr := &m.rules[oc.rule]
+			if cr.rule.Body[oc.atom].Negated {
+				continue // negation-free programs only (checked at Materialize)
+			}
+			head := cr.rule.Head.Pred
+			occAtom := oc.atom
+			src := func(atomIdx int, p string) *rel.Relation {
+				if atomIdx == occAtom {
+					return w.delta
+				}
+				return m.view.Relation(p)
+			}
+			newMarks := rel.New(cr.proj.Arity())
+			row := make(rel.Tuple, cr.proj.Arity())
+			cr.plan.Run(src, nil, func(binding []rel.Value) {
+				h := cr.proj.Tuple(binding, row)
+				if !m.total[head].Contains(h) {
+					return
+				}
+				if mk := marked[head]; mk != nil && mk.Contains(h) {
+					return
+				}
+				if marked[head] == nil {
+					marked[head] = rel.New(len(h))
+				}
+				marked[head].Insert(h)
+				newMarks.Insert(h)
+			})
+			if !newMarks.Empty() {
+				queue = append(queue, work{head, newMarks})
+			}
+		}
+		m.col.AddIteration()
+	}
+
+	// Phase 2: apply the deletions.
+	base.Delete(t)
+	for p, mk := range marked {
+		for _, row := range mk.Rows() {
+			m.total[p].Delete(row)
+		}
+		m.col.Observe(p, m.total[p].Len())
+	}
+
+	// Phase 3: re-derive over-deleted tuples that still have a derivation
+	// from the remaining data; each re-insertion propagates like a normal
+	// insertion, which re-derives anything downstream of it (including
+	// other marked tuples).
+	// Directly re-derivable tuples are batched into one delta per
+	// predicate; the insertion propagation then re-derives everything
+	// downstream (including marked tuples that only became derivable
+	// again through these).
+	src := func(_ int, p string) *rel.Relation { return m.view.Relation(p) }
+	for p, mk := range marked {
+		redelta := rel.New(m.total[p].Arity())
+		for _, row := range mk.Rows() {
+			if m.total[p].Contains(row) {
+				continue // already re-derived via an earlier propagation
+			}
+			for _, sc := range m.support[p] {
+				if sc.derives(src, row) {
+					m.total[p].Insert(row)
+					redelta.Insert(row)
+					break
+				}
+			}
+		}
+		if !redelta.Empty() {
+			m.propagate(p, redelta)
+		}
+		m.col.Observe(p, m.total[p].Len())
+	}
+	return true, nil
+}

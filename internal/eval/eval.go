@@ -1,0 +1,263 @@
+// Package eval implements bottom-up fixpoint evaluation of Datalog
+// programs: the standard semi-naive algorithm (the engine underneath the
+// Magic Sets and Counting strategies) and plain naive iteration (kept as an
+// ablation baseline).
+package eval
+
+import (
+	"fmt"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/conj"
+	"sepdl/internal/database"
+	"sepdl/internal/rel"
+	"sepdl/internal/stats"
+)
+
+// Options configure a fixpoint run.
+type Options struct {
+	// Collector, when non-nil, receives per-round relation sizes.
+	Collector *stats.Collector
+	// MaxIterations bounds the number of fixpoint rounds; 0 means no bound.
+	// Exceeding the bound is an error (used to cut off divergent methods).
+	MaxIterations int
+	// Naive forces full recomputation each round instead of semi-naive
+	// deltas (ablation).
+	Naive bool
+}
+
+type compiledRule struct {
+	rule    ast.Rule
+	plan    *conj.Plan
+	proj    *conj.Projector
+	idbOccs []int // body atom indexes whose predicate is IDB
+}
+
+// Run evaluates prog to fixpoint over db and returns a database view that
+// shares db's EDB relations and adds one relation per IDB predicate. db is
+// not modified. Facts already present in db under an IDB predicate's name
+// are treated as initial facts of that predicate.
+//
+// Programs with negated body atoms are evaluated under the stratified
+// semantics: Run computes a stratification (an error if none exists) and
+// runs one semi-naive fixpoint per stratum, treating lower strata as
+// completed base relations.
+func Run(prog *ast.Program, db *database.Database, opts Options) (*database.Database, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	arities, err := prog.Arities()
+	if err != nil {
+		return nil, err
+	}
+	strata, err := prog.Stratify()
+	if err != nil {
+		return nil, err
+	}
+	idb := prog.IDBPreds()
+
+	view := db.ShallowView()
+	total := make(map[string]*rel.Relation)
+	for p := range idb {
+		t := rel.New(arities[p])
+		if existing := db.Relation(p); existing != nil {
+			t.InsertAll(existing)
+		}
+		total[p] = t
+		view.Set(p, t)
+	}
+
+	for _, stratum := range strata {
+		inStratum := make(map[string]bool, len(stratum))
+		for _, p := range stratum {
+			inStratum[p] = true
+		}
+		var rules []ast.Rule
+		for _, r := range prog.Rules {
+			if inStratum[r.Head.Pred] {
+				rules = append(rules, r)
+			}
+		}
+		if err := runStratum(rules, inStratum, view, total, opts); err != nil {
+			return nil, err
+		}
+	}
+	return view, nil
+}
+
+// runStratum runs one semi-naive fixpoint over the given rules. inStratum
+// names the predicates being computed; IDB predicates of lower strata are
+// already complete in view and act as base relations (their occurrences
+// never read deltas).
+func runStratum(rules []ast.Rule, inStratum map[string]bool, view *database.Database, total map[string]*rel.Relation, opts Options) error {
+	intern := view.Syms.Intern
+	delta := make(map[string]*rel.Relation)
+	for p := range inStratum {
+		delta[p] = rel.New(total[p].Arity())
+	}
+
+	compiled := make([]compiledRule, 0, len(rules))
+	for _, r := range rules {
+		plan, err := conj.Compile(r.Body, nil, intern)
+		if err != nil {
+			return fmt.Errorf("eval: rule %s: %w", r, err)
+		}
+		proj, err := conj.NewProjector(r.Head, plan, intern)
+		if err != nil {
+			return fmt.Errorf("eval: rule %s: %w", r, err)
+		}
+		cr := compiledRule{rule: r, plan: plan, proj: proj}
+		for i, a := range r.Body {
+			if inStratum[a.Pred] && !a.Negated {
+				cr.idbOccs = append(cr.idbOccs, i)
+			}
+		}
+		compiled = append(compiled, cr)
+	}
+
+	baseSrc := conj.DBSource(view.Relation)
+
+	runRule := func(cr *compiledRule, src conj.RelSource, into *rel.Relation) {
+		row := make(rel.Tuple, cr.proj.Arity())
+		cr.plan.Run(src, nil, func(binding []rel.Value) {
+			into.Insert(cr.proj.Tuple(binding, row))
+		})
+	}
+
+	observe := func() {
+		for p := range inStratum {
+			opts.Collector.Observe(p, total[p].Len())
+		}
+	}
+
+	// Round 0: evaluate every rule against the initial totals.
+	newFacts := make(map[string]*rel.Relation)
+	for p := range inStratum {
+		newFacts[p] = rel.New(total[p].Arity())
+	}
+	for i := range compiled {
+		runRule(&compiled[i], baseSrc, newFacts[compiled[i].rule.Head.Pred])
+	}
+	opts.Collector.AddIteration()
+	changed := false
+	for p, nf := range newFacts {
+		d := nf.Difference(total[p])
+		delta[p] = d
+		added := total[p].InsertAll(d)
+		opts.Collector.AddInserted(added)
+		if added > 0 {
+			changed = true
+		}
+	}
+	observe()
+
+	round := 1
+	for changed {
+		if opts.MaxIterations > 0 && round >= opts.MaxIterations {
+			return fmt.Errorf("eval: iteration limit %d exceeded", opts.MaxIterations)
+		}
+		round++
+		opts.Collector.AddIteration()
+		for p := range inStratum {
+			newFacts[p] = rel.New(total[p].Arity())
+		}
+		if opts.Naive {
+			for i := range compiled {
+				runRule(&compiled[i], baseSrc, newFacts[compiled[i].rule.Head.Pred])
+			}
+		} else {
+			for i := range compiled {
+				cr := &compiled[i]
+				if len(cr.idbOccs) == 0 {
+					continue // exit rules cannot produce new facts after round 0
+				}
+				for _, occ := range cr.idbOccs {
+					occIdx := occ
+					src := func(atomIdx int, pred string) *rel.Relation {
+						if atomIdx == occIdx {
+							return delta[pred]
+						}
+						return view.Relation(pred)
+					}
+					runRule(cr, src, newFacts[cr.rule.Head.Pred])
+				}
+			}
+		}
+		changed = false
+		for p, nf := range newFacts {
+			d := nf.Difference(total[p])
+			delta[p] = d
+			added := total[p].InsertAll(d)
+			opts.Collector.AddInserted(added)
+			if added > 0 {
+				changed = true
+			}
+		}
+		observe()
+	}
+	return nil
+}
+
+// QueryVars returns the distinct variables of q in order of first
+// occurrence; these are the columns of the answer relation.
+func QueryVars(q ast.Atom) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, t := range q.Args {
+		if t.IsVar() && !seen[t.Name] {
+			seen[t.Name] = true
+			out = append(out, t.Name)
+		}
+	}
+	return out
+}
+
+// Answer selects the tuples of q.Pred matching q's constants (and repeated
+// variables) from db and projects them onto q's distinct variables, in
+// first-occurrence order. A missing relation yields an empty answer.
+func Answer(db *database.Database, q ast.Atom) (*rel.Relation, error) {
+	vars := QueryVars(q)
+	out := rel.New(len(vars))
+	r := db.Relation(q.Pred)
+	if r == nil {
+		return out, nil
+	}
+	if r.Arity() != len(q.Args) {
+		return nil, fmt.Errorf("eval: query %s has arity %d, relation has %d", q, len(q.Args), r.Arity())
+	}
+	varPos := make(map[string]int) // var -> first column position
+	var constCols []int
+	var constVals []rel.Value
+	for i, t := range q.Args {
+		if t.IsVar() {
+			if _, ok := varPos[t.Name]; !ok {
+				varPos[t.Name] = i
+			}
+			continue
+		}
+		v, ok := db.Syms.Lookup(t.Name)
+		if !ok {
+			return out, nil // constant absent from the database: no matches
+		}
+		constCols = append(constCols, i)
+		constVals = append(constVals, v)
+	}
+	candidates := r.Rows()
+	if len(constCols) > 0 {
+		candidates = r.Index(constCols).Lookup(constVals)
+	}
+	row := make(rel.Tuple, len(vars))
+next:
+	for _, t := range candidates {
+		for i, arg := range q.Args {
+			if arg.IsVar() && t[varPos[arg.Name]] != t[i] {
+				continue next // repeated query variable mismatch
+			}
+		}
+		for j, v := range vars {
+			row[j] = t[varPos[v]]
+		}
+		out.Insert(row)
+	}
+	return out, nil
+}

@@ -1,0 +1,261 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/database"
+	"sepdl/internal/parser"
+	"sepdl/internal/stats"
+)
+
+func mustProgram(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Program(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustLoad(t *testing.T, db *database.Database, facts string) {
+	t.Helper()
+	fs, err := parser.Facts(facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load(fs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func answerDump(t *testing.T, prog *ast.Program, db *database.Database, query string, opts Options) string {
+	t.Helper()
+	view, err := Run(prog, db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := Answer(view, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ans.Dump(db.Syms)
+}
+
+const tcProg = `
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, W) & path(W, Y).
+`
+
+func TestTransitiveClosureChain(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `edge(a, b). edge(b, c). edge(c, d).`)
+	got := answerDump(t, mustProgram(t, tcProg), db, `path(a, Y)?`, Options{})
+	if got != "{(b) (c) (d)}" {
+		t.Fatalf("answers = %s", got)
+	}
+}
+
+func TestTransitiveClosureCycleTerminates(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `edge(a, b). edge(b, c). edge(c, a).`)
+	got := answerDump(t, mustProgram(t, tcProg), db, `path(a, Y)?`, Options{})
+	if got != "{(a) (b) (c)}" {
+		t.Fatalf("answers = %s", got)
+	}
+}
+
+func TestNaiveMatchesSemiNaive(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `edge(a, b). edge(b, c). edge(c, a). edge(c, d). edge(d, e).`)
+	prog := mustProgram(t, tcProg)
+	sn := answerDump(t, prog, db, `path(X, Y)?`, Options{})
+	nv := answerDump(t, prog, db, `path(X, Y)?`, Options{Naive: true})
+	if sn != nv {
+		t.Fatalf("semi-naive %s != naive %s", sn, nv)
+	}
+}
+
+func TestExample11Buys(t *testing.T) {
+	prog := mustProgram(t, `
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- idol(X, W) & buys(W, Y).
+buys(X, Y) :- perfectFor(X, Y).
+`)
+	db := database.New()
+	mustLoad(t, db, `
+friend(tom, dick). friend(dick, harry).
+idol(tom, harry).
+perfectFor(harry, radio). perfectFor(dick, tv).
+`)
+	got := answerDump(t, prog, db, `buys(tom, Y)?`, Options{})
+	if got != "{(radio) (tv)}" {
+		t.Fatalf("buys(tom, Y) = %s", got)
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	// even/odd distance from a along a chain — exercises multiple IDB
+	// predicates in one fixpoint.
+	prog := mustProgram(t, `
+even(X) :- start(X).
+even(Y) :- odd(X) & edge(X, Y).
+odd(Y) :- even(X) & edge(X, Y).
+`)
+	db := database.New()
+	mustLoad(t, db, `start(a). edge(a, b). edge(b, c). edge(c, d).`)
+	got := answerDump(t, prog, db, `even(X)?`, Options{})
+	if got != "{(a) (c)}" {
+		t.Fatalf("even = %s", got)
+	}
+	got = answerDump(t, prog, db, `odd(X)?`, Options{})
+	if got != "{(b) (d)}" {
+		t.Fatalf("odd = %s", got)
+	}
+}
+
+func TestNonlinearRecursion(t *testing.T) {
+	prog := mustProgram(t, `
+t(X, Y) :- e(X, Y).
+t(X, Y) :- t(X, W) & t(W, Y).
+`)
+	db := database.New()
+	mustLoad(t, db, `e(a, b). e(b, c). e(c, d). e(d, e).`)
+	got := answerDump(t, prog, db, `t(a, Y)?`, Options{})
+	if got != "{(b) (c) (d) (e)}" {
+		t.Fatalf("t(a, Y) = %s", got)
+	}
+}
+
+func TestIDBInitialFacts(t *testing.T) {
+	// Facts stored under the IDB predicate's own name seed the fixpoint.
+	prog := mustProgram(t, `p(X) :- p(X).`)
+	db := database.New()
+	mustLoad(t, db, `p(a).`)
+	got := answerDump(t, prog, db, `p(X)?`, Options{})
+	if got != "{(a)}" {
+		t.Fatalf("p = %s", got)
+	}
+}
+
+func TestIterationLimit(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `edge(a, b). edge(b, c). edge(c, d). edge(d, e).`)
+	_, err := Run(mustProgram(t, tcProg), db, Options{MaxIterations: 2})
+	if err == nil || !strings.Contains(err.Error(), "iteration limit") {
+		t.Fatalf("err = %v, want iteration limit", err)
+	}
+}
+
+func TestStatsCollected(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `edge(a, b). edge(b, c). edge(c, d).`)
+	c := stats.New()
+	if _, err := Run(mustProgram(t, tcProg), db, Options{Collector: c}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Sizes["path"] != 6 {
+		t.Fatalf("path peak size = %d, want 6 (%s)", c.Sizes["path"], c)
+	}
+	if c.Iterations < 3 {
+		t.Fatalf("iterations = %d", c.Iterations)
+	}
+}
+
+func TestRunDoesNotMutateEDB(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `edge(a, b). p(a).`)
+	prog := mustProgram(t, `p(Y) :- p(X) & edge(X, Y).`)
+	if _, err := Run(prog, db, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Relation("p").Len() != 1 {
+		t.Fatal("Run mutated the caller's p relation")
+	}
+}
+
+func TestQueryVars(t *testing.T) {
+	q, _ := parser.Query(`p(X, tom, Y, X)?`)
+	vs := QueryVars(q)
+	if len(vs) != 2 || vs[0] != "X" || vs[1] != "Y" {
+		t.Fatalf("QueryVars = %v", vs)
+	}
+}
+
+func TestAnswerRepeatedVariable(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `e(a, a). e(a, b).`)
+	prog := mustProgram(t, `p(X, Y) :- e(X, Y).`)
+	got := answerDump(t, prog, db, `p(X, X)?`, Options{})
+	if got != "{(a)}" {
+		t.Fatalf("p(X, X) = %s", got)
+	}
+}
+
+func TestAnswerGroundQuery(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `e(a, b).`)
+	prog := mustProgram(t, `p(X, Y) :- e(X, Y).`)
+	got := answerDump(t, prog, db, `p(a, b)?`, Options{})
+	if got != "{()}" {
+		t.Fatalf("ground true query = %s", got)
+	}
+	got = answerDump(t, prog, db, `p(b, a)?`, Options{})
+	if got != "{}" {
+		t.Fatalf("ground false query = %s", got)
+	}
+}
+
+func TestAnswerUnknownConstant(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `e(a, b).`)
+	prog := mustProgram(t, `p(X, Y) :- e(X, Y).`)
+	got := answerDump(t, prog, db, `p(zzz, Y)?`, Options{})
+	if got != "{}" {
+		t.Fatalf("unknown constant query = %s", got)
+	}
+}
+
+func TestAnswerMissingRelation(t *testing.T) {
+	db := database.New()
+	q, _ := parser.Query(`nothing(X)?`)
+	ans, err := Answer(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 0 || ans.Arity() != 1 {
+		t.Fatalf("missing relation answer: len=%d arity=%d", ans.Len(), ans.Arity())
+	}
+}
+
+func TestAnswerArityMismatch(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `e(a, b).`)
+	q, _ := parser.Query(`e(X)?`)
+	if _, err := Answer(db, q); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestSameGeneration(t *testing.T) {
+	// The classic same-generation program on a small tree.
+	prog := mustProgram(t, `
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, U) & sg(U, V) & down(V, Y).
+`)
+	db := database.New()
+	mustLoad(t, db, `
+up(c1, p1). up(c2, p1). up(c3, p2).
+flat(p1, p2).
+down(p1, c1). down(p1, c2). down(p2, c3).
+`)
+	got := answerDump(t, prog, db, `sg(c1, Y)?`, Options{})
+	if got != "{(c3)}" {
+		t.Fatalf("sg(c1, Y) = %s", got)
+	}
+}

@@ -1,0 +1,202 @@
+package eval
+
+import (
+	"fmt"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/conj"
+	"sepdl/internal/database"
+	"sepdl/internal/rel"
+	"sepdl/internal/stats"
+)
+
+// Materialized is an incrementally maintained fixpoint: the IDB relations
+// of a positive program, kept up to date as new base facts arrive. Each
+// insertion is propagated semi-naively (the new fact is a delta), so
+// maintenance cost is proportional to the new derivations, not to the
+// database.
+//
+// Insertions propagate directly; deletions are handled by DeleteFact's
+// delete-and-rederive (DRed) pass. Programs with negation are rejected:
+// a new fact can retract negation-derived tuples.
+type Materialized struct {
+	prog  *ast.Program
+	view  *database.Database
+	total map[string]*rel.Relation
+	base  map[string]*rel.Relation // EDB relations, owned by this view
+	// occs maps each predicate to the (rule, body position) pairs where it
+	// occurs, for delta-driven re-evaluation.
+	occs  map[string][]occurrence
+	rules []compiledRule
+	// support holds, per IDB predicate, one derivability check per rule
+	// (used by DeleteFact's re-derivation phase).
+	support map[string][]*supportCheck
+	col     *stats.Collector
+}
+
+type occurrence struct {
+	rule int
+	atom int
+}
+
+// Materialize evaluates prog over db once and returns a maintainable view.
+// The EDB relations are deep-copied so later AddFact calls do not mutate
+// the caller's database.
+func Materialize(prog *ast.Program, db *database.Database, col *stats.Collector) (*Materialized, error) {
+	if prog.HasNegation() {
+		return nil, fmt.Errorf("eval: incremental maintenance requires a negation-free program")
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	idb := prog.IDBPreds()
+
+	// Private copies of the EDB relations.
+	view := db.ShallowView()
+	base := make(map[string]*rel.Relation)
+	for _, pred := range db.Preds() {
+		if !idb[pred] {
+			cp := db.Relation(pred).Clone()
+			base[pred] = cp
+			view.Set(pred, cp)
+		}
+	}
+	// Initial fixpoint.
+	fixed, err := Run(prog, view, Options{Collector: col})
+	if err != nil {
+		return nil, err
+	}
+	m := &Materialized{
+		prog:    prog,
+		view:    fixed,
+		total:   make(map[string]*rel.Relation),
+		base:    base,
+		occs:    make(map[string][]occurrence),
+		support: make(map[string][]*supportCheck),
+		col:     col,
+	}
+	for p := range idb {
+		m.total[p] = fixed.Relation(p)
+	}
+	intern := fixed.Syms.Intern
+	for ri, r := range prog.Rules {
+		plan, err := conj.Compile(r.Body, nil, intern)
+		if err != nil {
+			return nil, err
+		}
+		proj, err := conj.NewProjector(r.Head, plan, intern)
+		if err != nil {
+			return nil, err
+		}
+		m.rules = append(m.rules, compiledRule{rule: r, plan: plan, proj: proj})
+		for ai, b := range r.Body {
+			m.occs[b.Pred] = append(m.occs[b.Pred], occurrence{rule: ri, atom: ai})
+		}
+		sc, err := newSupportCheck(r, intern)
+		if err != nil {
+			return nil, err
+		}
+		m.support[r.Head.Pred] = append(m.support[r.Head.Pred], sc)
+	}
+	return m, nil
+}
+
+// View returns the maintained database view (base copies + IDB totals).
+// Callers must not mutate it directly; use AddFact.
+func (m *Materialized) View() *database.Database { return m.view }
+
+// AddFact inserts a base fact and propagates its consequences. Inserting a
+// fact for an IDB predicate or an unknown arity is an error. Reports
+// whether the fact was new.
+func (m *Materialized) AddFact(pred string, args ...string) (bool, error) {
+	if ast.Builtin(pred) {
+		return false, fmt.Errorf("eval: %s is a builtin predicate", pred)
+	}
+	if m.total[pred] != nil {
+		return false, fmt.Errorf("eval: %s is an IDB predicate; only base facts can be added", pred)
+	}
+	t := make(rel.Tuple, len(args))
+	for i, a := range args {
+		t[i] = m.view.Syms.Intern(a)
+	}
+	r := m.base[pred]
+	if r == nil {
+		// A base predicate with no prior facts: create it with the arity
+		// the program expects (or this fact's arity if unmentioned).
+		arities, err := m.prog.Arities()
+		if err != nil {
+			return false, err
+		}
+		want, mentioned := arities[pred]
+		if mentioned && want != len(args) {
+			return false, fmt.Errorf("eval: %s has arity %d in the program, got %d args", pred, want, len(args))
+		}
+		r = rel.New(len(args))
+		m.base[pred] = r
+		m.view.Set(pred, r)
+	}
+	if r.Arity() != len(t) {
+		return false, fmt.Errorf("eval: %s has arity %d, got %d args", pred, r.Arity(), len(t))
+	}
+	if !r.Insert(t) {
+		return false, nil
+	}
+	delta := rel.New(len(t))
+	delta.Insert(t)
+	m.propagate(pred, delta)
+	return true, nil
+}
+
+// propagate pushes a delta for pred through every rule occurrence,
+// worklist-style, until no new IDB facts appear. Totals already include
+// each delta before its propagation, so derivations combining several new
+// facts are found when the later delta is processed.
+func (m *Materialized) propagate(pred string, delta *rel.Relation) {
+	type work struct {
+		pred  string
+		delta *rel.Relation
+	}
+	queue := []work{{pred, delta}}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		newByHead := make(map[string]*rel.Relation)
+		for _, oc := range m.occs[w.pred] {
+			cr := &m.rules[oc.rule]
+			head := cr.rule.Head.Pred
+			into := newByHead[head]
+			if into == nil {
+				into = rel.New(cr.proj.Arity())
+				newByHead[head] = into
+			}
+			occAtom := oc.atom
+			src := func(atomIdx int, p string) *rel.Relation {
+				if atomIdx == occAtom {
+					return w.delta
+				}
+				return m.view.Relation(p)
+			}
+			row := make(rel.Tuple, cr.proj.Arity())
+			cr.plan.Run(src, nil, func(binding []rel.Value) {
+				into.Insert(cr.proj.Tuple(binding, row))
+			})
+		}
+		for head, nf := range newByHead {
+			d := nf.Difference(m.total[head])
+			if d.Empty() {
+				continue
+			}
+			added := m.total[head].InsertAll(d)
+			m.col.AddInserted(added)
+			m.col.Observe(head, m.total[head].Len())
+			queue = append(queue, work{head, d})
+		}
+		m.col.AddIteration()
+	}
+}
+
+// Answer evaluates a query against the maintained view (index lookup and
+// projection only — no fixpoint work).
+func (m *Materialized) Answer(q ast.Atom) (*rel.Relation, error) {
+	return Answer(m.view, q)
+}

@@ -1,0 +1,130 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"sepdl/internal/database"
+)
+
+func TestBachelor(t *testing.T) {
+	prog := mustProgram(t, `bachelor(X) :- male(X) & not married(X).`)
+	db := database.New()
+	mustLoad(t, db, `male(tom). male(dick). male(harry). married(dick).`)
+	got := answerDump(t, prog, db, `bachelor(X)?`, Options{})
+	if got != "{(harry) (tom)}" {
+		t.Fatalf("bachelor = %s", got)
+	}
+}
+
+func TestUnreachableTwoStrata(t *testing.T) {
+	prog := mustProgram(t, `
+reach(X) :- start(X).
+reach(Y) :- reach(X) & edge(X, Y).
+node(X) :- edge(X, Y).
+node(Y) :- edge(X, Y).
+unreach(X) :- node(X) & not reach(X).
+`)
+	db := database.New()
+	mustLoad(t, db, `start(a). edge(a, b). edge(b, c). edge(d, e).`)
+	got := answerDump(t, prog, db, `unreach(X)?`, Options{})
+	if got != "{(d) (e)}" {
+		t.Fatalf("unreach = %s", got)
+	}
+	// The positive side is unaffected.
+	got = answerDump(t, prog, db, `reach(X)?`, Options{})
+	if got != "{(a) (b) (c)}" {
+		t.Fatalf("reach = %s", got)
+	}
+}
+
+func TestThreeStrata(t *testing.T) {
+	prog := mustProgram(t, `
+a(X) :- base(X).
+b(X) :- all(X) & not a(X).
+c(X) :- all(X) & not b(X).
+`)
+	db := database.New()
+	mustLoad(t, db, `base(x). all(x). all(y).`)
+	if got := answerDump(t, prog, db, `b(X)?`, Options{}); got != "{(y)}" {
+		t.Fatalf("b = %s", got)
+	}
+	if got := answerDump(t, prog, db, `c(X)?`, Options{}); got != "{(x)}" {
+		t.Fatalf("c = %s", got)
+	}
+}
+
+func TestNegationInsideRecursion(t *testing.T) {
+	// Negating a lower-stratum IDB predicate inside a recursive rule:
+	// reach avoiding blocked nodes.
+	prog := mustProgram(t, `
+blocked(X) :- hazard(X).
+reach(X) :- start(X).
+reach(Y) :- reach(X) & edge(X, Y) & not blocked(Y).
+`)
+	db := database.New()
+	mustLoad(t, db, `
+start(a).
+edge(a, b). edge(b, c). edge(a, h). edge(h, d).
+hazard(h).
+`)
+	got := answerDump(t, prog, db, `reach(X)?`, Options{})
+	if got != "{(a) (b) (c)}" {
+		t.Fatalf("reach = %s", got)
+	}
+}
+
+func TestNonStratifiableRejected(t *testing.T) {
+	prog := mustProgram(t, `win(X) :- move(X, Y) & not win(Y).`)
+	db := database.New()
+	mustLoad(t, db, `move(a, b).`)
+	_, err := Run(prog, db, Options{})
+	if err == nil || !strings.Contains(err.Error(), "not stratifiable") {
+		t.Fatalf("err = %v, want stratification error", err)
+	}
+}
+
+func TestNegatedEDBAtom(t *testing.T) {
+	prog := mustProgram(t, `
+orphanEdge(X, Y) :- edge(X, Y) & not core(X) & not core(Y).
+`)
+	db := database.New()
+	mustLoad(t, db, `edge(a, b). edge(c, d). core(a).`)
+	got := answerDump(t, prog, db, `orphanEdge(X, Y)?`, Options{})
+	if got != "{(c,d)}" {
+		t.Fatalf("orphanEdge = %s", got)
+	}
+}
+
+func TestNegatedNullaryAtom(t *testing.T) {
+	prog := mustProgram(t, `
+run(X) :- job(X) & not paused.
+`)
+	db := database.New()
+	mustLoad(t, db, `job(j1).`)
+	if got := answerDump(t, prog, db, `run(X)?`, Options{}); got != "{(j1)}" {
+		t.Fatalf("run = %s", got)
+	}
+	db2 := database.New()
+	mustLoad(t, db2, `job(j1). paused.`)
+	if got := answerDump(t, prog, db2, `run(X)?`, Options{}); got != "{}" {
+		t.Fatalf("run with paused = %s", got)
+	}
+}
+
+func TestNaiveMatchesSemiNaiveWithNegation(t *testing.T) {
+	prog := mustProgram(t, `
+reach(X) :- start(X).
+reach(Y) :- reach(X) & edge(X, Y).
+node(X) :- edge(X, Y).
+node(Y) :- edge(X, Y).
+unreach(X) :- node(X) & not reach(X).
+`)
+	db := database.New()
+	mustLoad(t, db, `start(a). edge(a, b). edge(b, a). edge(c, d). edge(d, c).`)
+	sn := answerDump(t, prog, db, `unreach(X)?`, Options{})
+	nv := answerDump(t, prog, db, `unreach(X)?`, Options{Naive: true})
+	if sn != nv {
+		t.Fatalf("semi-naive %s != naive %s", sn, nv)
+	}
+}

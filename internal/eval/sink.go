@@ -1,0 +1,63 @@
+package eval
+
+import (
+	"sepdl/internal/ast"
+	"sepdl/internal/rel"
+	"sepdl/internal/symtab"
+)
+
+// AnswerSink filters full-arity tuples against a query atom (constants and
+// repeated variables) and projects survivors onto the query's distinct
+// variables in first-occurrence order. Strategies that assemble answers
+// tuple by tuple (Separable, Counting, Henschen–Naqvi) share it.
+type AnswerSink struct {
+	out      *rel.Relation
+	varPos   []int
+	consts   []int
+	constVal []rel.Value
+	eqPairs  [][2]int
+}
+
+// NewAnswerSink builds a sink for query q, interning its constants in syms.
+func NewAnswerSink(q ast.Atom, syms *symtab.Table) *AnswerSink {
+	s := &AnswerSink{}
+	first := make(map[string]int)
+	for i, t := range q.Args {
+		if t.IsVar() {
+			if j, ok := first[t.Name]; ok {
+				s.eqPairs = append(s.eqPairs, [2]int{j, i})
+			} else {
+				first[t.Name] = i
+				s.varPos = append(s.varPos, i)
+			}
+		} else {
+			s.consts = append(s.consts, i)
+			s.constVal = append(s.constVal, syms.Intern(t.Name))
+		}
+	}
+	s.out = rel.New(len(s.varPos))
+	return s
+}
+
+// Add filters full and, if it matches the query, inserts its projection
+// into the answer relation.
+func (s *AnswerSink) Add(full rel.Tuple) {
+	for i, p := range s.consts {
+		if full[p] != s.constVal[i] {
+			return
+		}
+	}
+	for _, pq := range s.eqPairs {
+		if full[pq[0]] != full[pq[1]] {
+			return
+		}
+	}
+	row := make(rel.Tuple, len(s.varPos))
+	for i, p := range s.varPos {
+		row[i] = full[p]
+	}
+	s.out.Insert(row)
+}
+
+// Result returns the accumulated answer relation.
+func (s *AnswerSink) Result() *rel.Relation { return s.out }

@@ -1,0 +1,62 @@
+package eval
+
+import (
+	"testing"
+
+	"sepdl/internal/parser"
+	"sepdl/internal/rel"
+	"sepdl/internal/symtab"
+)
+
+func TestAnswerSinkProjection(t *testing.T) {
+	syms := symtab.New()
+	q, err := parser.Query(`p(tom, Y, X)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewAnswerSink(q, syms)
+	tom := syms.Intern("tom")
+	a, b := syms.Intern("a"), syms.Intern("b")
+	s.Add(rel.Tuple{tom, a, b}) // matches
+	s.Add(rel.Tuple{a, a, b})   // wrong constant
+	s.Add(rel.Tuple{tom, b, a}) // second match
+	res := s.Result()
+	if res.Arity() != 2 || res.Len() != 2 {
+		t.Fatalf("result arity=%d len=%d", res.Arity(), res.Len())
+	}
+	if !res.Contains(rel.Tuple{a, b}) || !res.Contains(rel.Tuple{b, a}) {
+		t.Fatalf("result = %s", res.Dump(syms))
+	}
+}
+
+func TestAnswerSinkRepeatedVariable(t *testing.T) {
+	syms := symtab.New()
+	q, err := parser.Query(`p(X, X)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewAnswerSink(q, syms)
+	a, b := syms.Intern("a"), syms.Intern("b")
+	s.Add(rel.Tuple{a, a})
+	s.Add(rel.Tuple{a, b}) // repeated-var mismatch
+	res := s.Result()
+	if res.Len() != 1 || !res.Contains(rel.Tuple{a}) {
+		t.Fatalf("result = %s", res.Dump(syms))
+	}
+}
+
+func TestAnswerSinkGroundQuery(t *testing.T) {
+	syms := symtab.New()
+	q, err := parser.Query(`p(a, b)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewAnswerSink(q, syms)
+	a, b := syms.Intern("a"), syms.Intern("b")
+	s.Add(rel.Tuple{a, b})
+	s.Add(rel.Tuple{b, a})
+	res := s.Result()
+	if res.Arity() != 0 || res.Len() != 1 {
+		t.Fatalf("ground sink: arity=%d len=%d", res.Arity(), res.Len())
+	}
+}

@@ -1,0 +1,235 @@
+// Package expand implements Procedure Expand (Figure 1 of the paper): the
+// enumeration of a linear recursion's expansion — the conjunctive queries
+// ("strings") obtained by repeatedly applying the recursive rules and
+// closing with a nonrecursive rule — together with derivations
+// (Definition 2.5), their per-class projections (Definition 2.6), and
+// containment mappings [CM77], which the tests use to machine-check
+// Theorem 2.1 on concrete programs.
+package expand
+
+import (
+	"fmt"
+
+	"sepdl/internal/ast"
+)
+
+// String is one element of the expansion: a conjunction of base-predicate
+// atoms over the distinguished variables (the canonical head variables of
+// the recursion) and subscripted nondistinguished variables.
+type String struct {
+	// Atoms is the conjunction, in application order (nonrecursive parts
+	// first, exit-rule body last).
+	Atoms []ast.Atom
+	// Derivation lists, in application order, the index of each recursive
+	// rule applied (indexes into the rectified recursive-rule list);
+	// Definition 2.5's D(s). The final exit-rule application is not
+	// recorded.
+	Derivation []int
+	// ExitRule is the index of the nonrecursive rule that closed the
+	// string.
+	ExitRule int
+}
+
+// Expansion holds the strings of bounded derivation length, plus the
+// rule structure they were generated from.
+type Expansion struct {
+	Pred      string
+	Arity     int
+	Recursive []ast.Rule
+	Exit      []ast.Rule
+	Strings   []String
+}
+
+// Distinguished returns the distinguished variables of the expansion: the
+// canonical head variables %h0..%h{k-1}.
+func (e *Expansion) Distinguished() map[string]bool {
+	out := make(map[string]bool, e.Arity)
+	for p := 0; p < e.Arity; p++ {
+		out[ast.CanonicalHeadVar(p)] = true
+	}
+	return out
+}
+
+// Expand enumerates every string of the expansion of pred's definition in
+// prog whose derivation applies at most depth recursive rules. It is the
+// bounded version of the (infinite) Procedure Expand.
+func Expand(prog *ast.Program, pred string, depth int) (*Expansion, error) {
+	rules := prog.RulesFor(pred)
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("expand: no rules define %s", pred)
+	}
+	rect, err := ast.RectifyDefinition(rules, pred)
+	if err != nil {
+		return nil, err
+	}
+	recursive, exit, err := ast.SplitDefinition(rect, pred)
+	if err != nil {
+		return nil, err
+	}
+	arity := len(rules[0].Head.Args)
+	e := &Expansion{Pred: pred, Arity: arity, Recursive: recursive, Exit: exit}
+
+	type fringeElem struct {
+		atoms []ast.Atom // accumulated nonrecursive atoms
+		inst  []ast.Term // arguments of the current instance of t
+		deriv []int
+	}
+	inst0 := make([]ast.Term, arity)
+	for p := 0; p < arity; p++ {
+		inst0[p] = ast.V(ast.CanonicalHeadVar(p))
+	}
+	fringe := []fringeElem{{inst: inst0}}
+	subscript := 0
+
+	// freshen builds the substitution applying a rule to an instance of t:
+	// head variables map to the instance's arguments, body-only variables
+	// get a fresh subscript (the subscript counter of Figure 1, line 12).
+	freshen := func(r ast.Rule, inst []ast.Term) ast.Subst {
+		s := make(ast.Subst)
+		for p, t := range r.Head.Args {
+			s[t.Name] = inst[p]
+		}
+		for _, b := range r.Body {
+			for _, t := range b.Args {
+				if t.IsVar() {
+					if _, ok := s[t.Name]; !ok {
+						s[t.Name] = ast.V(fmt.Sprintf("%s_s%d", t.Name, subscript))
+					}
+				}
+			}
+		}
+		return s
+	}
+
+	for d := 0; ; d++ {
+		// Close every fringe element with each exit rule (line 7).
+		for _, f := range fringe {
+			for xi, ex := range exit {
+				s := freshen(ex, f.inst)
+				subscript++
+				atoms := make([]ast.Atom, 0, len(f.atoms)+len(ex.Body))
+				atoms = append(atoms, f.atoms...)
+				for _, b := range ex.Body {
+					atoms = append(atoms, b.Apply(s))
+				}
+				e.Strings = append(e.Strings, String{
+					Atoms:      atoms,
+					Derivation: append([]int(nil), f.deriv...),
+					ExitRule:   xi,
+				})
+			}
+		}
+		if d == depth {
+			break
+		}
+		// Extend with each recursive rule (lines 8-9).
+		var next []fringeElem
+		for _, f := range fringe {
+			for ri, r := range recursive {
+				s := freshen(r, f.inst)
+				subscript++
+				occ := r.BodyOccurrences(pred)[0]
+				atoms := make([]ast.Atom, 0, len(f.atoms)+len(r.Body)-1)
+				atoms = append(atoms, f.atoms...)
+				for i, b := range r.Body {
+					if i != occ {
+						atoms = append(atoms, b.Apply(s))
+					}
+				}
+				recInst := r.Body[occ].Apply(s)
+				deriv := make([]int, 0, len(f.deriv)+1)
+				deriv = append(append(deriv, f.deriv...), ri)
+				next = append(next, fringeElem{atoms: atoms, inst: recInst.Args, deriv: deriv})
+			}
+		}
+		fringe = next
+	}
+	return e, nil
+}
+
+// ProjectDerivation returns D_i(s) (Definition 2.5): the subsequence of
+// deriv whose rules belong to the given class, where classOf maps each
+// recursive-rule index to its class.
+func ProjectDerivation(deriv []int, classOf []int, class int) []int {
+	var out []int
+	for _, r := range deriv {
+		if classOf[r] == class {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Containment reports whether there is a containment mapping from the
+// atoms of `from` to the atoms of `to`: a variable mapping fixing the
+// distinguished variables under which every atom of `from` appears in
+// `to` [CM77, ASU79].
+func Containment(from, to String, distinguished map[string]bool) bool {
+	m := make(map[string]string)
+	var try func(i int) bool
+	try = func(i int) bool {
+		if i == len(from.Atoms) {
+			return true
+		}
+		a := from.Atoms[i]
+	candidates:
+		for _, b := range to.Atoms {
+			if b.Pred != a.Pred || len(b.Args) != len(a.Args) {
+				continue
+			}
+			var assigned []string
+			for j := range a.Args {
+				at, bt := a.Args[j], b.Args[j]
+				switch {
+				case !at.IsVar():
+					if bt.IsVar() || bt.Name != at.Name {
+						for _, v := range assigned {
+							delete(m, v)
+						}
+						continue candidates
+					}
+				case distinguished[at.Name]:
+					if !bt.IsVar() || bt.Name != at.Name {
+						for _, v := range assigned {
+							delete(m, v)
+						}
+						continue candidates
+					}
+				default:
+					if !bt.IsVar() {
+						for _, v := range assigned {
+							delete(m, v)
+						}
+						continue candidates
+					}
+					if cur, ok := m[at.Name]; ok {
+						if cur != bt.Name {
+							for _, v := range assigned {
+								delete(m, v)
+							}
+							continue candidates
+						}
+					} else {
+						m[at.Name] = bt.Name
+						assigned = append(assigned, at.Name)
+					}
+				}
+			}
+			if try(i + 1) {
+				return true
+			}
+			for _, v := range assigned {
+				delete(m, v)
+			}
+		}
+		return false
+	}
+	return try(0)
+}
+
+// Equivalent reports whether two strings define the same relation: there
+// are containment mappings in both directions (the criterion used in the
+// proof of Theorem 2.1).
+func Equivalent(s1, s2 String, distinguished map[string]bool) bool {
+	return Containment(s1, s2, distinguished) && Containment(s2, s1, distinguished)
+}

@@ -1,0 +1,373 @@
+package expand
+
+import (
+	"fmt"
+	"testing"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/core"
+	"sepdl/internal/database"
+	"sepdl/internal/eval"
+	"sepdl/internal/parser"
+)
+
+func mustProgram(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Program(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const example11 = `
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- idol(X, W) & buys(W, Y).
+buys(X, Y) :- perfectFor(X, Y).
+`
+
+const example12 = `
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- buys(X, W) & cheaper(Y, W).
+buys(X, Y) :- perfectFor(X, Y).
+`
+
+func TestExpansionCounts(t *testing.T) {
+	// Example 2.1: with two recursive rules there are 2^d strings of
+	// derivation length d, so depth<=D yields 2^{D+1}-1 strings.
+	e, err := Expand(mustProgram(t, example11), "buys", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Strings) != 15 {
+		t.Fatalf("strings = %d, want 15", len(e.Strings))
+	}
+	byLen := map[int]int{}
+	for _, s := range e.Strings {
+		byLen[len(s.Derivation)]++
+	}
+	for d := 0; d <= 3; d++ {
+		if byLen[d] != 1<<uint(d) {
+			t.Errorf("derivation length %d: %d strings, want %d", d, byLen[d], 1<<uint(d))
+		}
+	}
+}
+
+func TestExpansionShapeExample21(t *testing.T) {
+	// The depth-1 strings of Example 2.1: f(X,W0)p(W0,Y) and i(X,W0)p(W0,Y).
+	e, err := Expand(mustProgram(t, example11), "buys", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, s := range e.Strings {
+		if len(s.Derivation) == 1 {
+			preds := ""
+			for _, a := range s.Atoms {
+				preds += a.Pred + " "
+			}
+			got = append(got, preds)
+		}
+	}
+	if len(got) != 2 || got[0] != "friend perfectFor " || got[1] != "idol perfectFor " {
+		t.Fatalf("depth-1 strings = %q", got)
+	}
+}
+
+func TestFreshVariablesAcrossApplications(t *testing.T) {
+	e, err := Expand(mustProgram(t, example11), "buys", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In every string, each nondistinguished variable introduced by one
+	// application must not collide with another application's variables:
+	// f(X,A)f(A,B)p(B,Y) — A != B.
+	for _, s := range e.Strings {
+		if len(s.Derivation) != 2 {
+			continue
+		}
+		w1 := s.Atoms[0].Args[1].Name
+		w2 := s.Atoms[1].Args[1].Name
+		if w1 == w2 {
+			t.Fatalf("subscripting failed: %v", s.Atoms)
+		}
+		if s.Atoms[1].Args[0].Name != w1 {
+			t.Fatalf("chaining broken: %v", s.Atoms)
+		}
+	}
+}
+
+func TestEvalUnionMatchesFixpoint(t *testing.T) {
+	// On acyclic data with diameter < depth, the union of string
+	// relations equals the semi-naive fixpoint.
+	db := database.New()
+	facts, err := parser.Facts(`
+friend(tom, dick). friend(dick, harry).
+idol(tom, harry).
+perfectFor(harry, radio). perfectFor(dick, tv). perfectFor(tom, pen).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Load(facts)
+	prog := mustProgram(t, example11)
+	e, err := Expand(prog, "buys", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.EvalUnion(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := eval.Run(prog, db, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := view.Relation("buys")
+	if !got.Equal(want) {
+		t.Fatalf("expansion union %s != fixpoint %s", got.Dump(db.Syms), want.Dump(db.Syms))
+	}
+}
+
+func TestContainmentIdentity(t *testing.T) {
+	e, err := Expand(mustProgram(t, example11), "buys", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := e.Distinguished()
+	for _, s := range e.Strings {
+		if !Containment(s, s, d) {
+			t.Fatalf("string not contained in itself: %v", s.Atoms)
+		}
+	}
+}
+
+func TestContainmentPrefixString(t *testing.T) {
+	// f(X,A)p(A,Y) maps into f(X,A)f(A,B)p(B,Y)? No: p(A,Y) needs A->A
+	// via f(X,A) and also A->B via p — inconsistent. But the reverse
+	// containment of the shorter into a repeated-structure string exists
+	// when the data pattern allows; here we just pin both directions.
+	e, err := Expand(mustProgram(t, mustSingleRule()), "t", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := e.Distinguished()
+	var s1, s2 String
+	for _, s := range e.Strings {
+		switch len(s.Derivation) {
+		case 1:
+			s1 = s
+		case 2:
+			s2 = s
+		}
+	}
+	if Containment(s1, s2, d) {
+		t.Error("chain of length 1 should not map into chain of length 2")
+	}
+	if Containment(s2, s1, d) {
+		t.Error("chain of length 2 should not map into chain of length 1")
+	}
+}
+
+func mustSingleRule() string {
+	return `
+t(X, Y) :- a(X, W) & t(W, Y).
+t(X, Y) :- e(X, Y).
+`
+}
+
+// TestTheorem21 machine-checks Theorem 2.1 on Example 1.2: two strings
+// whose derivations have equal projections onto every equivalence class
+// define the same relation (containment mappings both ways), and — for
+// this recursion — strings with different projections do not.
+func TestTheorem21(t *testing.T) {
+	prog := mustProgram(t, example12)
+	a, err := core.Analyze(prog, "buys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Expand(prog, "buys", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// classOf maps recursive-rule index -> class index.
+	classOf := make([]int, 2)
+	for ci, c := range a.Classes {
+		for _, cr := range c.Rules {
+			for ri, rr := range e.Recursive {
+				if cr.Rule.String() == rr.String() {
+					classOf[ri] = ci
+				}
+			}
+		}
+	}
+	d := e.Distinguished()
+	projKey := func(s String) string {
+		k := ""
+		for ci := range a.Classes {
+			k += fmt.Sprint(ProjectDerivation(s.Derivation, classOf, ci)) + "|"
+		}
+		return k
+	}
+	checked := 0
+	for i := 0; i < len(e.Strings); i++ {
+		for j := i + 1; j < len(e.Strings); j++ {
+			s1, s2 := e.Strings[i], e.Strings[j]
+			same := projKey(s1) == projKey(s2)
+			equiv := Equivalent(s1, s2, d)
+			if same && !equiv {
+				t.Fatalf("Theorem 2.1 violated: equal projections but inequivalent:\n%v\n%v", s1, s2)
+			}
+			if !same && equiv {
+				t.Fatalf("distinct projections but equivalent strings (unexpected for this recursion):\n%v\n%v", s1, s2)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no pairs checked")
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	prog := mustProgram(t, example11)
+	if _, err := Expand(prog, "nothing", 2); err == nil {
+		t.Error("unknown predicate accepted")
+	}
+	nonlinear := mustProgram(t, `
+t(X, Y) :- t(X, W) & t(W, Y).
+t(X, Y) :- e(X, Y).
+`)
+	if _, err := Expand(nonlinear, "t", 2); err == nil {
+		t.Error("nonlinear recursion accepted")
+	}
+}
+
+func TestMultipleExitRules(t *testing.T) {
+	prog := mustProgram(t, `
+t(X, Y) :- a(X, W) & t(W, Y).
+t(X, Y) :- e(X, Y).
+t(X, Y) :- f(Y, X).
+`)
+	e, err := Expand(prog, "t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// depth<=1: (1 fringe at d=0 + 1 fringe at d=1) x 2 exits = 4 strings.
+	if len(e.Strings) != 4 {
+		t.Fatalf("strings = %d, want 4", len(e.Strings))
+	}
+}
+
+// TestSeparableMatchesExpansionUnion ties the algorithm to the semantics of
+// §2 directly: on an acyclic database whose derivations are shorter than
+// the expansion depth, the Separable algorithm's answer equals the
+// selection applied to the union of the expansion strings' relations.
+func TestSeparableMatchesExpansionUnion(t *testing.T) {
+	prog := mustProgram(t, example12)
+	db := database.New()
+	facts, err := parser.Facts(`
+friend(a1, a2). friend(a2, a3). friend(a3, a4).
+perfectFor(a4, b4). perfectFor(a2, b2).
+cheaper(b3, b4). cheaper(b2, b3). cheaper(b1, b2).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Load(facts)
+
+	e, err := Expand(prog, "buys", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	union, err := e.EvalUnion(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.Query(`buys(a1, Y)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep, err := core.Answer(prog, db, q, core.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, ok := db.Syms.Lookup("a1")
+	if !ok {
+		t.Fatal("a1 not interned")
+	}
+	want := union.Select(0, a1).Project([]int{1})
+	if !sep.Equal(want) {
+		t.Fatalf("Separable %s != expansion selection %s", sep.Dump(db.Syms), want.Dump(db.Syms))
+	}
+}
+
+func BenchmarkExpand(b *testing.B) {
+	prog, err := parser.Program(example11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, depth := range []int{6, 10} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Expand(prog, "buys", depth); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestLemma21RewriteStringEquivalence machine-checks the Lemma 2.1 proof
+// obligation at the string level: for every string of the original
+// Example 2.4 recursion (bounded depth), the rewritten t_part/t_full
+// program has a string with the same per-class derivation projections,
+// hence defining the same relation, and vice versa — witnessed here by
+// comparing the unions of the string relations on a concrete database.
+func TestLemma21RewriteStringEquivalence(t *testing.T) {
+	prog := mustProgram(t, `
+t(X, Y, Z) :- a(X, Y, U, V) & t(U, V, Z).
+t(X, Y, Z) :- t(X, Y, W) & b(W, Z).
+t(X, Y, Z) :- t0(X, Y, Z).
+`)
+	a, err := core.Analyze(prog, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	driver := a.ClassFor([]int{0, 1})
+	rw, err := core.ApplyPartialRewrite(prog, a, driver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := database.New()
+	facts, err := parser.Facts(`
+a(c, d, u1, v1). a(u1, v1, u2, v2).
+t0(u2, v2, w1). t0(c, d, w0).
+b(w1, z1). b(w0, z0). b(z1, z2).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Load(facts)
+
+	orig, err := Expand(prog, "t", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origUnion, err := orig.EvalUnion(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rewritten program is not a single linear recursion in t (t is
+	// defined via t_part/t_full), so evaluate it with the fixpoint engine
+	// and compare against the expansion union of the original.
+	view, err := eval.Run(rw, db, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !origUnion.Equal(view.Relation("t")) {
+		t.Fatalf("rewrite changed t:\nexpansion union %s\nrewritten fixpoint %s",
+			origUnion.Dump(db.Syms), view.Relation("t").Dump(db.Syms))
+	}
+}

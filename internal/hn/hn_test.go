@@ -1,0 +1,188 @@
+package hn
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/database"
+	"sepdl/internal/eval"
+	"sepdl/internal/parser"
+	"sepdl/internal/rel"
+	"sepdl/internal/stats"
+)
+
+func mustProgram(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Program(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustQuery(t *testing.T, src string) ast.Atom {
+	t.Helper()
+	q, err := parser.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func mustLoad(t *testing.T, db *database.Database, facts string) {
+	t.Helper()
+	fs, err := parser.Facts(facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load(fs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seminaive(t *testing.T, prog *ast.Program, db *database.Database, q ast.Atom) *rel.Relation {
+	t.Helper()
+	view, err := eval.Run(prog, db, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := eval.Answer(view, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ans
+}
+
+const example11 = `
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- idol(X, W) & buys(W, Y).
+buys(X, Y) :- perfectFor(X, Y).
+`
+
+const example12 = `
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- buys(X, W) & cheaper(Y, W).
+buys(X, Y) :- perfectFor(X, Y).
+`
+
+func TestHNMatchesSemiNaive(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `
+friend(tom, dick). friend(dick, harry).
+idol(tom, harry).
+perfectFor(harry, radio). perfectFor(dick, tv).
+`)
+	for _, src := range []string{example11, example12} {
+		prog := mustProgram(t, src)
+		q := mustQuery(t, `buys(tom, Y)?`)
+		got, err := Answer(prog, db, q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := seminaive(t, prog, db, q)
+		if !got.Equal(want) {
+			t.Fatalf("HN %s != semi-naive %s", got.Dump(db.Syms), want.Dump(db.Syms))
+		}
+	}
+}
+
+func TestHNTwoSided(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `
+friend(tom, dick).
+perfectFor(dick, tv).
+cheaper(radio, tv). cheaper(pencil, radio).
+`)
+	prog := mustProgram(t, example12)
+	q := mustQuery(t, `buys(tom, Y)?`)
+	got, err := Answer(prog, db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump := got.Dump(db.Syms); dump != "{(pencil) (radio) (tv)}" {
+		t.Fatalf("buys(tom, Y) = %s", dump)
+	}
+}
+
+func TestHNExponentialStrings(t *testing.T) {
+	// §1: Henschen-Naqvi is Ω(2^n) on the Example 1.1 query when friend
+	// and idol coincide — one string per rule sequence.
+	for _, n := range []int{4, 8} {
+		db := database.New()
+		for i := 1; i < n; i++ {
+			a, b := fmt.Sprintf("a%d", i), fmt.Sprintf("a%d", i+1)
+			db.AddFact("friend", a, b)
+			db.AddFact("idol", a, b)
+		}
+		db.AddFact("perfectFor", fmt.Sprintf("a%d", n), "item")
+		c := stats.New()
+		ans, err := Answer(mustProgram(t, example11), db, mustQuery(t, `buys(a1, Y)?`), Options{Collector: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans.Len() != 1 {
+			t.Fatalf("n=%d: answers = %d", n, ans.Len())
+		}
+		want := 1<<uint(n) - 1 // one string per nonempty rule sequence prefix
+		if got := c.Sizes["hn_strings"]; got != want {
+			t.Fatalf("n=%d: strings = %d, want 2^n-1 = %d", n, got, want)
+		}
+	}
+}
+
+func TestHNDivergesOnCyclicData(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `
+friend(a, b). friend(b, a).
+perfectFor(a, thing).
+`)
+	_, err := Answer(mustProgram(t, example11), db, mustQuery(t, `buys(a, Y)?`), Options{})
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged", err)
+	}
+}
+
+func TestHNPersistentSelection(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `
+friend(tom, dick).
+perfectFor(dick, tv).
+`)
+	prog := mustProgram(t, example11)
+	q := mustQuery(t, `buys(X, tv)?`)
+	got, err := Answer(prog, db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seminaive(t, prog, db, q)
+	if !got.Equal(want) {
+		t.Fatalf("HN %s != semi-naive %s", got.Dump(db.Syms), want.Dump(db.Syms))
+	}
+}
+
+func TestHNUnsupportedPartial(t *testing.T) {
+	prog := mustProgram(t, `
+t(X, Y, Z) :- a(X, Y, U, V) & t(U, V, Z).
+t(X, Y, Z) :- t0(X, Y, Z).
+`)
+	db := database.New()
+	mustLoad(t, db, `a(c, d, e, f). t0(e, f, g).`)
+	_, err := Answer(prog, db, mustQuery(t, `t(c, Y, Z)?`), Options{})
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestHNDepthBound(t *testing.T) {
+	db := database.New()
+	for i := 1; i < 10; i++ {
+		db.AddFact("friend", fmt.Sprintf("a%d", i), fmt.Sprintf("a%d", i+1))
+	}
+	db.AddFact("perfectFor", "a10", "item")
+	_, err := Answer(mustProgram(t, example11), db, mustQuery(t, `buys(a1, Y)?`), Options{MaxDepth: 3})
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged at the depth bound", err)
+	}
+}

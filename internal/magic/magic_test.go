@@ -1,0 +1,378 @@
+package magic
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/database"
+	"sepdl/internal/eval"
+	"sepdl/internal/parser"
+	"sepdl/internal/stats"
+)
+
+func mustProgram(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Program(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustQuery(t *testing.T, src string) ast.Atom {
+	t.Helper()
+	q, err := parser.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func mustLoad(t *testing.T, db *database.Database, facts string) {
+	t.Helper()
+	fs, err := parser.Facts(facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load(fs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const example11 = `
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- idol(X, W) & buys(W, Y).
+buys(X, Y) :- perfectFor(X, Y).
+`
+
+const example12 = `
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- buys(X, W) & cheaper(Y, W).
+buys(X, Y) :- perfectFor(X, Y).
+`
+
+func TestRewriteShape(t *testing.T) {
+	prog := mustProgram(t, example12)
+	rw, rq, err := Rewrite(prog, mustQuery(t, `buys(tom, Y)?`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rq.Pred != "buys@bf" {
+		t.Errorf("rewritten query pred = %s", rq.Pred)
+	}
+	s := rw.String()
+	// The seed fact.
+	if !strings.Contains(s, "magic@buys@bf(tom).") {
+		t.Errorf("missing seed in:\n%s", s)
+	}
+	// The magic propagation rule through friend (from rule 1).
+	if !strings.Contains(s, "magic@buys@bf(W) :- magic@buys@bf(X) & friend(X, W).") {
+		t.Errorf("missing friend magic rule in:\n%s", s)
+	}
+	// Rule 2 passes the binding unchanged (X bound in head and body).
+	if !strings.Contains(s, "magic@buys@bf(X) :- magic@buys@bf(X).") {
+		t.Errorf("missing identity magic rule in:\n%s", s)
+	}
+}
+
+func TestAnswerExample11(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `
+friend(tom, dick). friend(dick, harry).
+idol(tom, harry).
+perfectFor(harry, radio). perfectFor(dick, tv). perfectFor(alice, car).
+`)
+	ans, err := Answer(mustProgram(t, example11), db, mustQuery(t, `buys(tom, Y)?`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ans.Dump(db.Syms); got != "{(radio) (tv)}" {
+		t.Fatalf("buys(tom, Y) = %s", got)
+	}
+}
+
+func TestAnswerExample12(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `
+friend(tom, dick).
+perfectFor(dick, tv).
+cheaper(radio, tv). cheaper(pencil, radio).
+perfectFor(alice, car). cheaper(toycar, car).
+`)
+	ans, err := Answer(mustProgram(t, example12), db, mustQuery(t, `buys(tom, Y)?`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ans.Dump(db.Syms); got != "{(pencil) (radio) (tv)}" {
+		t.Fatalf("buys(tom, Y) = %s", got)
+	}
+}
+
+func TestMagicMatchesFullEvaluation(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `
+friend(a, b). friend(b, c). friend(c, a). friend(c, d).
+idol(b, d). idol(d, e).
+perfectFor(e, thing). perfectFor(c, gadget). perfectFor(z, other).
+`)
+	prog := mustProgram(t, example11)
+	q := mustQuery(t, `buys(a, Y)?`)
+	magicAns, err := Answer(prog, db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := eval.Run(prog, db, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullAns, err := eval.Answer(view, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !magicAns.Equal(fullAns) {
+		t.Fatalf("magic %s != full %s", magicAns.Dump(db.Syms), fullAns.Dump(db.Syms))
+	}
+}
+
+func TestMagicFocuses(t *testing.T) {
+	// Facts unreachable from the selection constant must not enter the
+	// magic set or the rewritten recursive relation.
+	db := database.New()
+	mustLoad(t, db, `
+friend(tom, dick).
+perfectFor(dick, tv).
+friend(u1, u2). friend(u2, u3). friend(u3, u4).
+perfectFor(u4, junk).
+`)
+	c := stats.New()
+	ans, err := Answer(mustProgram(t, example11), db, mustQuery(t, `buys(tom, Y)?`), Options{Collector: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ans.Dump(db.Syms); got != "{(tv)}" {
+		t.Fatalf("answer = %s", got)
+	}
+	if c.Sizes["magic@buys@bf"] != 2 {
+		t.Fatalf("magic set size = %d, want 2 (tom, dick): %s", c.Sizes["magic@buys@bf"], c)
+	}
+}
+
+func TestSameGenerationMagic(t *testing.T) {
+	prog := mustProgram(t, `
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, U) & sg(U, V) & down(V, Y).
+`)
+	db := database.New()
+	mustLoad(t, db, `
+up(c1, p1). up(c2, p1). up(c3, p2). up(p1, g1). up(p2, g1).
+flat(g1, g1). flat(p1, p2).
+down(g1, g1). down(p1, c1). down(p1, c2). down(p2, c3). down(g1, p1). down(g1, p2).
+`)
+	q := mustQuery(t, `sg(c1, Y)?`)
+	magicAns, err := Answer(prog, db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := eval.Run(prog, db, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullAns, err := eval.Answer(view, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !magicAns.Equal(fullAns) {
+		t.Fatalf("magic %s != full %s", magicAns.Dump(db.Syms), fullAns.Dump(db.Syms))
+	}
+}
+
+func TestQuadraticOnExample12Database(t *testing.T) {
+	// The paper's §4 walkthrough: on the Example 1.2 database (friend
+	// chain a1..an, cheaper chain bn..b1, perfectFor(an, bn)), the magic
+	// rewrite materializes Θ(n²) buys tuples while answering
+	// buys(a1, Y)?.
+	for _, n := range []int{4, 8} {
+		db := database.New()
+		for i := 1; i < n; i++ {
+			db.AddFact("friend", fmt.Sprintf("a%d", i), fmt.Sprintf("a%d", i+1))
+			db.AddFact("cheaper", fmt.Sprintf("b%d", i), fmt.Sprintf("b%d", i+1))
+		}
+		db.AddFact("perfectFor", fmt.Sprintf("a%d", n), fmt.Sprintf("b%d", n))
+		c := stats.New()
+		ans, err := Answer(mustProgram(t, example12), db, mustQuery(t, `buys(a1, Y)?`), Options{Collector: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans.Len() != n {
+			t.Fatalf("n=%d: %d answers, want %d", n, ans.Len(), n)
+		}
+		if got := c.Sizes["buys@bf"]; got != n*n {
+			t.Fatalf("n=%d: buys relation size = %d, want n^2 = %d", n, got, n*n)
+		}
+	}
+}
+
+func TestRewriteErrors(t *testing.T) {
+	prog := mustProgram(t, example11)
+	if _, _, err := Rewrite(prog, mustQuery(t, `friend(tom, Y)?`)); err == nil {
+		t.Error("EDB query accepted")
+	}
+	if _, _, err := Rewrite(prog, mustQuery(t, `buys(tom, X, Y)?`)); err == nil {
+		t.Error("wrong-arity query accepted")
+	}
+}
+
+func TestAllFreeQueryDegeneratesToFull(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `friend(a, b). perfectFor(b, tv). perfectFor(a, car).`)
+	prog := mustProgram(t, example11)
+	q := mustQuery(t, `buys(X, Y)?`)
+	ans, err := Answer(prog, db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := eval.Run(prog, db, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullAns, err := eval.Answer(view, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Equal(fullAns) {
+		t.Fatalf("all-free magic %s != full %s", ans.Dump(db.Syms), fullAns.Dump(db.Syms))
+	}
+}
+
+func TestBoundSecondArgument(t *testing.T) {
+	// Selection on the second column: adornment fb, magic passes through
+	// the cheaper-side class.
+	db := database.New()
+	mustLoad(t, db, `
+friend(tom, dick).
+perfectFor(dick, tv).
+cheaper(radio, tv).
+`)
+	ans, err := Answer(mustProgram(t, example12), db, mustQuery(t, `buys(X, radio)?`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ans.Dump(db.Syms); got != "{(dick) (tom)}" {
+		t.Fatalf("buys(X, radio) = %s", got)
+	}
+}
+
+func TestMagicWithNegatedEDBAtom(t *testing.T) {
+	prog := mustProgram(t, `
+reach(X, X) :- node(X).
+reach(X, Y) :- reach(X, W) & edge(W, Y) & not blocked(Y).
+`)
+	db := database.New()
+	mustLoad(t, db, `
+node(a). node(h).
+edge(a, b). edge(b, c). edge(a, h). edge(h, d).
+blocked(h).
+`)
+	q := mustQuery(t, `reach(a, Y)?`)
+	got, err := Answer(prog, db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := eval.Run(prog, db, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eval.Answer(view, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("magic %s != full %s", got.Dump(db.Syms), want.Dump(db.Syms))
+	}
+}
+
+func TestMagicWithNegatedIDBAtom(t *testing.T) {
+	// The negated predicate is IDB: its full definition must be copied
+	// into the rewritten program, not magic-restricted.
+	prog := mustProgram(t, `
+risky(X) :- hazard(X).
+risky(Y) :- risky(X) & near(X, Y).
+reach(X, X) :- node(X).
+reach(X, Y) :- reach(X, W) & edge(W, Y) & not risky(Y).
+`)
+	db := database.New()
+	mustLoad(t, db, `
+node(a).
+edge(a, b). edge(b, c). edge(a, d).
+hazard(z). near(z, d).
+`)
+	q := mustQuery(t, `reach(a, Y)?`)
+	for _, sup := range []bool{false, true} {
+		got, err := Answer(prog, db, q, Options{Supplementary: sup})
+		if err != nil {
+			t.Fatalf("sup=%v: %v", sup, err)
+		}
+		view, err := eval.Run(prog, db, eval.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := eval.Answer(view, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("sup=%v: magic %s != full %s", sup, got.Dump(db.Syms), want.Dump(db.Syms))
+		}
+		if got.Dump(db.Syms) != "{(a) (b) (c)}" {
+			t.Fatalf("answers = %s", got.Dump(db.Syms))
+		}
+	}
+}
+
+func TestMagicWithBuiltin(t *testing.T) {
+	prog := mustProgram(t, `
+reach(X, X) :- node(X).
+reach(X, Y) :- reach(X, W) & edge(W, Y) & neq(Y, X).
+`)
+	db := database.New()
+	mustLoad(t, db, `node(a). edge(a, b). edge(b, a). edge(b, c).`)
+	q := mustQuery(t, `reach(a, Y)?`)
+	got, err := Answer(prog, db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := eval.Run(prog, db, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eval.Answer(view, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("magic %s != full %s", got.Dump(db.Syms), want.Dump(db.Syms))
+	}
+}
+
+func TestNaiveAblationMatchesSemiNaive(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `
+friend(a, b). friend(b, c). friend(c, a).
+perfectFor(c, g). perfectFor(a, h).
+`)
+	prog := mustProgram(t, example11)
+	q := mustQuery(t, `buys(a, Y)?`)
+	sn, err := Answer(prog, db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, err := Answer(prog, db, q, Options{Naive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sn.Equal(nv) {
+		t.Fatalf("naive %s != semi-naive %s", nv.Dump(db.Syms), sn.Dump(db.Syms))
+	}
+}

@@ -1,0 +1,162 @@
+package magic
+
+import (
+	"fmt"
+
+	"sepdl/internal/adorn"
+	"sepdl/internal/ast"
+)
+
+// supName names the i-th supplementary predicate of rule ruleIdx of an
+// adorned predicate.
+func supName(pred string, ad adorn.Adornment, ruleIdx, i int) string {
+	return fmt.Sprintf("sup@%s@%s@%d@%d", pred, ad, ruleIdx, i)
+}
+
+// RewriteSupplementary produces the supplementary-magic rewrite of
+// [BR87]: each adorned rule is decomposed into a chain of supplementary
+// predicates sup_0 .. sup_m so that join prefixes shared between the magic
+// rules and the rewritten rule are computed once:
+//
+//	sup_0(V0)       :- magic_p(bound head vars).
+//	sup_i(Vi)       :- sup_{i-1}(V_{i-1}) & q_i.
+//	magic_q(bound)  :- sup_{i-1}(V_{i-1}).        for IDB q_i
+//	p(head)         :- sup_m(Vm).
+//
+// where V_i keeps exactly the bound variables still needed by the head or
+// a later atom. Answers always equal Rewrite's; the supplementary form
+// trades extra (narrow) relations for not re-evaluating rule prefixes.
+func RewriteSupplementary(prog *ast.Program, q ast.Atom) (*ast.Program, ast.Atom, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, ast.Atom{}, err
+	}
+	arities, err := prog.Arities()
+	if err != nil {
+		return nil, ast.Atom{}, err
+	}
+	if want, ok := arities[q.Pred]; ok && want != len(q.Args) {
+		return nil, ast.Atom{}, fmt.Errorf("magic: query %s has arity %d, program uses %d", q, len(q.Args), want)
+	}
+	idb := prog.IDBPreds()
+	if !idb[q.Pred] {
+		return nil, ast.Atom{}, fmt.Errorf("magic: query predicate %s is not an IDB predicate", q.Pred)
+	}
+
+	a0 := adorn.FromQuery(q)
+	out := &ast.Program{}
+	out.Rules = append(out.Rules, ast.Rule{
+		Head: ast.Atom{Pred: adorn.MagicName(q.Pred, a0), Args: adorn.BoundArgs(q, a0)},
+	})
+
+	type job struct {
+		pred string
+		ad   adorn.Adornment
+	}
+	done := make(map[string]bool)
+	copied := make(map[string]bool)
+	work := []job{{q.Pred, a0}}
+	for len(work) > 0 {
+		j := work[len(work)-1]
+		work = work[:len(work)-1]
+		key := adorn.Name(j.pred, j.ad)
+		if done[key] {
+			continue
+		}
+		done[key] = true
+
+		for ri, r := range prog.RulesFor(j.pred) {
+			// Bound head variables, in head order.
+			bound := make(map[string]bool)
+			var magicArgs []ast.Term
+			for _, p := range j.ad.BoundPositions() {
+				t := r.Head.Args[p]
+				magicArgs = append(magicArgs, t)
+				if t.IsVar() {
+					bound[t.Name] = true
+				}
+			}
+			magicAtom := ast.Atom{Pred: adorn.MagicName(j.pred, j.ad), Args: magicArgs}
+
+			// neededAfter[i] = variables used by the head or by atoms > i.
+			m := len(r.Body)
+			neededAfter := make([]map[string]bool, m+1)
+			neededAfter[m] = r.Head.VarSet()
+			for i := m - 1; i >= 0; i-- {
+				s := make(map[string]bool, len(neededAfter[i+1]))
+				for v := range neededAfter[i+1] {
+					s[v] = true
+				}
+				for _, t := range r.Body[i].Args {
+					if t.IsVar() {
+						s[t.Name] = true
+					}
+				}
+				neededAfter[i] = s
+			}
+
+			// supVars(i) = bound-so-far vars needed after atom i, in a
+			// deterministic order (head order, then body order).
+			var order []string
+			seen := make(map[string]bool)
+			for _, t := range r.Head.Args {
+				if t.IsVar() && bound[t.Name] && !seen[t.Name] {
+					seen[t.Name] = true
+					order = append(order, t.Name)
+				}
+			}
+			for _, b := range r.Body {
+				for _, t := range b.Args {
+					if t.IsVar() && !seen[t.Name] {
+						seen[t.Name] = true
+						order = append(order, t.Name)
+					}
+				}
+			}
+			boundSoFar := make(map[string]bool, len(bound))
+			for v := range bound {
+				boundSoFar[v] = true
+			}
+			supAtom := func(i int) ast.Atom {
+				var args []ast.Term
+				for _, v := range order {
+					if boundSoFar[v] && neededAfter[i][v] {
+						args = append(args, ast.V(v))
+					}
+				}
+				return ast.Atom{Pred: supName(j.pred, j.ad, ri, i), Args: args}
+			}
+
+			// sup_0 :- magic.
+			prev := supAtom(0)
+			out.Rules = append(out.Rules, ast.Rule{Head: prev, Body: []ast.Atom{magicAtom}})
+
+			for i, b := range r.Body {
+				var cur ast.Atom
+				if idb[b.Pred] && b.Negated {
+					copyFullDefinition(out, prog, b.Pred, idb, copied)
+					cur = b
+				} else if idb[b.Pred] {
+					ad := adorn.ForAtom(b, boundSoFar)
+					out.Rules = append(out.Rules, ast.Rule{
+						Head: ast.Atom{Pred: adorn.MagicName(b.Pred, ad), Args: adorn.BoundArgs(b, ad)},
+						Body: []ast.Atom{prev.Clone()},
+					})
+					work = append(work, job{b.Pred, ad})
+					cur = ast.Atom{Pred: adorn.Name(b.Pred, ad), Args: b.Args}
+				} else {
+					cur = b
+				}
+				adorn.BindVars(b, boundSoFar)
+				next := supAtom(i + 1)
+				out.Rules = append(out.Rules, ast.Rule{Head: next, Body: []ast.Atom{prev.Clone(), cur}})
+				prev = next
+			}
+			out.Rules = append(out.Rules, ast.Rule{
+				Head: ast.Atom{Pred: adorn.Name(j.pred, j.ad), Args: r.Head.Args},
+				Body: []ast.Atom{prev},
+			})
+		}
+	}
+	rq := ast.Atom{Pred: adorn.Name(q.Pred, a0), Args: q.Args}
+	return out, rq, nil
+}

@@ -1,0 +1,148 @@
+package magic
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sepdl/internal/database"
+	"sepdl/internal/eval"
+)
+
+func TestSupplementaryShape(t *testing.T) {
+	prog := mustProgram(t, `
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, U) & sg(U, V) & down(V, Y).
+`)
+	rw, rq, err := RewriteSupplementary(prog, mustQuery(t, `sg(a, Y)?`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rq.Pred != "sg@bf" {
+		t.Fatalf("query pred = %s", rq.Pred)
+	}
+	s := rw.String()
+	// The recursive rule must be decomposed through sup predicates, with
+	// the magic rule for the recursive call fed by sup_1 (after up).
+	for _, want := range []string{
+		"sup@sg@bf@1@0(X) :- magic@sg@bf(X).",
+		"sup@sg@bf@1@1(X, U) :- sup@sg@bf@1@0(X) & up(X, U).",
+		"magic@sg@bf(U) :- sup@sg@bf@1@1(X, U).",
+		"sup@sg@bf@1@2(X, V) :- sup@sg@bf@1@1(X, U) & sg@bf(U, V).",
+		"sg@bf(X, Y) :- sup@sg@bf@1@3(X, Y).",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in rewrite:\n%s", want, s)
+		}
+	}
+}
+
+func TestSupplementaryNarrowsSupVars(t *testing.T) {
+	// X is not needed after the first atom in the sg rule's magic chain
+	// until the final head assembly — the sup_1 head must carry {X, U}'s
+	// needed subset only. In sg, X IS needed at the end (head), so sup_1
+	// keeps X too... use a rule where the head does not mention X's
+	// counterpart to check narrowing.
+	prog := mustProgram(t, `
+p(Y) :- e(X, W) & f(W, Y).
+`)
+	rw, _, err := RewriteSupplementary(prog, mustQuery(t, `p(Y)?`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rw.String()
+	// After e(X, W), only W is needed (X never again): sup_1 carries W.
+	if !strings.Contains(s, "sup@p@f@0@1(W) :- sup@p@f@0@0 & e(X, W).") {
+		t.Errorf("sup_1 not narrowed to W:\n%s", s)
+	}
+}
+
+func TestSupplementaryMatchesBasicRewrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	progs := []string{
+		`
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- idol(X, W) & buys(W, Y).
+buys(X, Y) :- perfectFor(X, Y).
+`,
+		`
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- buys(X, W) & cheaper(Y, W).
+buys(X, Y) :- perfectFor(X, Y).
+`,
+	}
+	for trial := 0; trial < 20; trial++ {
+		db := database.New()
+		n := 4 + rng.Intn(5)
+		name := func(prefix string, i int) string { return fmt.Sprintf("%s%d", prefix, i) }
+		for i := 0; i < 2*n; i++ {
+			db.AddFact("friend", name("p", rng.Intn(n)), name("p", rng.Intn(n)))
+			db.AddFact("idol", name("p", rng.Intn(n)), name("p", rng.Intn(n)))
+			db.AddFact("cheaper", name("g", rng.Intn(n)), name("g", rng.Intn(n)))
+		}
+		for i := 0; i < n; i++ {
+			db.AddFact("perfectFor", name("p", rng.Intn(n)), name("g", rng.Intn(n)))
+		}
+		for pi, src := range progs {
+			prog := mustProgram(t, src)
+			for _, query := range []string{
+				fmt.Sprintf("buys(p%d, Y)?", rng.Intn(n)),
+				fmt.Sprintf("buys(X, g%d)?", rng.Intn(n)),
+			} {
+				q := mustQuery(t, query)
+				basic, err := Answer(prog, db, q, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sup, err := Answer(prog, db, q, Options{Supplementary: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !basic.Equal(sup) {
+					t.Fatalf("prog %d query %s: basic %s != supplementary %s",
+						pi, query, basic.Dump(db.Syms), sup.Dump(db.Syms))
+				}
+			}
+		}
+	}
+}
+
+func TestSupplementarySameGeneration(t *testing.T) {
+	prog := mustProgram(t, `
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, U) & sg(U, V) & down(V, Y).
+`)
+	db := database.New()
+	mustLoad(t, db, `
+up(c1, p1). up(c2, p1). up(c3, p2). up(p1, g1). up(p2, g1).
+flat(g1, g1). flat(p1, p2).
+down(g1, g1). down(p1, c1). down(p1, c2). down(p2, c3). down(g1, p1). down(g1, p2).
+`)
+	q := mustQuery(t, `sg(c1, Y)?`)
+	sup, err := Answer(prog, db, q, Options{Supplementary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := eval.Run(prog, db, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := eval.Answer(view, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sup.Equal(full) {
+		t.Fatalf("supplementary %s != full %s", sup.Dump(db.Syms), full.Dump(db.Syms))
+	}
+}
+
+func TestSupplementaryErrors(t *testing.T) {
+	prog := mustProgram(t, example11)
+	if _, _, err := RewriteSupplementary(prog, mustQuery(t, `friend(a, Y)?`)); err == nil {
+		t.Error("EDB query accepted")
+	}
+	if _, _, err := RewriteSupplementary(prog, mustQuery(t, `buys(a)?`)); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}

@@ -1,0 +1,70 @@
+package parser
+
+import "testing"
+
+// FuzzProgram checks that the parser never panics and that every accepted
+// program round-trips through its String rendering.
+func FuzzProgram(f *testing.F) {
+	seeds := []string{
+		"t(X, Y) :- a(X, W) & t(W, Y).",
+		"t(X, Y) :- e(X, Y).\nt(X,Y) :- t(X,W), c(Y,W).",
+		"p. q :- p.",
+		"% comment\nbuys(X, Y) :- perfectFor(X, Y).",
+		`p(X) :- q("hello world", X).`,
+		"t(X) :- ",
+		"t(X) :- e(X)",
+		"t((((",
+		":-:-:-",
+		"t(X) <- e(X).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Program(src)
+		if err != nil {
+			return
+		}
+		again, err := Program(prog.String())
+		if err != nil {
+			t.Fatalf("String() of accepted program rejected: %v\noriginal: %q\nrendered: %q", err, src, prog.String())
+		}
+		if len(again.Rules) != len(prog.Rules) {
+			t.Fatalf("round trip changed rule count: %d -> %d", len(prog.Rules), len(again.Rules))
+		}
+		for i := range prog.Rules {
+			if !prog.Rules[i].Equal(again.Rules[i]) {
+				t.Fatalf("round trip changed rule %d: %s vs %s", i, prog.Rules[i], again.Rules[i])
+			}
+		}
+	})
+}
+
+// FuzzQuery checks the query entry point never panics.
+func FuzzQuery(f *testing.F) {
+	for _, s := range []string{"buys(tom, Y)?", "p?", "p(X, X)?", "p(", "?", ""} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = Query(src)
+	})
+}
+
+// FuzzFacts checks the facts entry point never panics and only returns
+// ground atoms.
+func FuzzFacts(f *testing.F) {
+	for _, s := range []string{"e(a, b). e(b, c).", "p.", "e(a, X).", "e(a"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		facts, err := Facts(src)
+		if err != nil {
+			return
+		}
+		for _, a := range facts {
+			if !a.IsGround() {
+				t.Fatalf("Facts returned nonground atom %s from %q", a, src)
+			}
+		}
+	})
+}

@@ -1,0 +1,210 @@
+// Package parser reads Datalog programs, fact files, and queries in the
+// Prolog-flavoured syntax the paper uses:
+//
+//	buys(X, Y) :- friend(X, W) & buys(W, Y).
+//	buys(X, Y) :- perfectFor(X, Y).
+//
+// Conjunctions may be written with '&' or ','. Variables begin with an
+// upper-case letter or '_'; constants are lower-case identifiers, integers,
+// or quoted strings. '%' and '//' begin line comments. Queries end with
+// '?', e.g. buys(tom, Y)?. Body atoms may be negated with the keyword
+// "not" (stratified semantics), and the predicates eq/2 and neq/2 are
+// built-in comparisons over bound arguments.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokVar
+	tokLParen
+	tokRParen
+	tokComma
+	tokAmp
+	tokImplies
+	tokDot
+	tokQuestion
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "constant or predicate"
+	case tokVar:
+		return "variable"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokAmp:
+		return "'&'"
+	case tokImplies:
+		return "':-'"
+	case tokDot:
+		return "'.'"
+	case tokQuestion:
+		return "'?'"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) errorf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("parse error at line %d, column %d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekAt(off int) rune {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '%':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peekAt(1) == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '\''
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	r := l.peek()
+	switch {
+	case r == '(':
+		l.advance()
+		return token{kind: tokLParen, text: "(", line: line, col: col}, nil
+	case r == ')':
+		l.advance()
+		return token{kind: tokRParen, text: ")", line: line, col: col}, nil
+	case r == ',':
+		l.advance()
+		return token{kind: tokComma, text: ",", line: line, col: col}, nil
+	case r == '&':
+		l.advance()
+		return token{kind: tokAmp, text: "&", line: line, col: col}, nil
+	case r == '.':
+		l.advance()
+		return token{kind: tokDot, text: ".", line: line, col: col}, nil
+	case r == '?':
+		l.advance()
+		return token{kind: tokQuestion, text: "?", line: line, col: col}, nil
+	case r == ':':
+		l.advance()
+		if l.peek() != '-' {
+			return token{}, l.errorf(line, col, "expected ':-'")
+		}
+		l.advance()
+		return token{kind: tokImplies, text: ":-", line: line, col: col}, nil
+	case r == '<':
+		l.advance()
+		if l.peek() != '-' {
+			return token{}, l.errorf(line, col, "expected '<-'")
+		}
+		l.advance()
+		return token{kind: tokImplies, text: "<-", line: line, col: col}, nil
+	case r == '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf(line, col, "unterminated string")
+			}
+			c := l.advance()
+			if c == '"' {
+				break
+			}
+			b.WriteRune(c)
+		}
+		return token{kind: tokIdent, text: b.String(), line: line, col: col}, nil
+	case unicode.IsDigit(r) || (r == '-' && unicode.IsDigit(l.peekAt(1))):
+		var b strings.Builder
+		b.WriteRune(l.advance())
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			b.WriteRune(l.advance())
+		}
+		return token{kind: tokIdent, text: b.String(), line: line, col: col}, nil
+	case unicode.IsUpper(r) || r == '_':
+		var b strings.Builder
+		for l.pos < len(l.src) && isIdentRune(l.peek()) {
+			b.WriteRune(l.advance())
+		}
+		return token{kind: tokVar, text: b.String(), line: line, col: col}, nil
+	case unicode.IsLower(r):
+		var b strings.Builder
+		for l.pos < len(l.src) && isIdentRune(l.peek()) {
+			b.WriteRune(l.advance())
+		}
+		return token{kind: tokIdent, text: b.String(), line: line, col: col}, nil
+	default:
+		return token{}, l.errorf(line, col, "unexpected character %q", r)
+	}
+}

@@ -1,0 +1,233 @@
+package parser
+
+import (
+	"fmt"
+
+	"sepdl/internal/ast"
+)
+
+type parser struct {
+	lex *lexer
+	cur token
+}
+
+func newParser(src string) (*parser, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.cur = t
+	return nil
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if p.cur.kind != k {
+		return token{}, p.errorf("expected %s, found %s %q", k, p.cur.kind, p.cur.text)
+	}
+	t := p.cur
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("parse error at line %d, column %d: %s", p.cur.line, p.cur.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) atom() (ast.Atom, error) {
+	pred, err := p.expect(tokIdent)
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	return p.atomTail(pred.text)
+}
+
+// bodyAtom parses a body literal: an atom optionally preceded by the
+// keyword "not". A predicate literally named "not" is still reachable as
+// "not(...)" because the keyword reading requires a following identifier.
+func (p *parser) bodyAtom() (ast.Atom, error) {
+	if p.cur.kind == tokIdent && p.cur.text == "not" {
+		if err := p.advance(); err != nil {
+			return ast.Atom{}, err
+		}
+		if p.cur.kind == tokIdent {
+			a, err := p.atom()
+			if err != nil {
+				return ast.Atom{}, err
+			}
+			if a.Negated {
+				return ast.Atom{}, p.errorf("double negation is not supported")
+			}
+			return ast.Not(a), nil
+		}
+		// "not(" ... — an atom whose predicate is named not.
+		return p.atomTail("not")
+	}
+	return p.atom()
+}
+
+// atomTail parses the argument list (if any) after a predicate name.
+func (p *parser) atomTail(pred string) (ast.Atom, error) {
+	a := ast.Atom{Pred: pred}
+	if p.cur.kind != tokLParen {
+		return a, nil // propositional atom
+	}
+	if err := p.advance(); err != nil {
+		return ast.Atom{}, err
+	}
+	for {
+		switch p.cur.kind {
+		case tokVar:
+			a.Args = append(a.Args, ast.V(p.cur.text))
+		case tokIdent:
+			a.Args = append(a.Args, ast.C(p.cur.text))
+		default:
+			return ast.Atom{}, p.errorf("expected argument, found %s %q", p.cur.kind, p.cur.text)
+		}
+		if err := p.advance(); err != nil {
+			return ast.Atom{}, err
+		}
+		if p.cur.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return ast.Atom{}, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return ast.Atom{}, err
+	}
+	return a, nil
+}
+
+// rule parses "head." or "head :- a1 & a2 & ... ." (with ',' also accepted
+// as the conjunction separator inside the body at the top level only when
+// the body atoms are parenthesised; to keep the grammar unambiguous the
+// body separator is '&' or ','; ',' inside argument lists binds tighter).
+func (p *parser) rule() (ast.Rule, error) {
+	head, err := p.atom()
+	if err != nil {
+		return ast.Rule{}, err
+	}
+	r := ast.Rule{Head: head}
+	if p.cur.kind == tokDot {
+		if err := p.advance(); err != nil {
+			return ast.Rule{}, err
+		}
+		return r, nil
+	}
+	if _, err := p.expect(tokImplies); err != nil {
+		return ast.Rule{}, err
+	}
+	for {
+		a, err := p.bodyAtom()
+		if err != nil {
+			return ast.Rule{}, err
+		}
+		r.Body = append(r.Body, a)
+		if p.cur.kind == tokAmp || p.cur.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return ast.Rule{}, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return ast.Rule{}, err
+	}
+	return r, nil
+}
+
+// Program parses a sequence of rules terminated by '.'.
+func Program(src string) (*ast.Program, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	prog := &ast.Program{}
+	for p.cur.kind != tokEOF {
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// Rule parses a single rule (or fact schema) terminated by '.'.
+func Rule(src string) (ast.Rule, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return ast.Rule{}, err
+	}
+	r, err := p.rule()
+	if err != nil {
+		return ast.Rule{}, err
+	}
+	if p.cur.kind != tokEOF {
+		return ast.Rule{}, p.errorf("trailing input after rule")
+	}
+	return r, nil
+}
+
+// Query parses a query of the form "pred(arg, ...)?" — an atom whose
+// constant arguments are the selection and whose variables are the
+// requested output columns.
+func Query(src string) (ast.Atom, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	a, err := p.atom()
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	if p.cur.kind == tokQuestion {
+		if err := p.advance(); err != nil {
+			return ast.Atom{}, err
+		}
+	}
+	if p.cur.kind != tokEOF {
+		return ast.Atom{}, p.errorf("trailing input after query")
+	}
+	return a, nil
+}
+
+// Facts parses a sequence of ground atoms terminated by '.', as found in
+// database files.
+func Facts(src string) ([]ast.Atom, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []ast.Atom
+	for p.cur.kind != tokEOF {
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		if !a.IsGround() {
+			return nil, fmt.Errorf("fact %s contains variables", a)
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

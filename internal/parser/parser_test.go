@@ -1,0 +1,236 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"sepdl/internal/ast"
+)
+
+const example11 = `
+% Example 1.1 of the paper.
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- idol(X, W) & buys(W, Y).
+buys(X, Y) :- perfectFor(X, Y).
+`
+
+func TestProgramExample11(t *testing.T) {
+	p, err := Program(example11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(p.Rules))
+	}
+	want := ast.R(
+		ast.A("buys", ast.V("X"), ast.V("Y")),
+		ast.A("friend", ast.V("X"), ast.V("W")),
+		ast.A("buys", ast.V("W"), ast.V("Y")),
+	)
+	if !p.Rules[0].Equal(want) {
+		t.Errorf("rule 0 = %s, want %s", p.Rules[0], want)
+	}
+}
+
+func TestCommaConjunction(t *testing.T) {
+	p, err := Program(`t(X,Y) :- a(X,W), t(W,Y). t(X,Y) :- e(X,Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 2 || len(p.Rules[0].Body) != 2 {
+		t.Fatalf("comma conjunction parsed wrong: %s", p)
+	}
+}
+
+func TestArrowImplies(t *testing.T) {
+	r, err := Rule(`t(X) <- e(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Head.Pred != "t" || r.Body[0].Pred != "e" {
+		t.Fatalf("arrow rule = %s", r)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+% prolog comment
+t(X) :- e(X). // go comment
+`
+	p, err := Program(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 1 {
+		t.Fatalf("rules = %d", len(p.Rules))
+	}
+}
+
+func TestConstantsAndVariables(t *testing.T) {
+	r, err := Rule(`p(X, tom, 42, "hello world", _anon) :- q(X, tom, 42, "hello world", _anon).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := r.Head.Args
+	if !args[0].IsVar() {
+		t.Error("X should be a variable")
+	}
+	if args[1].IsVar() || args[1].Name != "tom" {
+		t.Error("tom should be a constant")
+	}
+	if args[2].IsVar() || args[2].Name != "42" {
+		t.Error("42 should be a constant")
+	}
+	if args[3].IsVar() || args[3].Name != "hello world" {
+		t.Error("quoted string should be a constant")
+	}
+	if !args[4].IsVar() {
+		t.Error("_anon should be a variable")
+	}
+}
+
+func TestQuery(t *testing.T) {
+	q, err := Query(`buys(tom, Y)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Pred != "buys" || q.Args[0] != ast.C("tom") || q.Args[1] != ast.V("Y") {
+		t.Fatalf("query = %s", q)
+	}
+	// '?' is optional.
+	if _, err := Query(`buys(tom, Y)`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacts(t *testing.T) {
+	fs, err := Facts(`friend(tom, dick). friend(dick, harry). perfectFor(harry, radio).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 3 {
+		t.Fatalf("facts = %d", len(fs))
+	}
+	if fs[2].Pred != "perfectFor" || fs[2].Args[1].Name != "radio" {
+		t.Fatalf("fact 2 = %s", fs[2])
+	}
+}
+
+func TestFactsRejectVariables(t *testing.T) {
+	if _, err := Facts(`friend(tom, X).`); err == nil {
+		t.Fatal("fact with variable accepted")
+	}
+}
+
+func TestErrorsCarryPosition(t *testing.T) {
+	_, err := Program("t(X) :- \n  e(X)")
+	if err == nil {
+		t.Fatal("missing dot accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error lacks position: %v", err)
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	bad := []string{
+		`t(X) :- .`,
+		`t(X) : e(X).`,
+		`t(X)) :- e(X).`,
+		`t(X) :- e(X)`,
+		`t(X,) :- e(X).`,
+		`t("unterminated :- e(X).`,
+		`@(X) :- e(X).`,
+	}
+	for _, src := range bad {
+		if _, err := Program(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestUnsafeRuleRejectedByProgram(t *testing.T) {
+	if _, err := Program(`t(X, Y) :- e(X).`); err == nil {
+		t.Fatal("unsafe rule accepted by Program")
+	}
+}
+
+func TestPropositionalAtom(t *testing.T) {
+	p, err := Program(`go :- ready. ready.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rules[0].Head.Arity() != 0 || p.Rules[1].Head.Arity() != 0 {
+		t.Fatalf("propositional parse wrong: %s", p)
+	}
+}
+
+func TestRoundTripThroughString(t *testing.T) {
+	p1, err := Program(example11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Program(p1.String())
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", p1.String(), err)
+	}
+	if len(p1.Rules) != len(p2.Rules) {
+		t.Fatal("round trip changed rule count")
+	}
+	for i := range p1.Rules {
+		if !p1.Rules[i].Equal(p2.Rules[i]) {
+			t.Errorf("rule %d changed: %s vs %s", i, p1.Rules[i], p2.Rules[i])
+		}
+	}
+}
+
+func TestNegatedBodyAtom(t *testing.T) {
+	r, err := Rule(`bachelor(X) :- male(X) & not married(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Body[0].Negated {
+		t.Error("positive atom marked negated")
+	}
+	if !r.Body[1].Negated || r.Body[1].Pred != "married" {
+		t.Errorf("negation not parsed: %s", r)
+	}
+	// Round trip through String.
+	r2, err := Rule(r.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(r2) {
+		t.Errorf("negation round trip changed rule: %s vs %s", r, r2)
+	}
+}
+
+func TestPredicateNamedNot(t *testing.T) {
+	// "not(...)" is an atom whose predicate is literally named not.
+	r, err := Rule(`p(X) :- not(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Body[0].Negated || r.Body[0].Pred != "not" {
+		t.Errorf("not(...) parsed wrong: %+v", r.Body[0])
+	}
+}
+
+func TestDoubleNegationRejected(t *testing.T) {
+	if _, err := Rule(`p(X) :- q(X) & not not r(X).`); err == nil {
+		t.Fatal("double negation accepted")
+	}
+}
+
+func TestUnsafeNegationRejected(t *testing.T) {
+	if _, err := Program(`p(X) :- q(X) & not r(X, Y).`); err == nil {
+		t.Fatal("unsafe negation accepted")
+	}
+}
+
+func TestNegatedHeadRejected(t *testing.T) {
+	// The grammar cannot produce a negated head, but facts reject "not".
+	if _, err := Facts(`not p(a).`); err == nil {
+		t.Fatal("negated fact accepted")
+	}
+}

@@ -1,0 +1,341 @@
+// Package provenance explains why a derived fact holds: it reconstructs a
+// well-founded derivation tree — the fact, the rule that produced it, and
+// recursively the body facts — from a fixpoint evaluation that records the
+// round each tuple was first derived in. Picking supports with strictly
+// smaller derivation rounds guarantees the explanation never cites the
+// fact itself on cyclic data.
+package provenance
+
+import (
+	"fmt"
+	"strings"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/conj"
+	"sepdl/internal/database"
+	"sepdl/internal/rel"
+)
+
+// Node is one step of a derivation tree.
+type Node struct {
+	// Fact is the derived (or base) fact, rendered as a ground atom.
+	Fact string
+	// Rule is the rule that derived Fact; empty for base facts and for
+	// negated leaves.
+	Rule string
+	// Base marks an EDB fact (a leaf).
+	Base bool
+	// Absent marks a negated leaf: the fact holds because the atom has no
+	// matching tuple.
+	Absent bool
+	// Builtin marks an eq/neq comparison leaf.
+	Builtin bool
+	// Children are the body facts of Rule, in body order.
+	Children []*Node
+}
+
+// String renders the derivation as an indented tree.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b, "")
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder, indent string) {
+	b.WriteString(indent)
+	b.WriteString(n.Fact)
+	switch {
+	case n.Base:
+		b.WriteString("   [base fact]")
+	case n.Absent:
+		b.WriteString("   [no matching tuple]")
+	case n.Builtin:
+		b.WriteString("   [builtin]")
+	case n.Rule != "":
+		b.WriteString("   [" + n.Rule + "]")
+	}
+	b.WriteString("\n")
+	for _, c := range n.Children {
+		c.render(b, indent+"  ")
+	}
+}
+
+// Explainer answers Why questions for one (program, database) pair. Build
+// it once with New; each Explain call walks the recorded derivation
+// rounds.
+type Explainer struct {
+	prog  *ast.Program
+	db    *database.Database
+	idb   map[string]bool
+	total map[string]*rel.Relation
+	round map[string]map[string]int // pred -> encoded tuple -> first round
+	plans []rulePlan
+}
+
+type rulePlan struct {
+	rule    ast.Rule
+	plan    *conj.Plan // bound by the rule's distinct head variables
+	varPos  []int
+	eq      [][2]int
+	cPos    []int
+	cVal    []rel.Value
+	fullIdx int // index into full-body plans (for round recording)
+}
+
+func key(t rel.Tuple) string {
+	b := make([]byte, 0, len(t)*4)
+	for _, v := range t {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// New evaluates prog over db (stratified), recording the round in which
+// each IDB tuple first appears.
+func New(prog *ast.Program, db *database.Database) (*Explainer, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	strata, err := prog.Stratify()
+	if err != nil {
+		return nil, err
+	}
+	arities, err := prog.Arities()
+	if err != nil {
+		return nil, err
+	}
+	e := &Explainer{
+		prog:  prog,
+		db:    db.ShallowView(),
+		idb:   prog.IDBPreds(),
+		total: make(map[string]*rel.Relation),
+		round: make(map[string]map[string]int),
+	}
+	for p := range e.idb {
+		t := rel.New(arities[p])
+		if existing := db.Relation(p); existing != nil {
+			t.InsertAll(existing)
+		}
+		e.total[p] = t
+		e.round[p] = make(map[string]int)
+		for _, row := range t.Rows() {
+			e.round[p][key(row)] = 0
+		}
+		e.db.Set(p, t)
+	}
+	intern := e.db.Syms.Intern
+
+	// Naive stratified evaluation with round recording.
+	globalRound := 0
+	for _, stratum := range strata {
+		inStratum := make(map[string]bool)
+		for _, p := range stratum {
+			inStratum[p] = true
+		}
+		type cRule struct {
+			head ast.Atom
+			plan *conj.Plan
+			proj *conj.Projector
+		}
+		var rules []cRule
+		for _, r := range prog.Rules {
+			if !inStratum[r.Head.Pred] {
+				continue
+			}
+			plan, err := conj.Compile(r.Body, nil, intern)
+			if err != nil {
+				return nil, err
+			}
+			proj, err := conj.NewProjector(r.Head, plan, intern)
+			if err != nil {
+				return nil, err
+			}
+			rules = append(rules, cRule{head: r.Head, plan: plan, proj: proj})
+		}
+		for {
+			globalRound++
+			changed := false
+			for _, cr := range rules {
+				row := make(rel.Tuple, cr.proj.Arity())
+				cr.plan.Run(conj.DBSource(e.db.Relation), nil, func(b []rel.Value) {
+					h := cr.proj.Tuple(b, row)
+					if e.total[cr.head.Pred].Insert(h) {
+						e.round[cr.head.Pred][key(h)] = globalRound
+						changed = true
+					}
+				})
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+
+	// Per-rule support plans bound by the head variables.
+	for _, r := range prog.Rules {
+		rp := rulePlan{rule: r}
+		first := make(map[string]int)
+		var boundVars []string
+		for i, t := range r.Head.Args {
+			if t.IsVar() {
+				if j, ok := first[t.Name]; ok {
+					rp.eq = append(rp.eq, [2]int{j, i})
+				} else {
+					first[t.Name] = i
+					boundVars = append(boundVars, t.Name)
+					rp.varPos = append(rp.varPos, i)
+				}
+			} else {
+				rp.cPos = append(rp.cPos, i)
+				rp.cVal = append(rp.cVal, intern(t.Name))
+			}
+		}
+		plan, err := conj.Compile(r.Body, boundVars, intern)
+		if err != nil {
+			return nil, err
+		}
+		rp.plan = plan
+		e.plans = append(e.plans, rp)
+	}
+	return e, nil
+}
+
+// Relation exposes the computed relation for pred (mainly for tests).
+func (e *Explainer) Relation(pred string) *rel.Relation { return e.total[pred] }
+
+// Explain returns a derivation tree for the ground atom fact, or an error
+// if the fact does not hold.
+func (e *Explainer) Explain(fact ast.Atom) (*Node, error) {
+	if !fact.IsGround() {
+		return nil, fmt.Errorf("provenance: %s is not ground", fact)
+	}
+	t := make(rel.Tuple, len(fact.Args))
+	for i, a := range fact.Args {
+		v, ok := e.db.Syms.Lookup(a.Name)
+		if !ok {
+			return nil, fmt.Errorf("provenance: %s does not hold (unknown constant %s)", fact, a.Name)
+		}
+		t[i] = v
+	}
+	return e.explain(fact.Pred, t)
+}
+
+func (e *Explainer) render(pred string, t rel.Tuple) string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = ast.QuoteConst(e.db.Syms.Name(v))
+	}
+	if len(parts) == 0 {
+		return pred
+	}
+	return pred + "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (e *Explainer) explain(pred string, t rel.Tuple) (*Node, error) {
+	if !e.idb[pred] {
+		r := e.db.Relation(pred)
+		if r == nil || !r.Contains(t) {
+			return nil, fmt.Errorf("provenance: %s does not hold", e.render(pred, t))
+		}
+		return &Node{Fact: e.render(pred, t), Base: true}, nil
+	}
+	rounds, ok := e.round[pred]
+	if !ok {
+		return nil, fmt.Errorf("provenance: unknown predicate %s", pred)
+	}
+	myRound, ok := rounds[key(t)]
+	if !ok {
+		return nil, fmt.Errorf("provenance: %s does not hold", e.render(pred, t))
+	}
+	if myRound == 0 {
+		// Present as an initial fact under the IDB predicate's name.
+		return &Node{Fact: e.render(pred, t), Base: true}, nil
+	}
+
+	for _, rp := range e.plans {
+		if rp.rule.Head.Pred != pred {
+			continue
+		}
+		if node := e.tryRule(rp, t, myRound); node != nil {
+			return node, nil
+		}
+	}
+	return nil, fmt.Errorf("provenance: internal error: no well-founded support for %s", e.render(pred, t))
+}
+
+// tryRule searches for a body instantiation of rp deriving t whose
+// positive IDB subfacts all have strictly smaller rounds; it returns the
+// built node or nil.
+func (e *Explainer) tryRule(rp rulePlan, t rel.Tuple, myRound int) *Node {
+	for i, p := range rp.cPos {
+		if t[p] != rp.cVal[i] {
+			return nil
+		}
+	}
+	for _, pq := range rp.eq {
+		if t[pq[0]] != t[pq[1]] {
+			return nil
+		}
+	}
+	in := make([]rel.Value, len(rp.varPos))
+	for i, p := range rp.varPos {
+		in[i] = t[p]
+	}
+	var found *Node
+	rp.plan.Run(conj.DBSource(e.db.Relation), in, func(b []rel.Value) {
+		if found != nil {
+			return
+		}
+		// Instantiate body atoms and check well-foundedness.
+		type inst struct {
+			atom  ast.Atom
+			tuple rel.Tuple
+		}
+		insts := make([]inst, 0, len(rp.rule.Body))
+		for _, a := range rp.rule.Body {
+			row := make(rel.Tuple, len(a.Args))
+			for i, arg := range a.Args {
+				if arg.IsVar() {
+					slot, ok := rp.plan.Slot(arg.Name)
+					if !ok {
+						return
+					}
+					row[i] = b[slot]
+				} else {
+					row[i] = e.db.Syms.Intern(arg.Name)
+				}
+			}
+			if !a.Negated && e.idb[a.Pred] {
+				r, ok := e.round[a.Pred][key(row)]
+				if !ok || r >= myRound {
+					return // not well-founded through this instantiation
+				}
+			}
+			insts = append(insts, inst{atom: a, tuple: row})
+		}
+		node := &Node{Fact: e.render(rp.rule.Head.Pred, t), Rule: rp.rule.String()}
+		for _, in := range insts {
+			if in.atom.Negated {
+				node.Children = append(node.Children, &Node{
+					Fact:   "not " + e.render(in.atom.Pred, in.tuple),
+					Absent: true,
+				})
+				continue
+			}
+			if ast.Builtin(in.atom.Pred) {
+				node.Children = append(node.Children, &Node{
+					Fact:    e.render(in.atom.Pred, in.tuple),
+					Builtin: true,
+				})
+				continue
+			}
+			child, err := e.explain(in.atom.Pred, in.tuple)
+			if err != nil {
+				return
+			}
+			node.Children = append(node.Children, child)
+		}
+		found = node
+	})
+	return found
+}

@@ -1,0 +1,177 @@
+package provenance
+
+import (
+	"strings"
+	"testing"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/database"
+	"sepdl/internal/parser"
+)
+
+func mustExplainer(t *testing.T, progSrc, facts string) *Explainer {
+	t.Helper()
+	prog, err := parser.Program(progSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := database.New()
+	fs, err := parser.Facts(facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load(fs); err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func mustFact(t *testing.T, src string) ast.Atom {
+	t.Helper()
+	a, err := parser.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+const buysProg = `
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- idol(X, W) & buys(W, Y).
+buys(X, Y) :- perfectFor(X, Y).
+`
+
+func TestExplainChain(t *testing.T) {
+	e := mustExplainer(t, buysProg, `
+friend(tom, dick). friend(dick, harry).
+perfectFor(harry, radio).
+`)
+	n, err := e.Explain(mustFact(t, `buys(tom, radio)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := n.String()
+	for _, want := range []string{
+		"buys(tom, radio)",
+		"friend(tom, dick)   [base fact]",
+		"buys(dick, radio)",
+		"friend(dick, harry)   [base fact]",
+		"buys(harry, radio)",
+		"perfectFor(harry, radio)   [base fact]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("derivation missing %q:\n%s", want, out)
+		}
+	}
+	// The tree depth matches the chain: tom -> dick -> harry -> base.
+	for _, fact := range []string{"buys(tom, radio)", "buys(dick, radio)", "buys(harry, radio)"} {
+		if strings.Count(out, fact+"   [") != 1 {
+			t.Errorf("fact %s should appear exactly once:\n%s", fact, out)
+		}
+	}
+}
+
+func TestExplainWellFoundedOnCycle(t *testing.T) {
+	// friend cycle: the explanation must bottom out at perfectFor, never
+	// cite buys(a, g) in support of itself.
+	e := mustExplainer(t, buysProg, `
+friend(a, b). friend(b, a).
+perfectFor(b, g).
+`)
+	n, err := e.Explain(mustFact(t, `buys(a, g)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := n.String()
+	if strings.Count(out, "buys(a, g)") != 1 {
+		t.Fatalf("explanation cites the fact itself:\n%s", out)
+	}
+	if !strings.Contains(out, "perfectFor(b, g)   [base fact]") {
+		t.Fatalf("explanation does not bottom out:\n%s", out)
+	}
+}
+
+func TestExplainBaseFact(t *testing.T) {
+	e := mustExplainer(t, buysProg, `friend(a, b). perfectFor(b, g).`)
+	n, err := e.Explain(mustFact(t, `friend(a, b)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Base || n.Rule != "" || len(n.Children) != 0 {
+		t.Fatalf("base fact node wrong: %+v", n)
+	}
+}
+
+func TestExplainAbsentFact(t *testing.T) {
+	e := mustExplainer(t, buysProg, `friend(a, b). perfectFor(b, g).`)
+	if _, err := e.Explain(mustFact(t, `buys(b, zzz)`)); err == nil {
+		t.Fatal("absent fact explained")
+	}
+	if _, err := e.Explain(mustFact(t, `buys(X, g)`)); err == nil {
+		t.Fatal("nonground fact explained")
+	}
+}
+
+func TestExplainNegation(t *testing.T) {
+	e := mustExplainer(t, `
+reach(X) :- start(X).
+reach(Y) :- reach(X) & edge(X, Y).
+node(X) :- edge(X, Y).
+node(Y) :- edge(X, Y).
+blocked(X) :- node(X) & not reach(X).
+`, `start(a). edge(a, b). edge(c, d).`)
+	n, err := e.Explain(mustFact(t, `blocked(c)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := n.String()
+	if !strings.Contains(out, "not reach(c)   [no matching tuple]") {
+		t.Fatalf("negated leaf missing:\n%s", out)
+	}
+	if !strings.Contains(out, "node(c)") {
+		t.Fatalf("positive support missing:\n%s", out)
+	}
+}
+
+func TestExplainPicksSomeRuleAmongAlternatives(t *testing.T) {
+	// Two derivations exist (friend and idol); the explanation must pick a
+	// valid one.
+	e := mustExplainer(t, buysProg, `
+friend(a, b). idol(a, b). perfectFor(b, g).
+`)
+	n, err := e.Explain(mustFact(t, `buys(a, g)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := n.String()
+	if !strings.Contains(out, "friend(a, b)") && !strings.Contains(out, "idol(a, b)") {
+		t.Fatalf("no support cited:\n%s", out)
+	}
+}
+
+func TestExplainerRelationsMatchEval(t *testing.T) {
+	e := mustExplainer(t, buysProg, `
+friend(a, b). friend(b, c). idol(a, c).
+perfectFor(c, g1). perfectFor(b, g2).
+`)
+	if e.Relation("buys").Len() != 5 {
+		t.Fatalf("buys = %s", e.Relation("buys").Dump(e.db.Syms))
+	}
+}
+
+func TestExplainBuiltin(t *testing.T) {
+	e := mustExplainer(t, `
+sibling(X, Y) :- parent(X, P) & parent(Y, P) & neq(X, Y).
+`, `parent(a, p). parent(b, p).`)
+	n, err := e.Explain(mustFact(t, `sibling(a, b)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(n.String(), "neq(a, b)   [builtin]") {
+		t.Fatalf("builtin leaf missing:\n%s", n)
+	}
+}

@@ -1,0 +1,86 @@
+package rel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Index is a hash index over a subset of a relation's columns. Indexes are
+// built lazily by Relation.Index and kept current as tuples are inserted.
+type Index struct {
+	cols    []int
+	buckets map[string][]Tuple
+	scratch []byte
+}
+
+func colsKey(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Index returns a hash index over cols, building it on first use. The index
+// stays valid across subsequent Insert calls on the relation. It panics if
+// any column is out of range.
+func (r *Relation) Index(cols []int) *Index {
+	for _, c := range cols {
+		if c < 0 || c >= r.arity {
+			panic(fmt.Sprintf("rel: index column %d out of range for arity %d", c, r.arity))
+		}
+	}
+	key := colsKey(cols)
+	if r.indexes == nil {
+		r.indexes = make(map[string]*Index)
+	}
+	if idx, ok := r.indexes[key]; ok {
+		return idx
+	}
+	idx := &Index{cols: append([]int(nil), cols...), buckets: make(map[string][]Tuple)}
+	for _, t := range r.rows {
+		idx.add(t)
+	}
+	r.indexes[key] = idx
+	return idx
+}
+
+func (idx *Index) add(t Tuple) {
+	idx.scratch = encode(idx.scratch[:0], t, idx.cols)
+	k := string(idx.scratch)
+	idx.buckets[k] = append(idx.buckets[k], t)
+}
+
+func (idx *Index) remove(t Tuple) {
+	idx.scratch = encode(idx.scratch[:0], t, idx.cols)
+	k := string(idx.scratch)
+	bucket := idx.buckets[k]
+	for i, row := range bucket {
+		if row.Equal(t) {
+			last := len(bucket) - 1
+			bucket[i] = bucket[last]
+			idx.buckets[k] = bucket[:last]
+			if last == 0 {
+				delete(idx.buckets, k)
+			}
+			return
+		}
+	}
+}
+
+// Lookup returns the tuples whose indexed columns equal vals, which must
+// have one value per indexed column. The returned slice must not be
+// modified.
+func (idx *Index) Lookup(vals []Value) []Tuple {
+	if len(vals) != len(idx.cols) {
+		panic(fmt.Sprintf("rel: index lookup with %d values for %d columns", len(vals), len(idx.cols)))
+	}
+	idx.scratch = idx.scratch[:0]
+	for _, v := range vals {
+		idx.scratch = append(idx.scratch, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return idx.buckets[string(idx.scratch)]
+}
+
+// Buckets reports the number of distinct key combinations in the index.
+func (idx *Index) Buckets() int { return len(idx.buckets) }

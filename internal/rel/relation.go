@@ -1,0 +1,226 @@
+// Package rel implements the relational storage layer of the engine:
+// fixed-arity relations of interned-symbol tuples with set semantics, lazy
+// hash indexes keyed by column subsets, and the relational operators the
+// evaluation algorithms need (selection, projection, join, union,
+// difference).
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sepdl/internal/symtab"
+)
+
+// Value is re-exported from symtab for convenience: every cell of every
+// tuple is an interned constant.
+type Value = symtab.Value
+
+// Tuple is a fixed-length row of interned constants.
+type Tuple []Value
+
+// Clone returns a copy of t that does not alias its storage.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Equal reports whether t and u have the same length and cells.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// encode appends a fixed-width binary encoding of the values at cols (all
+// columns when cols is nil) to dst and returns it. The encoding is
+// injective for a fixed column list, which is all the set and index maps
+// need.
+func encode(dst []byte, t Tuple, cols []int) []byte {
+	if cols == nil {
+		for _, v := range t {
+			dst = append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		return dst
+	}
+	for _, c := range cols {
+		v := t[c]
+		dst = append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return dst
+}
+
+// Relation is a set of same-arity tuples with optional hash indexes.
+// The zero value is unusable; construct with New. Relations are not safe
+// for concurrent mutation.
+type Relation struct {
+	arity   int
+	rows    []Tuple
+	set     map[string]struct{}
+	indexes map[string]*Index
+	scratch []byte
+}
+
+// New returns an empty relation of the given arity. Arity zero is legal and
+// models a boolean relation holding at most the empty tuple.
+func New(arity int) *Relation {
+	if arity < 0 {
+		panic(fmt.Sprintf("rel: negative arity %d", arity))
+	}
+	return &Relation{arity: arity, set: make(map[string]struct{})}
+}
+
+// FromTuples builds a relation of the given arity from tuples, ignoring
+// duplicates. Tuples are cloned, so callers may reuse their slices.
+func FromTuples(arity int, tuples []Tuple) *Relation {
+	r := New(arity)
+	for _, t := range tuples {
+		r.Insert(t)
+	}
+	return r
+}
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of distinct tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Empty reports whether the relation holds no tuples.
+func (r *Relation) Empty() bool { return len(r.rows) == 0 }
+
+// Insert adds t (cloned) and reports whether it was not already present.
+// It panics if t has the wrong arity.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("rel: inserting arity-%d tuple into arity-%d relation", len(t), r.arity))
+	}
+	r.scratch = encode(r.scratch[:0], t, nil)
+	key := string(r.scratch)
+	if _, ok := r.set[key]; ok {
+		return false
+	}
+	c := t.Clone()
+	r.set[key] = struct{}{}
+	r.rows = append(r.rows, c)
+	for _, idx := range r.indexes {
+		idx.add(c)
+	}
+	return true
+}
+
+// InsertAll inserts every tuple of other into r and returns the number of
+// tuples actually added.
+func (r *Relation) InsertAll(other *Relation) int {
+	if other.arity != r.arity {
+		panic(fmt.Sprintf("rel: union of arity %d and %d", r.arity, other.arity))
+	}
+	n := 0
+	for _, t := range other.rows {
+		if r.Insert(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Delete removes t and reports whether it was present. Existing indexes
+// are maintained. Row order is not preserved (the last row takes the
+// deleted row's slot).
+func (r *Relation) Delete(t Tuple) bool {
+	if len(t) != r.arity {
+		return false
+	}
+	r.scratch = encode(r.scratch[:0], t, nil)
+	key := string(r.scratch)
+	if _, ok := r.set[key]; !ok {
+		return false
+	}
+	delete(r.set, key)
+	for i, row := range r.rows {
+		if row.Equal(t) {
+			last := len(r.rows) - 1
+			r.rows[i] = r.rows[last]
+			r.rows = r.rows[:last]
+			break
+		}
+	}
+	for _, idx := range r.indexes {
+		idx.remove(t)
+	}
+	return true
+}
+
+// Contains reports whether t is present.
+func (r *Relation) Contains(t Tuple) bool {
+	if len(t) != r.arity {
+		return false
+	}
+	r.scratch = encode(r.scratch[:0], t, nil)
+	_, ok := r.set[string(r.scratch)]
+	return ok
+}
+
+// Rows returns the backing tuple slice in insertion order. Callers must not
+// modify the returned tuples.
+func (r *Relation) Rows() []Tuple { return r.rows }
+
+// Clone returns a deep copy of the relation (indexes are not copied).
+func (r *Relation) Clone() *Relation {
+	out := New(r.arity)
+	for _, t := range r.rows {
+		out.Insert(t)
+	}
+	return out
+}
+
+// Equal reports whether r and other contain exactly the same tuple set.
+func (r *Relation) Equal(other *Relation) bool {
+	if r.arity != other.arity || len(r.rows) != len(other.rows) {
+		return false
+	}
+	for _, t := range r.rows {
+		if !other.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation as a sorted, braced tuple list. Values print
+// as raw ids; use Dump for symbolic output.
+func (r *Relation) String() string {
+	lines := make([]string, 0, len(r.rows))
+	for _, t := range r.rows {
+		parts := make([]string, len(t))
+		for i, v := range t {
+			parts[i] = fmt.Sprintf("%d", v)
+		}
+		lines = append(lines, "("+strings.Join(parts, ",")+")")
+	}
+	sort.Strings(lines)
+	return "{" + strings.Join(lines, " ") + "}"
+}
+
+// Dump renders the relation with symbol names resolved through st, sorted
+// for deterministic test output.
+func (r *Relation) Dump(st *symtab.Table) string {
+	lines := make([]string, 0, len(r.rows))
+	for _, t := range r.rows {
+		parts := make([]string, len(t))
+		for i, v := range t {
+			parts[i] = st.Name(v)
+		}
+		lines = append(lines, "("+strings.Join(parts, ",")+")")
+	}
+	sort.Strings(lines)
+	return "{" + strings.Join(lines, " ") + "}"
+}

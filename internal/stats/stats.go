@@ -1,0 +1,103 @@
+// Package stats implements the measurement the paper compares algorithms
+// by: the sizes of the relations an evaluation method constructs while
+// answering a query (Definition 4.2). Every strategy in this repository
+// reports the peak size of each relation it materializes through a
+// Collector.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Collector accumulates per-relation peak sizes and work counters for one
+// query evaluation. A nil *Collector is valid and records nothing, so hot
+// paths need no nil checks at call sites.
+type Collector struct {
+	// Sizes maps each materialized relation to the largest size it reached.
+	Sizes map[string]int
+	// Inserted counts successful tuple insertions into derived relations.
+	Inserted int
+	// Iterations counts fixpoint (or carry-loop) rounds.
+	Iterations int
+}
+
+// New returns an empty collector.
+func New() *Collector {
+	return &Collector{Sizes: make(map[string]int)}
+}
+
+// Observe records that relation name currently holds size tuples, keeping
+// the maximum across calls.
+func (c *Collector) Observe(name string, size int) {
+	if c == nil {
+		return
+	}
+	if size > c.Sizes[name] {
+		c.Sizes[name] = size
+	}
+}
+
+// AddInserted counts n successful insertions into derived relations.
+func (c *Collector) AddInserted(n int) {
+	if c == nil {
+		return
+	}
+	c.Inserted += n
+}
+
+// AddIteration counts one fixpoint round.
+func (c *Collector) AddIteration() {
+	if c == nil {
+		return
+	}
+	c.Iterations++
+}
+
+// MaxRelation returns the name and size of the largest relation observed —
+// the quantity the Ω/O claims of §4 are about. It returns ("", 0) when
+// nothing was observed.
+func (c *Collector) MaxRelation() (string, int) {
+	if c == nil {
+		return "", 0
+	}
+	best, size := "", 0
+	for n, s := range c.Sizes {
+		if s > size || (s == size && (best == "" || n < best)) {
+			best, size = n, s
+		}
+	}
+	return best, size
+}
+
+// TotalSize returns the sum of peak relation sizes.
+func (c *Collector) TotalSize() int {
+	if c == nil {
+		return 0
+	}
+	t := 0
+	for _, s := range c.Sizes {
+		t += s
+	}
+	return t
+}
+
+// String renders the collector sorted by relation name, for tests and CLI
+// output.
+func (c *Collector) String() string {
+	if c == nil {
+		return "<no stats>"
+	}
+	names := make([]string, 0, len(c.Sizes))
+	for n := range c.Sizes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "iterations=%d inserted=%d", c.Iterations, c.Inserted)
+	for _, n := range names {
+		fmt.Fprintf(&b, " %s=%d", n, c.Sizes[n])
+	}
+	return b.String()
+}

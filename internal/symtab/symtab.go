@@ -1,0 +1,64 @@
+// Package symtab interns constant symbols, mapping each distinct string to a
+// dense non-negative int32 id. Dense ids keep tuples compact and make
+// equality, hashing, and index keys cheap throughout the engine.
+package symtab
+
+import "fmt"
+
+// Value is an interned constant symbol. Values are only meaningful relative
+// to the Table that produced them.
+type Value int32
+
+// None is a sentinel that no Table ever returns for a symbol.
+const None Value = -1
+
+// Table interns strings to Values. The zero value is not ready to use; call
+// New. A Table is not safe for concurrent mutation; concurrent read-only use
+// (Name, Len) is safe once no more Intern calls occur.
+type Table struct {
+	byName map[string]Value
+	names  []string
+}
+
+// New returns an empty symbol table.
+func New() *Table {
+	return &Table{byName: make(map[string]Value)}
+}
+
+// Intern returns the Value for name, assigning the next dense id if name has
+// not been seen before.
+func (t *Table) Intern(name string) Value {
+	if v, ok := t.byName[name]; ok {
+		return v
+	}
+	v := Value(len(t.names))
+	t.byName[name] = v
+	t.names = append(t.names, name)
+	return v
+}
+
+// Lookup returns the Value for name and whether it has been interned.
+func (t *Table) Lookup(name string) (Value, bool) {
+	v, ok := t.byName[name]
+	return v, ok
+}
+
+// Name returns the string for v. It panics if v was not produced by this
+// table.
+func (t *Table) Name(v Value) string {
+	if v < 0 || int(v) >= len(t.names) {
+		panic(fmt.Sprintf("symtab: value %d out of range (table has %d symbols)", v, len(t.names)))
+	}
+	return t.names[v]
+}
+
+// Len reports the number of distinct symbols interned so far.
+func (t *Table) Len() int { return len(t.names) }
+
+// Names returns the interned symbols in id order. The returned slice is a
+// copy and may be modified by the caller.
+func (t *Table) Names() []string {
+	out := make([]string, len(t.names))
+	copy(out, t.names)
+	return out
+}

@@ -1,0 +1,239 @@
+package tabling
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/database"
+	"sepdl/internal/eval"
+	"sepdl/internal/parser"
+	"sepdl/internal/rel"
+	"sepdl/internal/stats"
+)
+
+func mustProgram(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Program(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustQuery(t *testing.T, src string) ast.Atom {
+	t.Helper()
+	q, err := parser.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func mustLoad(t *testing.T, db *database.Database, facts string) {
+	t.Helper()
+	fs, err := parser.Facts(facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load(fs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seminaive(t *testing.T, prog *ast.Program, db *database.Database, q ast.Atom) *rel.Relation {
+	t.Helper()
+	view, err := eval.Run(prog, db, eval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := eval.Answer(view, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ans
+}
+
+func check(t *testing.T, prog *ast.Program, db *database.Database, query string) {
+	t.Helper()
+	q := mustQuery(t, query)
+	got, err := Answer(prog, db, q, Options{})
+	if err != nil {
+		t.Fatalf("tabling %s: %v", query, err)
+	}
+	want := seminaive(t, prog, db, q)
+	if !got.Equal(want) {
+		t.Fatalf("%s: tabling %s != semi-naive %s", query, got.Dump(db.Syms), want.Dump(db.Syms))
+	}
+}
+
+const example11 = `
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- idol(X, W) & buys(W, Y).
+buys(X, Y) :- perfectFor(X, Y).
+`
+
+func TestTablingExample11(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `
+friend(tom, dick). friend(dick, harry).
+idol(tom, harry).
+perfectFor(harry, radio). perfectFor(dick, tv). perfectFor(alice, car).
+`)
+	prog := mustProgram(t, example11)
+	check(t, prog, db, `buys(tom, Y)?`)
+	check(t, prog, db, `buys(X, radio)?`)
+	check(t, prog, db, `buys(tom, radio)?`)
+	check(t, prog, db, `buys(X, Y)?`)
+}
+
+func TestTablingCyclicData(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `
+friend(a, b). friend(b, a). friend(b, c).
+perfectFor(c, g).
+`)
+	check(t, mustProgram(t, example11), db, `buys(a, Y)?`)
+}
+
+func TestTablingSameGeneration(t *testing.T) {
+	prog := mustProgram(t, `
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, U) & sg(U, V) & down(V, Y).
+`)
+	db := database.New()
+	mustLoad(t, db, `
+up(c1, p1). up(c2, p1). up(c3, p2). up(p1, g1). up(p2, g1).
+flat(g1, g1). flat(p1, p2).
+down(g1, g1). down(p1, c1). down(p1, c2). down(p2, c3). down(g1, p1). down(g1, p2).
+`)
+	check(t, prog, db, `sg(c1, Y)?`)
+}
+
+func TestTablingMutualRecursion(t *testing.T) {
+	prog := mustProgram(t, `
+even(X) :- start(X).
+even(Y) :- odd(X) & edge(X, Y).
+odd(Y) :- even(X) & edge(X, Y).
+`)
+	db := database.New()
+	mustLoad(t, db, `start(a). edge(a, b). edge(b, c). edge(c, a).`)
+	check(t, prog, db, `even(X)?`)
+	check(t, prog, db, `odd(c)?`)
+}
+
+func TestTablingNegatedEDB(t *testing.T) {
+	prog := mustProgram(t, `
+reach(X) :- start(X).
+reach(Y) :- reach(X) & edge(X, Y) & not blocked(Y).
+`)
+	db := database.New()
+	mustLoad(t, db, `start(a). edge(a, b). edge(b, c). edge(a, h). blocked(h).`)
+	check(t, prog, db, `reach(X)?`)
+}
+
+func TestTablingRejectsNegatedIDB(t *testing.T) {
+	prog := mustProgram(t, `
+p(X) :- base(X).
+q(X) :- all(X) & not p(X).
+`)
+	db := database.New()
+	mustLoad(t, db, `base(a). all(a). all(b).`)
+	_, err := Answer(prog, db, mustQuery(t, `q(X)?`), Options{})
+	if !errors.Is(err, ErrNegation) {
+		t.Fatalf("err = %v, want ErrNegation", err)
+	}
+}
+
+func TestTablingTracksQueryReachablePortion(t *testing.T) {
+	// Like Magic Sets, tabling on Example 1.2's database materializes the
+	// quadratic buys portion — the paper's gap vs Separable applies to
+	// top-down tabling too.
+	prog := mustProgram(t, `
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- buys(X, W) & cheaper(Y, W).
+buys(X, Y) :- perfectFor(X, Y).
+`)
+	n := 8
+	db := database.New()
+	for i := 1; i < n; i++ {
+		db.AddFact("friend", fmt.Sprintf("a%d", i), fmt.Sprintf("a%d", i+1))
+		db.AddFact("cheaper", fmt.Sprintf("b%d", i), fmt.Sprintf("b%d", i+1))
+	}
+	db.AddFact("perfectFor", fmt.Sprintf("a%d", n), fmt.Sprintf("b%d", n))
+	c := stats.New()
+	ans, err := Answer(prog, db, mustQuery(t, `buys(a1, Y)?`), Options{Collector: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != n {
+		t.Fatalf("answers = %d", ans.Len())
+	}
+	// Sum of per-goal tables is Θ(n²).
+	if c.TotalSize() < n*n {
+		t.Fatalf("tables total %d, want >= n² = %d (%s)", c.TotalSize(), n*n, c)
+	}
+}
+
+func TestTablingGoalBound(t *testing.T) {
+	db := database.New()
+	mustLoad(t, db, `friend(a, b). perfectFor(b, g).`)
+	_, err := Answer(mustProgram(t, example11), db, mustQuery(t, `buys(a, Y)?`), Options{MaxGoals: 1})
+	if err == nil {
+		t.Fatal("goal bound ignored")
+	}
+}
+
+func TestTablingErrors(t *testing.T) {
+	prog := mustProgram(t, example11)
+	db := database.New()
+	if _, err := Answer(prog, db, mustQuery(t, `friend(a, Y)?`), Options{}); err == nil {
+		t.Error("EDB query accepted")
+	}
+	if _, err := Answer(prog, db, mustQuery(t, `buys(a)?`), Options{}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestTablingRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	prog := mustProgram(t, example11)
+	for trial := 0; trial < 40; trial++ {
+		db := database.New()
+		n := 3 + rng.Intn(6)
+		name := func(prefix string, i int) string { return fmt.Sprintf("%s%d", prefix, i) }
+		for i := 0; i < 2*n; i++ {
+			db.AddFact("friend", name("p", rng.Intn(n)), name("p", rng.Intn(n)))
+			db.AddFact("idol", name("p", rng.Intn(n)), name("p", rng.Intn(n)))
+		}
+		for i := 0; i < n; i++ {
+			db.AddFact("perfectFor", name("p", rng.Intn(n)), name("g", rng.Intn(n)))
+		}
+		check(t, prog, db, fmt.Sprintf("buys(p%d, Y)?", rng.Intn(n)))
+		check(t, prog, db, fmt.Sprintf("buys(X, g%d)?", rng.Intn(n)))
+	}
+}
+
+func TestTablingBuiltin(t *testing.T) {
+	prog := mustProgram(t, `
+sibling(X, Y) :- parent(X, P) & parent(Y, P) & neq(X, Y).
+`)
+	db := database.New()
+	mustLoad(t, db, `parent(a, p). parent(b, p).`)
+	check(t, prog, db, `sibling(a, Y)?`)
+}
+
+func TestTablingBuiltinOrderSensitive(t *testing.T) {
+	// Tabling evaluates bodies textually; a builtin before its binders is
+	// a reported error, not a silent wrong answer.
+	prog := mustProgram(t, `
+p(X, Y) :- a(X) & neq(X, Y) & b(Y).
+`)
+	db := database.New()
+	mustLoad(t, db, `a(x). b(y).`)
+	if _, err := Answer(prog, db, mustQuery(t, `p(x, Y)?`), Options{}); err == nil {
+		t.Fatal("unbound builtin accepted by tabling")
+	}
+}

@@ -1,0 +1,75 @@
+package sepdl
+
+import (
+	"time"
+
+	"sepdl/internal/eval"
+	"sepdl/internal/parser"
+	"sepdl/internal/stats"
+)
+
+// Materialized is the strategy name reported by View queries.
+const Materialized Strategy = "materialized"
+
+// View is an incrementally maintained materialization of the engine's
+// program: every IDB relation is computed once and then kept current as
+// facts are added (semi-naive propagation) or deleted (delete-and-
+// rederive) through the view, so queries are index lookups with no
+// fixpoint work. Views require a negation-free program and snapshot the
+// engine's facts at creation time (later Engine.AddFact calls do not
+// affect the view, and vice versa).
+type View struct {
+	m   *eval.Materialized
+	col *stats.Collector
+}
+
+// Materialize computes all IDB relations of the engine's current program
+// over its current facts and returns a maintainable view.
+func (e *Engine) Materialize() (*View, error) {
+	col := stats.New()
+	m, err := eval.Materialize(e.prog, e.db, col)
+	if err != nil {
+		return nil, err
+	}
+	return &View{m: m, col: col}, nil
+}
+
+// AddFact inserts a base fact into the view and propagates its
+// consequences incrementally. It reports whether the fact was new.
+func (v *View) AddFact(pred string, args ...string) (bool, error) {
+	return v.m.AddFact(pred, args...)
+}
+
+// Query answers a query directly from the maintained relations.
+func (v *View) Query(query string) (*Result, error) {
+	q, err := parser.Query(query)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	ans, err := v.m.Answer(q)
+	if err != nil {
+		return nil, err
+	}
+	st := Stats{
+		Strategy:      Materialized,
+		RelationSizes: v.col.Sizes,
+		Iterations:    v.col.Iterations,
+		Inserted:      v.col.Inserted,
+		Duration:      time.Since(start),
+	}
+	st.MaxRelation, st.MaxRelationSize = v.col.MaxRelation()
+	return &Result{
+		Columns: eval.QueryVars(q),
+		Stats:   st,
+		rel:     ans,
+		db:      v.m.View(),
+	}, nil
+}
+
+// DeleteFact removes a base fact from the view and maintains the derived
+// relations with delete-and-rederive (DRed). It reports whether the fact
+// was present.
+func (v *View) DeleteFact(pred string, args ...string) (bool, error) {
+	return v.m.DeleteFact(pred, args...)
+}
