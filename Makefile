@@ -1,0 +1,16 @@
+# Tier-1 verify: everything a change must keep green (see ROADMAP.md).
+.PHONY: verify vet build test bench
+
+verify: vet build test
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test -race ./...
+
+bench:
+	go run ./cmd/sepbench -quick

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	sepdl -program rules.dl -facts data.dl -query 'buys(tom, Y)?' [-strategy separable] [-stats] [-explain]
+//	sepdl -program rules.dl -facts data.dl -query '...' -timeout 2s -max-tuples 100000
 //	sepdl -program rules.dl -facts data.dl            # REPL on stdin
 //
 // In the REPL, enter queries like "buys(tom, Y)?"; lines starting with
@@ -22,6 +23,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"sepdl"
 )
@@ -42,6 +44,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		explain     = fs.Bool("explain", false, "print the strategy Auto would choose and why")
 		relaxed     = fs.Bool("relaxed", false, "allow condition-4-violating recursions in the Separable strategy (§5)")
 		dumpPath    = fs.String("dump", "", "write the loaded facts to this file (sorted, parseable) and exit")
+		timeout     = fs.Duration("timeout", 0, "wall-clock limit per query (e.g. 2s); 0 means unlimited")
+		maxTuples   = fs.Int("max-tuples", 0, "limit on derived tuples per query; 0 means unlimited")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -89,8 +93,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	limits := queryLimits{timeout: *timeout, maxTuples: *maxTuples}
 	if *query != "" {
-		if err := runQuery(e, stdout, *query, *strategy, *relaxed, *showStats, *explain); err != nil {
+		if err := runQuery(e, stdout, *query, *strategy, *relaxed, *showStats, *explain, limits); err != nil {
 			fmt.Fprintln(stderr, "sepdl:", err)
 			return 1
 		}
@@ -135,14 +140,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			report, _ := e.AnalyzeSeparability(strings.TrimSpace(strings.TrimPrefix(line, ":analyze ")))
 			fmt.Fprintln(stdout, report)
 		default:
-			if err := runQuery(e, stdout, line, *strategy, *relaxed, *showStats, false); err != nil {
+			if err := runQuery(e, stdout, line, *strategy, *relaxed, *showStats, false, limits); err != nil {
 				fmt.Fprintln(stdout, "error:", err)
 			}
 		}
 	}
 }
 
-func runQuery(e *sepdl.Engine, w io.Writer, query, strategy string, relaxed, showStats, explain bool) error {
+// queryLimits are the per-query resource bounds from the command line.
+type queryLimits struct {
+	timeout   time.Duration
+	maxTuples int
+}
+
+func runQuery(e *sepdl.Engine, w io.Writer, query, strategy string, relaxed, showStats, explain bool, limits queryLimits) error {
 	if explain {
 		out, err := e.Explain(query)
 		if err != nil {
@@ -153,6 +164,12 @@ func runQuery(e *sepdl.Engine, w io.Writer, query, strategy string, relaxed, sho
 	opts := []sepdl.QueryOption{sepdl.WithStrategy(sepdl.Strategy(strategy))}
 	if relaxed {
 		opts = append(opts, sepdl.WithRelaxedConnectivity())
+	}
+	if limits.timeout > 0 {
+		opts = append(opts, sepdl.WithDeadline(limits.timeout))
+	}
+	if limits.maxTuples > 0 {
+		opts = append(opts, sepdl.WithBudget(sepdl.Budget{MaxTuples: limits.maxTuples}))
 	}
 	res, err := e.Query(query, opts...)
 	if err != nil {

@@ -154,3 +154,32 @@ func TestREPLWhy(t *testing.T) {
 		t.Fatalf("why output missing derivation:\n%s", out)
 	}
 }
+
+func TestMaxTuplesFlag(t *testing.T) {
+	_, errOut, code := runCLI(t, "", "-program", rulesPath, "-facts", factsPath,
+		"-max-tuples", "1", "-query", "buys(tom, Y)?")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "tuples limit 1 exceeded") {
+		t.Fatalf("stderr = %q, want tuples budget error", errOut)
+	}
+	// A generous limit must not get in the way.
+	out, _, code := runCLI(t, "", "-program", rulesPath, "-facts", factsPath,
+		"-max-tuples", "100000", "-query", "buys(tom, Y)?")
+	if code != 0 || !strings.Contains(out, "2 answer(s)") {
+		t.Fatalf("exit=%d out=%q", code, out)
+	}
+}
+
+func TestTimeoutFlag(t *testing.T) {
+	// 1ns expires before evaluation starts, so the error is deterministic.
+	_, errOut, code := runCLI(t, "", "-program", rulesPath, "-facts", factsPath,
+		"-timeout", "1ns", "-query", "buys(tom, Y)?")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "deadline") {
+		t.Fatalf("stderr = %q, want deadline error", errOut)
+	}
+}

@@ -1,6 +1,7 @@
 package sepdl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 
 	"sepdl/internal/aho"
 	"sepdl/internal/ast"
+	"sepdl/internal/budget"
 	"sepdl/internal/core"
 	"sepdl/internal/counting"
 	"sepdl/internal/database"
@@ -107,11 +109,59 @@ func (e *Engine) NumFacts() int { return e.db.NumTuples() }
 // constants appearing in base facts.
 func (e *Engine) DistinctConstants() int { return e.db.DistinctConstants() }
 
+// Budget bounds the resources one query (or one materialized view) may
+// consume; zero fields mean unlimited. The comparison strategies the paper
+// measures are exactly the ones that blow up on adversarial inputs —
+// Generalized Magic builds Ω(n²) intermediate tuples and Counting Ω(2ⁿ)
+// where Separable builds O(n) — so a server embedding the engine should
+// always set at least MaxTuples or a deadline.
+type Budget struct {
+	// MaxTuples bounds insertions into derived relations.
+	MaxTuples int
+	// MaxRounds bounds fixpoint (or carry-loop) rounds.
+	MaxRounds int
+	// MaxBytes bounds the estimated bytes of derived tuples materialized.
+	MaxBytes int64
+}
+
+// ResourceError is the typed error returned when a query exceeds its
+// Budget, deadline, or iteration bound: it reports which limit was hit, how
+// much was consumed, and the strategy and round evaluation had reached.
+// Every ResourceError matches ErrBudgetExceeded via errors.Is; deadline and
+// cancellation additionally match context.DeadlineExceeded and
+// context.Canceled.
+type ResourceError = budget.ResourceError
+
+// ErrBudgetExceeded is the sentinel every *ResourceError matches via
+// errors.Is, distinguishing a resource cutoff from a malformed program.
+var ErrBudgetExceeded = budget.ErrBudget
+
+// The values a ResourceError's Limit field can take.
+const (
+	LimitTuples   = budget.LimitTuples   // Budget.MaxTuples exhausted
+	LimitRounds   = budget.LimitRounds   // Budget.MaxRounds or WithMaxIterations exhausted
+	LimitBytes    = budget.LimitBytes    // Budget.MaxBytes exhausted
+	LimitDeadline = budget.LimitDeadline // context deadline expired
+	LimitCanceled = budget.LimitCanceled // context canceled
+)
+
 // queryConfig collects query options.
 type queryConfig struct {
 	strategy          Strategy
 	allowDisconnected bool
 	maxIterations     int
+	budget            Budget
+	deadline          time.Duration
+}
+
+// tracker builds the internal budget tracker for ctx and the configured
+// limits (nil when nothing is bounded).
+func (c *queryConfig) tracker(ctx context.Context) *budget.Budget {
+	return budget.New(ctx, budget.Limits{
+		MaxTuples: c.budget.MaxTuples,
+		MaxRounds: c.budget.MaxRounds,
+		MaxBytes:  c.budget.MaxBytes,
+	})
 }
 
 // QueryOption customizes a single Query call.
@@ -130,9 +180,25 @@ func WithRelaxedConnectivity() QueryOption {
 }
 
 // WithMaxIterations bounds fixpoint rounds / levels for the strategies
-// that support a bound.
+// that support a bound. Exceeding it returns a *ResourceError.
 func WithMaxIterations(n int) QueryOption {
 	return func(c *queryConfig) { c.maxIterations = n }
+}
+
+// WithBudget bounds the resources the query may consume; exceeding any
+// limit returns a *ResourceError promptly (limits are checked every
+// fixpoint round and at join-inner-loop granularity) with the engine's
+// database unmodified.
+func WithBudget(b Budget) QueryOption {
+	return func(c *queryConfig) { c.budget = b }
+}
+
+// WithDeadline gives the query a wall-clock deadline measured from the
+// start of evaluation, equivalent to passing QueryCtx a context built with
+// context.WithTimeout. Exceeding it returns a *ResourceError matching
+// context.DeadlineExceeded.
+func WithDeadline(d time.Duration) QueryOption {
+	return func(c *queryConfig) { c.deadline = d }
 }
 
 // Stats summarizes the work one query performed.
@@ -193,8 +259,24 @@ func (r *Result) String() string { return r.rel.Dump(r.db.Syms) }
 // ErrUnknownStrategy reports an unrecognized strategy name.
 var ErrUnknownStrategy = errors.New("sepdl: unknown strategy")
 
-// Query parses and evaluates a query such as "buys(tom, Y)?".
+// testHookEval, when non-nil, runs inside QueryCtx's recovery boundary
+// just before strategy dispatch; tests use it to inject failures.
+var testHookEval func()
+
+// Query parses and evaluates a query such as "buys(tom, Y)?". It is
+// QueryCtx with a background context; use QueryCtx (or WithDeadline /
+// WithBudget) when evaluation must be bounded.
 func (e *Engine) Query(query string, opts ...QueryOption) (*Result, error) {
+	return e.QueryCtx(context.Background(), query, opts...)
+}
+
+// QueryCtx parses and evaluates a query under ctx. Cancellation and
+// deadlines are honored at fixpoint-round and join-inner-loop granularity
+// by every strategy, so a cut-off returns promptly; the engine's database
+// is never modified by an aborted (or completed) query. A cut-off returns
+// a *ResourceError matching ErrBudgetExceeded and, for context limits,
+// context.DeadlineExceeded or context.Canceled.
+func (e *Engine) QueryCtx(ctx context.Context, query string, opts ...QueryOption) (res *Result, err error) {
 	cfg := queryConfig{strategy: Auto}
 	for _, o := range opts {
 		o(&cfg)
@@ -202,6 +284,15 @@ func (e *Engine) Query(query string, opts ...QueryOption) (*Result, error) {
 	q, err := parser.Query(query)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.deadline)
+		defer cancel()
+	}
+	bud := cfg.tracker(ctx)
+	if err := bud.Err(); err != nil {
+		return nil, err // context already expired / canceled
 	}
 	c := stats.New()
 	start := time.Now()
@@ -219,6 +310,25 @@ func (e *Engine) Query(query string, opts ...QueryOption) (*Result, error) {
 	if strategy == Auto {
 		strategy = e.pick(q, cfg)
 	}
+	bud.SetStrategy(string(strategy))
+
+	// Last-resort recovery: an internal panic must not take down the
+	// caller. A budget abort that escaped a path without its own Guard
+	// still surfaces as its typed error; anything else is reported with
+	// the strategy and query for the bug report.
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			if aerr, ok := budget.AsAbort(r); ok {
+				err = aerr
+				return
+			}
+			err = fmt.Errorf("sepdl: internal panic evaluating %q with strategy %s: %v", query, strategy, r)
+		}
+	}()
+	if testHookEval != nil {
+		testHookEval()
+	}
 
 	var ans *rel.Relation
 	switch strategy {
@@ -227,24 +337,26 @@ func (e *Engine) Query(query string, opts ...QueryOption) (*Result, error) {
 			Collector:         c,
 			Analysis:          e.analysis(q.Pred, cfg.allowDisconnected),
 			AllowDisconnected: cfg.allowDisconnected,
+			Budget:            bud,
 		})
 	case MagicSets, MagicSetsSup:
 		ans, err = magic.Answer(e.prog, e.db, q, magic.Options{
 			Collector:     c,
 			MaxIterations: cfg.maxIterations,
 			Supplementary: strategy == MagicSetsSup,
+			Budget:        bud,
 		})
 	case Counting:
-		ans, err = counting.Answer(e.prog, e.db, q, counting.Options{Collector: c, MaxLevels: cfg.maxIterations})
+		ans, err = counting.Answer(e.prog, e.db, q, counting.Options{Collector: c, MaxLevels: cfg.maxIterations, Budget: bud})
 	case HenschenNaqvi:
-		ans, err = hn.Answer(e.prog, e.db, q, hn.Options{Collector: c, MaxDepth: cfg.maxIterations})
+		ans, err = hn.Answer(e.prog, e.db, q, hn.Options{Collector: c, MaxDepth: cfg.maxIterations, Budget: bud})
 	case AhoUllman:
-		ans, err = aho.Answer(e.prog, e.db, q, aho.Options{Collector: c, MaxIterations: cfg.maxIterations})
+		ans, err = aho.Answer(e.prog, e.db, q, aho.Options{Collector: c, MaxIterations: cfg.maxIterations, Budget: bud})
 	case Tabling:
-		ans, err = tabling.Answer(e.prog, e.db, q, tabling.Options{Collector: c})
+		ans, err = tabling.Answer(e.prog, e.db, q, tabling.Options{Collector: c, Budget: bud})
 	case SemiNaive, Naive:
 		var view *database.Database
-		view, err = eval.Run(e.prog, e.db, eval.Options{Collector: c, Naive: strategy == Naive, MaxIterations: cfg.maxIterations})
+		view, err = eval.Run(e.prog, e.db, eval.Options{Collector: c, Naive: strategy == Naive, MaxIterations: cfg.maxIterations, Budget: bud})
 		if err == nil {
 			ans, err = eval.Answer(view, q)
 		}

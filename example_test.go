@@ -1,7 +1,10 @@
 package sepdl_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"sepdl"
 )
@@ -91,4 +94,40 @@ func ExampleEngine_Explain() {
 	fmt.Println(why[:len("separable recursion")])
 	// Output:
 	// separable recursion
+}
+
+// Bounding a query: a tuple budget cuts off the Magic strategy's Ω(n²)
+// materialization with a typed error, and the same budget lets the
+// Separable schema finish.
+func ExampleEngine_QueryCtx() {
+	e := sepdl.New()
+	e.LoadProgram(`
+		buys(X, Y) :- friend(X, W) & buys(W, Y).
+		buys(X, Y) :- perfectFor(X, Y).
+	`)
+	for i := 0; i < 59; i++ {
+		e.AddFact("friend", fmt.Sprintf("a%02d", i), fmt.Sprintf("a%02d", i+1))
+	}
+	for i := 0; i < 60; i++ {
+		e.AddFact("perfectFor", fmt.Sprintf("a%02d", i), fmt.Sprintf("g%02d", i))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	limit := sepdl.WithBudget(sepdl.Budget{MaxTuples: 500})
+
+	_, err := e.QueryCtx(ctx, `buys(a00, Y)?`, sepdl.WithStrategy(sepdl.MagicSets), limit)
+	var re *sepdl.ResourceError
+	if errors.As(err, &re) {
+		fmt.Println("magic cut off at limit:", re.Limit)
+	}
+
+	res, err := e.QueryCtx(ctx, `buys(a00, Y)?`, sepdl.WithStrategy(sepdl.Separable), limit)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("separable answers:", res.Len())
+	// Output:
+	// magic cut off at limit: tuples
+	// separable answers: 60
 }

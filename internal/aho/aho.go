@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"sepdl/internal/ast"
+	"sepdl/internal/budget"
 	"sepdl/internal/database"
 	"sepdl/internal/eval"
 	"sepdl/internal/rel"
@@ -66,6 +67,9 @@ func StablePositions(prog *ast.Program, pred string) ([]int, error) {
 type Options struct {
 	Collector     *stats.Collector
 	MaxIterations int
+	// Budget, when non-nil, governs the bottom-up evaluation of the pushed
+	// program at round and join-inner-loop granularity.
+	Budget *budget.Budget
 }
 
 // Push returns a copy of prog in which the selection constants of q (which
@@ -152,7 +156,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 	if err != nil {
 		return nil, err
 	}
-	view, err := eval.Run(pushed, db, eval.Options{Collector: opts.Collector, MaxIterations: opts.MaxIterations})
+	view, err := eval.Run(pushed, db, eval.Options{Collector: opts.Collector, MaxIterations: opts.MaxIterations, Budget: opts.Budget})
 	if err != nil {
 		return nil, err
 	}

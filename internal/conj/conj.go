@@ -53,7 +53,14 @@ type Plan struct {
 	slot    map[string]int
 	nIn     int  // leading slots that must be bound before Run
 	noIndex bool // ablation: scan and filter instead of index probes
+	tick    func()
 }
+
+// SetTick installs a hook called once per candidate tuple the plan
+// considers — the join-inner-loop granularity at which a resource budget
+// polls for cancellation (budget.Budget.TickFunc). A nil hook (the
+// default) costs one branch per candidate.
+func (p *Plan) SetTick(tick func()) { p.tick = tick }
 
 // CompileOptions tune plan compilation; the zero value is the normal
 // behaviour. The ablation benchmarks use these to quantify what each
@@ -264,6 +271,9 @@ func (p *Plan) run(depth int, src RelSource, binding []rel.Value, key []rel.Valu
 		// All columns are bound (Compile guarantees it), so any candidate
 		// surviving the lookup-column filter refutes the negation.
 		for _, t := range candidates {
+			if p.tick != nil {
+				p.tick()
+			}
 			match := true
 			if p.noIndex {
 				for i, c := range st.lookupCols {
@@ -282,6 +292,9 @@ func (p *Plan) run(depth int, src RelSource, binding []rel.Value, key []rel.Valu
 	}
 next:
 	for _, t := range candidates {
+		if p.tick != nil {
+			p.tick()
+		}
 		if p.noIndex {
 			for i, c := range st.lookupCols {
 				if t[c] != key[i] {

@@ -49,6 +49,9 @@ func NewTransition(atoms []ast.Atom, boundVars, outVars []string, intern func(st
 	return tr, nil
 }
 
+// SetTick forwards a join-inner-loop tick hook to the underlying plan.
+func (tr *Transition) SetTick(tick func()) { tr.plan.SetTick(tick) }
+
 // Apply runs the transition for one carry tuple and emits projected output
 // tuples. The emitted tuple is reused between calls; emit must copy
 // anything it keeps.

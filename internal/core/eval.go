@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"sepdl/internal/ast"
+	"sepdl/internal/budget"
 	"sepdl/internal/conj"
 	"sepdl/internal/database"
 	"sepdl/internal/eval"
@@ -33,6 +34,10 @@ type EvalOptions struct {
 	// path; on cyclic data the loops no longer terminate, so this is only
 	// meaningful on acyclic databases.
 	NoCarryDedup bool
+	// Budget, when non-nil, is checked at every carry-loop round and at
+	// join-inner-loop granularity; exceeding it aborts the evaluation with
+	// a *budget.ResourceError and leaves db untouched.
+	Budget *budget.Budget
 }
 
 // Answer evaluates the selection query q on the separable recursion
@@ -40,7 +45,8 @@ type EvalOptions struct {
 // Partial selections are handled per Lemma 2.1 as a union of full
 // selections. The result is a relation over q's distinct variables in
 // first-occurrence order.
-func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts EvalOptions) (*rel.Relation, error) {
+func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts EvalOptions) (_ *rel.Relation, err error) {
+	defer budget.Guard(&err)
 	a := opts.Analysis
 	if a == nil {
 		var err error
@@ -61,12 +67,12 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts EvalOptio
 	// not depend back on t, so a single pass suffices); they then act as
 	// base relations for the schema. Rules for predicates t does not use
 	// are irrelevant to the query and skipped.
-	base, err := MaterializeSupport(prog, db, q.Pred, opts.Collector)
+	base, err := MaterializeSupport(prog, db, q.Pred, opts.Collector, opts.Budget)
 	if err != nil {
 		return nil, err
 	}
 
-	e := &evaluator{a: a, db: base, col: opts.Collector, noDedup: opts.NoCarryDedup}
+	e := &evaluator{a: a, db: base, col: opts.Collector, noDedup: opts.NoCarryDedup, bud: opts.Budget}
 	sink := eval.NewAnswerSink(q, base.Syms)
 
 	switch sel.Kind {
@@ -105,6 +111,7 @@ type evaluator struct {
 	db      *database.Database
 	col     *stats.Collector
 	noDedup bool
+	bud     *budget.Budget
 }
 
 // headVarsAt returns the canonical head variables for positions.
@@ -154,9 +161,11 @@ func (e *evaluator) run(driverCols []int, phase1Class, excludePhase2 int, seeds 
 			if err != nil {
 				return nil, nil, fmt.Errorf("core: rule %s: %w", r.Rule, err)
 			}
+			tr.SetTick(e.bud.TickFunc())
 			trans[i] = tr
 		}
 		for !carry1.Empty() {
+			e.bud.Round()
 			e.col.AddIteration()
 			next := rel.New(tagW + w)
 			for _, t := range carry1.Rows() {
@@ -176,6 +185,7 @@ func (e *evaluator) run(driverCols []int, phase1Class, excludePhase2 int, seeds 
 			}
 			added := seen1.InsertAll(carry1)
 			e.col.AddInserted(added)
+			e.bud.AddDerived(added, tagW+w)
 			e.col.Observe("carry1", carry1.Len())
 			e.col.Observe("seen1", seen1.Len())
 		}
@@ -200,6 +210,7 @@ func (e *evaluator) run(driverCols []int, phase1Class, excludePhase2 int, seeds 
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: exit rule %s: %w", ex, err)
 		}
+		tr.SetTick(e.bud.TickFunc())
 		for _, t := range seen1.Rows() {
 			tag, vals := t[:tagW], t[tagW:]
 			tr.Apply(src, vals, func(out rel.Tuple) {
@@ -210,6 +221,7 @@ func (e *evaluator) run(driverCols []int, phase1Class, excludePhase2 int, seeds 
 		}
 	}
 	seen2 := carry2.Clone()
+	e.bud.AddDerived(carry2.Len(), tagW+len(outCols))
 	e.col.Observe("carry2", carry2.Len())
 	e.col.Observe("seen2", seen2.Len())
 
@@ -242,12 +254,14 @@ func (e *evaluator) run(driverCols []int, phase1Class, excludePhase2 int, seeds 
 			if err != nil {
 				return nil, nil, fmt.Errorf("core: rule %s: %w", r.Rule, err)
 			}
+			tr.SetTick(e.bud.TickFunc())
 			p2 = append(p2, phase2trans{tr: tr, colIdx: colIdx})
 		}
 	}
 	if len(p2) > 0 {
 		classVals := make(rel.Tuple, 0, 8)
 		for !carry2.Empty() {
+			e.bud.Round()
 			e.col.AddIteration()
 			next := rel.New(tagW + len(outCols))
 			for _, t := range carry2.Rows() {
@@ -274,6 +288,7 @@ func (e *evaluator) run(driverCols []int, phase1Class, excludePhase2 int, seeds 
 			}
 			added := seen2.InsertAll(carry2)
 			e.col.AddInserted(added)
+			e.bud.AddDerived(added, tagW+len(outCols))
 			e.col.Observe("carry2", carry2.Len())
 			e.col.Observe("seen2", seen2.Len())
 		}
@@ -328,6 +343,7 @@ func (e *evaluator) partial(q ast.Atom, sel Selection, sink *eval.AnswerSink) er
 		if err != nil {
 			return fmt.Errorf("core: rule %s: %w", r.Rule, err)
 		}
+		tr.SetTick(e.bud.TickFunc())
 		tr.Apply(src, consts, func(out rel.Tuple) {
 			seedsB.Insert(out)
 		})
@@ -374,7 +390,8 @@ func (e *evaluator) deliver(res *rel.Relation, tagW int, tagCols []int, driverCo
 // depends on (other than pred itself) and returns a database view exposing
 // them as base relations. When pred uses no other IDB predicate, db is
 // returned unchanged. The Counting and Henschen-Naqvi baselines share it.
-func MaterializeSupport(prog *ast.Program, db *database.Database, pred string, col *stats.Collector) (*database.Database, error) {
+// The budget (nil for none) governs the support fixpoint like any other.
+func MaterializeSupport(prog *ast.Program, db *database.Database, pred string, col *stats.Collector, bud *budget.Budget) (*database.Database, error) {
 	deps := prog.DependsOn(pred)
 	var subRules []ast.Rule
 	for _, r := range prog.Rules {
@@ -385,5 +402,5 @@ func MaterializeSupport(prog *ast.Program, db *database.Database, pred string, c
 	if len(subRules) == 0 {
 		return db, nil
 	}
-	return eval.Run(ast.NewProgram(subRules...), db, eval.Options{Collector: col})
+	return eval.Run(ast.NewProgram(subRules...), db, eval.Options{Collector: col, Budget: bud})
 }

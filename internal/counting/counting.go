@@ -26,6 +26,7 @@ import (
 	"math"
 
 	"sepdl/internal/ast"
+	"sepdl/internal/budget"
 	"sepdl/internal/conj"
 	"sepdl/internal/core"
 	"sepdl/internal/database"
@@ -62,6 +63,12 @@ type Options struct {
 	MaxFacts int
 	// Analysis supplies a precomputed separability analysis.
 	Analysis *core.Analysis
+	// Budget, when non-nil, is checked at every count/answer level and at
+	// join-inner-loop granularity; exceeding it aborts with a
+	// *budget.ResourceError. On the paper's adversarial inputs the count
+	// phase is exactly where the Ω(2ⁿ) blowup materializes, so a tuple
+	// budget usually trips here first.
+	Budget *budget.Budget
 }
 
 // countKey identifies one count fact (level, path, bound values).
@@ -88,7 +95,8 @@ func encodeVals(t rel.Tuple) string {
 // Answer evaluates the selection query q with the Generalized Counting
 // Method. The result matches core.Answer and semi-naive evaluation whenever
 // the method terminates.
-func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) (*rel.Relation, error) {
+func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) (_ *rel.Relation, err error) {
+	defer budget.Guard(&err)
 	a := opts.Analysis
 	if a == nil {
 		var err error
@@ -107,7 +115,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 
 	// Materialize the IDB predicates the definition depends on (as in
 	// core.Answer).
-	base, err := core.MaterializeSupport(prog, db, q.Pred, opts.Collector)
+	base, err := core.MaterializeSupport(prog, db, q.Pred, opts.Collector, opts.Budget)
 	if err != nil {
 		return nil, err
 	}
@@ -145,6 +153,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 			if err != nil {
 				return nil, err
 			}
+			tr.SetTick(opts.Budget.TickFunc())
 			ruleTrans = append(ruleTrans, tr)
 		}
 	}
@@ -159,6 +168,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 		if level >= maxLevels {
 			return nil, fmt.Errorf("%w (level %d)", ErrDiverged, level)
 		}
+		opts.Budget.Round()
 		opts.Collector.AddIteration()
 		var next []countFact
 		for _, f := range frontier {
@@ -182,6 +192,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 		frontier = next
 		opts.Collector.Observe("count", len(all))
 		opts.Collector.AddInserted(len(next))
+		opts.Budget.AddDerived(len(next), len(driverCols)+2)
 		if len(all) > maxFacts {
 			return nil, fmt.Errorf("%w (count facts exceeded %d)", ErrDiverged, maxFacts)
 		}
@@ -224,6 +235,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 		if err != nil {
 			return nil, err
 		}
+		tr.SetTick(opts.Budget.TickFunc())
 		for _, f := range all {
 			tr.Apply(src, f.vals, func(out rel.Tuple) {
 				k := ansKey{f.level, f.path, encodeVals(out)}
@@ -238,6 +250,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 		}
 	}
 	opts.Collector.Observe("count_ans", len(ansAll))
+	opts.Budget.AddDerived(len(ansAll), len(outCols)+2)
 
 	type p2trans struct {
 		tr     *conj.Transition
@@ -262,10 +275,12 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 			if err != nil {
 				return nil, err
 			}
+			tr.SetTick(opts.Budget.TickFunc())
 			p2 = append(p2, p2trans{tr: tr, colIdx: colIdx})
 		}
 	}
 	for len(ansFrontier) > 0 && len(p2) > 0 {
+		opts.Budget.Round()
 		opts.Collector.AddIteration()
 		var next []ansFact
 		classVals := make(rel.Tuple, 0, 8)
@@ -295,6 +310,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 		ansFrontier = next
 		opts.Collector.Observe("count_ans", len(ansAll))
 		opts.Collector.AddInserted(len(next))
+		opts.Budget.AddDerived(len(next), len(outCols)+2)
 		if len(ansAll) > maxFacts {
 			return nil, fmt.Errorf("%w (answer facts exceeded %d)", ErrDiverged, maxFacts)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sepdl/internal/ast"
+	"sepdl/internal/budget"
 	"sepdl/internal/conj"
 	"sepdl/internal/rel"
 )
@@ -78,6 +79,9 @@ func (sc *supportCheck) derives(src conj.RelSource, t rel.Tuple) bool {
 // alternative derivation from the remaining data are re-derived. Reports
 // whether the fact was present.
 func (m *Materialized) DeleteFact(pred string, args ...string) (bool, error) {
+	if err := m.checkUsable(); err != nil {
+		return false, err
+	}
 	if ast.Builtin(pred) {
 		return false, fmt.Errorf("eval: %s is a builtin predicate", pred)
 	}
@@ -103,90 +107,105 @@ func (m *Materialized) DeleteFact(pred string, args ...string) (bool, error) {
 	// Phase 1: over-deletion, against the PRE-delete state (the base fact
 	// and marked IDB tuples stay visible to the other body atoms until
 	// marking finishes, so derivations using several doomed tuples are
-	// still found).
+	// still found). Marking mutates nothing, so a budget abort here leaves
+	// the view fully consistent.
 	marked := make(map[string]*rel.Relation)
 	type work struct {
 		pred  string
 		delta *rel.Relation
 	}
-	seedDelta := rel.New(len(t))
-	seedDelta.Insert(t)
-	queue := []work{{pred, seedDelta}}
-	for len(queue) > 0 {
-		w := queue[0]
-		queue = queue[1:]
-		for _, oc := range m.occs[w.pred] {
-			cr := &m.rules[oc.rule]
-			if cr.rule.Body[oc.atom].Negated {
-				continue // negation-free programs only (checked at Materialize)
+	if err := func() (err error) {
+		defer budget.Guard(&err)
+		seedDelta := rel.New(len(t))
+		seedDelta.Insert(t)
+		queue := []work{{pred, seedDelta}}
+		for len(queue) > 0 {
+			m.bud.Round()
+			w := queue[0]
+			queue = queue[1:]
+			for _, oc := range m.occs[w.pred] {
+				cr := &m.rules[oc.rule]
+				if cr.rule.Body[oc.atom].Negated {
+					continue // negation-free programs only (checked at Materialize)
+				}
+				head := cr.rule.Head.Pred
+				occAtom := oc.atom
+				src := func(atomIdx int, p string) *rel.Relation {
+					if atomIdx == occAtom {
+						return w.delta
+					}
+					return m.view.Relation(p)
+				}
+				newMarks := rel.New(cr.proj.Arity())
+				row := make(rel.Tuple, cr.proj.Arity())
+				cr.plan.Run(src, nil, func(binding []rel.Value) {
+					h := cr.proj.Tuple(binding, row)
+					if !m.total[head].Contains(h) {
+						return
+					}
+					if mk := marked[head]; mk != nil && mk.Contains(h) {
+						return
+					}
+					if marked[head] == nil {
+						marked[head] = rel.New(len(h))
+					}
+					marked[head].Insert(h)
+					newMarks.Insert(h)
+				})
+				if !newMarks.Empty() {
+					queue = append(queue, work{head, newMarks})
+				}
 			}
-			head := cr.rule.Head.Pred
-			occAtom := oc.atom
-			src := func(atomIdx int, p string) *rel.Relation {
-				if atomIdx == occAtom {
-					return w.delta
-				}
-				return m.view.Relation(p)
-			}
-			newMarks := rel.New(cr.proj.Arity())
-			row := make(rel.Tuple, cr.proj.Arity())
-			cr.plan.Run(src, nil, func(binding []rel.Value) {
-				h := cr.proj.Tuple(binding, row)
-				if !m.total[head].Contains(h) {
-					return
-				}
-				if mk := marked[head]; mk != nil && mk.Contains(h) {
-					return
-				}
-				if marked[head] == nil {
-					marked[head] = rel.New(len(h))
-				}
-				marked[head].Insert(h)
-				newMarks.Insert(h)
-			})
-			if !newMarks.Empty() {
-				queue = append(queue, work{head, newMarks})
-			}
+			m.col.AddIteration()
 		}
-		m.col.AddIteration()
+		return nil
+	}(); err != nil {
+		return false, err
 	}
 
-	// Phase 2: apply the deletions.
-	base.Delete(t)
-	for p, mk := range marked {
-		for _, row := range mk.Rows() {
-			m.total[p].Delete(row)
-		}
-		m.col.Observe(p, m.total[p].Len())
-	}
-
-	// Phase 3: re-derive over-deleted tuples that still have a derivation
-	// from the remaining data; each re-insertion propagates like a normal
-	// insertion, which re-derives anything downstream of it (including
-	// other marked tuples).
-	// Directly re-derivable tuples are batched into one delta per
-	// predicate; the insertion propagation then re-derives everything
-	// downstream (including marked tuples that only became derivable
-	// again through these).
-	src := func(_ int, p string) *rel.Relation { return m.view.Relation(p) }
-	for p, mk := range marked {
-		redelta := rel.New(m.total[p].Arity())
-		for _, row := range mk.Rows() {
-			if m.total[p].Contains(row) {
-				continue // already re-derived via an earlier propagation
+	// Phases 2 and 3 mutate the view, so from here a budget abort marks it
+	// invalid (see mutating).
+	err := m.mutating(func() {
+		// Phase 2: apply the deletions.
+		base.Delete(t)
+		for p, mk := range marked {
+			for _, row := range mk.Rows() {
+				m.total[p].Delete(row)
 			}
-			for _, sc := range m.support[p] {
-				if sc.derives(src, row) {
-					m.total[p].Insert(row)
-					redelta.Insert(row)
-					break
+			m.col.Observe(p, m.total[p].Len())
+		}
+
+		// Phase 3: re-derive over-deleted tuples that still have a
+		// derivation from the remaining data; each re-insertion propagates
+		// like a normal insertion, which re-derives anything downstream of
+		// it (including other marked tuples).
+		// Directly re-derivable tuples are batched into one delta per
+		// predicate; the insertion propagation then re-derives everything
+		// downstream (including marked tuples that only became derivable
+		// again through these).
+		src := func(_ int, p string) *rel.Relation { return m.view.Relation(p) }
+		for p, mk := range marked {
+			redelta := rel.New(m.total[p].Arity())
+			for _, row := range mk.Rows() {
+				if m.total[p].Contains(row) {
+					continue // already re-derived via an earlier propagation
+				}
+				for _, sc := range m.support[p] {
+					if sc.derives(src, row) {
+						m.total[p].Insert(row)
+						redelta.Insert(row)
+						break
+					}
 				}
 			}
+			if !redelta.Empty() {
+				m.propagate(p, redelta)
+			}
+			m.col.Observe(p, m.total[p].Len())
 		}
-		if !redelta.Empty() {
-			m.propagate(p, redelta)
-		}
-		m.col.Observe(p, m.total[p].Len())
+	})
+	if err != nil {
+		return false, err
 	}
 	return true, nil
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"sepdl/internal/ast"
+	"sepdl/internal/budget"
 	"sepdl/internal/conj"
 	"sepdl/internal/database"
 	"sepdl/internal/rel"
@@ -19,11 +20,17 @@ type Options struct {
 	// Collector, when non-nil, receives per-round relation sizes.
 	Collector *stats.Collector
 	// MaxIterations bounds the number of fixpoint rounds; 0 means no bound.
-	// Exceeding the bound is an error (used to cut off divergent methods).
+	// Exceeding the bound yields a *budget.ResourceError (used to cut off
+	// divergent methods; distinguish it from malformed-program errors with
+	// errors.Is(err, budget.ErrBudget)).
 	MaxIterations int
 	// Naive forces full recomputation each round instead of semi-naive
 	// deltas (ablation).
 	Naive bool
+	// Budget, when non-nil, is checked at every fixpoint round and at
+	// join-inner-loop granularity; exceeding it aborts the run with a
+	// *budget.ResourceError and leaves db untouched.
+	Budget *budget.Budget
 }
 
 type compiledRule struct {
@@ -42,7 +49,8 @@ type compiledRule struct {
 // semantics: Run computes a stratification (an error if none exists) and
 // runs one semi-naive fixpoint per stratum, treating lower strata as
 // completed base relations.
-func Run(prog *ast.Program, db *database.Database, opts Options) (*database.Database, error) {
+func Run(prog *ast.Program, db *database.Database, opts Options) (_ *database.Database, err error) {
+	defer budget.Guard(&err)
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
@@ -106,6 +114,7 @@ func runStratum(rules []ast.Rule, inStratum map[string]bool, view *database.Data
 		if err != nil {
 			return fmt.Errorf("eval: rule %s: %w", r, err)
 		}
+		plan.SetTick(opts.Budget.TickFunc())
 		cr := compiledRule{rule: r, plan: plan, proj: proj}
 		for i, a := range r.Body {
 			if inStratum[a.Pred] && !a.Negated {
@@ -131,6 +140,7 @@ func runStratum(rules []ast.Rule, inStratum map[string]bool, view *database.Data
 	}
 
 	// Round 0: evaluate every rule against the initial totals.
+	opts.Budget.Round()
 	newFacts := make(map[string]*rel.Relation)
 	for p := range inStratum {
 		newFacts[p] = rel.New(total[p].Arity())
@@ -145,6 +155,7 @@ func runStratum(rules []ast.Rule, inStratum map[string]bool, view *database.Data
 		delta[p] = d
 		added := total[p].InsertAll(d)
 		opts.Collector.AddInserted(added)
+		opts.Budget.AddDerived(added, total[p].Arity())
 		if added > 0 {
 			changed = true
 		}
@@ -154,9 +165,10 @@ func runStratum(rules []ast.Rule, inStratum map[string]bool, view *database.Data
 	round := 1
 	for changed {
 		if opts.MaxIterations > 0 && round >= opts.MaxIterations {
-			return fmt.Errorf("eval: iteration limit %d exceeded", opts.MaxIterations)
+			return budget.RoundsExceeded(opts.Budget.Strategy(), round, opts.MaxIterations)
 		}
 		round++
+		opts.Budget.Round()
 		opts.Collector.AddIteration()
 		for p := range inStratum {
 			newFacts[p] = rel.New(total[p].Arity())
@@ -189,6 +201,7 @@ func runStratum(rules []ast.Rule, inStratum map[string]bool, view *database.Data
 			delta[p] = d
 			added := total[p].InsertAll(d)
 			opts.Collector.AddInserted(added)
+			opts.Budget.AddDerived(added, total[p].Arity())
 			if added > 0 {
 				changed = true
 			}

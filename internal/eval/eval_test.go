@@ -1,10 +1,11 @@
 package eval
 
 import (
-	"strings"
+	"errors"
 	"testing"
 
 	"sepdl/internal/ast"
+	"sepdl/internal/budget"
 	"sepdl/internal/database"
 	"sepdl/internal/parser"
 	"sepdl/internal/stats"
@@ -147,8 +148,12 @@ func TestIterationLimit(t *testing.T) {
 	db := database.New()
 	mustLoad(t, db, `edge(a, b). edge(b, c). edge(c, d). edge(d, e).`)
 	_, err := Run(mustProgram(t, tcProg), db, Options{MaxIterations: 2})
-	if err == nil || !strings.Contains(err.Error(), "iteration limit") {
-		t.Fatalf("err = %v, want iteration limit", err)
+	if !errors.Is(err, budget.ErrBudget) {
+		t.Fatalf("err = %v, want budget.ErrBudget", err)
+	}
+	var re *budget.ResourceError
+	if !errors.As(err, &re) || re.Limit != budget.LimitRounds || re.Max != 2 {
+		t.Fatalf("err = %#v, want rounds ResourceError with Max=2", err)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sepdl/internal/ast"
+	"sepdl/internal/budget"
 	"sepdl/internal/conj"
 	"sepdl/internal/database"
 	"sepdl/internal/rel"
@@ -32,6 +33,10 @@ type Materialized struct {
 	// (used by DeleteFact's re-derivation phase).
 	support map[string][]*supportCheck
 	col     *stats.Collector
+	bud     *budget.Budget
+	// broken records a budget abort that interrupted a maintenance pass
+	// mid-mutation; the view is then inconsistent and refuses further use.
+	broken error
 }
 
 type occurrence struct {
@@ -43,6 +48,17 @@ type occurrence struct {
 // The EDB relations are deep-copied so later AddFact calls do not mutate
 // the caller's database.
 func Materialize(prog *ast.Program, db *database.Database, col *stats.Collector) (*Materialized, error) {
+	return MaterializeBudget(prog, db, col, nil)
+}
+
+// MaterializeBudget is Materialize with a resource budget: the initial
+// fixpoint and every later maintenance pass (AddFact propagation,
+// DeleteFact's DRed phases) check it at round and join-inner-loop
+// granularity. A budget abort during the initial fixpoint leaves the
+// caller's database untouched; an abort after a maintenance pass has begun
+// mutating marks the view invalid (every later call errors), since a
+// half-propagated view would silently return wrong answers.
+func MaterializeBudget(prog *ast.Program, db *database.Database, col *stats.Collector, bud *budget.Budget) (*Materialized, error) {
 	if prog.HasNegation() {
 		return nil, fmt.Errorf("eval: incremental maintenance requires a negation-free program")
 	}
@@ -62,7 +78,7 @@ func Materialize(prog *ast.Program, db *database.Database, col *stats.Collector)
 		}
 	}
 	// Initial fixpoint.
-	fixed, err := Run(prog, view, Options{Collector: col})
+	fixed, err := Run(prog, view, Options{Collector: col, Budget: bud})
 	if err != nil {
 		return nil, err
 	}
@@ -74,6 +90,7 @@ func Materialize(prog *ast.Program, db *database.Database, col *stats.Collector)
 		occs:    make(map[string][]occurrence),
 		support: make(map[string][]*supportCheck),
 		col:     col,
+		bud:     bud,
 	}
 	for p := range idb {
 		m.total[p] = fixed.Relation(p)
@@ -84,6 +101,7 @@ func Materialize(prog *ast.Program, db *database.Database, col *stats.Collector)
 		if err != nil {
 			return nil, err
 		}
+		plan.SetTick(bud.TickFunc())
 		proj, err := conj.NewProjector(r.Head, plan, intern)
 		if err != nil {
 			return nil, err
@@ -96,9 +114,21 @@ func Materialize(prog *ast.Program, db *database.Database, col *stats.Collector)
 		if err != nil {
 			return nil, err
 		}
+		sc.plan.SetTick(bud.TickFunc())
 		m.support[r.Head.Pred] = append(m.support[r.Head.Pred], sc)
 	}
 	return m, nil
+}
+
+// Broken reports the budget abort that invalidated the view, if any.
+func (m *Materialized) Broken() error { return m.broken }
+
+// checkUsable rejects operations on a view a mid-mutation abort corrupted.
+func (m *Materialized) checkUsable() error {
+	if m.broken != nil {
+		return fmt.Errorf("eval: view invalidated by an aborted maintenance pass: %w", m.broken)
+	}
+	return nil
 }
 
 // View returns the maintained database view (base copies + IDB totals).
@@ -109,6 +139,9 @@ func (m *Materialized) View() *database.Database { return m.view }
 // fact for an IDB predicate or an unknown arity is an error. Reports
 // whether the fact was new.
 func (m *Materialized) AddFact(pred string, args ...string) (bool, error) {
+	if err := m.checkUsable(); err != nil {
+		return false, err
+	}
 	if ast.Builtin(pred) {
 		return false, fmt.Errorf("eval: %s is a builtin predicate", pred)
 	}
@@ -143,8 +176,27 @@ func (m *Materialized) AddFact(pred string, args ...string) (bool, error) {
 	}
 	delta := rel.New(len(t))
 	delta.Insert(t)
-	m.propagate(pred, delta)
+	// The base fact is in; from here an abort leaves the IDB relations
+	// behind the base relations, so it poisons the view.
+	if err := m.mutating(func() { m.propagate(pred, delta) }); err != nil {
+		return false, err
+	}
 	return true, nil
+}
+
+// mutating runs a maintenance step that modifies the view, converting a
+// budget abort into an error and marking the view invalid (the step may
+// have been interrupted between mutations).
+func (m *Materialized) mutating(f func()) error {
+	err := func() (err error) {
+		defer budget.Guard(&err)
+		f()
+		return nil
+	}()
+	if err != nil {
+		m.broken = err
+	}
+	return err
 }
 
 // propagate pushes a delta for pred through every rule occurrence,
@@ -158,6 +210,7 @@ func (m *Materialized) propagate(pred string, delta *rel.Relation) {
 	}
 	queue := []work{{pred, delta}}
 	for len(queue) > 0 {
+		m.bud.Round()
 		w := queue[0]
 		queue = queue[1:]
 		newByHead := make(map[string]*rel.Relation)
@@ -188,6 +241,7 @@ func (m *Materialized) propagate(pred string, delta *rel.Relation) {
 			}
 			added := m.total[head].InsertAll(d)
 			m.col.AddInserted(added)
+			m.bud.AddDerived(added, m.total[head].Arity())
 			m.col.Observe(head, m.total[head].Len())
 			queue = append(queue, work{head, d})
 		}
@@ -198,5 +252,8 @@ func (m *Materialized) propagate(pred string, delta *rel.Relation) {
 // Answer evaluates a query against the maintained view (index lookup and
 // projection only — no fixpoint work).
 func (m *Materialized) Answer(q ast.Atom) (*rel.Relation, error) {
+	if err := m.checkUsable(); err != nil {
+		return nil, err
+	}
 	return Answer(m.view, q)
 }

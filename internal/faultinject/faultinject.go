@@ -1,0 +1,78 @@
+// Package faultinject deterministically injects failures and stalls into
+// running evaluations, at exact points inside every strategy's inner loops.
+// It drives the robustness tests: every strategy must surface an injected
+// error cleanly — typed error out, no panic, no goroutine leak, no partial
+// mutation of the caller's database.
+//
+// Two seams are provided. An Injector plugs into budget.NewProbed, firing
+// on the Nth inner-loop tick or fixpoint round of whatever evaluation the
+// budget governs. Source wraps a conj.RelSource so a specific relation
+// lookup fails, modelling a storage layer that dies mid-join.
+package faultinject
+
+import (
+	"sync/atomic"
+	"time"
+
+	"sepdl/internal/budget"
+	"sepdl/internal/conj"
+	"sepdl/internal/rel"
+)
+
+// Injector triggers one fault at the Nth event it observes. The counter is
+// atomic so the race detector stays quiet even when a test inspects it
+// from another goroutine; evaluation itself is single-threaded.
+type Injector struct {
+	at    int64
+	count int64
+	err   error
+	stall time.Duration
+}
+
+// FailAt returns an injector whose probe fails with err on the nth event
+// (1-based) and every event after it.
+func FailAt(n int, err error) *Injector {
+	return &Injector{at: int64(n), err: err}
+}
+
+// StallAt returns an injector whose probe blocks for d on the nth event,
+// modelling a hung I/O dependency; the evaluation's own deadline handling
+// must then cut the query off at the next poll.
+func StallAt(n int, d time.Duration) *Injector {
+	return &Injector{at: int64(n), stall: d}
+}
+
+// Probe adapts the injector to budget.NewProbed.
+func (i *Injector) Probe() func() error {
+	return func() error {
+		n := atomic.AddInt64(&i.count, 1)
+		if n < i.at {
+			return nil
+		}
+		if i.stall > 0 && n == i.at {
+			time.Sleep(i.stall)
+			return nil
+		}
+		return i.err
+	}
+}
+
+// Events returns how many probe events the injector observed.
+func (i *Injector) Events() int { return int(atomic.LoadInt64(&i.count)) }
+
+// Triggered reports whether the fault point was reached.
+func (i *Injector) Triggered() bool { return atomic.LoadInt64(&i.count) >= i.at }
+
+// Source wraps src so the nth lookup (1-based) of pred aborts the
+// enclosing evaluation with err, the way a failing storage layer would
+// surface inside a join. The abort unwinds through the strategy's
+// budget.Guard, so callers see err as the evaluation's returned error.
+func Source(src conj.RelSource, pred string, n int, err error) conj.RelSource {
+	var count int64
+	return func(atomIdx int, p string) *rel.Relation {
+		if p == pred && atomic.AddInt64(&count, 1) >= int64(n) {
+			budget.Abort(err)
+		}
+		return src(atomIdx, p)
+	}
+}

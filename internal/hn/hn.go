@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"sepdl/internal/ast"
+	"sepdl/internal/budget"
 	"sepdl/internal/conj"
 	"sepdl/internal/core"
 	"sepdl/internal/database"
@@ -54,11 +55,16 @@ type Options struct {
 	MaxWork int
 	// Analysis supplies a precomputed separability analysis.
 	Analysis *core.Analysis
+	// Budget, when non-nil, is checked per rule string and at
+	// join-inner-loop granularity; exceeding it aborts with a
+	// *budget.ResourceError.
+	Budget *budget.Budget
 }
 
 // Answer evaluates the selection query q with the Henschen-Naqvi iterative
 // method. When it terminates, the result matches semi-naive evaluation.
-func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) (*rel.Relation, error) {
+func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) (_ *rel.Relation, err error) {
+	defer budget.Guard(&err)
 	a := opts.Analysis
 	if a == nil {
 		var err error
@@ -75,7 +81,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 		return nil, fmt.Errorf("%w: query is %s", ErrUnsupported, sel.Kind)
 	}
 
-	base, err := core.MaterializeSupport(prog, db, q.Pred, opts.Collector)
+	base, err := core.MaterializeSupport(prog, db, q.Pred, opts.Collector, opts.Budget)
 	if err != nil {
 		return nil, err
 	}
@@ -112,6 +118,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 			if err != nil {
 				return nil, err
 			}
+			tr.SetTick(opts.Budget.TickFunc())
 			ruleTrans = append(ruleTrans, tr)
 		}
 	}
@@ -140,6 +147,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 		if err != nil {
 			return nil, err
 		}
+		tr.SetTick(opts.Budget.TickFunc())
 		exits = append(exits, tr)
 	}
 	type p2trans struct {
@@ -165,6 +173,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 			if err != nil {
 				return nil, err
 			}
+			tr.SetTick(opts.Budget.TickFunc())
 			p2 = append(p2, p2trans{tr: tr, colIdx: colIdx})
 		}
 	}
@@ -189,7 +198,9 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 			}
 		}
 		seen := carry.Clone()
+		opts.Budget.AddDerived(seen.Len(), len(outCols))
 		for !carry.Empty() && len(p2) > 0 {
+			opts.Budget.Round()
 			next := rel.New(len(outCols))
 			classVals := make(rel.Tuple, 0, 8)
 			for _, tup := range carry.Rows() {
@@ -209,7 +220,8 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 				}
 			}
 			carry = next.Difference(seen)
-			seen.InsertAll(carry)
+			added := seen.InsertAll(carry)
+			opts.Budget.AddDerived(added, len(outCols))
 		}
 		bindingsTotal += seen.Len()
 		for _, tup := range seen.Rows() {
@@ -229,6 +241,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 	seedRel.Insert(seed)
 	frontier := []stringState{{depth: 0, bindings: seedRel}}
 	for len(frontier) > 0 {
+		opts.Budget.Round()
 		st := frontier[0]
 		frontier = frontier[1:]
 		if st.depth > maxDepth {
@@ -245,6 +258,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 				})
 			}
 			if !child.Empty() {
+				opts.Budget.AddDerived(child.Len(), len(driverCols))
 				frontier = append(frontier, stringState{depth: st.depth + 1, bindings: child})
 			}
 		}

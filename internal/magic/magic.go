@@ -20,6 +20,7 @@ import (
 
 	"sepdl/internal/adorn"
 	"sepdl/internal/ast"
+	"sepdl/internal/budget"
 	"sepdl/internal/database"
 	"sepdl/internal/eval"
 	"sepdl/internal/rel"
@@ -160,6 +161,9 @@ type Options struct {
 	// Supplementary uses the supplementary-magic rewrite of [BR87]
 	// (RewriteSupplementary) instead of the basic rewrite.
 	Supplementary bool
+	// Budget, when non-nil, governs the bottom-up evaluation of the
+	// rewritten program at round and join-inner-loop granularity.
+	Budget *budget.Budget
 }
 
 // Answer evaluates query q over prog and db with the Generalized Magic Sets
@@ -178,6 +182,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 		Collector:     opts.Collector,
 		MaxIterations: opts.MaxIterations,
 		Naive:         opts.Naive,
+		Budget:        opts.Budget,
 	})
 	if err != nil {
 		return nil, err

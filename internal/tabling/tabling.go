@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"sepdl/internal/ast"
+	"sepdl/internal/budget"
 	"sepdl/internal/core"
 	"sepdl/internal/database"
 	"sepdl/internal/eval"
@@ -32,6 +33,9 @@ type Options struct {
 	Collector *stats.Collector
 	// MaxGoals bounds the number of distinct tabled goals; 0 means 1<<20.
 	MaxGoals int
+	// Budget, when non-nil, is checked per goal-solving pass and per
+	// candidate tuple; exceeding it aborts with a *budget.ResourceError.
+	Budget *budget.Budget
 }
 
 type goal struct {
@@ -50,6 +54,7 @@ type solver struct {
 	goalIdx  map[string]int
 	arities  map[string]int
 	col      *stats.Collector
+	bud      *budget.Budget
 	maxGoals int
 	changed  bool
 	err      error
@@ -109,7 +114,8 @@ func (s *solver) markDirty(k string) {
 }
 
 // Answer evaluates the selection (or full) query q top-down with tabling.
-func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) (*rel.Relation, error) {
+func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) (_ *rel.Relation, err error) {
+	defer budget.Guard(&err)
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
@@ -143,6 +149,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 		goalIdx:  make(map[string]int),
 		arities:  arities,
 		col:      opts.Collector,
+		bud:      opts.Budget,
 		maxGoals: maxGoals,
 		deps:     make(map[string]map[int]bool),
 		current:  -1,
@@ -160,6 +167,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 	// Dependency-driven fixpoint: solve dirty goals until none remain; a
 	// goal is re-queued only when a table it reads grows.
 	for len(s.dirty) > 0 {
+		s.bud.Round()
 		gi := s.dirty[len(s.dirty)-1]
 		s.dirty = s.dirty[:len(s.dirty)-1]
 		s.inDirty[gi] = false
@@ -231,6 +239,7 @@ func (s *solver) solveOnce(g goal) {
 			}
 			if table.Insert(row) {
 				s.changed = true
+				s.bud.AddDerived(1, len(row))
 			}
 		})
 	}
@@ -305,6 +314,7 @@ func (s *solver) solveBody(r ast.Rule, i int, binding map[string]rel.Value, emit
 	if a.Negated {
 		// EDB-only by the scope check; all vars are bound (Validate).
 		for _, t := range candidates {
+			s.bud.Tick()
 			if matchAtom(s, a, t, binding) != nil {
 				return // a match refutes the negation
 			}
@@ -360,7 +370,7 @@ func matchAtom(s *solver, a ast.Atom, t rel.Tuple, binding map[string]rel.Value)
 // base predicates behave identically. (Plain Answer already handles them
 // as subgoals; this variant exists for parity benchmarks.)
 func AnswerWithSupport(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) (*rel.Relation, error) {
-	base, err := core.MaterializeSupport(prog, db, q.Pred, opts.Collector)
+	base, err := core.MaterializeSupport(prog, db, q.Pred, opts.Collector, opts.Budget)
 	if err != nil {
 		return nil, err
 	}

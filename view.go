@@ -1,6 +1,7 @@
 package sepdl
 
 import (
+	"context"
 	"time"
 
 	"sepdl/internal/eval"
@@ -26,13 +27,47 @@ type View struct {
 // Materialize computes all IDB relations of the engine's current program
 // over its current facts and returns a maintainable view.
 func (e *Engine) Materialize() (*View, error) {
+	return e.MaterializeCtx(context.Background())
+}
+
+// MaterializeCtx is Materialize under ctx and the WithBudget / WithDeadline
+// options (other options are ignored). The context and deadline govern the
+// initial computation only; the tuple, round, and byte limits are
+// cumulative across the initial computation and all later incremental
+// maintenance through the view. An abort during the initial computation
+// leaves no view; an abort while propagating a later AddFact or DeleteFact
+// marks the view broken (see View.Broken) because its relations may be
+// half-updated.
+func (e *Engine) MaterializeCtx(ctx context.Context, opts ...QueryOption) (*View, error) {
+	cfg := queryConfig{strategy: Auto}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.deadline)
+		defer cancel()
+	}
+	bud := cfg.tracker(ctx)
+	if err := bud.Err(); err != nil {
+		return nil, err
+	}
+	bud.SetStrategy(string(Materialized))
 	col := stats.New()
-	m, err := eval.Materialize(e.prog, e.db, col)
+	m, err := eval.MaterializeBudget(e.prog, e.db, col, bud)
 	if err != nil {
 		return nil, err
 	}
+	// The build's context (and any WithDeadline timer, canceled above on
+	// return) must not poison maintenance performed later.
+	bud.DetachContext()
 	return &View{m: m, col: col}, nil
 }
+
+// Broken reports the error that interrupted a mutation mid-propagation,
+// if any. A broken view's relations may be half-updated, so all further
+// operations on it fail with this error; rebuild with MaterializeCtx.
+func (v *View) Broken() error { return v.m.Broken() }
 
 // AddFact inserts a base fact into the view and propagates its
 // consequences incrementally. It reports whether the fact was new.
