@@ -1,5 +1,6 @@
 # Tier-1 verify: everything a change must keep green (see ROADMAP.md).
-.PHONY: verify vet build test bench
+# For deeper concurrency soak-testing beyond tier-1, run `make stress`.
+.PHONY: verify vet build test bench stress fuzz
 
 verify: vet build test
 
@@ -14,3 +15,16 @@ test:
 
 bench:
 	go run ./cmd/sepbench -quick
+
+# stress repeats the concurrent-serving tests under the race detector and
+# replays the parser fuzz seed corpus. It is slower than tier-1 and meant
+# for changes that touch the engine's locking, admission, or view repair.
+stress:
+	go test -race -run Concurrent -count=5 ./...
+	go test -run 'Fuzz' ./internal/parser/
+
+# fuzz runs each parser fuzzer for a short budget of new inputs.
+fuzz:
+	go test -fuzz FuzzProgram -fuzztime 30s ./internal/parser/
+	go test -fuzz FuzzQuery -fuzztime 15s ./internal/parser/
+	go test -fuzz FuzzFacts -fuzztime 15s ./internal/parser/

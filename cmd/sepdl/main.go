@@ -6,8 +6,15 @@
 // Usage:
 //
 //	sepdl -program rules.dl -facts data.dl -query 'buys(tom, Y)?' [-strategy separable] [-stats] [-explain]
-//	sepdl -program rules.dl -facts data.dl -query '...' -timeout 2s -max-tuples 100000
+//	sepdl -program rules.dl -facts data.dl -query '...' -timeout 2s -max-tuples 100000 -fallback
+//	sepdl -program rules.dl -facts data.dl -query '...' -parallel 8 -concurrency 2 -admit-wait 5s
 //	sepdl -program rules.dl -facts data.dl            # REPL on stdin
+//
+// -concurrency bounds how many queries evaluate at once (0 = unlimited;
+// negative admits none, a drain mode); a query rejected by admission
+// control exits with status 3. -parallel fires the same -query N times
+// concurrently, exercising snapshot isolation and admission control.
+// -fallback retries a budget-aborted compiled strategy under semi-naive.
 //
 // In the REPL, enter queries like "buys(tom, Y)?"; lines starting with
 // ":explain " explain the strategy choice, ":analyze PRED" prints the
@@ -18,11 +25,14 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"sepdl"
@@ -46,6 +56,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		dumpPath    = fs.String("dump", "", "write the loaded facts to this file (sorted, parseable) and exit")
 		timeout     = fs.Duration("timeout", 0, "wall-clock limit per query (e.g. 2s); 0 means unlimited")
 		maxTuples   = fs.Int("max-tuples", 0, "limit on derived tuples per query; 0 means unlimited")
+		concurrency = fs.Int("concurrency", 0, "max queries evaluated at once; 0 unlimited, negative admits none (drain)")
+		admitWait   = fs.Duration("admit-wait", 0, "how long an over-limit query queues for a slot before failing overloaded")
+		parallel    = fs.Int("parallel", 1, "fire the -query this many times concurrently")
+		fallback    = fs.Bool("fallback", false, "retry a budget-aborted compiled strategy under semi-naive")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -55,7 +69,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	e := sepdl.New()
+	e := sepdl.New(
+		sepdl.WithMaxConcurrent(*concurrency),
+		sepdl.WithAdmissionWait(*admitWait),
+	)
 	src, err := os.ReadFile(*programPath)
 	if err != nil {
 		fmt.Fprintln(stderr, "sepdl:", err)
@@ -93,11 +110,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	limits := queryLimits{timeout: *timeout, maxTuples: *maxTuples}
+	limits := queryLimits{timeout: *timeout, maxTuples: *maxTuples, fallback: *fallback}
 	if *query != "" {
+		if *parallel > 1 {
+			return runParallel(e, stdout, stderr, *query, *strategy, *relaxed, *showStats, *parallel, limits)
+		}
 		if err := runQuery(e, stdout, *query, *strategy, *relaxed, *showStats, *explain, limits); err != nil {
-			fmt.Fprintln(stderr, "sepdl:", err)
-			return 1
+			return reportQueryError(stderr, err)
 		}
 		return 0
 	}
@@ -151,6 +170,54 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 type queryLimits struct {
 	timeout   time.Duration
 	maxTuples int
+	fallback  bool
+}
+
+// reportQueryError prints a query failure and maps it to an exit code:
+// 3 for an admission-control rejection (the engine is overloaded, the
+// query was never evaluated), 1 for everything else.
+func reportQueryError(stderr io.Writer, err error) int {
+	if errors.Is(err, sepdl.ErrOverloaded) {
+		fmt.Fprintln(stderr, "sepdl: overloaded:", err)
+		return 3
+	}
+	fmt.Fprintln(stderr, "sepdl:", err)
+	return 1
+}
+
+// runParallel fires the same query n times concurrently. Each worker
+// renders into a private buffer; outputs are printed in worker order once
+// all complete, so concurrent runs stay readable. The exit code is 0 only
+// if every run succeeded; an overload rejection wins over other failures
+// so scripts can distinguish load shedding from bad queries.
+func runParallel(e *sepdl.Engine, stdout, stderr io.Writer, query, strategy string, relaxed, showStats bool, n int, limits queryLimits) int {
+	outs := make([]bytes.Buffer, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = runQuery(e, &outs[i], query, strategy, relaxed, showStats, false, limits)
+		}()
+	}
+	wg.Wait()
+	code := 0
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(stdout, "%% run %d/%d\n", i+1, n)
+		if errs[i] != nil {
+			if c := reportQueryError(stderr, errs[i]); c == 3 || code == 0 {
+				code = c
+			}
+			continue
+		}
+		if _, err := io.Copy(stdout, &outs[i]); err != nil {
+			fmt.Fprintln(stderr, "sepdl:", err)
+			code = 1
+		}
+	}
+	return code
 }
 
 func runQuery(e *sepdl.Engine, w io.Writer, query, strategy string, relaxed, showStats, explain bool, limits queryLimits) error {
@@ -171,6 +238,9 @@ func runQuery(e *sepdl.Engine, w io.Writer, query, strategy string, relaxed, sho
 	if limits.maxTuples > 0 {
 		opts = append(opts, sepdl.WithBudget(sepdl.Budget{MaxTuples: limits.maxTuples}))
 	}
+	if limits.fallback {
+		opts = append(opts, sepdl.WithFallback())
+	}
 	res, err := e.Query(query, opts...)
 	if err != nil {
 		return err
@@ -190,8 +260,12 @@ func runQuery(e *sepdl.Engine, w io.Writer, query, strategy string, relaxed, sho
 	}
 	if showStats {
 		st := res.Stats
-		fmt.Fprintf(w, "%% strategy=%s time=%s iterations=%d inserted=%d max=%s(%d)\n",
-			st.Strategy, st.Duration, st.Iterations, st.Inserted, st.MaxRelation, st.MaxRelationSize)
+		from := ""
+		if st.FallbackFrom != "" {
+			from = fmt.Sprintf(" fallback-from=%s", st.FallbackFrom)
+		}
+		fmt.Fprintf(w, "%% strategy=%s%s time=%s iterations=%d inserted=%d max=%s(%d)\n",
+			st.Strategy, from, st.Duration, st.Iterations, st.Inserted, st.MaxRelation, st.MaxRelationSize)
 		for name, size := range st.RelationSizes {
 			fmt.Fprintf(w, "%%   %s: %d\n", name, size)
 		}

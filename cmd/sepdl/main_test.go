@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"strings"
 	"testing"
@@ -181,5 +182,98 @@ func TestTimeoutFlag(t *testing.T) {
 	}
 	if !strings.Contains(errOut, "deadline") {
 		t.Fatalf("stderr = %q, want deadline error", errOut)
+	}
+}
+
+func TestConcurrencyFlagOverloaded(t *testing.T) {
+	// A negative limit is drain mode: no query is admitted, which makes the
+	// overloaded path deterministic from the CLI.
+	_, errOut, code := runCLI(t, "", "-program", rulesPath, "-facts", factsPath,
+		"-concurrency", "-1", "-query", "buys(tom, Y)?")
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3", code)
+	}
+	if !strings.Contains(errOut, "sepdl: overloaded") {
+		t.Fatalf("stderr = %q, want overloaded message", errOut)
+	}
+}
+
+func TestParallelFlagAllRunsAnswer(t *testing.T) {
+	// More workers than admission slots, but a generous admission wait lets
+	// everyone queue for a slot, so all runs must still answer.
+	out, errOut, code := runCLI(t, "", "-program", rulesPath, "-facts", factsPath,
+		"-parallel", "4", "-concurrency", "2", "-admit-wait", "30s", "-query", "buys(tom, Y)?")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr %q)", code, errOut)
+	}
+	for i := 1; i <= 4; i++ {
+		if !strings.Contains(out, fmt.Sprintf("%% run %d/4", i)) {
+			t.Errorf("output missing run %d header:\n%s", i, out)
+		}
+	}
+	if got := strings.Count(out, "2 answer(s)"); got != 4 {
+		t.Errorf("answer footers = %d, want 4:\n%s", got, out)
+	}
+}
+
+func TestParallelFlagOverloadSheds(t *testing.T) {
+	// Drain mode with several workers: every run is shed, each reports the
+	// overloaded message, and the exit code is the admission-control 3.
+	// (A positive limit would shed nondeterministically here — the runs can
+	// finish fast enough to never overlap — so the test drains instead.)
+	out, errOut, code := runCLI(t, "", "-program", rulesPath, "-facts", factsPath,
+		"-parallel", "4", "-concurrency", "-1", "-query", "buys(tom, Y)?")
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3 (stderr %q)", code, errOut)
+	}
+	if got := strings.Count(errOut, "sepdl: overloaded"); got != 4 {
+		t.Fatalf("overloaded messages = %d, want 4:\n%s", got, errOut)
+	}
+	// Run headers still appear so the shed runs are attributable.
+	if !strings.Contains(out, "% run 4/4") {
+		t.Errorf("output missing run headers:\n%s", out)
+	}
+}
+
+// writeChainFixture writes a 10-node friend chain with the buys program to
+// dir. Semi-naive derives exactly 10 tuples answering buys(a0, Y)?; the
+// magic rewrite derives 20 (magic@ seeds plus bound answers), so a tuple
+// budget of 12 trips magic while semi-naive fits.
+func writeChainFixture(t *testing.T, dir string) (rules, facts string) {
+	t.Helper()
+	rules = dir + "/chain.dl"
+	facts = dir + "/chain_facts.dl"
+	prog := "buys(X, Y) :- perfectFor(X, Y).\nbuys(X, Y) :- friend(X, W) & buys(W, Y).\n"
+	var b strings.Builder
+	for i := 0; i < 9; i++ {
+		fmt.Fprintf(&b, "friend(a%d, a%d).\n", i, i+1)
+	}
+	b.WriteString("perfectFor(a9, g).\n")
+	if err := os.WriteFile(rules, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(facts, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return rules, facts
+}
+
+func TestFallbackFlagReportsStrategy(t *testing.T) {
+	rules, facts := writeChainFixture(t, t.TempDir())
+	_, errOut, code := runCLI(t, "", "-program", rules, "-facts", facts,
+		"-strategy", "magic", "-max-tuples", "12", "-query", "buys(a0, Y)?")
+	if code != 1 || !strings.Contains(errOut, "tuples limit") {
+		t.Fatalf("without -fallback: exit=%d stderr=%q, want budget failure", code, errOut)
+	}
+	out, errOut, code := runCLI(t, "", "-program", rules, "-facts", facts,
+		"-strategy", "magic", "-max-tuples", "12", "-fallback", "-stats", "-query", "buys(a0, Y)?")
+	if code != 0 {
+		t.Fatalf("with -fallback: exit = %d (stderr %q)", code, errOut)
+	}
+	if !strings.Contains(out, "1 answer(s)") || !strings.Contains(out, "g") {
+		t.Errorf("fallback answers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "strategy=seminaive") || !strings.Contains(out, "fallback-from=magic") {
+		t.Errorf("stats missing fallback report:\n%s", out)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"sepdl/internal/aho"
@@ -43,21 +44,164 @@ const (
 )
 
 // Engine holds a program and a fact database and answers queries.
-// The zero value is not usable; construct with New. An Engine is not safe
-// for concurrent use.
+// The zero value is not usable; construct with New.
+//
+// An Engine is safe for concurrent use. Queries run under snapshot
+// isolation: each Query/QueryCtx (and each Materialize) evaluates against
+// an immutable copy-on-write snapshot of the fact database taken at entry,
+// so concurrent readers never block each other and never observe a
+// half-applied update. Writers — AddFact, LoadFacts, LoadProgram,
+// ClearProgram — serialize on an internal writer lock and are visible to
+// every query admitted after they return. WithMaxConcurrent adds admission
+// control on top: excess queries queue until a slot frees or their
+// deadline expires, then fail with ErrOverloaded instead of thrashing.
 type Engine struct {
+	// mu serializes database mutation, program swaps, and snapshot
+	// creation (taking a snapshot flips per-relation copy-on-write marks,
+	// so it needs the same exclusion as a write; it is O(#relations) and
+	// never held during evaluation).
+	mu    sync.Mutex
+	db    *database.Database
+	state *progState
+
+	maxConcurrent int
+	admitWait     time.Duration
+	gate          chan struct{}
+}
+
+// progState is one immutable program revision plus its memoized
+// separability analyses. LoadProgram and ClearProgram install a fresh
+// state, so queries already running keep analyzing the revision they
+// started with and never pollute the new cache.
+type progState struct {
 	prog     *ast.Program
-	db       *database.Database
+	mu       sync.Mutex
 	analyses map[string]*core.Analysis
 }
 
+func newProgState(p *ast.Program) *progState {
+	return &progState{prog: p, analyses: make(map[string]*core.Analysis)}
+}
+
+// EngineOption configures an Engine at construction.
+type EngineOption func(*Engine)
+
+// WithMaxConcurrent bounds how many queries (including Materialize calls)
+// the engine evaluates at once. n > 0 admits at most n; a query arriving
+// with every slot busy queues until a slot frees, its context is done, or
+// the WithAdmissionWait bound elapses — whichever is first — and a query
+// that never gets a slot fails with an *OverloadError matching
+// ErrOverloaded. With no admission wait and no context deadline, a query
+// that finds every slot busy is rejected immediately (load shedding).
+// n == 0 (the default) means unlimited. n < 0 admits nothing: every query
+// fails overloaded, a drain mode for maintenance windows and for testing
+// overload handling.
+func WithMaxConcurrent(n int) EngineOption {
+	return func(e *Engine) { e.maxConcurrent = n }
+}
+
+// WithAdmissionWait bounds how long a query queues for an admission slot
+// under WithMaxConcurrent before failing with ErrOverloaded. The query's
+// context deadline still applies while queued; the earlier bound wins.
+func WithAdmissionWait(d time.Duration) EngineOption {
+	return func(e *Engine) { e.admitWait = d }
+}
+
 // New returns an empty engine.
-func New() *Engine {
-	return &Engine{
-		prog:     &ast.Program{},
-		db:       database.New(),
-		analyses: make(map[string]*core.Analysis),
+func New(opts ...EngineOption) *Engine {
+	e := &Engine{
+		db:    database.New(),
+		state: newProgState(&ast.Program{}),
 	}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.maxConcurrent > 0 {
+		e.gate = make(chan struct{}, e.maxConcurrent)
+	}
+	return e
+}
+
+// ErrOverloaded is the sentinel every *OverloadError matches via
+// errors.Is: the engine's admission gate rejected the query because
+// WithMaxConcurrent slots stayed busy for the whole admissible wait.
+var ErrOverloaded = errors.New("sepdl: engine overloaded")
+
+// OverloadError reports a query rejected by admission control: how many
+// slots the engine has, how long the query queued, and the context error
+// that ended the wait (nil when the admission wait elapsed or the engine
+// is draining). It matches ErrOverloaded via errors.Is, plus the context
+// cause when present.
+type OverloadError struct {
+	// MaxConcurrent is the engine's admission limit (negative in drain mode).
+	MaxConcurrent int
+	// Waited is how long the query queued before giving up.
+	Waited time.Duration
+	// Cause is the context error that cut the wait short, if any.
+	Cause error
+}
+
+// Error renders the rejection with its limit and wait.
+func (e *OverloadError) Error() string {
+	if e.MaxConcurrent < 0 {
+		return "sepdl: engine overloaded: draining, no queries admitted"
+	}
+	return fmt.Sprintf("sepdl: engine overloaded: no admission slot freed in %v (max %d concurrent)",
+		e.Waited.Round(time.Microsecond), e.MaxConcurrent)
+}
+
+// Unwrap matches ErrOverloaded always, plus the context cause when present.
+func (e *OverloadError) Unwrap() []error {
+	if e.Cause != nil {
+		return []error{ErrOverloaded, e.Cause}
+	}
+	return []error{ErrOverloaded}
+}
+
+// admit acquires an admission slot, returning the release func. The
+// returned error is always an *OverloadError.
+func (e *Engine) admit(ctx context.Context) (release func(), err error) {
+	if e.maxConcurrent == 0 {
+		return func() {}, nil
+	}
+	if e.maxConcurrent < 0 {
+		return nil, &OverloadError{MaxConcurrent: e.maxConcurrent}
+	}
+	select {
+	case e.gate <- struct{}{}:
+		return func() { <-e.gate }, nil
+	default:
+	}
+	// Every slot is busy: queue with a deadline.
+	if e.admitWait <= 0 && ctx.Done() == nil {
+		// Nothing bounds the wait, so shed immediately rather than pile up
+		// unbounded waiters behind a saturated engine.
+		return nil, &OverloadError{MaxConcurrent: e.maxConcurrent}
+	}
+	var expired <-chan time.Time
+	if e.admitWait > 0 {
+		timer := time.NewTimer(e.admitWait)
+		defer timer.Stop()
+		expired = timer.C
+	}
+	start := time.Now()
+	select {
+	case e.gate <- struct{}{}:
+		return func() { <-e.gate }, nil
+	case <-expired:
+		return nil, &OverloadError{MaxConcurrent: e.maxConcurrent, Waited: time.Since(start)}
+	case <-ctx.Done():
+		return nil, &OverloadError{MaxConcurrent: e.maxConcurrent, Waited: time.Since(start), Cause: ctx.Err()}
+	}
+}
+
+// snapshot captures, under the writer lock, the current program revision
+// and an immutable snapshot of the fact database for one query to evaluate
+// against.
+func (e *Engine) snapshot() (*progState, *database.Database) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.state, e.db.Snapshot()
 }
 
 // LoadProgram parses src and appends its rules to the engine's program.
@@ -66,23 +210,32 @@ func (e *Engine) LoadProgram(src string) error {
 	if err != nil {
 		return err
 	}
-	combined := &ast.Program{Rules: append(append([]ast.Rule{}, e.prog.Rules...), p.Rules...)}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	combined := &ast.Program{Rules: append(append([]ast.Rule{}, e.state.prog.Rules...), p.Rules...)}
 	if err := combined.Validate(); err != nil {
 		return err
 	}
-	e.prog = combined
-	e.analyses = make(map[string]*core.Analysis)
+	e.state = newProgState(combined)
 	return nil
 }
 
 // ClearProgram removes all rules (facts are kept).
 func (e *Engine) ClearProgram() {
-	e.prog = &ast.Program{}
-	e.analyses = make(map[string]*core.Analysis)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.state = newProgState(&ast.Program{})
 }
 
 // ProgramText renders the current rules.
-func (e *Engine) ProgramText() string { return e.prog.String() }
+func (e *Engine) ProgramText() string { return e.progState().prog.String() }
+
+// progState returns the current program revision under the writer lock.
+func (e *Engine) progState() *progState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.state
+}
 
 // LoadFacts parses ground atoms from src and adds them to the database.
 func (e *Engine) LoadFacts(src string) error {
@@ -90,24 +243,41 @@ func (e *Engine) LoadFacts(src string) error {
 	if err != nil {
 		return err
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.db.Load(fs)
 }
 
-// AddFact adds a single fact.
+// AddFact adds a single fact. Queries admitted after AddFact returns see
+// the fact; queries already evaluating keep their snapshot.
 func (e *Engine) AddFact(pred string, args ...string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	_, err := e.db.AddFact(pred, args...)
 	return err
 }
 
 // Predicates returns the names of all relations with facts, sorted.
-func (e *Engine) Predicates() []string { return e.db.Preds() }
+func (e *Engine) Predicates() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.db.Preds()
+}
 
 // NumFacts returns the number of stored base facts.
-func (e *Engine) NumFacts() int { return e.db.NumTuples() }
+func (e *Engine) NumFacts() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.db.NumTuples()
+}
 
 // DistinctConstants returns the paper's n: the number of distinct
 // constants appearing in base facts.
-func (e *Engine) DistinctConstants() int { return e.db.DistinctConstants() }
+func (e *Engine) DistinctConstants() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.db.DistinctConstants()
+}
 
 // Budget bounds the resources one query (or one materialized view) may
 // consume; zero fields mean unlimited. The comparison strategies the paper
@@ -152,6 +322,7 @@ type queryConfig struct {
 	maxIterations     int
 	budget            Budget
 	deadline          time.Duration
+	fallback          bool
 }
 
 // tracker builds the internal budget tracker for ctx and the configured
@@ -201,10 +372,33 @@ func WithDeadline(d time.Duration) QueryOption {
 	return func(c *queryConfig) { c.deadline = d }
 }
 
+// WithFallback opts the query into graceful degradation: if the selected
+// compiled strategy (Separable, Magic, Counting, HN, Aho-Ullman, Tabling)
+// aborts on a tuple, round, or byte budget, the query is retried once
+// under SemiNaive. The retry runs under the same context — any wall-clock
+// deadline spans both attempts, so only the remaining time is available —
+// with a fresh allowance of the per-query tuple/round/byte limits (the
+// aborted attempt consumed its allowance discovering the blowup; the
+// fallback is a different evaluation, bounded the same way). Stats on the
+// returned Result report which strategy ultimately answered: Strategy is
+// the one that produced the answer and FallbackFrom names the strategy
+// that hit its budget first. Deadline expiry and cancellation never fall
+// back — there is no budget left to retry with — and SemiNaive/Naive do
+// not fall back to themselves. If the fallback also fails, the original
+// strategy's error is returned, annotated with the fallback's.
+func WithFallback() QueryOption {
+	return func(c *queryConfig) { c.fallback = true }
+}
+
 // Stats summarizes the work one query performed.
 type Stats struct {
-	// Strategy actually used (differs from the request only under Auto).
+	// Strategy actually used (differs from the request only under Auto, or
+	// when WithFallback retried under SemiNaive).
 	Strategy Strategy
+	// FallbackFrom is the strategy that exhausted its resource budget
+	// before WithFallback's SemiNaive retry answered ("" when the first
+	// strategy answered).
+	FallbackFrom Strategy
 	// RelationSizes maps each relation the strategy materialized to its
 	// peak size — the paper's Definition 4.2 measure.
 	RelationSizes map[string]int
@@ -260,7 +454,8 @@ func (r *Result) String() string { return r.rel.Dump(r.db.Syms) }
 var ErrUnknownStrategy = errors.New("sepdl: unknown strategy")
 
 // testHookEval, when non-nil, runs inside QueryCtx's recovery boundary
-// just before strategy dispatch; tests use it to inject failures.
+// just before strategy dispatch; tests use it to inject failures and to
+// hold admission slots open deterministically.
 var testHookEval func()
 
 // Query parses and evaluates a query such as "buys(tom, Y)?". It is
@@ -270,13 +465,17 @@ func (e *Engine) Query(query string, opts ...QueryOption) (*Result, error) {
 	return e.QueryCtx(context.Background(), query, opts...)
 }
 
-// QueryCtx parses and evaluates a query under ctx. Cancellation and
-// deadlines are honored at fixpoint-round and join-inner-loop granularity
-// by every strategy, so a cut-off returns promptly; the engine's database
-// is never modified by an aborted (or completed) query. A cut-off returns
-// a *ResourceError matching ErrBudgetExceeded and, for context limits,
-// context.DeadlineExceeded or context.Canceled.
-func (e *Engine) QueryCtx(ctx context.Context, query string, opts ...QueryOption) (res *Result, err error) {
+// QueryCtx parses and evaluates a query under ctx. The query evaluates
+// against an immutable snapshot of the database taken at admission, so it
+// is safe to call concurrently with AddFact and other queries and always
+// observes a fully applied state. Cancellation and deadlines are honored
+// at fixpoint-round and join-inner-loop granularity by every strategy, so
+// a cut-off returns promptly; the engine's database is never modified by
+// an aborted (or completed) query. A cut-off returns a *ResourceError
+// matching ErrBudgetExceeded and, for context limits,
+// context.DeadlineExceeded or context.Canceled. Under WithMaxConcurrent,
+// an admission rejection returns an *OverloadError matching ErrOverloaded.
+func (e *Engine) QueryCtx(ctx context.Context, query string, opts ...QueryOption) (*Result, error) {
 	cfg := queryConfig{strategy: Auto}
 	for _, o := range opts {
 		o(&cfg)
@@ -290,6 +489,13 @@ func (e *Engine) QueryCtx(ctx context.Context, query string, opts ...QueryOption
 		ctx, cancel = context.WithTimeout(ctx, cfg.deadline)
 		defer cancel()
 	}
+	release, err := e.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	st, db := e.snapshot()
+
 	bud := cfg.tracker(ctx)
 	if err := bud.Err(); err != nil {
 		return nil, err // context already expired / canceled
@@ -298,27 +504,60 @@ func (e *Engine) QueryCtx(ctx context.Context, query string, opts ...QueryOption
 	start := time.Now()
 
 	strategy := cfg.strategy
-	idb := e.prog.IDBPreds()
-	if !idb[q.Pred] {
+	if !st.prog.IDBPreds()[q.Pred] {
 		// EDB query: answer directly from the base relations.
-		ans, err := eval.Answer(e.db, q)
+		ans, err := eval.Answer(db, q)
 		if err != nil {
 			return nil, err
 		}
-		return e.result(q, ans, Stats{Strategy: strategy, Duration: time.Since(start)}, c), nil
+		return result(db, q, ans, Stats{Strategy: strategy, Duration: time.Since(start)}, c), nil
 	}
 	if strategy == Auto {
-		strategy = e.pick(q, cfg)
+		strategy = pick(st, q, cfg)
 	}
 	bud.SetStrategy(string(strategy))
 
-	// Last-resort recovery: an internal panic must not take down the
-	// caller. A budget abort that escaped a path without its own Guard
-	// still surfaces as its typed error; anything else is reported with
-	// the strategy and query for the bug report.
+	ans, err := runStrategy(st, db, q, query, strategy, cfg, c, bud)
+	fellFrom := Strategy("")
+	if err != nil && cfg.fallback && fallbackEligible(strategy, err) {
+		fbBud := cfg.tracker(ctx)
+		fbBud.SetStrategy(string(SemiNaive))
+		fbCol := stats.New()
+		fbAns, fbErr := runStrategy(st, db, q, query, SemiNaive, cfg, fbCol, fbBud)
+		if fbErr == nil {
+			fellFrom, strategy, ans, err, c = strategy, SemiNaive, fbAns, nil, fbCol
+		} else {
+			err = fmt.Errorf("%w (semi-naive fallback also failed: %v)", err, fbErr)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return result(db, q, ans, Stats{Strategy: strategy, FallbackFrom: fellFrom, Duration: time.Since(start)}, c), nil
+}
+
+// fallbackEligible reports whether WithFallback should retry after err: a
+// resource cutoff that was not the clock running out, on a strategy that
+// is not already the fallback.
+func fallbackEligible(s Strategy, err error) bool {
+	if s == SemiNaive || s == Naive {
+		return false
+	}
+	return errors.Is(err, ErrBudgetExceeded) &&
+		!errors.Is(err, context.DeadlineExceeded) &&
+		!errors.Is(err, context.Canceled)
+}
+
+// runStrategy dispatches one evaluation attempt against an immutable
+// program revision and database snapshot, with the last-resort panic
+// recovery every attempt needs: an internal panic must not take down the
+// caller. A budget abort that escaped a path without its own Guard still
+// surfaces as its typed error; anything else is reported with the strategy
+// and query for the bug report.
+func runStrategy(st *progState, db *database.Database, q ast.Atom, query string, strategy Strategy, cfg queryConfig, c *stats.Collector, bud *budget.Budget) (ans *rel.Relation, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			res = nil
+			ans = nil
 			if aerr, ok := budget.AsAbort(r); ok {
 				err = aerr
 				return
@@ -330,76 +569,74 @@ func (e *Engine) QueryCtx(ctx context.Context, query string, opts ...QueryOption
 		testHookEval()
 	}
 
-	var ans *rel.Relation
 	switch strategy {
 	case Separable:
-		ans, err = core.Answer(e.prog, e.db, q, core.EvalOptions{
+		ans, err = core.Answer(st.prog, db, q, core.EvalOptions{
 			Collector:         c,
-			Analysis:          e.analysis(q.Pred, cfg.allowDisconnected),
+			Analysis:          st.analysis(q.Pred, cfg.allowDisconnected),
 			AllowDisconnected: cfg.allowDisconnected,
 			Budget:            bud,
 		})
 	case MagicSets, MagicSetsSup:
-		ans, err = magic.Answer(e.prog, e.db, q, magic.Options{
+		ans, err = magic.Answer(st.prog, db, q, magic.Options{
 			Collector:     c,
 			MaxIterations: cfg.maxIterations,
 			Supplementary: strategy == MagicSetsSup,
 			Budget:        bud,
 		})
 	case Counting:
-		ans, err = counting.Answer(e.prog, e.db, q, counting.Options{Collector: c, MaxLevels: cfg.maxIterations, Budget: bud})
+		ans, err = counting.Answer(st.prog, db, q, counting.Options{Collector: c, MaxLevels: cfg.maxIterations, Budget: bud})
 	case HenschenNaqvi:
-		ans, err = hn.Answer(e.prog, e.db, q, hn.Options{Collector: c, MaxDepth: cfg.maxIterations, Budget: bud})
+		ans, err = hn.Answer(st.prog, db, q, hn.Options{Collector: c, MaxDepth: cfg.maxIterations, Budget: bud})
 	case AhoUllman:
-		ans, err = aho.Answer(e.prog, e.db, q, aho.Options{Collector: c, MaxIterations: cfg.maxIterations, Budget: bud})
+		ans, err = aho.Answer(st.prog, db, q, aho.Options{Collector: c, MaxIterations: cfg.maxIterations, Budget: bud})
 	case Tabling:
-		ans, err = tabling.Answer(e.prog, e.db, q, tabling.Options{Collector: c, Budget: bud})
+		ans, err = tabling.Answer(st.prog, db, q, tabling.Options{Collector: c, Budget: bud})
 	case SemiNaive, Naive:
 		var view *database.Database
-		view, err = eval.Run(e.prog, e.db, eval.Options{Collector: c, Naive: strategy == Naive, MaxIterations: cfg.maxIterations, Budget: bud})
+		view, err = eval.Run(st.prog, db, eval.Options{Collector: c, Naive: strategy == Naive, MaxIterations: cfg.maxIterations, Budget: bud})
 		if err == nil {
 			ans, err = eval.Answer(view, q)
 		}
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrUnknownStrategy, strategy)
 	}
-	if err != nil {
-		return nil, err
-	}
-	st := Stats{Strategy: strategy, Duration: time.Since(start)}
-	return e.result(q, ans, st, c), nil
+	return ans, err
 }
 
-func (e *Engine) result(q ast.Atom, ans *rel.Relation, st Stats, c *stats.Collector) *Result {
+func result(db *database.Database, q ast.Atom, ans *rel.Relation, st Stats, c *stats.Collector) *Result {
 	st.RelationSizes = c.Sizes
 	st.MaxRelation, st.MaxRelationSize = c.MaxRelation()
 	st.Iterations = c.Iterations
 	st.Inserted = c.Inserted
-	return &Result{Columns: eval.QueryVars(q), Stats: st, rel: ans, db: e.db}
+	return &Result{Columns: eval.QueryVars(q), Stats: st, rel: ans, db: db}
 }
 
 // analysis returns the cached separability analysis for pred, or nil if
-// the recursion is not separable (under the given relaxation).
-func (e *Engine) analysis(pred string, relaxed bool) *core.Analysis {
+// the recursion is not separable (under the given relaxation). The cache
+// is scoped to one program revision and safe for concurrent queries.
+func (st *progState) analysis(pred string, relaxed bool) *core.Analysis {
 	key := pred
 	if relaxed {
 		key = pred + "\x00relaxed"
 	}
-	if a, ok := e.analyses[key]; ok {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if a, ok := st.analyses[key]; ok {
 		return a
 	}
-	a, err := core.AnalyzeOpts(e.prog, pred, core.Options{AllowDisconnected: relaxed})
+	a, err := core.AnalyzeOpts(st.prog, pred, core.Options{AllowDisconnected: relaxed})
 	if err != nil {
 		a = nil
 	}
-	e.analyses[key] = a
+	st.analyses[key] = a
 	return a
 }
 
 // pick implements Auto: Separable when the recursion is separable and the
 // query is a selection; Magic Sets for other selections; semi-naive
 // otherwise.
-func (e *Engine) pick(q ast.Atom, cfg queryConfig) Strategy {
+func pick(st *progState, q ast.Atom, cfg queryConfig) Strategy {
 	hasConst := false
 	for _, t := range q.Args {
 		if !t.IsVar() {
@@ -410,7 +647,7 @@ func (e *Engine) pick(q ast.Atom, cfg queryConfig) Strategy {
 	if !hasConst {
 		return SemiNaive
 	}
-	if a := e.analysis(q.Pred, cfg.allowDisconnected); a != nil {
+	if a := st.analysis(q.Pred, cfg.allowDisconnected); a != nil {
 		if sel, err := a.Classify(q); err == nil && sel.Kind != core.SelNone {
 			return Separable
 		}
@@ -425,7 +662,8 @@ func (e *Engine) Explain(query string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if !e.prog.IDBPreds()[q.Pred] {
+	st := e.progState()
+	if !st.prog.IDBPreds()[q.Pred] {
 		return fmt.Sprintf("%s is a base predicate: direct index lookup", q.Pred), nil
 	}
 	hasConst := false
@@ -437,7 +675,7 @@ func (e *Engine) Explain(query string) (string, error) {
 	if !hasConst {
 		return "no selection constants: semi-naive bottom-up evaluation", nil
 	}
-	a, aerr := core.Analyze(e.prog, q.Pred)
+	a, aerr := core.Analyze(st.prog, q.Pred)
 	if aerr != nil {
 		return fmt.Sprintf("recursion is not separable (%v): Generalized Magic Sets", aerr), nil
 	}
@@ -451,7 +689,7 @@ func (e *Engine) Explain(query string) (string, error) {
 // AnalyzeSeparability runs the Definition 2.4 test on pred's definition
 // and returns the human-readable analysis, or the reason it fails.
 func (e *Engine) AnalyzeSeparability(pred string) (report string, separable bool) {
-	a, err := core.Analyze(e.prog, pred)
+	a, err := core.Analyze(e.progState().prog, pred)
 	if err != nil {
 		return err.Error(), false
 	}
@@ -482,7 +720,7 @@ func (e *Engine) CompilePlan(query string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	a, err := core.Analyze(e.prog, q.Pred)
+	a, err := core.Analyze(e.progState().prog, q.Pred)
 	if err != nil {
 		return "", err
 	}
@@ -490,8 +728,12 @@ func (e *Engine) CompilePlan(query string) (string, error) {
 }
 
 // WriteFacts writes the engine's base facts as sorted, parseable ground
-// atoms, suitable for reloading with LoadFacts.
-func (e *Engine) WriteFacts(w io.Writer) error { return e.db.WriteFacts(w) }
+// atoms, suitable for reloading with LoadFacts. The facts written are a
+// consistent snapshot even while writers run.
+func (e *Engine) WriteFacts(w io.Writer) error {
+	_, db := e.snapshot()
+	return db.WriteFacts(w)
+}
 
 // Why explains a ground fact: it returns a well-founded derivation tree
 // (fact, the rule deriving it, and recursively the supporting facts),
@@ -501,7 +743,8 @@ func (e *Engine) Why(fact string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	ex, err := provenance.New(e.prog, e.db)
+	st, db := e.snapshot()
+	ex, err := provenance.New(st.prog, db)
 	if err != nil {
 		return "", err
 	}

@@ -29,20 +29,23 @@ func Not(a Atom) Atom {
 func (a Atom) Arity() int { return len(a.Args) }
 
 // String renders the atom in Prolog syntax, with a "not " prefix when
-// negated.
+// negated. The predicate name is quoted when it would not lex back as an
+// identifier (the surface syntax admits quoted predicate names, so the
+// rendering must round-trip them).
 func (a Atom) String() string {
 	neg := ""
 	if a.Negated {
 		neg = "not "
 	}
+	pred := QuoteConst(a.Pred)
 	if len(a.Args) == 0 {
-		return neg + a.Pred
+		return neg + pred
 	}
 	parts := make([]string, len(a.Args))
 	for i, t := range a.Args {
 		parts[i] = t.String()
 	}
-	return neg + a.Pred + "(" + strings.Join(parts, ", ") + ")"
+	return neg + pred + "(" + strings.Join(parts, ", ") + ")"
 }
 
 // Apply returns the atom with the substitution applied to every argument.

@@ -291,6 +291,19 @@ func (b *Budget) DetachContext() {
 	}
 }
 
+// Reset zeroes the consumption counters, restoring the full configured
+// allowance; the limits, strategy label, probe, and any attached context
+// are kept. A self-repairing view resets its cumulative budget before
+// re-materializing: the rebuild replaces all previously accounted work, so
+// charging it on top of that work would make repair impossible exactly
+// when it is needed.
+func (b *Budget) Reset() {
+	if b == nil {
+		return
+	}
+	b.tuples, b.rounds, b.bytes, b.ticks = 0, 0, 0, 0
+}
+
 // TickFunc returns Tick as a closure for the join kernel's tick hook, or
 // nil for a nil budget so unbudgeted plans pay nothing per candidate.
 func (b *Budget) TickFunc() func() {

@@ -24,6 +24,28 @@ func New() *Database {
 	return &Database{Syms: symtab.New(), rels: make(map[string]*rel.Relation)}
 }
 
+// NewShared returns an empty database sharing an existing symbol table.
+// View repair uses it to rebuild derived relations over the surviving base
+// relations without re-interning every constant.
+func NewShared(syms *symtab.Table) *Database {
+	return &Database{Syms: syms, rels: make(map[string]*rel.Relation)}
+}
+
+// Snapshot returns an immutable point-in-time view of the database: every
+// relation is snapshotted copy-on-write (see rel.Relation.Snapshot), so the
+// view never observes later mutations of db and is safe to read from other
+// goroutines — each snapshot handle carries its own lazy indexes and
+// scratch buffers. The symbol table is shared (it is itself concurrency
+// safe). Taking a snapshot mutates per-relation bookkeeping, so calls must
+// be serialized with writers; the engine snapshots under its writer lock.
+func (db *Database) Snapshot() *Database {
+	out := &Database{Syms: db.Syms, rels: make(map[string]*rel.Relation, len(db.rels))}
+	for p, r := range db.rels {
+		out.rels[p] = r.Snapshot()
+	}
+	return out
+}
+
 // Relation returns the relation for pred, or nil if pred has no facts.
 func (db *Database) Relation(pred string) *rel.Relation { return db.rels[pred] }
 

@@ -1,0 +1,109 @@
+package database
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSnapshotIsolatesReadersFromWriters(t *testing.T) {
+	db := New()
+	for i := 0; i < 10; i++ {
+		if _, err := db.AddFact("edge", fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := db.Snapshot()
+	if snap.NumTuples() != 10 {
+		t.Fatalf("snapshot NumTuples = %d, want 10", snap.NumTuples())
+	}
+	if snap.Syms != db.Syms {
+		t.Fatal("snapshot does not share the symbol table")
+	}
+
+	// Writes to the master: new tuples in an existing relation and a whole
+	// new relation. Neither shows through the snapshot.
+	if _, err := db.AddFact("edge", "x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AddFact("label", "n0", "start"); err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumTuples() != 10 {
+		t.Fatalf("snapshot NumTuples = %d after master writes, want 10", snap.NumTuples())
+	}
+	if snap.Relation("label") != nil {
+		t.Fatal("snapshot sees a relation created after it was taken")
+	}
+	if db.NumTuples() != 12 {
+		t.Fatalf("master NumTuples = %d, want 12", db.NumTuples())
+	}
+}
+
+func TestSnapshotConcurrentReaders(t *testing.T) {
+	db := New()
+	for i := 0; i < 20; i++ {
+		if _, err := db.AddFact("edge", fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const readers = 8
+	var mu sync.Mutex // stands in for the engine's writer lock
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				mu.Lock()
+				snap := db.Snapshot()
+				mu.Unlock()
+				n := snap.NumTuples()
+				if n < 20 {
+					panic(fmt.Sprintf("snapshot lost tuples: %d", n))
+				}
+				snap.DistinctConstants()
+				for _, p := range snap.Preds() {
+					snap.Relation(p).Rows()
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			mu.Lock()
+			if _, err := db.AddFact("edge", fmt.Sprintf("w%d", i), fmt.Sprintf("w%d", i+1)); err != nil {
+				mu.Unlock()
+				panic(err)
+			}
+			mu.Unlock()
+		}
+	}()
+	wg.Wait()
+	if db.NumTuples() != 220 {
+		t.Fatalf("master NumTuples = %d, want 220", db.NumTuples())
+	}
+}
+
+func TestNewSharedSharesSymbols(t *testing.T) {
+	db := New()
+	if _, err := db.AddFact("p", "a"); err != nil {
+		t.Fatal(err)
+	}
+	shared := NewShared(db.Syms)
+	if shared.Syms != db.Syms {
+		t.Fatal("NewShared did not share the symbol table")
+	}
+	if shared.NumTuples() != 0 || len(shared.Preds()) != 0 {
+		t.Fatal("NewShared is not empty")
+	}
+	v, ok := db.Syms.Lookup("a")
+	if !ok {
+		t.Fatal("constant a not interned")
+	}
+	if got := shared.Syms.Intern("a"); got != v {
+		t.Fatalf("shared table re-interned a as %d, want %d", got, v)
+	}
+}

@@ -194,6 +194,11 @@ func (m *Materialized) DeleteFact(pred string, args ...string) (bool, error) {
 					if sc.derives(src, row) {
 						m.total[p].Insert(row)
 						redelta.Insert(row)
+						// Re-derivation is real maintenance work: without
+						// this the churn of an over-delete/re-derive pass
+						// would be invisible to the tuple and byte budgets.
+						m.col.AddInserted(1)
+						m.bud.AddDerived(1, len(row))
 						break
 					}
 				}

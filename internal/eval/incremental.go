@@ -123,6 +123,48 @@ func MaterializeBudget(prog *ast.Program, db *database.Database, col *stats.Coll
 // Broken reports the budget abort that invalidated the view, if any.
 func (m *Materialized) Broken() error { return m.broken }
 
+// Repair rebuilds a broken view's IDB relations from its base relations
+// and clears the broken mark, restoring service after a maintenance pass
+// was aborted mid-mutation. Base relations always reflect every requested
+// mutation by the time a propagation abort can fire (AddFact inserts the
+// base tuple before propagating; DeleteFact applies base deletions before
+// re-deriving), so the rebuilt fixpoint is exactly the state the
+// interrupted pass was converging to. The cumulative budget is reset first
+// — the rebuild replaces all previously accounted work — and a rebuild
+// that itself aborts leaves the view broken with the new error. Repairing
+// an unbroken view is a no-op.
+func (m *Materialized) Repair() error {
+	if m.broken == nil {
+		return nil
+	}
+	m.bud.Reset()
+	base := database.NewShared(m.view.Syms)
+	for p, r := range m.base {
+		base.Set(p, r)
+	}
+	fixed, err := Run(m.prog, base, Options{Collector: m.col, Budget: m.bud})
+	if err != nil {
+		m.broken = fmt.Errorf("eval: view repair failed: %w", err)
+		return m.broken
+	}
+	m.view = fixed
+	for p := range m.prog.IDBPreds() {
+		m.total[p] = fixed.Relation(p)
+	}
+	m.broken = nil
+	return nil
+}
+
+// SnapshotView returns an immutable snapshot of the maintained view, or
+// the broken error. Concurrent readers answer queries against snapshots so
+// maintenance passes never expose half-updated relations to them.
+func (m *Materialized) SnapshotView() (*database.Database, error) {
+	if err := m.checkUsable(); err != nil {
+		return nil, err
+	}
+	return m.view.Snapshot(), nil
+}
+
 // checkUsable rejects operations on a view a mid-mutation abort corrupted.
 func (m *Materialized) checkUsable() error {
 	if m.broken != nil {

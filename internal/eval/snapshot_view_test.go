@@ -1,0 +1,66 @@
+package eval
+
+import (
+	"testing"
+
+	"sepdl/internal/database"
+	"sepdl/internal/parser"
+)
+
+func TestSnapshotViewFrozenAcrossMaintenance(t *testing.T) {
+	prog, err := parser.Program(`
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z) & path(Z, Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := database.New()
+	fs, err := parser.Facts("edge(a, b).\nedge(b, c).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load(fs); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Materialize(prog, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := m.SnapshotView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.Query("path(a, Y)?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := Answer(snap, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 2 {
+		t.Fatalf("path(a, Y) on snapshot = %d answers, want 2", ans.Len())
+	}
+
+	// Maintenance after the snapshot: the live view changes, the snapshot
+	// does not.
+	if _, err := m.AddFact("edge", "c", "d"); err != nil {
+		t.Fatal(err)
+	}
+	ans, err = Answer(snap, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 2 {
+		t.Fatalf("snapshot observed maintenance: %d answers, want 2", ans.Len())
+	}
+	live, err := m.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Len() != 3 {
+		t.Fatalf("live view = %d answers, want 3", live.Len())
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -23,6 +22,7 @@ import (
 	"sepdl/internal/database"
 	"sepdl/internal/eval"
 	"sepdl/internal/hn"
+	"sepdl/internal/leakcheck"
 	"sepdl/internal/magic"
 	"sepdl/internal/parser"
 	"sepdl/internal/tabling"
@@ -126,7 +126,7 @@ func TestInjectedFailureEveryStrategy(t *testing.T) {
 	}
 	db := chainDB(t, 20)
 	before := dumpDB(t, db)
-	goroutines := runtime.NumGoroutine()
+	leakcheck.Check(t)
 	// Event 1 fires before any derivation; event 10 fires mid-evaluation,
 	// after state the strategy must not publish has accumulated.
 	for _, at := range []int{1, 10} {
@@ -151,9 +151,6 @@ func TestInjectedFailureEveryStrategy(t *testing.T) {
 			})
 		}
 	}
-	if n := runtime.NumGoroutine(); n > goroutines {
-		t.Errorf("goroutines grew from %d to %d", goroutines, n)
-	}
 }
 
 func TestInjectedStallEveryStrategy(t *testing.T) {
@@ -163,6 +160,7 @@ func TestInjectedStallEveryStrategy(t *testing.T) {
 	}
 	db := chainDB(t, 20)
 	before := dumpDB(t, db)
+	leakcheck.Check(t)
 	for _, r := range runners {
 		t.Run(r.name, func(t *testing.T) {
 			// The stall outlives the deadline, so the poll right after the
@@ -270,5 +268,34 @@ func TestViewFaultSemantics(t *testing.T) {
 	}
 	if _, err := m.DeleteFact("friend", "a00", "a01"); !errors.Is(err, errInjected) {
 		t.Fatalf("DeleteFact on broken view = %v, want errInjected", err)
+	}
+
+	// With the probe disarmed (the transient fault cleared), an explicit
+	// Repair rebuilds the derived relations from the base relations. The
+	// interrupted AddFact's base insertion survived, so the healed view
+	// answers as if the propagation had completed: zz reaches all 10 goals.
+	if err := m.Repair(); err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if err := m.Broken(); err != nil {
+		t.Fatalf("Broken() after repair = %v, want nil", err)
+	}
+	ans, err = m.Answer(mustQuery(t, `buys(zz, Y)?`))
+	if err != nil {
+		t.Fatalf("Answer after repair: %v", err)
+	}
+	if ans.Len() != 10 {
+		t.Fatalf("answers for zz after repair = %d, want 10", ans.Len())
+	}
+	// Maintenance works again after the repair.
+	if _, err := m.DeleteFact("friend", "a00", "a01"); err != nil {
+		t.Fatalf("DeleteFact after repair: %v", err)
+	}
+	ans, err = m.Answer(mustQuery(t, `buys(zz, Y)?`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 1 {
+		t.Fatalf("answers for zz after cutting the chain = %d, want 1", ans.Len())
 	}
 }

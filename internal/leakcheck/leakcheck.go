@@ -1,0 +1,50 @@
+// Package leakcheck asserts that a test leaves no goroutines behind. A
+// serving engine that leaks a goroutine per aborted or stalled query will
+// eventually fall over, so every test that cancels, stalls, or overloads
+// evaluation registers a check.
+//
+// The check is count-based: it records runtime.NumGoroutine at
+// registration and, in a t.Cleanup, retries until the count returns to
+// the baseline or a grace period elapses (goroutines unwinding from a
+// canceled context need a moment to exit). On failure it dumps all
+// goroutine stacks so the leak is identifiable.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// grace is how long Check waits for stragglers to unwind before declaring
+// a leak, polling every step.
+const (
+	grace = 2 * time.Second
+	step  = 5 * time.Millisecond
+)
+
+// Check records the current goroutine count and registers a cleanup that
+// fails t if the count has not returned to that baseline by the end of
+// the test (after a retry grace period). Call it at the top of any test
+// that exercises cancellation, stalls, or admission rejection.
+func Check(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(grace)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(step)
+		}
+		if after > before {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Errorf("leakcheck: %d goroutines before test, %d after; stacks:\n%s",
+				before, after, buf[:n])
+		}
+	})
+}

@@ -64,15 +64,15 @@ func TestRewriteShape(t *testing.T) {
 	}
 	s := rw.String()
 	// The seed fact.
-	if !strings.Contains(s, "magic@buys@bf(tom).") {
+	if !strings.Contains(s, `"magic@buys@bf"(tom).`) {
 		t.Errorf("missing seed in:\n%s", s)
 	}
 	// The magic propagation rule through friend (from rule 1).
-	if !strings.Contains(s, "magic@buys@bf(W) :- magic@buys@bf(X) & friend(X, W).") {
+	if !strings.Contains(s, `"magic@buys@bf"(W) :- "magic@buys@bf"(X) & friend(X, W).`) {
 		t.Errorf("missing friend magic rule in:\n%s", s)
 	}
 	// Rule 2 passes the binding unchanged (X bound in head and body).
-	if !strings.Contains(s, "magic@buys@bf(X) :- magic@buys@bf(X).") {
+	if !strings.Contains(s, `"magic@buys@bf"(X) :- "magic@buys@bf"(X).`) {
 		t.Errorf("missing identity magic rule in:\n%s", s)
 	}
 }

@@ -26,11 +26,11 @@ sg(X, Y) :- up(X, U) & sg(U, V) & down(V, Y).
 	// The recursive rule must be decomposed through sup predicates, with
 	// the magic rule for the recursive call fed by sup_1 (after up).
 	for _, want := range []string{
-		"sup@sg@bf@1@0(X) :- magic@sg@bf(X).",
-		"sup@sg@bf@1@1(X, U) :- sup@sg@bf@1@0(X) & up(X, U).",
-		"magic@sg@bf(U) :- sup@sg@bf@1@1(X, U).",
-		"sup@sg@bf@1@2(X, V) :- sup@sg@bf@1@1(X, U) & sg@bf(U, V).",
-		"sg@bf(X, Y) :- sup@sg@bf@1@3(X, Y).",
+		`"sup@sg@bf@1@0"(X) :- "magic@sg@bf"(X).`,
+		`"sup@sg@bf@1@1"(X, U) :- "sup@sg@bf@1@0"(X) & up(X, U).`,
+		`"magic@sg@bf"(U) :- "sup@sg@bf@1@1"(X, U).`,
+		`"sup@sg@bf@1@2"(X, V) :- "sup@sg@bf@1@1"(X, U) & "sg@bf"(U, V).`,
+		`"sg@bf"(X, Y) :- "sup@sg@bf@1@3"(X, Y).`,
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("missing %q in rewrite:\n%s", want, s)
@@ -53,7 +53,7 @@ p(Y) :- e(X, W) & f(W, Y).
 	}
 	s := rw.String()
 	// After e(X, W), only W is needed (X never again): sup_1 carries W.
-	if !strings.Contains(s, "sup@p@f@0@1(W) :- sup@p@f@0@0 & e(X, W).") {
+	if !strings.Contains(s, `"sup@p@f@0@1"(W) :- "sup@p@f@0@0" & e(X, W).`) {
 		t.Errorf("sup_1 not narrowed to W:\n%s", s)
 	}
 }

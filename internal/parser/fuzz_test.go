@@ -1,10 +1,36 @@
 package parser
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// addFileSeeds seeds f with every .dl file under the repository's shared
+// testdata directory, so the fuzzers start from realistic programs and
+// fact files rather than only the inline corpus.
+func addFileSeeds(f *testing.F) {
+	f.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.dl"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no testdata seeds found; run from the repository layout")
+	}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+}
 
 // FuzzProgram checks that the parser never panics and that every accepted
 // program round-trips through its String rendering.
 func FuzzProgram(f *testing.F) {
+	addFileSeeds(f)
 	seeds := []string{
 		"t(X, Y) :- a(X, W) & t(W, Y).",
 		"t(X, Y) :- e(X, Y).\nt(X,Y) :- t(X,W), c(Y,W).",
@@ -42,6 +68,7 @@ func FuzzProgram(f *testing.F) {
 
 // FuzzQuery checks the query entry point never panics.
 func FuzzQuery(f *testing.F) {
+	addFileSeeds(f)
 	for _, s := range []string{"buys(tom, Y)?", "p?", "p(X, X)?", "p(", "?", ""} {
 		f.Add(s)
 	}
@@ -53,6 +80,7 @@ func FuzzQuery(f *testing.F) {
 // FuzzFacts checks the facts entry point never panics and only returns
 // ground atoms.
 func FuzzFacts(f *testing.F) {
+	addFileSeeds(f)
 	for _, s := range []string{"e(a, b). e(b, c).", "p.", "e(a, X).", "e(a"} {
 		f.Add(s)
 	}

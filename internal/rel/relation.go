@@ -60,13 +60,18 @@ func encode(dst []byte, t Tuple, cols []int) []byte {
 
 // Relation is a set of same-arity tuples with optional hash indexes.
 // The zero value is unusable; construct with New. Relations are not safe
-// for concurrent mutation.
+// for concurrent mutation; point-in-time isolation for concurrent readers
+// is provided by Snapshot's copy-on-write scheme.
 type Relation struct {
 	arity   int
 	rows    []Tuple
 	set     map[string]struct{}
 	indexes map[string]*Index
 	scratch []byte
+	// shared marks rows and set as aliased by at least one Snapshot; the
+	// next mutation through this handle copies them first (copy-on-write),
+	// so the aliased storage is frozen forever once a snapshot exists.
+	shared bool
 }
 
 // New returns an empty relation of the given arity. Arity zero is legal and
@@ -97,6 +102,38 @@ func (r *Relation) Len() int { return len(r.rows) }
 // Empty reports whether the relation holds no tuples.
 func (r *Relation) Empty() bool { return len(r.rows) == 0 }
 
+// Snapshot returns an immutable point-in-time view of r: a relation that
+// holds exactly r's current tuples and never changes, sharing storage with
+// r until either side mutates (copy-on-write). Snapshots are what make
+// concurrent queries safe: each query evaluates against its own snapshot
+// handles (with private lazy indexes and scratch buffers), while writers
+// keep mutating the original. Taking a snapshot mutates r's bookkeeping,
+// so it must be serialized with writers by the caller — the engine does
+// this under its writer lock.
+func (r *Relation) Snapshot() *Relation {
+	r.shared = true
+	return &Relation{arity: r.arity, rows: r.rows, set: r.set, shared: true}
+}
+
+// detach un-aliases storage shared with a snapshot before a mutation: the
+// rows slice and tuple-set map are copied (tuples themselves are immutable
+// and stay shared), leaving every previously taken snapshot frozen.
+// Existing indexes describe tuple content, not storage identity, so they
+// remain valid and are kept.
+func (r *Relation) detach() {
+	if !r.shared {
+		return
+	}
+	rows := make([]Tuple, len(r.rows))
+	copy(rows, r.rows)
+	set := make(map[string]struct{}, len(r.set))
+	for k := range r.set {
+		set[k] = struct{}{}
+	}
+	r.rows, r.set = rows, set
+	r.shared = false
+}
+
 // Insert adds t (cloned) and reports whether it was not already present.
 // It panics if t has the wrong arity.
 func (r *Relation) Insert(t Tuple) bool {
@@ -108,6 +145,7 @@ func (r *Relation) Insert(t Tuple) bool {
 	if _, ok := r.set[key]; ok {
 		return false
 	}
+	r.detach()
 	c := t.Clone()
 	r.set[key] = struct{}{}
 	r.rows = append(r.rows, c)
@@ -144,6 +182,7 @@ func (r *Relation) Delete(t Tuple) bool {
 	if _, ok := r.set[key]; !ok {
 		return false
 	}
+	r.detach()
 	delete(r.set, key)
 	for i, row := range r.rows {
 		if row.Equal(t) {

@@ -55,6 +55,20 @@ func (c *Collector) AddIteration() {
 	c.Iterations++
 }
 
+// SizesCopy returns a copy of the Sizes map, so callers can publish the
+// current sizes (e.g. in a query's Stats) while the collector keeps
+// accumulating.
+func (c *Collector) SizesCopy() map[string]int {
+	if c == nil {
+		return nil
+	}
+	out := make(map[string]int, len(c.Sizes))
+	for n, s := range c.Sizes {
+		out[n] = s
+	}
+	return out
+}
+
 // MaxRelation returns the name and size of the largest relation observed —
 // the quantity the Ω/O claims of §4 are about. It returns ("", 0) when
 // nothing was observed.

@@ -1,0 +1,48 @@
+package symtab
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestConcurrentInternConsistent(t *testing.T) {
+	// Many goroutines intern overlapping name sets; every name must map to
+	// exactly one id everywhere, and the table must stay dense. The race
+	// detector additionally vets the locking.
+	tab := New()
+	const workers = 8
+	const names = 200
+	results := make([][]Value, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			vs := make([]Value, names)
+			for i := 0; i < names; i++ {
+				vs[i] = tab.Intern(fmt.Sprintf("c%03d", i))
+				// Interleave reads with writes.
+				if got := tab.Name(vs[i]); got != fmt.Sprintf("c%03d", i) {
+					panic(fmt.Sprintf("Name(%d) = %q", vs[i], got))
+				}
+				tab.Lookup("c000")
+				tab.Len()
+			}
+			results[w] = vs
+		}()
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := 0; i < names; i++ {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d interned c%03d as %d, worker 0 as %d",
+					w, i, results[w][i], results[0][i])
+			}
+		}
+	}
+	if tab.Len() != names {
+		t.Fatalf("Len = %d, want %d", tab.Len(), names)
+	}
+}

@@ -3,7 +3,10 @@
 // equality, hashing, and index keys cheap throughout the engine.
 package symtab
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Value is an interned constant symbol. Values are only meaningful relative
 // to the Table that produced them.
@@ -13,9 +16,11 @@ type Value int32
 const None Value = -1
 
 // Table interns strings to Values. The zero value is not ready to use; call
-// New. A Table is not safe for concurrent mutation; concurrent read-only use
-// (Name, Len) is safe once no more Intern calls occur.
+// New. A Table is safe for concurrent use: one table is shared by every
+// database snapshot the engine hands to concurrent queries, and evaluation
+// interns plan constants while writers intern new facts.
 type Table struct {
+	mu     sync.RWMutex
 	byName map[string]Value
 	names  []string
 }
@@ -28,10 +33,18 @@ func New() *Table {
 // Intern returns the Value for name, assigning the next dense id if name has
 // not been seen before.
 func (t *Table) Intern(name string) Value {
+	t.mu.RLock()
+	v, ok := t.byName[name]
+	t.mu.RUnlock()
+	if ok {
+		return v
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if v, ok := t.byName[name]; ok {
 		return v
 	}
-	v := Value(len(t.names))
+	v = Value(len(t.names))
 	t.byName[name] = v
 	t.names = append(t.names, name)
 	return v
@@ -39,6 +52,8 @@ func (t *Table) Intern(name string) Value {
 
 // Lookup returns the Value for name and whether it has been interned.
 func (t *Table) Lookup(name string) (Value, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	v, ok := t.byName[name]
 	return v, ok
 }
@@ -46,6 +61,8 @@ func (t *Table) Lookup(name string) (Value, bool) {
 // Name returns the string for v. It panics if v was not produced by this
 // table.
 func (t *Table) Name(v Value) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if v < 0 || int(v) >= len(t.names) {
 		panic(fmt.Sprintf("symtab: value %d out of range (table has %d symbols)", v, len(t.names)))
 	}
@@ -53,11 +70,17 @@ func (t *Table) Name(v Value) string {
 }
 
 // Len reports the number of distinct symbols interned so far.
-func (t *Table) Len() int { return len(t.names) }
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.names)
+}
 
 // Names returns the interned symbols in id order. The returned slice is a
 // copy and may be modified by the caller.
 func (t *Table) Names() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	out := make([]string, len(t.names))
 	copy(out, t.names)
 	return out

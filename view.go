@@ -2,6 +2,7 @@ package sepdl
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"sepdl/internal/eval"
@@ -19,9 +20,22 @@ const Materialized Strategy = "materialized"
 // fixpoint work. Views require a negation-free program and snapshot the
 // engine's facts at creation time (later Engine.AddFact calls do not
 // affect the view, and vice versa).
+//
+// A View is safe for concurrent use: mutations serialize on an internal
+// lock, and Query evaluates against an immutable snapshot of the
+// maintained relations, so readers never observe a half-propagated
+// update. Views self-heal — if a maintenance pass is aborted by the
+// resource budget mid-mutation the view is marked broken, and the next
+// access rebuilds the derived relations from the (always fully updated)
+// base relations under the lock instead of erroring forever. The
+// interrupted mutation's base-level change survives the repair: a fact
+// whose AddFact or DeleteFact propagation was cut short is present in
+// (or absent from) the healed view's answers.
 type View struct {
-	m   *eval.Materialized
-	col *stats.Collector
+	mu      sync.Mutex
+	m       *eval.Materialized
+	col     *stats.Collector
+	repairs int
 }
 
 // Materialize computes all IDB relations of the engine's current program
@@ -36,8 +50,10 @@ func (e *Engine) Materialize() (*View, error) {
 // cumulative across the initial computation and all later incremental
 // maintenance through the view. An abort during the initial computation
 // leaves no view; an abort while propagating a later AddFact or DeleteFact
-// marks the view broken (see View.Broken) because its relations may be
-// half-updated.
+// marks the view broken, and the next access repairs it (see View.Broken).
+// The initial computation counts against the engine's WithMaxConcurrent
+// admission limit like a query, and reads a consistent snapshot of the
+// engine's facts even while writers run.
 func (e *Engine) MaterializeCtx(ctx context.Context, opts ...QueryOption) (*View, error) {
 	cfg := queryConfig{strategy: Auto}
 	for _, o := range opts {
@@ -48,13 +64,19 @@ func (e *Engine) MaterializeCtx(ctx context.Context, opts ...QueryOption) (*View
 		ctx, cancel = context.WithTimeout(ctx, cfg.deadline)
 		defer cancel()
 	}
+	release, err := e.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	bud := cfg.tracker(ctx)
 	if err := bud.Err(); err != nil {
 		return nil, err
 	}
 	bud.SetStrategy(string(Materialized))
 	col := stats.New()
-	m, err := eval.MaterializeBudget(e.prog, e.db, col, bud)
+	st, db := e.snapshot()
+	m, err := eval.MaterializeBudget(st.prog, db, col, bud)
 	if err != nil {
 		return nil, err
 	}
@@ -64,41 +86,88 @@ func (e *Engine) MaterializeCtx(ctx context.Context, opts ...QueryOption) (*View
 	return &View{m: m, col: col}, nil
 }
 
-// Broken reports the error that interrupted a mutation mid-propagation,
-// if any. A broken view's relations may be half-updated, so all further
-// operations on it fail with this error; rebuild with MaterializeCtx.
-func (v *View) Broken() error { return v.m.Broken() }
+// Broken reports the error that interrupted a mutation mid-propagation, if
+// any. A broken view's derived relations may be half-updated, so the next
+// AddFact, DeleteFact, or Query first rebuilds them from the base
+// relations (self-healing); Broken itself only inspects, never repairs.
+func (v *View) Broken() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.m.Broken()
+}
+
+// Repairs returns how many times the view has self-healed.
+func (v *View) Repairs() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.repairs
+}
+
+// healLocked repairs a broken view before an access proceeds. Callers hold
+// v.mu. The repair resets the cumulative budget (the rebuild replaces all
+// previously accounted work) and rebuilds the derived relations from the
+// base relations, which always fully reflect every requested mutation.
+func (v *View) healLocked() error {
+	if v.m.Broken() == nil {
+		return nil
+	}
+	if err := v.m.Repair(); err != nil {
+		return err
+	}
+	v.repairs++
+	return nil
+}
 
 // AddFact inserts a base fact into the view and propagates its
 // consequences incrementally. It reports whether the fact was new.
 func (v *View) AddFact(pred string, args ...string) (bool, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.healLocked(); err != nil {
+		return false, err
+	}
 	return v.m.AddFact(pred, args...)
 }
 
-// Query answers a query directly from the maintained relations.
+// Query answers a query directly from the maintained relations. It takes
+// an immutable snapshot under the view lock and evaluates outside it, so
+// concurrent queries do not serialize on each other's evaluation and a
+// concurrent AddFact/DeleteFact is observed either fully or not at all.
 func (v *View) Query(query string) (*Result, error) {
 	q, err := parser.Query(query)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	ans, err := v.m.Answer(q)
+	v.mu.Lock()
+	if err := v.healLocked(); err != nil {
+		v.mu.Unlock()
+		return nil, err
+	}
+	snap, err := v.m.SnapshotView()
 	if err != nil {
+		v.mu.Unlock()
 		return nil, err
 	}
 	st := Stats{
 		Strategy:      Materialized,
-		RelationSizes: v.col.Sizes,
+		RelationSizes: v.col.SizesCopy(),
 		Iterations:    v.col.Iterations,
 		Inserted:      v.col.Inserted,
-		Duration:      time.Since(start),
 	}
 	st.MaxRelation, st.MaxRelationSize = v.col.MaxRelation()
+	v.mu.Unlock()
+
+	ans, err := eval.Answer(snap, q)
+	if err != nil {
+		return nil, err
+	}
+	st.Duration = time.Since(start)
 	return &Result{
 		Columns: eval.QueryVars(q),
 		Stats:   st,
 		rel:     ans,
-		db:      v.m.View(),
+		db:      snap,
 	}, nil
 }
 
@@ -106,5 +175,10 @@ func (v *View) Query(query string) (*Result, error) {
 // relations with delete-and-rederive (DRed). It reports whether the fact
 // was present.
 func (v *View) DeleteFact(pred string, args ...string) (bool, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.healLocked(); err != nil {
+		return false, err
+	}
 	return v.m.DeleteFact(pred, args...)
 }
