@@ -1,11 +1,17 @@
 # Tier-1 verify: everything a change must keep green (see ROADMAP.md).
 # For deeper concurrency soak-testing beyond tier-1, run `make stress`.
-.PHONY: verify vet build test bench stress fuzz
+.PHONY: verify vet build test bench stress fuzz lint
 
 verify: vet build test
 
 vet:
 	go vet ./...
+
+# lint runs go vet plus budgetcheck, the project analyzer enforcing the
+# budget invariant: every fixpoint loop that materializes tuples must
+# consult the evaluation budget (see internal/lint).
+lint: vet
+	go run ./cmd/budgetcheck
 
 build:
 	go build ./...

@@ -1,0 +1,35 @@
+package sepdl
+
+import (
+	"sepdl/internal/check"
+	"sepdl/internal/diag"
+)
+
+// Diagnostic is one static-analysis finding: a stable SEPnnn code, a
+// severity, a 1-based line:column position, and a message (alias of the
+// internal diag type so library callers can consume check results).
+type Diagnostic = diag.Diagnostic
+
+// Diagnostics is an ordered list of findings; it implements error.
+type Diagnostics = diag.List
+
+// DiagSeverity ranks a finding.
+type DiagSeverity = diag.Severity
+
+// The severities, in increasing order of badness.
+const (
+	DiagInfo    = diag.Info
+	DiagWarning = diag.Warning
+	DiagError   = diag.Error
+)
+
+// CheckSource runs the full static-analysis pass over a program source and
+// an optional query ("" for none): well-formedness, stratification, rule
+// lints, separability against Definition 2.4, and — when a query is given —
+// reachability plus a per-strategy applicability report. The result is
+// sorted by source position; syntax failures come back as SEP001
+// diagnostics rather than a Go error. The pass never touches a database:
+// its cost is polynomial in the size of the rules (§3.1 of the paper).
+func CheckSource(src, query string) Diagnostics {
+	return check.Source(src, check.Options{Query: query})
+}

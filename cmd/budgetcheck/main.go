@@ -1,0 +1,54 @@
+// Command budgetcheck runs the budget-invariant analyzer (internal/lint)
+// over the given package directories: every fixpoint loop that
+// materializes tuples must consult the evaluation budget. With no
+// arguments it checks the evaluation and strategy packages.
+//
+// Usage:
+//
+//	budgetcheck [dir ...]
+//
+// Exit status is 1 when any violation is found, 2 on usage or I/O errors.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sepdl/internal/lint"
+)
+
+// defaultDirs are the packages whose loops materialize tuples: the
+// bottom-up evaluators and every strategy implementation.
+var defaultDirs = []string{
+	"internal/eval",
+	"internal/core",
+	"internal/counting",
+	"internal/hn",
+	"internal/tabling",
+	"internal/magic",
+	"internal/aho",
+	"internal/expand",
+	"internal/adorn",
+}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = defaultDirs
+	}
+	bad := false
+	for _, dir := range dirs {
+		findings, err := lint.CheckDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "budgetcheck:", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sepdl"
+	"sepdl/internal/diag"
+)
+
+// runCheck implements "sepdl check prog.dl [-query q] [-json]": the static
+// analysis pass, no database needed. Exit status: 0 clean (info only), 1
+// warnings, 2 errors (including usage and unreadable files).
+func runCheck(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sepdl check", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		query   = fs.String("query", "", "query to analyze reachability and strategy applicability against")
+		jsonOut = fs.Bool("json", false, "emit diagnostics as JSON")
+		minSev  = fs.String("min-severity", "info", "lowest severity to report: info|warning|error")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: sepdl check [-query 'q(a, X)?'] [-json] [-min-severity S] prog.dl")
+		fs.PrintDefaults()
+	}
+	// Accept "sepdl check prog.dl -query ..." as well as flags-first: the
+	// std flag package stops at the first positional argument, so pull the
+	// file out before parsing when it comes first.
+	var path string
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		path, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch {
+	case path == "" && fs.NArg() == 1:
+		path = fs.Arg(0)
+	case path != "" && fs.NArg() == 0:
+	default:
+		fs.Usage()
+		return 2
+	}
+	var min diag.Severity
+	switch *minSev {
+	case "info":
+		min = diag.Info
+	case "warning":
+		min = diag.Warning
+	case "error":
+		min = diag.Error
+	default:
+		fmt.Fprintf(stderr, "sepdl check: unknown -min-severity %q\n", *minSev)
+		return 2
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "sepdl check:", err)
+		return 2
+	}
+	l := sepdl.CheckSource(string(src), *query)
+	shown := l.Filter(min)
+	if *jsonOut {
+		if err := writeCheckJSON(stdout, path, l, shown); err != nil {
+			fmt.Fprintln(stderr, "sepdl check:", err)
+			return 2
+		}
+	} else {
+		// Render puts the related sites and explanation on indented
+		// continuation lines; the file path prefixes the finding line only.
+		for _, d := range shown {
+			fmt.Fprintf(stdout, "%s:%s", path, diag.List{d}.Render(""))
+		}
+		fmt.Fprintf(stdout, "%s: %d error(s), %d warning(s)\n", path, l.Count(diag.Error), l.Count(diag.Warning))
+	}
+	switch {
+	case l.HasErrors():
+		return 2
+	case l.Count(diag.Warning) > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// checkReport is the JSON shape of a check run. Diagnostics marshal
+// through diag.Diagnostic, so the output round-trips via encoding/json.
+type checkReport struct {
+	File        string    `json:"file"`
+	Diagnostics diag.List `json:"diagnostics"`
+	Errors      int       `json:"errors"`
+	Warnings    int       `json:"warnings"`
+}
+
+func writeCheckJSON(w io.Writer, path string, all, shown diag.List) error {
+	if shown == nil {
+		shown = diag.List{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(checkReport{
+		File:        path,
+		Diagnostics: shown,
+		Errors:      all.Count(diag.Error),
+		Warnings:    all.Count(diag.Warning),
+	})
+}

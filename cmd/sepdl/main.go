@@ -43,6 +43,9 @@ func main() {
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "check" {
+		return runCheck(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("sepdl", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (

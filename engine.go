@@ -12,7 +12,9 @@ import (
 	"sepdl/internal/aho"
 	"sepdl/internal/ast"
 	"sepdl/internal/budget"
+	"sepdl/internal/check"
 	"sepdl/internal/core"
+	"sepdl/internal/diag"
 	"sepdl/internal/counting"
 	"sepdl/internal/database"
 	"sepdl/internal/eval"
@@ -67,6 +69,7 @@ type Engine struct {
 	maxConcurrent int
 	admitWait     time.Duration
 	gate          chan struct{}
+	strict        bool
 }
 
 // progState is one immutable program revision plus its memoized
@@ -105,6 +108,18 @@ func WithMaxConcurrent(n int) EngineOption {
 // context deadline still applies while queued; the earlier bound wins.
 func WithAdmissionWait(d time.Duration) EngineOption {
 	return func(e *Engine) { e.admitWait = d }
+}
+
+// WithStrictChecks makes LoadProgram run the full static-analysis pass
+// (the same one as sepdl check) on the combined program and reject it when
+// any warning-or-worse diagnostic remains: non-stratifiable negation,
+// non-separable recursions, cartesian joins, singleton variables. Without
+// it only the well-formedness errors reject at load time and the rest
+// surface at query time (stratification) or degrade the strategy choice
+// (separability). The returned error is a Diagnostics list carrying every
+// finding with its code and position.
+func WithStrictChecks() EngineOption {
+	return func(e *Engine) { e.strict = true }
 }
 
 // New returns an empty engine.
@@ -215,6 +230,11 @@ func (e *Engine) LoadProgram(src string) error {
 	combined := &ast.Program{Rules: append(append([]ast.Rule{}, e.state.prog.Rules...), p.Rules...)}
 	if err := combined.Validate(); err != nil {
 		return err
+	}
+	if e.strict {
+		if l := check.Program(combined, nil).Filter(diag.Warning); len(l) > 0 {
+			return l
+		}
 	}
 	e.state = newProgState(combined)
 	return nil

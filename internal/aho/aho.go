@@ -48,7 +48,7 @@ func StablePositions(prog *ast.Program, pred string) ([]int, error) {
 			}
 			for p := 0; p < arity; p++ {
 				h, b := r.Head.Args[p], body.Args[p]
-				if h != b {
+				if !h.Equal(b) {
 					stable[p] = false
 				}
 			}

@@ -3,6 +3,8 @@ package ast
 import (
 	"fmt"
 	"strings"
+
+	"sepdl/internal/diag"
 )
 
 // Atom is a predicate applied to terms, e.g. buys(X, Y) or friend(tom, W).
@@ -12,6 +14,10 @@ type Atom struct {
 	Pred    string
 	Args    []Term
 	Negated bool
+	// Pos is the source position of the literal's first token (the "not"
+	// keyword for negated atoms, the predicate name otherwise); zero for
+	// programmatically built atoms. Ignored by Equal.
+	Pos diag.Pos
 }
 
 // A is a convenience constructor for positive atoms.
@@ -54,12 +60,12 @@ func (a Atom) Apply(s Subst) Atom {
 	for i, t := range a.Args {
 		args[i] = t.Apply(s)
 	}
-	return Atom{Pred: a.Pred, Args: args, Negated: a.Negated}
+	return Atom{Pred: a.Pred, Args: args, Negated: a.Negated, Pos: a.Pos}
 }
 
 // Clone returns a deep copy of the atom.
 func (a Atom) Clone() Atom {
-	return Atom{Pred: a.Pred, Args: append([]Term(nil), a.Args...), Negated: a.Negated}
+	return Atom{Pred: a.Pred, Args: append([]Term(nil), a.Args...), Negated: a.Negated, Pos: a.Pos}
 }
 
 // Equal reports structural equality.

@@ -1,0 +1,134 @@
+package ast
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sepdl/internal/diag"
+)
+
+// ruleOf builds a rule head :- body with no positions, for tests that
+// exercise the diagnostics machinery on programmatic ASTs.
+func ruleOf(head Atom, body ...Atom) Rule {
+	return Rule{Head: head, Body: body}
+}
+
+func TestStratifyNamesNegationCycle(t *testing.T) {
+	// win(X) :- move(X, Y) & not win(Y): the classic unstratifiable game.
+	p := NewProgram(ruleOf(
+		Atom{Pred: "win", Args: []Term{V("X")}},
+		Atom{Pred: "move", Args: []Term{V("X"), V("Y")}},
+		Not(Atom{Pred: "win", Args: []Term{V("Y")}}),
+	))
+	_, err := p.Stratify()
+	var se *NotStratifiableError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *NotStratifiableError", err)
+	}
+	if got := se.CyclePath(); got != "win -> not win" {
+		t.Errorf("CyclePath = %q, want %q", got, "win -> not win")
+	}
+	if !strings.Contains(se.Error(), "not stratifiable") {
+		t.Errorf("Error() = %q, want the historical phrase", se.Error())
+	}
+	if d := se.Diagnostic(); d.Code != diag.CodeNotStratifiable || d.Severity != diag.Error {
+		t.Errorf("Diagnostic = %+v", d)
+	}
+}
+
+func TestStratifyNamesLongerCycle(t *testing.T) {
+	// p :- not q. q :- r. r :- p.
+	p := NewProgram(
+		ruleOf(Atom{Pred: "p"}, Not(Atom{Pred: "q"})),
+		ruleOf(Atom{Pred: "q"}, Atom{Pred: "r"}),
+		ruleOf(Atom{Pred: "r"}, Atom{Pred: "p"}),
+	)
+	_, err := p.Stratify()
+	var se *NotStratifiableError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *NotStratifiableError", err)
+	}
+	if got := se.CyclePath(); got != "p -> not q -> r -> p" {
+		t.Errorf("CyclePath = %q, want %q", got, "p -> not q -> r -> p")
+	}
+	if len(se.Cycle) != 4 || se.Cycle[0] != se.Cycle[len(se.Cycle)-1] {
+		t.Errorf("Cycle = %v, want closed path", se.Cycle)
+	}
+	if !se.Negated[0] || se.Negated[1] || se.Negated[2] {
+		t.Errorf("Negated = %v, want only the first edge negated", se.Negated)
+	}
+}
+
+func TestCheckArityConflictCitesBothSites(t *testing.T) {
+	p := NewProgram(
+		ruleOf(
+			Atom{Pred: "p", Args: []Term{V("X")}, Pos: diag.Pos{Line: 1, Col: 1}},
+			Atom{Pred: "e", Args: []Term{V("X"), V("X")}, Pos: diag.Pos{Line: 1, Col: 9}},
+		),
+		ruleOf(
+			Atom{Pred: "q", Args: []Term{V("X")}, Pos: diag.Pos{Line: 2, Col: 1}},
+			Atom{Pred: "e", Args: []Term{V("X")}, Pos: diag.Pos{Line: 2, Col: 9}},
+		),
+	)
+	l := p.Check()
+	if len(l) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly 1", l)
+	}
+	d := l[0]
+	if d.Code != diag.CodeArity || d.Severity != diag.Error {
+		t.Errorf("got %+v, want SEP003 error", d)
+	}
+	if d.Pos != (diag.Pos{Line: 2, Col: 9}) {
+		t.Errorf("position = %s, want the conflicting use at 2:9", d.Pos)
+	}
+	if len(d.Related) != 1 || d.Related[0].Pos != (diag.Pos{Line: 1, Col: 9}) {
+		t.Errorf("related = %v, want the first use at 1:9", d.Related)
+	}
+	if !strings.Contains(d.Message, "used with arity") {
+		t.Errorf("message = %q", d.Message)
+	}
+}
+
+func TestCheckUnsafeRulePositionAndCode(t *testing.T) {
+	p := NewProgram(ruleOf(
+		Atom{Pred: "p", Args: []Term{V("X"), V("Y")}, Pos: diag.Pos{Line: 3, Col: 1}},
+		Atom{Pred: "e", Args: []Term{V("X")}, Pos: diag.Pos{Line: 3, Col: 12}},
+	))
+	l := p.Check()
+	if len(l) != 1 || l[0].Code != diag.CodeUnsafeRule {
+		t.Fatalf("diagnostics = %v, want one SEP008", l)
+	}
+	if l[0].Pos != (diag.Pos{Line: 3, Col: 1}) {
+		t.Errorf("position = %s, want the rule head at 3:1", l[0].Pos)
+	}
+	// Validate surfaces the same findings through the error interface.
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "unsafe") {
+		t.Errorf("Validate() = %v, want unsafe error", err)
+	}
+}
+
+func TestCheckCleanProgram(t *testing.T) {
+	p := NewProgram(ruleOf(
+		Atom{Pred: "t", Args: []Term{V("X"), V("Y")}},
+		Atom{Pred: "e", Args: []Term{V("X"), V("Y")}},
+	))
+	if l := p.Check(); len(l) != 0 {
+		t.Fatalf("diagnostics = %v, want none", l)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTermEqualIgnoresPos(t *testing.T) {
+	a := Term{Kind: Var, Name: "X", Pos: diag.Pos{Line: 1, Col: 1}}
+	b := Term{Kind: Var, Name: "X", Pos: diag.Pos{Line: 9, Col: 9}}
+	if !a.Equal(b) {
+		t.Error("Equal must ignore positions")
+	}
+	if a == b {
+		t.Error("struct equality should differ (positions differ); code must use Equal")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"sepdl/internal/diag"
 )
 
 // Program is a set of rules. Predicates that appear in some rule head are
@@ -153,42 +155,86 @@ func (p *Program) IsLinearRecursionFor(pred string) bool {
 }
 
 // Validate checks basic well-formedness: nonempty names, consistent
-// arities, and rule safety.
+// arities, and rule safety. The returned error, when non-nil, is a
+// diag.List carrying every violation with its code and source position.
 func (p *Program) Validate() error {
-	if _, err := p.Arities(); err != nil {
-		return err
+	if l := p.Check(); len(l) > 0 {
+		return l
 	}
-	for i, r := range p.Rules {
-		if err := checkAtom(r.Head); err != nil {
-			return fmt.Errorf("rule %d: %w", i, err)
+	return nil
+}
+
+// Check runs the well-formedness analyses Validate enforces and returns
+// every violation as a positioned, coded diagnostic (all Error severity):
+// malformed atoms, conflicting arities (citing both sites), negated or
+// builtin heads, misused builtins, and the two safety conditions.
+func (p *Program) Check() diag.List {
+	var l diag.List
+
+	// Arity consistency, citing the first conflicting use of each predicate.
+	type site struct {
+		arity int
+		pos   diag.Pos
+	}
+	first := make(map[string]site)
+	flagged := make(map[string]bool)
+	note := func(a Atom) {
+		s, ok := first[a.Pred]
+		if !ok {
+			first[a.Pred] = site{arity: a.Arity(), pos: a.Pos}
+			return
 		}
+		if s.arity != a.Arity() && !flagged[a.Pred] {
+			flagged[a.Pred] = true
+			l = append(l, diag.New(diag.CodeArity, diag.Error, a.Pos,
+				"predicate %s used with arity %d and %d", a.Pred, s.arity, a.Arity()).
+				WithRelated(s.pos, "first used with arity %d here", s.arity))
+		}
+	}
+	for _, r := range p.Rules {
+		note(r.Head)
 		for _, a := range r.Body {
+			note(a)
+		}
+	}
+
+	for i, r := range p.Rules {
+		atomDiag := func(a Atom) {
 			if err := checkAtom(a); err != nil {
-				return fmt.Errorf("rule %d: %w", i, err)
+				l = append(l, diag.New(diag.CodeMalformedAtom, diag.Error, a.Pos, "rule %d: %v", i, err))
 			}
 		}
+		atomDiag(r.Head)
+		for _, a := range r.Body {
+			atomDiag(a)
+		}
 		if r.Head.Negated {
-			return fmt.Errorf("rule %d (%s): negated head", i, r)
+			l = append(l, diag.New(diag.CodeNegatedHead, diag.Error, r.Head.Pos, "rule %d (%s): negated head", i, r))
 		}
 		if Builtin(r.Head.Pred) {
-			return fmt.Errorf("rule %d (%s): cannot define builtin predicate %s", i, r, r.Head.Pred)
+			l = append(l, diag.New(diag.CodeBuiltinDefined, diag.Error, r.Head.Pos,
+				"rule %d (%s): cannot define builtin predicate %s", i, r, r.Head.Pred))
 		}
 		for _, a := range r.Body {
 			if Builtin(a.Pred) {
 				if a.Arity() != 2 {
-					return fmt.Errorf("rule %d (%s): builtin %s takes 2 arguments", i, r, a.Pred)
+					l = append(l, diag.New(diag.CodeBuiltinArity, diag.Error, a.Pos,
+						"rule %d (%s): builtin %s takes 2 arguments", i, r, a.Pred))
 				}
 				if a.Negated {
-					return fmt.Errorf("rule %d (%s): negated builtin %s (use the dual builtin instead)", i, r, a.Pred)
+					l = append(l, diag.New(diag.CodeBuiltinNegated, diag.Error, a.Pos,
+						"rule %d (%s): negated builtin %s (use the dual builtin instead)", i, r, a.Pred))
 				}
 			}
 		}
 		if len(r.Body) > 0 && !r.IsSafe() {
-			return fmt.Errorf("rule %d (%s): unsafe: head variable not bound in a positive body atom", i, r)
+			l = append(l, diag.New(diag.CodeUnsafeRule, diag.Error, r.Head.Pos,
+				"rule %d (%s): unsafe: head variable not bound in a positive body atom", i, r))
 		}
 		if !r.NegationSafe() {
-			return fmt.Errorf("rule %d (%s): unsafe negation: variable of a negated atom not bound in a positive body atom", i, r)
+			l = append(l, diag.New(diag.CodeUnsafeNegation, diag.Error, r.Head.Pos,
+				"rule %d (%s): unsafe negation: variable of a negated atom not bound in a positive body atom", i, r))
 		}
 	}
-	return nil
+	return l.Sorted()
 }

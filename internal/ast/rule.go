@@ -1,6 +1,10 @@
 package ast
 
-import "strings"
+import (
+	"strings"
+
+	"sepdl/internal/diag"
+)
 
 // Rule is a Horn clause Head :- Body. A rule with an empty body is a fact
 // schema (rare in this code base; facts normally live in the database).
@@ -13,6 +17,9 @@ type Rule struct {
 func R(head Atom, body ...Atom) Rule {
 	return Rule{Head: head, Body: body}
 }
+
+// Position returns the rule's source position: where its head was parsed.
+func (r Rule) Position() diag.Pos { return r.Head.Pos }
 
 // String renders the rule in Prolog syntax.
 func (r Rule) String() string {

@@ -3,13 +3,61 @@ package ast
 import (
 	"fmt"
 	"sort"
+	"strings"
+
+	"sepdl/internal/diag"
 )
+
+// NotStratifiableError reports a program with no stratification, naming a
+// dependency cycle that passes through a negated edge.
+type NotStratifiableError struct {
+	// Cycle is the predicate path of one offending cycle, in dependency
+	// order with the first predicate repeated at the end, e.g.
+	// [p, q, p]: p depends on q which depends on p.
+	Cycle []string
+	// Negated[i] reports whether the edge Cycle[i] -> Cycle[i+1] reads the
+	// dependency through a negated atom; at least one entry is true.
+	Negated []bool
+	// Pos is the source position of a negated body atom on the cycle (zero
+	// when the program carries no positions).
+	Pos diag.Pos
+}
+
+// CyclePath renders the cycle like "p -> not q -> p".
+func (e *NotStratifiableError) CyclePath() string {
+	if len(e.Cycle) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(e.Cycle[0])
+	for i := 1; i < len(e.Cycle); i++ {
+		if e.Negated[i-1] {
+			b.WriteString(" -> not ")
+		} else {
+			b.WriteString(" -> ")
+		}
+		b.WriteString(e.Cycle[i])
+	}
+	return b.String()
+}
+
+// Error keeps the historical "not stratifiable" phrasing and appends the
+// offending cycle.
+func (e *NotStratifiableError) Error() string {
+	return fmt.Sprintf("ast: program is not stratifiable (negation through recursion): cycle %s", e.CyclePath())
+}
+
+// Diagnostic converts the failure into a positioned diagnostic.
+func (e *NotStratifiableError) Diagnostic() diag.Diagnostic {
+	return diag.New(diag.CodeNotStratifiable, diag.Error, e.Pos,
+		"program is not stratifiable: negation cycle %s", e.CyclePath())
+}
 
 // Stratify computes a stratification of the program's IDB predicates:
 // stratum(h) ≥ stratum(b) for every positive body dependency and
 // stratum(h) > stratum(b) for every negated one. It returns the predicate
-// groups in evaluation order, or an error when no stratification exists
-// (negation through recursion).
+// groups in evaluation order, or a *NotStratifiableError naming an
+// offending negation cycle when no stratification exists.
 //
 // Programs without negation always stratify into a single stratum.
 func (p *Program) Stratify() ([][]string, error) {
@@ -19,7 +67,7 @@ func (p *Program) Stratify() ([][]string, error) {
 	// means a cycle through negation.
 	for round := 0; ; round++ {
 		if round > len(idb)+1 {
-			return nil, fmt.Errorf("ast: program is not stratifiable (negation through recursion)")
+			return nil, p.negationCycle()
 		}
 		changed := false
 		for _, r := range p.Rules {
@@ -59,6 +107,89 @@ func (p *Program) Stratify() ([][]string, error) {
 		out[s] = append(out[s], pred)
 	}
 	return out, nil
+}
+
+// depEdge is one head -> body-predicate dependency.
+type depEdge struct {
+	to      string
+	negated bool
+	pos     diag.Pos
+}
+
+// negationCycle finds a dependency cycle containing a negated edge and
+// packages it as a *NotStratifiableError. The caller has already
+// established that one exists (the relaxation diverged).
+func (p *Program) negationCycle() *NotStratifiableError {
+	idb := p.IDBPreds()
+	adj := make(map[string][]depEdge)
+	for _, r := range p.Rules {
+		for _, b := range r.Body {
+			if idb[b.Pred] {
+				adj[r.Head.Pred] = append(adj[r.Head.Pred], depEdge{to: b.Pred, negated: b.Negated, pos: b.Pos})
+			}
+		}
+	}
+	// For each negated edge h -not-> b, look for a dependency path b -> h;
+	// if one exists the negation lies on a cycle. Iterate predicates in
+	// sorted order so the reported cycle is deterministic.
+	var heads []string
+	for h := range adj {
+		heads = append(heads, h)
+	}
+	sort.Strings(heads)
+	for _, h := range heads {
+		for _, e := range adj[h] {
+			if !e.negated {
+				continue
+			}
+			if path := depPath(adj, e.to, h); path != nil {
+				cycle := append([]string{h}, path...)
+				negated := make([]bool, len(cycle)-1)
+				negated[0] = true
+				for i := 1; i < len(cycle)-1; i++ {
+					for _, e2 := range adj[cycle[i]] {
+						if e2.to == cycle[i+1] && e2.negated {
+							negated[i] = true
+							break
+						}
+					}
+				}
+				return &NotStratifiableError{Cycle: cycle, Negated: negated, Pos: e.pos}
+			}
+		}
+	}
+	// Unreachable when the relaxation truly diverged, but stay safe.
+	return &NotStratifiableError{}
+}
+
+// depPath returns a shortest dependency path from 'from' to 'to' (inclusive
+// of both endpoints), or nil if none exists. Edges are explored in slice
+// order, so results are deterministic for a fixed program.
+func depPath(adj map[string][]depEdge, from, to string) []string {
+	type node struct {
+		pred string
+		prev *node
+	}
+	seen := map[string]bool{from: true}
+	queue := []*node{{pred: from}}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n.pred == to {
+			var path []string
+			for m := n; m != nil; m = m.prev {
+				path = append([]string{m.pred}, path...)
+			}
+			return path
+		}
+		for _, e := range adj[n.pred] {
+			if !seen[e.to] {
+				seen[e.to] = true
+				queue = append(queue, &node{pred: e.to, prev: n})
+			}
+		}
+	}
+	return nil
 }
 
 // HasNegation reports whether any rule body contains a negated atom.

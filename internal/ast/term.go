@@ -10,6 +10,8 @@ package ast
 import (
 	"fmt"
 	"unicode"
+
+	"sepdl/internal/diag"
 )
 
 // TermKind discriminates Term.
@@ -29,6 +31,10 @@ type Term struct {
 	// Name is the variable name for Kind==Var and the constant symbol for
 	// Kind==Const.
 	Name string
+	// Pos is the source position of this occurrence when the term was
+	// parsed (zero for programmatically built terms). It is ignored by
+	// Equal; compare terms with Equal, not ==.
+	Pos diag.Pos
 }
 
 // V returns a variable term.
@@ -83,17 +89,24 @@ func QuoteConst(s string) string {
 type Subst map[string]Term
 
 // Apply returns the term with the substitution applied (identity for
-// constants and unmapped variables).
+// constants and unmapped variables). The replacement keeps the position of
+// the occurrence it replaces: where a term sits in the source is a property
+// of the occurrence site, not of the substituted value, so diagnostics on
+// rewritten rules still point into the original program text.
 func (t Term) Apply(s Subst) Term {
 	if t.Kind == Var {
 		if r, ok := s[t.Name]; ok {
+			r.Pos = t.Pos
 			return r
 		}
 	}
 	return t
 }
 
-func (t Term) equal(u Term) bool { return t.Kind == u.Kind && t.Name == u.Name }
+// Equal reports whether t and u are the same term, ignoring positions.
+func (t Term) Equal(u Term) bool { return t.Kind == u.Kind && t.Name == u.Name }
+
+func (t Term) equal(u Term) bool { return t.Equal(u) }
 
 func checkTerm(t Term) error {
 	if t.Name == "" {

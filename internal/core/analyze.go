@@ -10,9 +10,12 @@ import (
 	"strings"
 
 	"sepdl/internal/ast"
+	"sepdl/internal/diag"
 )
 
-// NotSeparableError reports why a recursion fails Definition 2.4.
+// NotSeparableError reports why a recursion fails Definition 2.4: which of
+// the paper's conditions is violated, by which rule, and where that rule
+// sits in the source.
 type NotSeparableError struct {
 	// Condition is the number (1-4) of the violated condition of
 	// Definition 2.4, or 0 for violations of the paper's standing
@@ -20,6 +23,20 @@ type NotSeparableError struct {
 	// heads).
 	Condition int
 	Reason    string
+	// Code is the stable diagnostic code (diag.CodeShifting etc.).
+	Code string
+	// Pred is the recursive predicate whose definition was analyzed.
+	Pred string
+	// Rule is the offending rule rendered in source syntax ("" when the
+	// failure is not attributable to a single rule).
+	Rule string
+	// Pos is the source position of the offending rule or atom (zero when
+	// the program carries no positions).
+	Pos diag.Pos
+	// OtherRule and OtherPos cite a second involved rule for condition 3,
+	// where two rules' column sets overlap.
+	OtherRule string
+	OtherPos  diag.Pos
 }
 
 func (e *NotSeparableError) Error() string {
@@ -27,6 +44,26 @@ func (e *NotSeparableError) Error() string {
 		return "not separable: " + e.Reason
 	}
 	return fmt.Sprintf("not separable (condition %d of Definition 2.4): %s", e.Condition, e.Reason)
+}
+
+// Diagnostic converts the failure into a positioned warning: the program
+// still evaluates under Magic Sets or bottom-up strategies, but the
+// compiled Separable algorithm (and usually Counting and Henschen-Naqvi)
+// does not apply.
+func (e *NotSeparableError) Diagnostic() diag.Diagnostic {
+	code := e.Code
+	if code == "" {
+		code = diag.CodeHeadShape
+	}
+	msg := fmt.Sprintf("%s is not a separable recursion: %s", e.Pred, e.Reason)
+	if e.Condition > 0 {
+		msg = fmt.Sprintf("%s is not a separable recursion (condition %d of Definition 2.4): %s", e.Pred, e.Condition, e.Reason)
+	}
+	d := diag.New(code, diag.Warning, e.Pos, "%s", msg)
+	if e.OtherRule != "" {
+		d = d.WithRelated(e.OtherPos, "conflicts with rule %s", e.OtherRule)
+	}
+	return d
 }
 
 // ClassRule is one recursive rule prepared for evaluation: the rule in
@@ -99,43 +136,107 @@ func Analyze(prog *ast.Program, pred string) (*Analysis, error) {
 // AnalyzeOpts is Analyze with options.
 func AnalyzeOpts(prog *ast.Program, pred string, opts Options) (*Analysis, error) {
 	rules := prog.RulesFor(pred)
+	fail := func(e *NotSeparableError) (*Analysis, error) {
+		e.Pred = pred
+		return nil, e
+	}
+	// atRule fills the rule citation fields from an original (pre-rectified)
+	// rule, keeping the diagnostic anchored in the user's source text.
+	atRule := func(e *NotSeparableError, r ast.Rule) (*Analysis, error) {
+		e.Rule = r.String()
+		if !e.Pos.Known() {
+			e.Pos = r.Position()
+		}
+		return fail(e)
+	}
 	if len(rules) == 0 {
-		return nil, &NotSeparableError{Reason: fmt.Sprintf("no rules define %s", pred)}
+		return fail(&NotSeparableError{Reason: fmt.Sprintf("no rules define %s", pred)})
 	}
 	if err := prog.Validate(); err != nil {
-		return nil, &NotSeparableError{Reason: err.Error()}
+		return fail(&NotSeparableError{Reason: err.Error()})
 	}
 	// §2: the predicates t's definition depends on must not depend back on
 	// t (no mutual recursion). Predicates elsewhere in the program that
 	// merely use t are irrelevant to evaluating a query on t.
 	for q := range prog.DependsOn(pred) {
 		if q != pred && prog.DependsOn(q)[pred] {
-			return nil, &NotSeparableError{Reason: fmt.Sprintf("%s is mutually recursive with %s", q, pred)}
+			return atRule(&NotSeparableError{
+				Code:   diag.CodeMutualRec,
+				Reason: fmt.Sprintf("%s is mutually recursive with %s", q, pred),
+			}, rules[0])
 		}
 	}
-	for i, r := range rules {
+	for _, r := range rules {
 		if r.HasNegation() {
-			return nil, &NotSeparableError{Reason: fmt.Sprintf(
-				"rule %d contains negation; the paper's program class is pure Horn clauses", i)}
+			e := &NotSeparableError{
+				Code:   diag.CodeNegationInRec,
+				Reason: fmt.Sprintf("rule %s contains negation; the paper's program class is pure Horn clauses", r),
+			}
+			for _, b := range r.Body {
+				if b.Negated {
+					e.Pos = b.Pos
+					break
+				}
+			}
+			return atRule(e, r)
+		}
+	}
+	// Nonlinear rules and head-shape violations are checked against the
+	// original rules first so the diagnostic cites the user's own text;
+	// RectifyDefinition and SplitDefinition then cannot fail on them.
+	for _, r := range rules {
+		if n := len(r.BodyOccurrences(pred)); n > 1 {
+			return atRule(&NotSeparableError{
+				Code:   diag.CodeNonLinear,
+				Reason: fmt.Sprintf("rule %s mentions %s %d times in its body; the paper's class is linear recursions", r, pred, n),
+			}, r)
+		}
+		seen := make(map[string]bool, len(r.Head.Args))
+		for pos, t := range r.Head.Args {
+			if !t.IsVar() {
+				return atRule(&NotSeparableError{
+					Code:   diag.CodeHeadShape,
+					Pos:    t.Pos,
+					Reason: fmt.Sprintf("rule %s has constant %q in head position %d (paper §2 requires variable heads)", r, t.Name, pos+1),
+				}, r)
+			}
+			if seen[t.Name] {
+				return atRule(&NotSeparableError{
+					Code:   diag.CodeHeadShape,
+					Pos:    t.Pos,
+					Reason: fmt.Sprintf("rule %s repeats variable %s in its head (paper §2 requires distinct head variables)", r, t.Name),
+				}, r)
+			}
+			seen[t.Name] = true
 		}
 	}
 	rect, err := ast.RectifyDefinition(rules, pred)
 	if err != nil {
-		return nil, &NotSeparableError{Reason: err.Error()}
+		return fail(&NotSeparableError{Reason: err.Error()})
 	}
 	recursive, exit, err := ast.SplitDefinition(rect, pred)
 	if err != nil {
-		return nil, &NotSeparableError{Reason: err.Error()}
+		return fail(&NotSeparableError{Reason: err.Error()})
+	}
+	// recIdx maps each rectified recursive rule back to its original rule,
+	// so diagnostics cite source text and positions, not canonical %h names.
+	var recIdx []int
+	for i, r := range rules {
+		if len(r.BodyOccurrences(pred)) == 1 {
+			recIdx = append(recIdx, i)
+		}
 	}
 	arity := len(rules[0].Head.Args)
 	a := &Analysis{Pred: pred, Arity: arity, Exit: exit, AllowDisconnected: opts.AllowDisconnected}
 
 	type ruleInfo struct {
 		cr   ClassRule
-		cols []int // t^h_i (== t^b_i by condition 2)
+		orig ast.Rule // the pre-rectification rule, for diagnostics
+		cols []int    // t^h_i (== t^b_i by condition 2)
 	}
 	var infos []ruleInfo
 	for ri, r := range recursive {
+		orig := rules[recIdx[ri]]
 		occ := r.BodyOccurrences(pred)[0]
 		rec := r.Body[occ]
 		var conjAtoms []ast.Atom
@@ -157,8 +258,11 @@ func AnalyzeOpts(prog *ast.Program, pred string, opts Options) (*Analysis, error
 		// program class.
 		for p, t := range rec.Args {
 			if !t.IsVar() {
-				return nil, &NotSeparableError{Reason: fmt.Sprintf(
-					"rule %d has constant %q at position %d of the recursive body atom", ri, t.Name, p)}
+				return atRule(&NotSeparableError{
+					Code:   diag.CodeHeadShape,
+					Pos:    t.Pos,
+					Reason: fmt.Sprintf("rule %s has constant %q at position %d of the recursive body atom", orig, t.Name, p+1),
+				}, orig)
 			}
 		}
 		// Condition 1: no shifting variables. Heads are rectified, so the
@@ -170,8 +274,13 @@ func AnalyzeOpts(prog *ast.Program, pred string, opts Options) (*Analysis, error
 		}
 		for q, t := range rec.Args {
 			if hp, ok := headPos[t.Name]; ok && hp != q {
-				return nil, &NotSeparableError{Condition: 1, Reason: fmt.Sprintf(
-					"rule %d: variable of head position %d appears at body position %d", ri, hp, q)}
+				return atRule(&NotSeparableError{
+					Condition: 1,
+					Code:      diag.CodeShifting,
+					Pos:       t.Pos,
+					Reason: fmt.Sprintf("rule %s: the variable of head position %d reappears at position %d of the recursive body atom, so a selection on column %d would not stay on its column across iterations",
+						orig, hp+1, q+1, hp+1),
+				}, orig)
 			}
 		}
 		// t^h_i: head positions sharing a variable with the nonrecursive
@@ -189,8 +298,12 @@ func AnalyzeOpts(prog *ast.Program, pred string, opts Options) (*Analysis, error
 		}
 		// Condition 2: t^h_i == t^b_i.
 		if !equalInts(th, tb) {
-			return nil, &NotSeparableError{Condition: 2, Reason: fmt.Sprintf(
-				"rule %d: head-bound positions %v differ from body-bound positions %v", ri, th, tb)}
+			return atRule(&NotSeparableError{
+				Condition: 2,
+				Code:      diag.CodeBoundMismatch,
+				Reason: fmt.Sprintf("rule %s: the nonrecursive part binds head columns %s but body columns %s; they must be equal",
+					orig, colSet(th), colSet(tb)),
+			}, orig)
 		}
 		// Persistent positions of this rule must carry the head variable
 		// through unchanged; anything else is unsafe or shifting.
@@ -200,14 +313,22 @@ func AnalyzeOpts(prog *ast.Program, pred string, opts Options) (*Analysis, error
 		}
 		for q, t := range rec.Args {
 			if !inClass[q] && t.Name != ast.CanonicalHeadVar(q) {
-				return nil, &NotSeparableError{Reason: fmt.Sprintf(
-					"rule %d: position %d of the recursive body atom carries %s, not the head variable (unsafe or shifting)", ri, q, t.Name)}
+				return atRule(&NotSeparableError{
+					Code: diag.CodeHeadShape,
+					Pos:  t.Pos,
+					Reason: fmt.Sprintf("rule %s: position %d of the recursive body atom does not carry the head variable through (unsafe or shifting)",
+						orig, q+1),
+				}, orig)
 			}
 		}
 		// Condition 4: the nonrecursive part is one maximal connected set.
 		if !opts.AllowDisconnected && len(conjAtoms) > 1 && !connected(conjAtoms) {
-			return nil, &NotSeparableError{Condition: 4, Reason: fmt.Sprintf(
-				"rule %d: nonrecursive body atoms form more than one connected set", ri)}
+			return atRule(&NotSeparableError{
+				Condition: 4,
+				Code:      diag.CodeDisconnected,
+				Reason: fmt.Sprintf("rule %s: the nonrecursive body atoms form %d maximal connected sets; condition 4 requires one",
+					orig, connectedComponents(conjAtoms)),
+			}, orig)
 		}
 		if len(th) == 0 {
 			// The rule cannot change any column of t, so it can only
@@ -221,12 +342,14 @@ func AnalyzeOpts(prog *ast.Program, pred string, opts Options) (*Analysis, error
 		}
 		infos = append(infos, ruleInfo{
 			cr:   ClassRule{Rule: r, Conj: conjAtoms, RecAtom: rec, BodyVars: bodyVars},
+			orig: orig,
 			cols: th,
 		})
 	}
 
 	// Condition 3: the column sets partition into equal-or-disjoint
 	// classes.
+	classFirst := make([]ruleInfo, 0, len(infos)) // first rule of each class
 	for _, info := range infos {
 		placed := false
 		for ci := range a.Classes {
@@ -237,8 +360,16 @@ func AnalyzeOpts(prog *ast.Program, pred string, opts Options) (*Analysis, error
 				break
 			}
 			if !disjointInts(c.Cols, info.cols) {
-				return nil, &NotSeparableError{Condition: 3, Reason: fmt.Sprintf(
-					"column sets %v and %v are neither equal nor disjoint", c.Cols, info.cols)}
+				other := classFirst[ci]
+				e := &NotSeparableError{
+					Condition: 3,
+					Code:      diag.CodeClassOverlap,
+					Reason: fmt.Sprintf("rule %s binds columns %s, but rule %s binds %s; the sets overlap on %s without being equal, so no equivalence-class partition exists",
+						info.orig, colSet(info.cols), other.orig, colSet(other.cols), colSet(intersectInts(info.cols, other.cols))),
+					OtherRule: other.orig.String(),
+					OtherPos:  other.orig.Position(),
+				}
+				return atRule(e, info.orig)
 			}
 		}
 		if !placed {
@@ -247,6 +378,7 @@ func AnalyzeOpts(prog *ast.Program, pred string, opts Options) (*Analysis, error
 				hv[i] = ast.CanonicalHeadVar(p)
 			}
 			a.Classes = append(a.Classes, Class{Cols: info.cols, HeadVars: hv, Rules: []ClassRule{info.cr}})
+			classFirst = append(classFirst, info)
 		}
 	}
 	// Persistent columns: in no class.
@@ -328,6 +460,70 @@ func disjointInts(a, b []int) bool {
 		}
 	}
 	return true
+}
+
+// intersectInts returns the sorted intersection of two sorted column sets.
+func intersectInts(a, b []int) []int {
+	set := make(map[int]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	var out []int
+	for _, y := range b {
+		if set[y] {
+			out = append(out, y)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// colSet renders column positions 1-based for diagnostics, e.g. "{1,3}".
+func colSet(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, p := range cols {
+		parts[i] = fmt.Sprintf("%d", p+1)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// connectedComponents counts maximal connected sets of atoms under the
+// shared-variable relation.
+func connectedComponents(atoms []ast.Atom) int {
+	n := len(atoms)
+	if n == 0 {
+		return 0
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	byVar := make(map[string]int)
+	for i, a := range atoms {
+		for _, t := range a.Args {
+			if !t.IsVar() {
+				continue
+			}
+			if j, ok := byVar[t.Name]; ok {
+				parent[find(i)] = find(j)
+			} else {
+				byVar[t.Name] = i
+			}
+		}
+	}
+	roots := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		roots[find(i)] = true
+	}
+	return len(roots)
 }
 
 // String summarizes the analysis for humans (cmd/sepdetect output).

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sepdl/internal/diag"
+	"sepdl/internal/parser"
+)
+
+// analyzeErr parses src, runs Analyze on pred, and returns the expected
+// *NotSeparableError.
+func analyzeErr(t *testing.T, src, pred string) *NotSeparableError {
+	t.Helper()
+	prog, err := parser.Program(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Analyze(prog, pred)
+	var ne *NotSeparableError
+	if !errors.As(err, &ne) {
+		t.Fatalf("Analyze(%s) err = %v, want *NotSeparableError", pred, err)
+	}
+	return ne
+}
+
+func TestNonLinearDiagnostic(t *testing.T) {
+	ne := analyzeErr(t, "sg(X, Y) :- e(X, Y).\nsg(X, Y) :- sg(X, W) & sg(W, Y).\n", "sg")
+	if ne.Code != diag.CodeNonLinear {
+		t.Errorf("Code = %s, want SEP030", ne.Code)
+	}
+	if ne.Pred != "sg" {
+		t.Errorf("Pred = %q", ne.Pred)
+	}
+	if !strings.Contains(ne.Rule, "sg(X, W) & sg(W, Y)") {
+		t.Errorf("Rule = %q, want the nonlinear rule", ne.Rule)
+	}
+	if ne.Pos.Line != 2 {
+		t.Errorf("Pos = %s, want line 2", ne.Pos)
+	}
+}
+
+func TestShiftingDiagnosticPointsAtTerm(t *testing.T) {
+	// Head variable Y reappears at position 1 of the recursive body atom.
+	ne := analyzeErr(t, "t(X, Y) :- a(X, W) & t(Y, W).\n", "t")
+	if ne.Condition != 1 || ne.Code != diag.CodeShifting {
+		t.Fatalf("Condition = %d Code = %s, want 1/SEP034", ne.Condition, ne.Code)
+	}
+	if ne.Pos.Line != 1 || ne.Pos.Col != 24 {
+		t.Errorf("Pos = %s, want 1:24 (the shifted Y)", ne.Pos)
+	}
+	d := ne.Diagnostic()
+	if d.Code != diag.CodeShifting || d.Severity != diag.Warning {
+		t.Errorf("Diagnostic = %+v", d)
+	}
+	if !strings.Contains(d.Message, "condition 1 of Definition 2.4") {
+		t.Errorf("Message = %q", d.Message)
+	}
+}
+
+func TestBoundMismatchDiagnostic(t *testing.T) {
+	// The nonrecursive part binds head columns {1,2} but only body column 1
+	// (U is fresh at position 2 of the recursive atom).
+	ne := analyzeErr(t, "t(X, Y) :- a(X, Y, W) & t(W, U).\n", "t")
+	if ne.Condition != 2 || ne.Code != diag.CodeBoundMismatch {
+		t.Fatalf("Condition = %d Code = %s, want 2/SEP035", ne.Condition, ne.Code)
+	}
+	if !strings.Contains(ne.Reason, "{1") || !strings.Contains(ne.Reason, "must be equal") {
+		t.Errorf("Reason = %q, want 1-based column sets", ne.Reason)
+	}
+}
+
+func TestClassOverlapDiagnosticCitesBothRules(t *testing.T) {
+	// Rule 1 binds columns {1,2}; rule 2 binds {2,3}: overlap on {2}.
+	src := `t(X, Y, Z) :- a(X, Y, U, V) & t(U, V, Z).
+t(X, Y, Z) :- b(Y, Z, U, V) & t(X, U, V).
+t(X, Y, Z) :- e(X, Y, Z).
+`
+	ne := analyzeErr(t, src, "t")
+	if ne.Condition != 3 || ne.Code != diag.CodeClassOverlap {
+		t.Fatalf("Condition = %d Code = %s, want 3/SEP036", ne.Condition, ne.Code)
+	}
+	if ne.OtherRule == "" || ne.OtherPos.Line != 1 {
+		t.Errorf("OtherRule = %q at %s, want the first rule at line 1", ne.OtherRule, ne.OtherPos)
+	}
+	if ne.Pos.Line != 2 {
+		t.Errorf("Pos = %s, want the second rule at line 2", ne.Pos)
+	}
+	if !strings.Contains(ne.Reason, "overlap on {2}") {
+		t.Errorf("Reason = %q, want the overlapping column named", ne.Reason)
+	}
+	d := ne.Diagnostic()
+	if len(d.Related) != 1 || d.Related[0].Pos.Line != 1 {
+		t.Errorf("Diagnostic related = %v, want the other rule cited", d.Related)
+	}
+}
+
+func TestDisconnectedDiagnostic(t *testing.T) {
+	ne := analyzeErr(t, "sg(X, Y) :- up(X, U) & sg(U, V) & down(V, Y).\n", "sg")
+	if ne.Condition != 4 || ne.Code != diag.CodeDisconnected {
+		t.Fatalf("Condition = %d Code = %s, want 4/SEP037", ne.Condition, ne.Code)
+	}
+	if !strings.Contains(ne.Reason, "2 maximal connected sets") {
+		t.Errorf("Reason = %q", ne.Reason)
+	}
+}
+
+func TestMutualRecursionDiagnostic(t *testing.T) {
+	src := "p(X) :- q(X).\nq(X) :- p(X).\np(X) :- e(X).\n"
+	ne := analyzeErr(t, src, "p")
+	if ne.Code != diag.CodeMutualRec {
+		t.Errorf("Code = %s, want SEP031", ne.Code)
+	}
+	if !strings.Contains(ne.Reason, "mutually recursive") {
+		t.Errorf("Reason = %q", ne.Reason)
+	}
+}
+
+func TestNegationDiagnosticPointsAtNotKeyword(t *testing.T) {
+	ne := analyzeErr(t, "t(X, Y) :- a(X, W) & t(W, Y) & not bad(X).\n", "t")
+	if ne.Code != diag.CodeNegationInRec {
+		t.Errorf("Code = %s, want SEP032", ne.Code)
+	}
+	if ne.Pos.Line != 1 || ne.Pos.Col != 32 {
+		t.Errorf("Pos = %s, want 1:32 (the 'not' keyword)", ne.Pos)
+	}
+}
+
+func TestHeadConstantDiagnostic(t *testing.T) {
+	ne := analyzeErr(t, "t(X, c) :- a(X, W) & t(W, c).\n", "t")
+	if ne.Code != diag.CodeHeadShape {
+		t.Errorf("Code = %s, want SEP033", ne.Code)
+	}
+	if ne.Pos.Line != 1 || ne.Pos.Col != 6 {
+		t.Errorf("Pos = %s, want 1:6 (the head constant)", ne.Pos)
+	}
+}

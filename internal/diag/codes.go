@@ -1,0 +1,96 @@
+package diag
+
+// The stable diagnostic codes. Codes are append-only: a released code never
+// changes meaning, so scripts and editors can match on them. Text output
+// renders them as error[SEP008] etc.; sepdl check -json carries them in the
+// "code" field.
+const (
+	// Syntax and well-formedness (errors).
+	CodeSyntax         = "SEP001" // source does not parse
+	CodeMalformedAtom  = "SEP002" // empty predicate or term name (programmatic ASTs only)
+	CodeArity          = "SEP003" // predicate used with conflicting arities
+	CodeNegatedHead    = "SEP004" // rule head is negated (programmatic ASTs only)
+	CodeBuiltinDefined = "SEP005" // rule defines a builtin predicate
+	CodeBuiltinArity   = "SEP006" // builtin used with arity other than 2
+	CodeBuiltinNegated = "SEP007" // negated builtin (use the dual builtin)
+	CodeUnsafeRule     = "SEP008" // head variable not bound in a positive body atom
+	CodeUnsafeNegation = "SEP009" // negated/builtin variable not bound positively
+
+	// Stratification (errors).
+	CodeNotStratifiable = "SEP020" // negation cycle through recursion
+
+	// Separability (warnings: the program evaluates, but the Separable
+	// algorithm — and usually Counting/HN — cannot be used, so a selection
+	// query degrades to Magic Sets or full bottom-up evaluation).
+	CodeNonLinear     = "SEP030" // recursive rule mentions the predicate twice
+	CodeMutualRec     = "SEP031" // mutual recursion between predicates
+	CodeNegationInRec = "SEP032" // negation inside a recursive definition
+	CodeHeadShape     = "SEP033" // head/recursive-atom outside the paper's class
+	CodeShifting      = "SEP034" // condition 1: a head variable shifts position
+	CodeBoundMismatch = "SEP035" // condition 2: head-bound ≠ body-bound columns
+	CodeClassOverlap  = "SEP036" // condition 3: classes neither equal nor disjoint
+	CodeDisconnected  = "SEP037" // condition 4: nonrecursive part not connected
+
+	// Advisory lints (warnings).
+	CodeUnusedPred      = "SEP040" // predicate defined but never used
+	CodeUnreachableRule = "SEP041" // rule unreachable from the query
+	CodeCartesian       = "SEP042" // rule body joins disconnected atom groups
+	CodeNoSelection     = "SEP043" // query has no constants: no sideways information
+	CodeSingletonVar    = "SEP044" // variable occurs exactly once in a rule
+	CodeUnknownQuery    = "SEP045" // query predicate not mentioned by the program
+
+	// Reports (info).
+	CodeStrategyReport  = "SEP050" // per-strategy applicability for the query
+	CodeSeparableReport = "SEP051" // the recursion is separable; class structure
+)
+
+// CodeInfo documents one code for the registry.
+type CodeInfo struct {
+	// Summary is a one-line description of what the code means.
+	Summary string
+	// Explanation is the default long-form help attached to diagnostics
+	// with this code.
+	Explanation string
+	// Internal marks codes only reachable from programmatically built
+	// ASTs, never from parsed source (so the CLI fixtures cannot cover
+	// them).
+	Internal bool
+}
+
+// Registry maps every stable code to its documentation. Tests assert that
+// each non-internal code has a fixture producing it.
+var Registry = map[string]CodeInfo{
+	CodeSyntax:         {Summary: "syntax error", Explanation: "the source does not parse; nothing after the reported position was analyzed"},
+	CodeMalformedAtom:  {Summary: "malformed atom", Explanation: "atoms need a nonempty predicate name and nonempty term names", Internal: true},
+	CodeArity:          {Summary: "conflicting arities", Explanation: "a predicate names one relation, so every use must have the same number of arguments"},
+	CodeNegatedHead:    {Summary: "negated rule head", Explanation: "rules derive facts; a negated head has no fixpoint semantics here", Internal: true},
+	CodeBuiltinDefined: {Summary: "builtin predicate redefined", Explanation: "eq/2 and neq/2 are evaluated procedurally and cannot be given rules"},
+	CodeBuiltinArity:   {Summary: "builtin arity", Explanation: "the builtin comparisons eq and neq take exactly 2 arguments"},
+	CodeBuiltinNegated: {Summary: "negated builtin", Explanation: "write the dual builtin instead: not eq(X,Y) is neq(X,Y) and vice versa"},
+	CodeUnsafeRule:     {Summary: "unsafe rule", Explanation: "every head variable must be bound by a positive, non-builtin body atom (range restriction), or the rule's answer set is infinite"},
+	CodeUnsafeNegation: {Summary: "unsafe negation", Explanation: "variables under negation or in builtins must be bound by a positive body atom so the filter runs over ground values"},
+
+	CodeNotStratifiable: {Summary: "not stratifiable", Explanation: "a predicate depends on its own negation, so no stratum ordering gives the program a stratified model; break the named cycle"},
+
+	CodeNonLinear:     {Summary: "nonlinear recursion", Explanation: "the paper's program class (§2) is linear recursions: each recursive rule may mention the recursive predicate once in its body"},
+	CodeMutualRec:     {Summary: "mutual recursion", Explanation: "the paper's program class (§2) forbids mutual recursion; inline one predicate into the other or accept Magic Sets evaluation"},
+	CodeNegationInRec: {Summary: "negation in recursion", Explanation: "separability (Definition 2.4) is defined for pure Horn clauses; a negated atom in the recursive definition leaves only stratified bottom-up strategies"},
+	CodeHeadShape:     {Summary: "head or recursive atom outside the program class", Explanation: "the paper's class (§2) requires heads of distinct variables and a recursive body atom of variables; constants or repeated variables block the Definition 2.4 analysis"},
+	CodeShifting:      {Summary: "shifting variable (Definition 2.4, condition 1)", Explanation: "a head variable reappears at a different position of the recursive body atom, so selections do not stay on their columns across iterations"},
+	CodeBoundMismatch: {Summary: "bound-column mismatch (Definition 2.4, condition 2)", Explanation: "the head positions sharing variables with the nonrecursive part must equal the body positions doing so; otherwise bindings leak between columns"},
+	CodeClassOverlap:  {Summary: "overlapping equivalence classes (Definition 2.4, condition 3)", Explanation: "rule column sets must be equal or disjoint to partition into equivalence classes; overlapping sets leave no driving class, so Lemma 2.1 cannot rewrite a partial selection into full selections"},
+	CodeDisconnected:  {Summary: "disconnected nonrecursive part (Definition 2.4, condition 4)", Explanation: "the nonrecursive body atoms must form one connected set through shared variables; otherwise the selection constant cannot focus the whole rule (run with relaxed connectivity to evaluate anyway, §5)"},
+
+	CodeUnusedPred:      {Summary: "unused predicate", Explanation: "the predicate is defined by rules but no rule body or query mentions it; it may be dead code or a misspelling"},
+	CodeUnreachableRule: {Summary: "rule unreachable from query", Explanation: "the query cannot derive anything through this rule; the engine still evaluates it under bottom-up strategies, wasting work"},
+	CodeCartesian:       {Summary: "cartesian product join", Explanation: "body atoms sharing no variables multiply their extents; if intended, consider splitting the rule"},
+	CodeNoSelection:     {Summary: "no selection constants", Explanation: "without constants there is no sideways information passing: every strategy degenerates to full bottom-up evaluation of the relation"},
+	CodeSingletonVar:    {Summary: "singleton variable", Explanation: "a variable used once joins nothing and may be a typo; prefix it with _ to mark it intentional"},
+	CodeUnknownQuery:    {Summary: "unknown query predicate", Explanation: "no rule defines the predicate and no rule mentions it; the query can only answer from base facts under that name"},
+
+	CodeStrategyReport:  {Summary: "strategy applicability", Explanation: ""},
+	CodeSeparableReport: {Summary: "separable recursion", Explanation: ""},
+}
+
+// Explain returns the registry explanation for code ("" when absent).
+func Explain(code string) string { return Registry[code].Explanation }

@@ -1,0 +1,267 @@
+// Package diag defines the typed, positioned, machine-readable diagnostics
+// every static-analysis pass of the engine emits: parse errors, program
+// well-formedness violations, stratification failures, separability
+// explanations (which condition of Definition 2.4 fails and where), and
+// advisory lint findings. A Diagnostic carries a stable code (SEPnnn), a
+// severity, a line:column position in the source the program was parsed
+// from, a one-line message, and an optional longer explanation, so callers
+// (the sepdl check command, the engine's admission gate, editors) can
+// present or filter findings without parsing prose.
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pos is a 1-based line:column source position. The zero value means the
+// position is unknown (e.g. the program was built programmatically rather
+// than parsed).
+type Pos struct {
+	Line int `json:"line"`
+	Col  int `json:"col"`
+}
+
+// Known reports whether the position was actually tracked.
+func (p Pos) Known() bool { return p.Line > 0 }
+
+// String renders "line:col", or "-" when unknown.
+func (p Pos) String() string {
+	if !p.Known() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Before reports whether p precedes q in reading order; unknown positions
+// sort first.
+func (p Pos) Before(q Pos) bool {
+	if p.Line != q.Line {
+		return p.Line < q.Line
+	}
+	return p.Col < q.Col
+}
+
+// Severity ranks a diagnostic. The zero value is Info so that a
+// Diagnostic{} literal is harmless.
+type Severity int
+
+// The severities, in increasing order of badness.
+const (
+	Info    Severity = iota // advisory: reports and strategy applicability
+	Warning                 // suspicious or pessimal, rejected under strict checks
+	Error                   // malformed, always rejected
+)
+
+// String renders the severity in lower case, as used in text output and JSON.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// MarshalJSON encodes the severity as its lower-case name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON decodes a lower-case severity name, so check -json output
+// round-trips through encoding/json.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "info":
+		*s = Info
+	case "warning":
+		*s = Warning
+	case "error":
+		*s = Error
+	default:
+		return fmt.Errorf("diag: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Related cites a second source location a diagnostic refers to, e.g. the
+// first of two conflicting arity uses.
+type Related struct {
+	Pos     Pos    `json:"pos"`
+	Message string `json:"message"`
+}
+
+// Diagnostic is one finding of a static-analysis pass.
+type Diagnostic struct {
+	// Code is the stable SEPnnn identifier from this package's registry.
+	Code string `json:"code"`
+	// Severity ranks the finding.
+	Severity Severity `json:"severity"`
+	// Pos locates the finding in the parsed source (zero when unknown).
+	Pos Pos `json:"pos"`
+	// Message is the one-line finding.
+	Message string `json:"message"`
+	// Explanation expands on the finding — for separability failures, the
+	// paper's condition and what to change; may be empty.
+	Explanation string `json:"explanation,omitempty"`
+	// Related cites other source locations involved in the finding.
+	Related []Related `json:"related,omitempty"`
+}
+
+// New builds a diagnostic, filling Explanation from the code registry.
+func New(code string, sev Severity, pos Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Code:        code,
+		Severity:    sev,
+		Pos:         pos,
+		Message:     fmt.Sprintf(format, args...),
+		Explanation: Explain(code),
+	}
+}
+
+// WithRelated returns a copy of d citing an additional location.
+func (d Diagnostic) WithRelated(pos Pos, format string, args ...any) Diagnostic {
+	d.Related = append(append([]Related(nil), d.Related...),
+		Related{Pos: pos, Message: fmt.Sprintf(format, args...)})
+	return d
+}
+
+// WithExplanation returns a copy of d with a finding-specific explanation
+// replacing the registry default.
+func (d Diagnostic) WithExplanation(format string, args ...any) Diagnostic {
+	d.Explanation = fmt.Sprintf(format, args...)
+	return d
+}
+
+// String renders "pos: severity[CODE]: message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s[%s]: %s", d.Pos, d.Severity, d.Code, d.Message)
+}
+
+// List is a collection of diagnostics. It implements error so validation
+// entry points can return their findings through existing error-valued
+// signatures without losing structure.
+type List []Diagnostic
+
+// Error summarizes the list: the first most-severe finding's message, plus
+// a count of the rest.
+func (l List) Error() string {
+	if len(l) == 0 {
+		return "no diagnostics"
+	}
+	first := l[0]
+	for _, d := range l[1:] {
+		if d.Severity > first.Severity {
+			first = d
+		}
+	}
+	msg := first.Message
+	if first.Pos.Known() {
+		msg = first.Pos.String() + ": " + msg
+	}
+	if len(l) > 1 {
+		return fmt.Sprintf("%s (and %d more diagnostics)", msg, len(l)-1)
+	}
+	return msg
+}
+
+// HasErrors reports whether any finding has Error severity.
+func (l List) HasErrors() bool { return l.Max() >= Error }
+
+// Max returns the highest severity present (Info for an empty list).
+func (l List) Max() Severity {
+	max := Info
+	for _, d := range l {
+		if d.Severity > max {
+			max = d.Severity
+		}
+	}
+	return max
+}
+
+// Filter returns the findings with severity ≥ min, preserving order.
+func (l List) Filter(min Severity) List {
+	var out List
+	for _, d := range l {
+		if d.Severity >= min {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Count returns how many findings have exactly severity s.
+func (l List) Count(s Severity) int {
+	n := 0
+	for _, d := range l {
+		if d.Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Sorted returns the list ordered by position (unknown first), then code,
+// then message, for deterministic output.
+func (l List) Sorted() List {
+	out := append(List(nil), l...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos.Before(out[j].Pos)
+		}
+		if out[i].Code != out[j].Code {
+			return out[i].Code < out[j].Code
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+// Codes returns the distinct codes present, sorted.
+func (l List) Codes() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, d := range l {
+		if !seen[d.Code] {
+			seen[d.Code] = true
+			out = append(out, d.Code)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render writes the list in the standard text form, one finding per line
+// with related sites and the explanation indented beneath it:
+//
+//	3:1: warning[SEP037]: ...
+//	    related 5:2: ...
+//	    = explanation
+func (l List) Render(prefix string) string {
+	var b strings.Builder
+	for _, d := range l {
+		fmt.Fprintf(&b, "%s%s\n", prefix, d)
+		for _, r := range d.Related {
+			fmt.Fprintf(&b, "%s    related %s: %s\n", prefix, r.Pos, r.Message)
+		}
+		if d.Explanation != "" {
+			for i, line := range strings.Split(d.Explanation, "\n") {
+				lead := "    = "
+				if i > 0 {
+					lead = "      "
+				}
+				fmt.Fprintf(&b, "%s%s%s\n", prefix, lead, line)
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,123 @@
+package diag
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	for _, s := range []Severity{Info, Warning, Error} {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Severity
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != s {
+			t.Errorf("round trip %v -> %s -> %v", s, b, got)
+		}
+	}
+	var s Severity
+	if err := json.Unmarshal([]byte(`"fatal"`), &s); err == nil {
+		t.Error("unknown severity name accepted")
+	}
+}
+
+func TestDiagnosticJSONRoundTrip(t *testing.T) {
+	d := New(CodeArity, Error, Pos{Line: 3, Col: 7}, "predicate %s used with arity %d and %d", "e", 2, 3).
+		WithRelated(Pos{Line: 1, Col: 1}, "first used with arity 2 here")
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Diagnostic
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, got) {
+		t.Errorf("round trip changed diagnostic:\n before %+v\n after  %+v", d, got)
+	}
+}
+
+func TestNewFillsExplanationFromRegistry(t *testing.T) {
+	d := New(CodeUnsafeRule, Error, Pos{}, "boom")
+	if d.Explanation != Registry[CodeUnsafeRule].Explanation {
+		t.Errorf("Explanation = %q, want the registry text", d.Explanation)
+	}
+	d = d.WithExplanation("custom %d", 7)
+	if d.Explanation != "custom 7" {
+		t.Errorf("WithExplanation = %q", d.Explanation)
+	}
+}
+
+func TestListSortedAndCounts(t *testing.T) {
+	l := List{
+		New(CodeUnusedPred, Warning, Pos{Line: 5, Col: 1}, "later"),
+		New(CodeSyntax, Error, Pos{Line: 1, Col: 2}, "earlier"),
+		New(CodeStrategyReport, Info, Pos{}, "unknown position sorts first"),
+	}
+	s := l.Sorted()
+	if s[0].Code != CodeStrategyReport || s[1].Code != CodeSyntax || s[2].Code != CodeUnusedPred {
+		t.Errorf("sorted order = %v", s.Codes())
+	}
+	if l.Max() != Error || !l.HasErrors() {
+		t.Error("Max/HasErrors wrong")
+	}
+	if l.Count(Warning) != 1 || l.Count(Info) != 1 || l.Count(Error) != 1 {
+		t.Error("Count wrong")
+	}
+	if got := l.Filter(Warning); len(got) != 2 {
+		t.Errorf("Filter(Warning) kept %d, want 2", len(got))
+	}
+}
+
+func TestListError(t *testing.T) {
+	var empty List
+	if empty.Error() != "no diagnostics" {
+		t.Errorf("empty error = %q", empty.Error())
+	}
+	l := List{
+		New(CodeUnusedPred, Warning, Pos{Line: 2, Col: 1}, "meh"),
+		New(CodeSyntax, Error, Pos{Line: 4, Col: 2}, "boom"),
+	}
+	msg := l.Error()
+	if !strings.Contains(msg, "4:2: boom") || !strings.Contains(msg, "1 more") {
+		t.Errorf("Error() = %q, want most-severe first plus count", msg)
+	}
+}
+
+func TestRenderIndentsMultilineExplanation(t *testing.T) {
+	d := New(CodeStrategyReport, Info, Pos{Line: 1, Col: 1}, "report").
+		WithExplanation("line one\nline two")
+	out := List{d}.Render("")
+	want := "1:1: info[SEP050]: report\n    = line one\n      line two\n"
+	if out != want {
+		t.Errorf("Render = %q, want %q", out, want)
+	}
+}
+
+// TestRegistryCoversEveryCode pins that each declared code has registry
+// documentation, so Explain never silently returns "".
+func TestRegistryCoversEveryCode(t *testing.T) {
+	codes := []string{
+		CodeSyntax, CodeMalformedAtom, CodeArity, CodeNegatedHead,
+		CodeBuiltinDefined, CodeBuiltinArity, CodeBuiltinNegated,
+		CodeUnsafeRule, CodeUnsafeNegation, CodeNotStratifiable,
+		CodeNonLinear, CodeMutualRec, CodeNegationInRec, CodeHeadShape,
+		CodeShifting, CodeBoundMismatch, CodeClassOverlap, CodeDisconnected,
+		CodeUnusedPred, CodeUnreachableRule, CodeCartesian, CodeNoSelection,
+		CodeSingletonVar, CodeUnknownQuery, CodeStrategyReport, CodeSeparableReport,
+	}
+	if len(codes) != len(Registry) {
+		t.Errorf("test lists %d codes, registry has %d", len(codes), len(Registry))
+	}
+	for _, c := range codes {
+		if _, ok := Registry[c]; !ok {
+			t.Errorf("code %s missing from registry", c)
+		}
+	}
+}

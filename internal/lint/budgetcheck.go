@@ -1,0 +1,195 @@
+// Package lint implements budgetcheck, a custom static analyzer in the
+// style of go/analysis (std-lib only — the build environment has no module
+// cache, so golang.org/x/tools is unavailable): it flags fixpoint loops in
+// the evaluation and strategy packages that materialize tuples without
+// ever consulting the evaluation budget. The budget invariant says every
+// loop that can grow a relation must call one of budget.Budget's
+// Round/Tick/AddDerived/Err/TickFunc/Guard hooks, so runaway recursions
+// stay cancellable and resource-governed; a loop that inserts tuples but
+// never ticks would evaluate to completion no matter what limits the
+// caller set.
+//
+// The heuristic: a non-range for statement whose body (function literals
+// included) calls a materializing method (Insert, InsertAll) must also
+// call a budget hook, either directly or through one same-package function
+// it calls. Loops that are genuinely exempt carry a
+// "// budgetcheck:ignore" comment on the for statement's line or the line
+// above it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one budget-invariant violation.
+type Finding struct {
+	// Pos is the position of the offending for statement.
+	Pos token.Position
+	// Msg describes the violation.
+	Msg string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s", f.Pos, f.Msg)
+}
+
+// materializing are the method names that grow a relation inside a loop.
+var materializing = map[string]bool{
+	"Insert":    true,
+	"InsertAll": true,
+}
+
+// budgetHooks are the budget.Budget calls that satisfy the invariant.
+var budgetHooks = map[string]bool{
+	"Round":      true,
+	"Tick":       true,
+	"AddDerived": true,
+	"Err":        true,
+	"TickFunc":   true,
+	"Guard":      true,
+}
+
+// CheckDir analyzes every non-test Go file in dir and returns the
+// violations, ordered by position.
+func CheckDir(dir string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Package-level functions and methods by name, for the one-level call
+	// expansion: a loop that calls a helper which ticks the budget passes.
+	funcs := make(map[string]*ast.FuncDecl)
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				funcs[fd.Name.Name] = fd
+			}
+		}
+	}
+
+	var findings []Finding
+	for _, f := range files {
+		ignored := ignoredLines(fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			pos := fset.Position(loop.Pos())
+			if ignored[pos.Line] {
+				return true
+			}
+			called := calledNames(loop.Body)
+			mat := ""
+			for name := range called {
+				if materializing[name] {
+					mat = name
+					break
+				}
+			}
+			if mat == "" {
+				return true
+			}
+			if callsBudget(called, funcs, 1) {
+				return true
+			}
+			findings = append(findings, Finding{
+				Pos: pos,
+				Msg: fmt.Sprintf("fixpoint loop materializes tuples (%s) without a budget call (Round/Tick/AddDerived/Err/TickFunc/Guard); see the budget invariant", mat),
+			})
+			return true
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	return findings, nil
+}
+
+// callsBudget reports whether the called set reaches a budget hook,
+// expanding same-package function calls up to depth levels.
+func callsBudget(called map[string]bool, funcs map[string]*ast.FuncDecl, depth int) bool {
+	for name := range called {
+		if budgetHooks[name] {
+			return true
+		}
+	}
+	if depth <= 0 {
+		return false
+	}
+	for name := range called {
+		if fd, ok := funcs[name]; ok {
+			if callsBudget(calledNames(fd.Body), funcs, depth-1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// calledNames collects the terminal names of every call expression under
+// n: for pkg.F(...) or recv.M(...) the selector name, for F(...) the
+// identifier. Function literals are included — fixpoint bodies often wrap
+// work in closures.
+func calledNames(n ast.Node) map[string]bool {
+	out := make(map[string]bool)
+	if n == nil {
+		return out
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fn := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			out[fn.Sel.Name] = true
+		case *ast.Ident:
+			out[fn.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// ignoredLines returns the source lines suppressed by a
+// "budgetcheck:ignore" comment: the comment's own line and the line below
+// it (so the comment can sit on the for statement's line or above it).
+func ignoredLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	out := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "budgetcheck:ignore") {
+				line := fset.Position(c.Pos()).Line
+				out[line] = true
+				out[line+1] = true
+			}
+		}
+	}
+	return out
+}

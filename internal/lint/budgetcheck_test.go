@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writePkg materializes a single-file package in a temp dir.
+func writePkg(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestFlagsMaterializingLoopWithoutBudget(t *testing.T) {
+	dir := writePkg(t, `package p
+
+func fixpoint(rel interface{ Insert(x int) bool }) {
+	for {
+		if !rel.Insert(1) {
+			break
+		}
+	}
+}
+`)
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly 1", findings)
+	}
+	if findings[0].Pos.Line != 4 {
+		t.Errorf("finding at line %d, want 4", findings[0].Pos.Line)
+	}
+}
+
+func TestBudgetCallSatisfies(t *testing.T) {
+	dir := writePkg(t, `package p
+
+type budget struct{}
+
+func (budget) Round() error { return nil }
+
+func fixpoint(rel interface{ Insert(x int) bool }, b budget) {
+	for {
+		if b.Round() != nil {
+			return
+		}
+		if !rel.Insert(1) {
+			break
+		}
+	}
+}
+`)
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("findings = %v, want none", findings)
+	}
+}
+
+func TestHelperCallSatisfiesOneLevel(t *testing.T) {
+	dir := writePkg(t, `package p
+
+type budget struct{}
+
+func (budget) Tick(n int) error { return nil }
+
+func tick(b budget) error { return b.Tick(1) }
+
+func fixpoint(rel interface{ Insert(x int) bool }, b budget) {
+	for {
+		if tick(b) != nil {
+			return
+		}
+		if !rel.Insert(1) {
+			break
+		}
+	}
+}
+`)
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("findings = %v, want none", findings)
+	}
+}
+
+func TestIgnoreComment(t *testing.T) {
+	dir := writePkg(t, `package p
+
+func fixpoint(rel interface{ Insert(x int) bool }) {
+	// budgetcheck:ignore — bounded by construction
+	for {
+		if !rel.Insert(1) {
+			break
+		}
+	}
+}
+`)
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("findings = %v, want none", findings)
+	}
+}
+
+func TestRangeLoopsAndPlainLoopsExempt(t *testing.T) {
+	dir := writePkg(t, `package p
+
+func load(rel interface{ Insert(x int) bool }, xs []int) {
+	for _, x := range xs {
+		rel.Insert(x)
+	}
+	for i := 0; i < 3; i++ {
+		_ = i
+	}
+}
+`)
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("findings = %v, want none", findings)
+	}
+}
+
+func TestFuncLitInsideLoopIsSeen(t *testing.T) {
+	dir := writePkg(t, `package p
+
+func fixpoint(rel interface{ Insert(x int) bool }) {
+	for {
+		f := func() bool { return rel.Insert(1) }
+		if !f() {
+			break
+		}
+	}
+}
+`)
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly 1", findings)
+	}
+}
+
+// TestRealPackagesClean pins the repo invariant itself: the evaluation and
+// strategy packages must stay budgetcheck-clean.
+func TestRealPackagesClean(t *testing.T) {
+	for _, dir := range []string{"../eval", "../core", "../counting", "../hn", "../tabling", "../magic", "../aho"} {
+		findings, err := CheckDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s: %s", dir, f)
+		}
+	}
+}

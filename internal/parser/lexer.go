@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+
+	"sepdl/internal/diag"
 )
 
 type tokKind int
@@ -78,7 +80,7 @@ func newLexer(src string) *lexer {
 }
 
 func (l *lexer) errorf(line, col int, format string, args ...any) error {
-	return fmt.Errorf("parse error at line %d, column %d: %s", line, col, fmt.Sprintf(format, args...))
+	return &Error{Pos: diag.Pos{Line: line, Col: col}, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (l *lexer) peek() rune {

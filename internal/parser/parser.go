@@ -4,7 +4,26 @@ import (
 	"fmt"
 
 	"sepdl/internal/ast"
+	"sepdl/internal/diag"
 )
+
+// Error is a positioned parse error. Every syntax failure this package
+// reports is an *Error, so callers can surface the exact line and column
+// (sepdl check renders it as a SEP001 diagnostic).
+type Error struct {
+	Pos diag.Pos
+	Msg string
+}
+
+// Error keeps the historical "parse error at line L, column C" rendering.
+func (e *Error) Error() string {
+	return fmt.Sprintf("parse error at line %d, column %d: %s", e.Pos.Line, e.Pos.Col, e.Msg)
+}
+
+// Diagnostic converts the parse error into a SEP001 diagnostic.
+func (e *Error) Diagnostic() diag.Diagnostic {
+	return diag.New(diag.CodeSyntax, diag.Error, e.Pos, "%s", e.Msg)
+}
 
 type parser struct {
 	lex *lexer
@@ -40,15 +59,17 @@ func (p *parser) expect(k tokKind) (token, error) {
 }
 
 func (p *parser) errorf(format string, args ...any) error {
-	return fmt.Errorf("parse error at line %d, column %d: %s", p.cur.line, p.cur.col, fmt.Sprintf(format, args...))
+	return &Error{Pos: diag.Pos{Line: p.cur.line, Col: p.cur.col}, Msg: fmt.Sprintf(format, args...)}
 }
+
+func (t token) pos() diag.Pos { return diag.Pos{Line: t.line, Col: t.col} }
 
 func (p *parser) atom() (ast.Atom, error) {
 	pred, err := p.expect(tokIdent)
 	if err != nil {
 		return ast.Atom{}, err
 	}
-	return p.atomTail(pred.text)
+	return p.atomTail(pred.text, pred.pos())
 }
 
 // bodyAtom parses a body literal: an atom optionally preceded by the
@@ -56,6 +77,7 @@ func (p *parser) atom() (ast.Atom, error) {
 // "not(...)" because the keyword reading requires a following identifier.
 func (p *parser) bodyAtom() (ast.Atom, error) {
 	if p.cur.kind == tokIdent && p.cur.text == "not" {
+		notPos := p.cur.pos()
 		if err := p.advance(); err != nil {
 			return ast.Atom{}, err
 		}
@@ -67,17 +89,20 @@ func (p *parser) bodyAtom() (ast.Atom, error) {
 			if a.Negated {
 				return ast.Atom{}, p.errorf("double negation is not supported")
 			}
-			return ast.Not(a), nil
+			a = ast.Not(a)
+			// The literal starts at the "not" keyword.
+			a.Pos = notPos
+			return a, nil
 		}
 		// "not(" ... — an atom whose predicate is named not.
-		return p.atomTail("not")
+		return p.atomTail("not", notPos)
 	}
 	return p.atom()
 }
 
 // atomTail parses the argument list (if any) after a predicate name.
-func (p *parser) atomTail(pred string) (ast.Atom, error) {
-	a := ast.Atom{Pred: pred}
+func (p *parser) atomTail(pred string, pos diag.Pos) (ast.Atom, error) {
+	a := ast.Atom{Pred: pred, Pos: pos}
 	if p.cur.kind != tokLParen {
 		return a, nil // propositional atom
 	}
@@ -87,9 +112,13 @@ func (p *parser) atomTail(pred string) (ast.Atom, error) {
 	for {
 		switch p.cur.kind {
 		case tokVar:
-			a.Args = append(a.Args, ast.V(p.cur.text))
+			t := ast.V(p.cur.text)
+			t.Pos = p.cur.pos()
+			a.Args = append(a.Args, t)
 		case tokIdent:
-			a.Args = append(a.Args, ast.C(p.cur.text))
+			t := ast.C(p.cur.text)
+			t.Pos = p.cur.pos()
+			a.Args = append(a.Args, t)
 		default:
 			return ast.Atom{}, p.errorf("expected argument, found %s %q", p.cur.kind, p.cur.text)
 		}
@@ -149,8 +178,11 @@ func (p *parser) rule() (ast.Rule, error) {
 	return r, nil
 }
 
-// Program parses a sequence of rules terminated by '.'.
-func Program(src string) (*ast.Program, error) {
+// Parse reads a sequence of rules terminated by '.' without validating the
+// resulting program, so static analysis can report well-formedness
+// violations as positioned diagnostics instead of a single parse failure.
+// Every atom and term in the result carries its source position.
+func Parse(src string) (*ast.Program, error) {
 	p, err := newParser(src)
 	if err != nil {
 		return nil, err
@@ -162,6 +194,16 @@ func Program(src string) (*ast.Program, error) {
 			return nil, err
 		}
 		prog.Rules = append(prog.Rules, r)
+	}
+	return prog, nil
+}
+
+// Program parses a sequence of rules terminated by '.' and validates the
+// result (Parse + ast.Program.Validate).
+func Program(src string) (*ast.Program, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
 	}
 	if err := prog.Validate(); err != nil {
 		return nil, err
@@ -222,7 +264,7 @@ func Facts(src string) ([]ast.Atom, error) {
 			return nil, err
 		}
 		if !a.IsGround() {
-			return nil, fmt.Errorf("fact %s contains variables", a)
+			return nil, &Error{Pos: a.Pos, Msg: fmt.Sprintf("fact %s contains variables", a)}
 		}
 		if _, err := p.expect(tokDot); err != nil {
 			return nil, err

@@ -94,7 +94,7 @@ func TestQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if q.Pred != "buys" || q.Args[0] != ast.C("tom") || q.Args[1] != ast.V("Y") {
+	if q.Pred != "buys" || !q.Args[0].Equal(ast.C("tom")) || !q.Args[1].Equal(ast.V("Y")) {
 		t.Fatalf("query = %s", q)
 	}
 	// '?' is optional.

@@ -1,0 +1,153 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/diag"
+)
+
+func TestAtomAndTermPositions(t *testing.T) {
+	src := "buys(X, Y) :- friend(X, W) &\n    buys(W, Y).\n"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prog.Rules[0]
+	want := func(got diag.Pos, line, col int, what string) {
+		t.Helper()
+		if got.Line != line || got.Col != col {
+			t.Errorf("%s at %s, want %d:%d", what, got, line, col)
+		}
+	}
+	want(r.Head.Pos, 1, 1, "head atom")
+	want(r.Head.Args[0].Pos, 1, 6, "head arg X")
+	want(r.Head.Args[1].Pos, 1, 9, "head arg Y")
+	want(r.Body[0].Pos, 1, 15, "friend atom")
+	want(r.Body[0].Args[1].Pos, 1, 25, "friend arg W")
+	want(r.Body[1].Pos, 2, 5, "recursive atom on line 2")
+	want(r.Body[1].Args[0].Pos, 2, 10, "recursive arg W")
+	want(r.Position(), 1, 1, "rule position")
+}
+
+func TestNegatedAtomPositionIsNotKeyword(t *testing.T) {
+	prog, err := Parse("safe(X) :- node(X) & not broken(X).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := prog.Rules[0].Body[1]
+	if !b.Negated {
+		t.Fatal("expected negated atom")
+	}
+	if b.Pos.Line != 1 || b.Pos.Col != 22 {
+		t.Errorf("negated atom at %s, want 1:22 (the 'not' keyword)", b.Pos)
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := Parse("p(X) :- q(X).\nbroken(X :- r(X).\n")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	pe, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("err is %T, want *Error", err)
+	}
+	if pe.Pos.Line != 2 {
+		t.Errorf("error at line %d, want 2", pe.Pos.Line)
+	}
+	if !strings.Contains(pe.Error(), "parse error at line 2") {
+		t.Errorf("Error() = %q, want the historical rendering", pe.Error())
+	}
+	d := pe.Diagnostic()
+	if d.Code != diag.CodeSyntax || d.Severity != diag.Error {
+		t.Errorf("Diagnostic() = %+v, want SEP001 error", d)
+	}
+}
+
+// TestApplyKeepsOccurrencePosition pins the substitution property the
+// separability diagnostics rely on: substituting a term into a rule keeps
+// the position of the occurrence, not of the replacement, so rectified
+// rules still point into the original source.
+func TestApplyKeepsOccurrencePosition(t *testing.T) {
+	prog, err := Parse("p(X) :- q(X).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prog.Rules[0].Apply(ast.Subst{"X": ast.V("%h0")})
+	if got := r.Body[0].Args[0]; got.Name != "%h0" || got.Pos.Line != 1 || got.Pos.Col != 11 {
+		t.Errorf("substituted term = %s at %s, want %%h0 at 1:11", got.Name, got.Pos)
+	}
+}
+
+// positionsOf flattens every tracked position of a program in reading
+// order: per rule, the head atom, its args, then each body atom and args.
+func positionsOf(prog *ast.Program) []diag.Pos {
+	var out []diag.Pos
+	addAtom := func(a ast.Atom) {
+		out = append(out, a.Pos)
+		for _, arg := range a.Args {
+			out = append(out, arg.Pos)
+		}
+	}
+	for _, r := range prog.Rules {
+		addAtom(r.Head)
+		for _, b := range r.Body {
+			addAtom(b)
+		}
+	}
+	return out
+}
+
+// FuzzPositions checks the parser's position tracking on every accepted
+// input: positions are within the input's bounds (line within the line
+// count, column within that line's rune length + 1) and non-decreasing in
+// reading order.
+func FuzzPositions(f *testing.F) {
+	addFileSeeds(f)
+	for _, s := range []string{
+		"t(X, Y) :- a(X, W) & t(W, Y).",
+		"p.\nq :- p.\n",
+		"a(X) :- b(X).\n\n\na(X) :- c(X).",
+		"p(X) :- q(X) & not r(X).",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			// Errors must still carry an in-bounds position.
+			if pe, ok := err.(*Error); ok && pe.Pos.Known() {
+				checkBounds(t, src, pe.Pos, "parse error")
+			}
+			return
+		}
+		prev := diag.Pos{}
+		for _, p := range positionsOf(prog) {
+			if !p.Known() {
+				t.Fatalf("parsed program has unknown position (src %q)", src)
+			}
+			checkBounds(t, src, p, "atom/term")
+			if p.Before(prev) {
+				t.Fatalf("position %s precedes earlier position %s (src %q)", p, prev, src)
+			}
+			prev = p
+		}
+	})
+}
+
+// checkBounds fails if pos lies outside src: line beyond the line count,
+// or column beyond the rune length of that line + 1 (a token can start at
+// most one past the last rune, for EOF).
+func checkBounds(t *testing.T, src string, pos diag.Pos, what string) {
+	t.Helper()
+	lines := strings.Split(src, "\n")
+	if pos.Line < 1 || pos.Line > len(lines) {
+		t.Fatalf("%s line %d out of bounds 1..%d (src %q)", what, pos.Line, len(lines), src)
+	}
+	runes := len([]rune(lines[pos.Line-1]))
+	if pos.Col < 1 || pos.Col > runes+1 {
+		t.Fatalf("%s column %d out of bounds 1..%d on line %d (src %q)", what, pos.Col, runes+1, pos.Line, src)
+	}
+}

@@ -1,0 +1,68 @@
+package sepdl
+
+import (
+	"errors"
+	"testing"
+)
+
+const nonSeparableSrc = `sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, U) & sg(U, V) & down(V, Y).
+`
+
+func TestStrictChecksRejectWarnings(t *testing.T) {
+	// Default engines accept the program (it evaluates fine bottom-up).
+	if err := New().LoadProgram(nonSeparableSrc); err != nil {
+		t.Fatalf("default engine rejected: %v", err)
+	}
+	// Strict engines reject it: sg is not separable (condition 4).
+	err := New(WithStrictChecks()).LoadProgram(nonSeparableSrc)
+	if err == nil {
+		t.Fatal("strict engine accepted a non-separable program")
+	}
+	var l Diagnostics
+	if !errors.As(err, &l) {
+		t.Fatalf("err is %T, want Diagnostics", err)
+	}
+	found := false
+	for _, d := range l {
+		if d.Code == "SEP037" {
+			found = true
+			if !d.Pos.Known() {
+				t.Error("strict rejection lost its position")
+			}
+		}
+		if d.Severity < DiagWarning {
+			t.Errorf("info finding %v leaked into the rejection", d)
+		}
+	}
+	if !found {
+		t.Errorf("rejection %v does not carry SEP037", l.Codes())
+	}
+}
+
+func TestStrictChecksAcceptCleanProgram(t *testing.T) {
+	e := New(WithStrictChecks())
+	if err := e.LoadProgram("buys(X, Y) :- friend(X, W) & buys(W, Y).\nbuys(X, Y) :- perfectFor(X, Y).\n"); err != nil {
+		t.Fatalf("strict engine rejected a separable program: %v", err)
+	}
+	if err := e.LoadFacts("friend(tom, dick). perfectFor(dick, radio)."); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query("buys(tom, Y)?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("answers = %d, want 1", res.Len())
+	}
+}
+
+func TestCheckSourceAPI(t *testing.T) {
+	l := CheckSource(nonSeparableSrc, "sg(ann, Y)?")
+	if l.Max() != DiagWarning {
+		t.Fatalf("Max = %v, want warning", l.Max())
+	}
+	if len(l.Codes()) == 0 {
+		t.Fatal("no diagnostics")
+	}
+}
