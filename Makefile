@@ -21,6 +21,7 @@ test:
 
 bench:
 	go run ./cmd/sepbench -quick
+	go run ./cmd/sepbench -parallel-bench -parallelism 4 -json BENCH_parallel.json
 
 # stress repeats the concurrent-serving tests under the race detector and
 # replays the parser fuzz seed corpus. It is slower than tier-1 and meant

@@ -16,6 +16,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 
 	"sepdl/internal/bench"
 )
@@ -28,13 +31,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sepbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp    = fs.String("exp", "all", "experiment id (e1..e9) or \"all\"")
-		quick  = fs.Bool("quick", false, "run reduced parameter sweeps")
-		list   = fs.Bool("list", false, "list experiments and exit")
-		format = fs.String("format", "table", "output format: table|csv")
+		exp      = fs.String("exp", "all", "experiment id (e1..e9) or \"all\"")
+		quick    = fs.Bool("quick", false, "run reduced parameter sweeps")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		format   = fs.String("format", "table", "output format: table|csv")
+		parBench = fs.Bool("parallel-bench", false, "run the parallel-vs-sequential regression benchmark instead of the experiments")
+		jsonPath = fs.String("json", "", "with -parallel-bench: also write the report as JSON to this path")
+		sizes    = fs.String("sizes", "16,32,48", "with -parallel-bench: comma-separated problem sizes")
+		classes  = fs.Int("classes", 4, "with -parallel-bench: equivalence classes in the separable query family")
+		par      = fs.Int("parallelism", 0, "with -parallel-bench: worker count for the parallel runs (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *parBench {
+		return runParallelBench(*sizes, *classes, *par, *jsonPath, stdout, stderr)
 	}
 
 	if *list {
@@ -68,6 +80,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout)
 		}
 		fmt.Fprint(stdout, bench.FormatExperiment(e, e.Run(*quick)))
+	}
+	return 0
+}
+
+// runParallelBench runs the parallel regression harness and renders a
+// table (plus optional JSON artifact, the BENCH_parallel.json that make
+// bench commits to the repository root).
+func runParallelBench(sizeList string, classes, parallelism int, jsonPath string, stdout, stderr io.Writer) int {
+	var sizes []int
+	for _, s := range strings.Split(sizeList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 2 {
+			fmt.Fprintf(stderr, "sepbench: bad -sizes entry %q\n", s)
+			return 2
+		}
+		sizes = append(sizes, n)
+	}
+	if parallelism < 1 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	rep := bench.RunParallel(sizes, classes, parallelism)
+	fmt.Fprintf(stdout, "parallel benchmark: GOMAXPROCS=%d cpus=%d parallelism=%d\n",
+		rep.GOMAXPROCS, rep.NumCPU, rep.Parallelism)
+	fmt.Fprintf(stdout, "%-10s %6s %9s %12s %12s %14s %8s\n",
+		"family", "n", "answers", "seq", "par", "tuples/s(par)", "speedup")
+	failed := false
+	for _, p := range rep.Points {
+		if p.Err != "" {
+			failed = true
+			fmt.Fprintf(stdout, "%-10s %6d  ERROR: %s\n", p.Family, p.Size, p.Err)
+			continue
+		}
+		fmt.Fprintf(stdout, "%-10s %6d %9d %12d %12d %14.0f %7.2fx\n",
+			p.Family, p.Size, p.Answers, p.SeqNs, p.ParNs, p.TuplesPerSecPar, p.Speedup)
+	}
+	if jsonPath != "" {
+		out, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(stderr, "sepbench: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(jsonPath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "sepbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", jsonPath)
+	}
+	if failed {
+		return 1
 	}
 	return 0
 }

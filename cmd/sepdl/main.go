@@ -62,6 +62,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		concurrency = fs.Int("concurrency", 0, "max queries evaluated at once; 0 unlimited, negative admits none (drain)")
 		admitWait   = fs.Duration("admit-wait", 0, "how long an over-limit query queues for a slot before failing overloaded")
 		parallel    = fs.Int("parallel", 1, "fire the -query this many times concurrently")
+		parallelism = fs.Int("parallelism", 0, "worker goroutines inside one evaluation; 0 = GOMAXPROCS, 1 = sequential")
 		fallback    = fs.Bool("fallback", false, "retry a budget-aborted compiled strategy under semi-naive")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +76,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	e := sepdl.New(
 		sepdl.WithMaxConcurrent(*concurrency),
 		sepdl.WithAdmissionWait(*admitWait),
+		sepdl.WithParallelism(*parallelism),
 	)
 	src, err := os.ReadFile(*programPath)
 	if err != nil {

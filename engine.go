@@ -14,12 +14,13 @@ import (
 	"sepdl/internal/budget"
 	"sepdl/internal/check"
 	"sepdl/internal/core"
-	"sepdl/internal/diag"
 	"sepdl/internal/counting"
 	"sepdl/internal/database"
+	"sepdl/internal/diag"
 	"sepdl/internal/eval"
 	"sepdl/internal/hn"
 	"sepdl/internal/magic"
+	"sepdl/internal/par"
 	"sepdl/internal/parser"
 	"sepdl/internal/provenance"
 	"sepdl/internal/rel"
@@ -70,6 +71,8 @@ type Engine struct {
 	admitWait     time.Duration
 	gate          chan struct{}
 	strict        bool
+	parallelism   int
+	parThreshold  int
 }
 
 // progState is one immutable program revision plus its memoized
@@ -120,6 +123,30 @@ func WithAdmissionWait(d time.Duration) EngineOption {
 // finding with its code and position.
 func WithStrictChecks() EngineOption {
 	return func(e *Engine) { e.strict = true }
+}
+
+// WithParallelism sets the worker-pool size the evaluation strategies use
+// for one query: concurrent per-class closures in the Separable evaluator
+// and hash-partitioned delta evaluation in the semi-naive fixpoint (which
+// Magic Sets and Aho–Ullman run on). n < 1 (and the default) means
+// runtime.GOMAXPROCS; n == 1 disables intra-query parallelism. Whatever
+// the setting, a query's answer set is identical — only evaluation
+// scheduling changes — and resource budgets, deadlines, and cancellation
+// are enforced across all workers through the query's shared tracker.
+// Rounds below WithParallelThreshold's work floor run sequentially, so
+// small queries keep their single-threaded cost profile.
+func WithParallelism(n int) EngineOption {
+	return func(e *Engine) { e.parallelism = n }
+}
+
+// WithParallelThreshold sets the minimum per-round work size (tuples
+// feeding the round's joins, or the support database size for the
+// Separable product evaluator) at which parallel evaluation engages; 0
+// (the default) uses eval.DefaultParallelThreshold and a negative value
+// removes the floor entirely (useful in tests to force the parallel paths
+// on tiny programs).
+func WithParallelThreshold(n int) EngineOption {
+	return func(e *Engine) { e.parThreshold = n }
 }
 
 // New returns an empty engine.
@@ -343,6 +370,8 @@ type queryConfig struct {
 	budget            Budget
 	deadline          time.Duration
 	fallback          bool
+	parallelism       int // resolved worker count (par.Degree applied)
+	parThreshold      int
 }
 
 // tracker builds the internal budget tracker for ctx and the configured
@@ -496,7 +525,7 @@ func (e *Engine) Query(query string, opts ...QueryOption) (*Result, error) {
 // context.DeadlineExceeded or context.Canceled. Under WithMaxConcurrent,
 // an admission rejection returns an *OverloadError matching ErrOverloaded.
 func (e *Engine) QueryCtx(ctx context.Context, query string, opts ...QueryOption) (*Result, error) {
-	cfg := queryConfig{strategy: Auto}
+	cfg := queryConfig{strategy: Auto, parallelism: par.Degree(e.parallelism), parThreshold: e.parThreshold}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -596,25 +625,42 @@ func runStrategy(st *progState, db *database.Database, q ast.Atom, query string,
 			Analysis:          st.analysis(q.Pred, cfg.allowDisconnected),
 			AllowDisconnected: cfg.allowDisconnected,
 			Budget:            bud,
+			Parallelism:       cfg.parallelism,
+			ParallelThreshold: cfg.parThreshold,
 		})
 	case MagicSets, MagicSetsSup:
 		ans, err = magic.Answer(st.prog, db, q, magic.Options{
-			Collector:     c,
-			MaxIterations: cfg.maxIterations,
-			Supplementary: strategy == MagicSetsSup,
-			Budget:        bud,
+			Collector:         c,
+			MaxIterations:     cfg.maxIterations,
+			Supplementary:     strategy == MagicSetsSup,
+			Budget:            bud,
+			Parallelism:       cfg.parallelism,
+			ParallelThreshold: cfg.parThreshold,
 		})
 	case Counting:
 		ans, err = counting.Answer(st.prog, db, q, counting.Options{Collector: c, MaxLevels: cfg.maxIterations, Budget: bud})
 	case HenschenNaqvi:
 		ans, err = hn.Answer(st.prog, db, q, hn.Options{Collector: c, MaxDepth: cfg.maxIterations, Budget: bud})
 	case AhoUllman:
-		ans, err = aho.Answer(st.prog, db, q, aho.Options{Collector: c, MaxIterations: cfg.maxIterations, Budget: bud})
+		ans, err = aho.Answer(st.prog, db, q, aho.Options{
+			Collector:         c,
+			MaxIterations:     cfg.maxIterations,
+			Budget:            bud,
+			Parallelism:       cfg.parallelism,
+			ParallelThreshold: cfg.parThreshold,
+		})
 	case Tabling:
 		ans, err = tabling.Answer(st.prog, db, q, tabling.Options{Collector: c, Budget: bud})
 	case SemiNaive, Naive:
 		var view *database.Database
-		view, err = eval.Run(st.prog, db, eval.Options{Collector: c, Naive: strategy == Naive, MaxIterations: cfg.maxIterations, Budget: bud})
+		view, err = eval.Run(st.prog, db, eval.Options{
+			Collector:         c,
+			Naive:             strategy == Naive,
+			MaxIterations:     cfg.maxIterations,
+			Budget:            bud,
+			Parallelism:       cfg.parallelism,
+			ParallelThreshold: cfg.parThreshold,
+		})
 		if err == nil {
 			ans, err = eval.Answer(view, q)
 		}

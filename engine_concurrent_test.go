@@ -46,8 +46,8 @@ func TestConcurrentReadersWritersSnapshotIsolation(t *testing.T) {
 	)
 	e := chainEngine(t, initial)
 
-	var wg sync.WaitGroup      // writer 1 + readers
-	var wg2 sync.WaitGroup     // writer 2 (runs until the others finish)
+	var wg sync.WaitGroup  // writer 1 + readers
+	var wg2 sync.WaitGroup // writer 2 (runs until the others finish)
 	stop := make(chan struct{})
 
 	// Writer 1 extends the chain: friend(a_k, a_{k+1}) then

@@ -70,6 +70,10 @@ type Options struct {
 	// Budget, when non-nil, governs the bottom-up evaluation of the pushed
 	// program at round and join-inner-loop granularity.
 	Budget *budget.Budget
+	// Parallelism and ParallelThreshold forward to the semi-naive fixpoint
+	// over the pushed program (eval.Options).
+	Parallelism       int
+	ParallelThreshold int
 }
 
 // Push returns a copy of prog in which the selection constants of q (which
@@ -156,7 +160,13 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 	if err != nil {
 		return nil, err
 	}
-	view, err := eval.Run(pushed, db, eval.Options{Collector: opts.Collector, MaxIterations: opts.MaxIterations, Budget: opts.Budget})
+	view, err := eval.Run(pushed, db, eval.Options{
+		Collector:         opts.Collector,
+		MaxIterations:     opts.MaxIterations,
+		Budget:            opts.Budget,
+		Parallelism:       opts.Parallelism,
+		ParallelThreshold: opts.ParallelThreshold,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"sepdl/internal/core"
+	"sepdl/internal/database"
+	"sepdl/internal/datagen"
+	"sepdl/internal/eval"
+	"sepdl/internal/parser"
+	"sepdl/internal/stats"
+)
+
+// ParallelPoint is one size of the parallel-vs-sequential comparison: the
+// same program, database, and query evaluated with parallelism 1 and with
+// the requested worker count.
+type ParallelPoint struct {
+	Family  string `json:"family"` // "separable" or "seminaive"
+	Size    int    `json:"size"`   // chain length / node count n
+	Classes int    `json:"classes,omitempty"`
+	Answers int    `json:"answers"`
+	// Derived counts successful insertions into derived relations in the
+	// sequential run — the work the round loop actually performs.
+	Derived int   `json:"derived"`
+	SeqNs   int64 `json:"seq_ns"`
+	ParNs   int64 `json:"par_ns"`
+	// TuplesPerSecSeq/Par are derived tuples per second of evaluation.
+	TuplesPerSecSeq float64 `json:"tuples_per_sec_seq"`
+	TuplesPerSecPar float64 `json:"tuples_per_sec_par"`
+	Speedup         float64 `json:"speedup"`
+	Err             string  `json:"err,omitempty"`
+}
+
+// ParallelReport is the regression artifact make bench writes to
+// BENCH_parallel.json: environment, configuration, and one point per
+// family and size.
+type ParallelReport struct {
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	NumCPU      int             `json:"num_cpu"`
+	Parallelism int             `json:"parallelism"`
+	Points      []ParallelPoint `json:"points"`
+}
+
+// JSON renders the report with stable indentation for diffing.
+func (r ParallelReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// RunParallel measures the parallel evaluators against their sequential
+// counterparts on the paper's Section 5 multi-class query family (the
+// Separable product evaluator) and on transitive closure over a random
+// graph (hash-partitioned semi-naive). The parallel runs disable the work
+// threshold: the point is to measure the machinery, not the fallback.
+func RunParallel(sizes []int, classes, parallelism int) ParallelReport {
+	rep := ParallelReport{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Parallelism: parallelism,
+	}
+	for _, n := range sizes {
+		rep.Points = append(rep.Points, separablePoint(n, classes, parallelism))
+	}
+	for _, n := range sizes {
+		rep.Points = append(rep.Points, seminaivePoint(n, parallelism))
+	}
+	return rep
+}
+
+func separablePoint(n, classes, parallelism int) ParallelPoint {
+	pt := ParallelPoint{Family: "separable", Size: n, Classes: classes}
+	prog := datagen.MultiClassProgram(classes)
+	db := datagen.MultiClassDB(n, classes)
+	q, err := parser.Query(datagen.MultiClassQuery(classes))
+	if err != nil {
+		pt.Err = err.Error()
+		return pt
+	}
+	run := func(par int) (int, int, time.Duration, error) {
+		c := stats.New()
+		start := time.Now()
+		ans, err := core.Answer(prog, db, q, core.EvalOptions{
+			Collector:         c,
+			Parallelism:       par,
+			ParallelThreshold: -1,
+		})
+		d := time.Since(start)
+		if err != nil {
+			return 0, 0, d, err
+		}
+		return ans.Len(), c.Inserted, d, nil
+	}
+	return fillPoint(pt, run, parallelism)
+}
+
+func seminaivePoint(n, parallelism int) ParallelPoint {
+	pt := ParallelPoint{Family: "seminaive", Size: n}
+	prog, err := parser.Program(`
+path(X, Y) :- e(X, W) & path(W, Y).
+path(X, Y) :- e(X, Y).
+`)
+	if err != nil {
+		pt.Err = err.Error()
+		return pt
+	}
+	db := database.New()
+	datagen.RandomGraph(db, "e", "v", n, 2*n, 42)
+	run := func(par int) (int, int, time.Duration, error) {
+		c := stats.New()
+		start := time.Now()
+		view, err := eval.Run(prog, db, eval.Options{
+			Collector:         c,
+			Parallelism:       par,
+			ParallelThreshold: -1,
+		})
+		d := time.Since(start)
+		if err != nil {
+			return 0, 0, d, err
+		}
+		return view.Relation("path").Len(), c.Inserted, d, nil
+	}
+	return fillPoint(pt, run, parallelism)
+}
+
+// fillPoint times the sequential and parallel runs and computes the
+// derived rates. The sequential run goes first so its derived-tuple count
+// (identical across modes) labels the point.
+func fillPoint(pt ParallelPoint, run func(par int) (int, int, time.Duration, error), parallelism int) ParallelPoint {
+	ansSeq, derived, seqD, err := run(1)
+	if err != nil {
+		pt.Err = err.Error()
+		return pt
+	}
+	ansPar, _, parD, err := run(parallelism)
+	if err != nil {
+		pt.Err = err.Error()
+		return pt
+	}
+	if ansPar != ansSeq {
+		pt.Err = fmt.Sprintf("answer mismatch: sequential %d, parallel %d", ansSeq, ansPar)
+		return pt
+	}
+	pt.Answers = ansSeq
+	pt.Derived = derived
+	pt.SeqNs = seqD.Nanoseconds()
+	pt.ParNs = parD.Nanoseconds()
+	if s := seqD.Seconds(); s > 0 {
+		pt.TuplesPerSecSeq = float64(derived) / s
+	}
+	if s := parD.Seconds(); s > 0 {
+		pt.TuplesPerSecPar = float64(derived) / s
+	}
+	if pt.ParNs > 0 {
+		pt.Speedup = float64(pt.SeqNs) / float64(pt.ParNs)
+	}
+	return pt
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRunParallelSmoke(t *testing.T) {
+	rep := RunParallel([]int{4, 6}, 3, 2)
+	if len(rep.Points) != 4 {
+		t.Fatalf("points = %d, want 4 (2 sizes x 2 families)", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.Err != "" {
+			t.Errorf("%s n=%d: %s", p.Family, p.Size, p.Err)
+			continue
+		}
+		if p.Answers == 0 || p.SeqNs <= 0 || p.ParNs <= 0 {
+			t.Errorf("%s n=%d: degenerate point %+v", p.Family, p.Size, p)
+		}
+	}
+	// The separable family's answer count is the closure product: n^(c-1).
+	if got := rep.Points[0].Answers; got != 16 {
+		t.Errorf("separable n=4 c=3 answers = %d, want 16", got)
+	}
+
+	out, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ParallelReport
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Parallelism != 2 || len(back.Points) != 4 {
+		t.Errorf("round-trip lost fields: %+v", back)
+	}
+}

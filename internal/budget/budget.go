@@ -15,6 +15,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // Limit identifies which resource bound a query exhausted.
@@ -97,18 +99,24 @@ const tickStride = 256
 
 // Budget tracks one query's resource consumption against its limits and
 // context. The zero value is not used; construct with New or NewProbed.
-// A Budget is not safe for concurrent use (evaluation is single-threaded).
+// The consumption counters are atomics, so one Budget may be shared by the
+// parallel evaluators' worker pools: every worker ticks and charges the
+// same tracker, limits are enforced against the query-wide totals, and the
+// first worker to cross a limit aborts (the shared counters make the rest
+// follow promptly). The probe hook is serialized internally, so injected
+// faults fire in a well-defined order even under concurrency.
 type Budget struct {
-	ctx    context.Context
-	done   <-chan struct{}
-	limits Limits
-	probe  func() error
+	ctx     context.Context
+	done    <-chan struct{}
+	limits  Limits
+	probe   func() error
+	probeMu sync.Mutex
 
 	strategy string
-	tuples   int64
-	rounds   int64
-	bytes    int64
-	ticks    int64
+	tuples   atomic.Int64
+	rounds   atomic.Int64
+	bytes    atomic.Int64
+	ticks    atomic.Int64
 }
 
 // New returns a tracker for ctx and limits, or nil when nothing is bounded
@@ -194,7 +202,7 @@ func (b *Budget) fail(l Limit, consumed, max int64, cause error) {
 		Consumed: consumed,
 		Max:      max,
 		Strategy: b.strategy,
-		Round:    int(b.rounds),
+		Round:    int(b.rounds.Load()),
 		Cause:    cause,
 	})
 }
@@ -202,7 +210,10 @@ func (b *Budget) fail(l Limit, consumed, max int64, cause error) {
 // pollCtx aborts if the context is done; runs the probe when installed.
 func (b *Budget) pollCtx() {
 	if b.probe != nil {
-		if err := b.probe(); err != nil {
+		b.probeMu.Lock()
+		err := b.probe()
+		b.probeMu.Unlock()
+		if err != nil {
 			Abort(err)
 		}
 	}
@@ -216,7 +227,7 @@ func (b *Budget) pollCtx() {
 		if errors.Is(cause, context.Canceled) {
 			l = LimitCanceled
 		}
-		b.fail(l, b.ticks, 0, cause)
+		b.fail(l, b.ticks.Load(), 0, cause)
 	default:
 	}
 }
@@ -234,11 +245,11 @@ func (b *Budget) Err() (err error) {
 }
 
 func (b *Budget) checkLimits() {
-	if b.limits.MaxTuples > 0 && b.tuples > int64(b.limits.MaxTuples) {
-		b.fail(LimitTuples, b.tuples, int64(b.limits.MaxTuples), nil)
+	if t := b.tuples.Load(); b.limits.MaxTuples > 0 && t > int64(b.limits.MaxTuples) {
+		b.fail(LimitTuples, t, int64(b.limits.MaxTuples), nil)
 	}
-	if b.limits.MaxBytes > 0 && b.bytes > b.limits.MaxBytes {
-		b.fail(LimitBytes, b.bytes, b.limits.MaxBytes, nil)
+	if by := b.bytes.Load(); b.limits.MaxBytes > 0 && by > b.limits.MaxBytes {
+		b.fail(LimitBytes, by, b.limits.MaxBytes, nil)
 	}
 }
 
@@ -248,9 +259,9 @@ func (b *Budget) Round() {
 	if b == nil {
 		return
 	}
-	b.rounds++
-	if b.limits.MaxRounds > 0 && b.rounds > int64(b.limits.MaxRounds) {
-		b.fail(LimitRounds, b.rounds, int64(b.limits.MaxRounds), nil)
+	r := b.rounds.Add(1)
+	if b.limits.MaxRounds > 0 && r > int64(b.limits.MaxRounds) {
+		b.fail(LimitRounds, r, int64(b.limits.MaxRounds), nil)
 	}
 	b.pollCtx()
 }
@@ -261,8 +272,8 @@ func (b *Budget) AddDerived(n, arity int) {
 	if b == nil || n == 0 {
 		return
 	}
-	b.tuples += int64(n)
-	b.bytes += int64(n) * int64(arity) * valueBytes
+	b.tuples.Add(int64(n))
+	b.bytes.Add(int64(n) * int64(arity) * valueBytes)
 	b.checkLimits()
 }
 
@@ -273,8 +284,8 @@ func (b *Budget) Tick() {
 	if b == nil {
 		return
 	}
-	b.ticks++
-	if b.probe != nil || b.ticks%tickStride == 0 {
+	t := b.ticks.Add(1)
+	if b.probe != nil || t%tickStride == 0 {
 		b.pollCtx()
 	}
 }
@@ -301,7 +312,10 @@ func (b *Budget) Reset() {
 	if b == nil {
 		return
 	}
-	b.tuples, b.rounds, b.bytes, b.ticks = 0, 0, 0, 0
+	b.tuples.Store(0)
+	b.rounds.Store(0)
+	b.bytes.Store(0)
+	b.ticks.Store(0)
 }
 
 // TickFunc returns Tick as a closure for the join kernel's tick hook, or

@@ -208,20 +208,56 @@ func (p *Plan) AtomOrder() []int {
 // variables in their declared order. emit is called once per satisfying
 // assignment with the full slot vector; the slice is reused between calls,
 // so emit must copy anything it keeps. src supplies relations per atom.
+//
+// Run allocates fresh binding state per call, so one compiled Plan may be
+// Run from many goroutines at once (against relations nobody is mutating).
+// Hot loops that execute the same plan many times from one goroutine
+// should hold a Runner instead and reuse its arrays.
 func (p *Plan) Run(src RelSource, in []rel.Value, emit func(binding []rel.Value)) {
+	r := Runner{p: p, tick: p.tick, binding: make([]rel.Value, len(p.vars)), key: make([]rel.Value, 0, 8)}
+	r.Run(src, in, emit)
+}
+
+// Runner executes one compiled Plan with private, reusable binding and key
+// arrays. Each worker goroutine of the parallel evaluators holds its own
+// Runner over the shared Plan: the Plan itself stays immutable during
+// execution, so any number of Runners may execute it concurrently.
+type Runner struct {
+	p       *Plan
+	tick    func()
+	binding []rel.Value
+	key     []rel.Value
+}
+
+// NewRunner returns a Runner over p with its own binding state. The
+// runner inherits the plan's tick hook as installed at creation time;
+// override per worker with SetTick.
+func (p *Plan) NewRunner() *Runner {
+	return &Runner{p: p, tick: p.tick, binding: make([]rel.Value, len(p.vars)), key: make([]rel.Value, 0, 8)}
+}
+
+// SetTick installs this runner's per-candidate budget hook, shadowing the
+// plan-level one.
+func (r *Runner) SetTick(tick func()) { r.tick = tick }
+
+// Run is Plan.Run on the runner's private arrays.
+func (r *Runner) Run(src RelSource, in []rel.Value, emit func(binding []rel.Value)) {
+	p := r.p
 	if len(in) != p.nIn {
 		panic(fmt.Sprintf("conj: Run got %d input values, plan declares %d", len(in), p.nIn))
 	}
-	binding := make([]rel.Value, len(p.vars))
-	for i := range binding {
-		binding[i] = Unbound
+	if r.binding == nil {
+		r.binding = make([]rel.Value, len(p.vars))
 	}
-	copy(binding, in)
-	key := make([]rel.Value, 0, 8)
-	p.run(0, src, binding, key, emit)
+	for i := range r.binding {
+		r.binding[i] = Unbound
+	}
+	copy(r.binding, in)
+	r.run(0, src, r.binding, r.key[:0], emit)
 }
 
-func (p *Plan) run(depth int, src RelSource, binding []rel.Value, key []rel.Value, emit func([]rel.Value)) {
+func (r *Runner) run(depth int, src RelSource, binding []rel.Value, key []rel.Value, emit func([]rel.Value)) {
+	p := r.p
 	if depth == len(p.steps) {
 		emit(binding)
 		return
@@ -242,14 +278,14 @@ func (p *Plan) run(depth int, src RelSource, binding []rel.Value, key []rel.Valu
 			b = binding[st.lookupSlot[1]]
 		}
 		if (a == b) == (st.pred == "eq") {
-			p.run(depth+1, src, binding, key[:0], emit)
+			r.run(depth+1, src, binding, key[:0], emit)
 		}
 		return
 	}
-	r := src(st.atomIdx, st.pred)
-	if r == nil || r.Len() == 0 {
+	rn := src(st.atomIdx, st.pred)
+	if rn == nil || rn.Len() == 0 {
 		if st.negated {
-			p.run(depth+1, src, binding, key[:0], emit)
+			r.run(depth+1, src, binding, key[:0], emit)
 		}
 		return
 	}
@@ -263,16 +299,16 @@ func (p *Plan) run(depth int, src RelSource, binding []rel.Value, key []rel.Valu
 	}
 	var candidates []rel.Tuple
 	if len(st.lookupCols) == 0 || p.noIndex {
-		candidates = r.Rows()
+		candidates = rn.Rows()
 	} else {
-		candidates = r.Index(st.lookupCols).Lookup(key)
+		candidates = rn.Index(st.lookupCols).Lookup(key)
 	}
 	if st.negated {
 		// All columns are bound (Compile guarantees it), so any candidate
 		// surviving the lookup-column filter refutes the negation.
 		for _, t := range candidates {
-			if p.tick != nil {
-				p.tick()
+			if r.tick != nil {
+				r.tick()
 			}
 			match := true
 			if p.noIndex {
@@ -287,13 +323,13 @@ func (p *Plan) run(depth int, src RelSource, binding []rel.Value, key []rel.Valu
 				return
 			}
 		}
-		p.run(depth+1, src, binding, key[:0], emit)
+		r.run(depth+1, src, binding, key[:0], emit)
 		return
 	}
 next:
 	for _, t := range candidates {
-		if p.tick != nil {
-			p.tick()
+		if r.tick != nil {
+			r.tick()
 		}
 		if p.noIndex {
 			for i, c := range st.lookupCols {
@@ -310,7 +346,7 @@ next:
 				continue next
 			}
 		}
-		p.run(depth+1, src, binding, key[:0], emit)
+		r.run(depth+1, src, binding, key[:0], emit)
 	}
 	for _, cs := range st.assign {
 		binding[cs.slot] = Unbound

@@ -38,6 +38,16 @@ type EvalOptions struct {
 	// join-inner-loop granularity; exceeding it aborts the evaluation with
 	// a *budget.ResourceError and leaves db untouched.
 	Budget *budget.Budget
+	// Parallelism > 1 enables the product evaluator for the second loop
+	// of Figure 2: each class's closure is computed on its own goroutine
+	// and the results are crossed, instead of interleaving every class in
+	// one carry loop. The answer set is identical. It also forwards to the
+	// support-predicate fixpoint (eval.Options.Parallelism).
+	Parallelism int
+	// ParallelThreshold gates the product evaluator on the support
+	// database's tuple count; 0 means eval.DefaultParallelThreshold,
+	// negative removes the gate (tests).
+	ParallelThreshold int
 }
 
 // Answer evaluates the selection query q on the separable recursion
@@ -67,12 +77,18 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts EvalOptio
 	// not depend back on t, so a single pass suffices); they then act as
 	// base relations for the schema. Rules for predicates t does not use
 	// are irrelevant to the query and skipped.
-	base, err := MaterializeSupport(prog, db, q.Pred, opts.Collector, opts.Budget)
+	base, err := MaterializeSupportOpts(prog, db, q.Pred, eval.Options{
+		Collector:         opts.Collector,
+		Budget:            opts.Budget,
+		Parallelism:       opts.Parallelism,
+		ParallelThreshold: opts.ParallelThreshold,
+	})
 	if err != nil {
 		return nil, err
 	}
 
-	e := &evaluator{a: a, db: base, col: opts.Collector, noDedup: opts.NoCarryDedup, bud: opts.Budget}
+	e := &evaluator{a: a, db: base, col: opts.Collector, noDedup: opts.NoCarryDedup, bud: opts.Budget,
+		par: opts.Parallelism, parThreshold: opts.ParallelThreshold}
 	sink := eval.NewAnswerSink(q, base.Syms)
 
 	switch sel.Kind {
@@ -107,11 +123,13 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts EvalOptio
 
 // evaluator holds the pieces shared by the schema's phases.
 type evaluator struct {
-	a       *Analysis
-	db      *database.Database
-	col     *stats.Collector
-	noDedup bool
-	bud     *budget.Budget
+	a            *Analysis
+	db           *database.Database
+	col          *stats.Collector
+	noDedup      bool
+	bud          *budget.Budget
+	par          int
+	parThreshold int
 }
 
 // headVarsAt returns the canonical head variables for positions.
@@ -225,72 +243,18 @@ func (e *evaluator) run(driverCols []int, phase1Class, excludePhase2 int, seeds 
 	e.col.Observe("carry2", carry2.Len())
 	e.col.Observe("seen2", seen2.Len())
 
-	// Phase 2 loop (lines 10-14): apply every remaining class body-to-head.
-	type phase2trans struct {
-		tr *conj.Transition
-		// colIdx maps the class's columns to indexes within outCols.
-		colIdx []int
-	}
-	outIdx := make(map[int]int, len(outCols))
-	for i, p := range outCols {
-		outIdx[p] = i
-	}
-	var p2 []phase2trans
-	for ci := range e.a.Classes {
-		if ci == excludePhase2 || ci == phase1Class {
-			continue
-		}
-		cls := &e.a.Classes[ci]
-		colIdx := make([]int, len(cls.Cols))
-		for i, p := range cls.Cols {
-			j, ok := outIdx[p]
-			if !ok {
-				return nil, nil, fmt.Errorf("core: internal error: class column %d overlaps driver columns", p)
-			}
-			colIdx[i] = j
-		}
-		for _, r := range cls.Rules {
-			tr, err := conj.NewTransition(r.Conj, r.BodyVars, cls.HeadVars, intern)
-			if err != nil {
-				return nil, nil, fmt.Errorf("core: rule %s: %w", r.Rule, err)
-			}
-			tr.SetTick(e.bud.TickFunc())
-			p2 = append(p2, phase2trans{tr: tr, colIdx: colIdx})
-		}
+	// Phase 2 loop (lines 10-14): apply every remaining class body-to-head —
+	// interleaved sequentially, or as a product of concurrent per-class
+	// closures when the parallel evaluator is enabled and worthwhile.
+	p2, err := e.phase2Classes(phase1Class, excludePhase2, outCols, intern)
+	if err != nil {
+		return nil, nil, err
 	}
 	if len(p2) > 0 {
-		classVals := make(rel.Tuple, 0, 8)
-		for !carry2.Empty() {
-			e.bud.Round()
-			e.col.AddIteration()
-			next := rel.New(tagW + len(outCols))
-			for _, t := range carry2.Rows() {
-				vals := t[tagW:]
-				for i := range p2 {
-					pt := &p2[i]
-					classVals = classVals[:0]
-					for _, j := range pt.colIdx {
-						classVals = append(classVals, vals[j])
-					}
-					pt.tr.Apply(src, classVals, func(out rel.Tuple) {
-						row := t.Clone()
-						for k, j := range pt.colIdx {
-							row[tagW+j] = out[k]
-						}
-						next.Insert(row)
-					})
-				}
-			}
-			if e.noDedup {
-				carry2 = next
-			} else {
-				carry2 = next.Difference(seen2)
-			}
-			added := seen2.InsertAll(carry2)
-			e.col.AddInserted(added)
-			e.bud.AddDerived(added, tagW+len(outCols))
-			e.col.Observe("carry2", carry2.Len())
-			e.col.Observe("seen2", seen2.Len())
+		if e.parallelPhase2(len(p2)) {
+			e.runPhase2Product(p2, carry2, seen2, tagW, src)
+		} else {
+			e.runPhase2Loop(p2, carry2, seen2, tagW, len(outCols), src)
 		}
 	}
 	return seen2, outCols, nil
@@ -392,6 +356,13 @@ func (e *evaluator) deliver(res *rel.Relation, tagW int, tagCols []int, driverCo
 // returned unchanged. The Counting and Henschen-Naqvi baselines share it.
 // The budget (nil for none) governs the support fixpoint like any other.
 func MaterializeSupport(prog *ast.Program, db *database.Database, pred string, col *stats.Collector, bud *budget.Budget) (*database.Database, error) {
+	return MaterializeSupportOpts(prog, db, pred, eval.Options{Collector: col, Budget: bud})
+}
+
+// MaterializeSupportOpts is MaterializeSupport with full fixpoint options
+// (notably parallelism), which the Separable evaluator forwards from its
+// own EvalOptions.
+func MaterializeSupportOpts(prog *ast.Program, db *database.Database, pred string, opts eval.Options) (*database.Database, error) {
 	deps := prog.DependsOn(pred)
 	var subRules []ast.Rule
 	for _, r := range prog.Rules {
@@ -402,5 +373,5 @@ func MaterializeSupport(prog *ast.Program, db *database.Database, pred string, c
 	if len(subRules) == 0 {
 		return db, nil
 	}
-	return eval.Run(ast.NewProgram(subRules...), db, eval.Options{Collector: col, Budget: bud})
+	return eval.Run(ast.NewProgram(subRules...), db, opts)
 }

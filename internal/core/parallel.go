@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+
+	"sepdl/internal/conj"
+	"sepdl/internal/eval"
+	"sepdl/internal/par"
+	"sepdl/internal/rel"
+)
+
+// phase2class groups one equivalence class's compiled body-to-head
+// transitions with the mapping of its columns into the run's output
+// columns.
+type phase2class struct {
+	colIdx []int
+	trans  []*conj.Transition
+}
+
+// phase2Classes compiles the classes participating in the second loop of
+// Figure 2, in class order (rule order within a class), skipping the
+// phase-1 driver and an excluded class.
+func (e *evaluator) phase2Classes(phase1Class, excludePhase2 int, outCols []int, intern func(string) rel.Value) ([]phase2class, error) {
+	outIdx := make(map[int]int, len(outCols))
+	for i, p := range outCols {
+		outIdx[p] = i
+	}
+	var p2 []phase2class
+	for ci := range e.a.Classes {
+		if ci == excludePhase2 || ci == phase1Class {
+			continue
+		}
+		cls := &e.a.Classes[ci]
+		colIdx := make([]int, len(cls.Cols))
+		for i, p := range cls.Cols {
+			j, ok := outIdx[p]
+			if !ok {
+				return nil, fmt.Errorf("core: internal error: class column %d overlaps driver columns", p)
+			}
+			colIdx[i] = j
+		}
+		pc := phase2class{colIdx: colIdx}
+		for _, r := range cls.Rules {
+			tr, err := conj.NewTransition(r.Conj, r.BodyVars, cls.HeadVars, intern)
+			if err != nil {
+				return nil, fmt.Errorf("core: rule %s: %w", r.Rule, err)
+			}
+			tr.SetTick(e.bud.TickFunc())
+			pc.trans = append(pc.trans, tr)
+		}
+		p2 = append(p2, pc)
+	}
+	return p2, nil
+}
+
+// parallelPhase2 decides whether the product evaluator runs instead of the
+// interleaved loop. It needs dedup (the closure sets ARE the seen sets)
+// and at least two classes to have anything to factorize; below the work
+// threshold — measured by the support database the transitions join
+// against, the best cheap proxy for closure sizes — the plain loop wins.
+func (e *evaluator) parallelPhase2(nClasses int) bool {
+	if e.par <= 1 || e.noDedup || nClasses < 2 {
+		return false
+	}
+	th := e.parThreshold
+	if th == 0 {
+		th = eval.DefaultParallelThreshold
+	}
+	return th < 0 || e.db.NumTuples() >= th
+}
+
+// vkey renders a tuple as a map key (same injective 4-byte scheme the rel
+// package uses internally).
+func vkey(t rel.Tuple) string {
+	b := make([]byte, 0, 4*len(t))
+	for _, v := range t {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// classReach is one class's closure over the seed rows: seen holds
+// (startIdx, classVals...) tuples, starts maps a seed row's projection
+// onto the class columns to its startIdx tag.
+type classReach struct {
+	starts map[string]int
+	seen   *rel.Relation
+}
+
+// lookup returns the tagged closure rows reachable from seed row t's
+// class projection.
+func (cr *classReach) lookup(t rel.Tuple, tagW int, colIdx []int) []rel.Tuple {
+	cv := make(rel.Tuple, len(colIdx))
+	for i, j := range colIdx {
+		cv[i] = t[tagW+j]
+	}
+	idx, ok := cr.starts[vkey(cv)]
+	if !ok {
+		return nil
+	}
+	return cr.seen.Index([]int{0}).Lookup([]rel.Value{rel.Value(idx)})
+}
+
+// classClosure computes one class's reachable set from every distinct
+// seed projection, as a tagged carry loop: tuples are (startIdx,
+// classVals...), so closures of different starts stay separate while
+// sharing one seen relation and one round structure. This is the per-class
+// unit of work the product evaluator runs one goroutine per class.
+func (e *evaluator) classClosure(pc *phase2class, seeds *rel.Relation, tagW int, src conj.RelSource) *classReach {
+	k := len(pc.colIdx)
+	cr := &classReach{starts: make(map[string]int)}
+	carry := rel.New(1 + k)
+	row := make(rel.Tuple, 1+k)
+	for _, t := range seeds.Rows() {
+		cv := row[1:]
+		for i, j := range pc.colIdx {
+			cv[i] = t[tagW+j]
+		}
+		key := vkey(cv)
+		idx, ok := cr.starts[key]
+		if !ok {
+			idx = len(cr.starts)
+			cr.starts[key] = idx
+		}
+		row[0] = rel.Value(idx)
+		carry.Insert(row)
+	}
+	seen := carry.Clone()
+	for !carry.Empty() {
+		e.bud.Round()
+		e.col.AddIteration()
+		next := rel.New(1 + k)
+		for _, t := range carry.Rows() {
+			tag, cv := t[:1], t[1:]
+			for _, tr := range pc.trans {
+				tr.Apply(src, cv, func(out rel.Tuple) {
+					r := make(rel.Tuple, 0, 1+k)
+					r = append(append(r, tag...), out...)
+					next.Insert(r)
+				})
+			}
+		}
+		carry = next.Difference(seen)
+		added := seen.InsertAll(carry)
+		e.col.AddInserted(added)
+		e.bud.AddDerived(added, 1+k)
+	}
+	cr.seen = seen
+	return cr
+}
+
+// runPhase2Product evaluates the second loop of Figure 2 as a product of
+// per-class closures, one goroutine per class. It is sound because a
+// class's transitions read and write only that class's columns and their
+// enabledness depends on nothing else, so the set reachable from a seed
+// row under interleaved applications factorizes into the product of the
+// per-class reachable sets (the independence that makes the recursion
+// separable in the first place). Beyond using the cores, this skips the
+// interleaved loop's join work per product tuple: the joins run once per
+// per-class closure tuple, and the product rows are assembled by copying.
+// A budget abort in a class goroutine panics; par.Run re-raises it here
+// and the evaluation's budget.Guard turns it into the query error.
+func (e *evaluator) runPhase2Product(p2 []phase2class, carry2, seen2 *rel.Relation, tagW int, src conj.RelSource) {
+	closures := make([]*classReach, len(p2))
+	par.Run(len(p2), func(ci int) {
+		closures[ci] = e.classClosure(&p2[ci], carry2, tagW, src)
+	})
+
+	// Sequential product merge: every seed row crossed with one reachable
+	// vector per class. The tick keeps huge products cancellable.
+	tick := e.bud.TickFunc()
+	added := 0
+	for _, t := range carry2.Rows() {
+		row := t.Clone()
+		var rec func(ci int)
+		rec = func(ci int) {
+			if ci == len(p2) {
+				if tick != nil {
+					tick()
+				}
+				if seen2.Insert(row) {
+					added++
+				}
+				return
+			}
+			pc := &p2[ci]
+			for _, rv := range closures[ci].lookup(t, tagW, pc.colIdx) {
+				for k, j := range pc.colIdx {
+					row[tagW+j] = rv[1+k]
+				}
+				rec(ci + 1)
+			}
+		}
+		rec(0)
+	}
+	e.col.AddInserted(added)
+	e.bud.AddDerived(added, seen2.Arity())
+	e.col.Observe("seen2", seen2.Len())
+}
+
+// runPhase2Loop is the sequential interleaved carry loop (lines 10-14 of
+// Figure 2), also the fallback under NoCarryDedup (the product form needs
+// the seen sets) and below the parallel threshold.
+func (e *evaluator) runPhase2Loop(p2 []phase2class, carry2, seen2 *rel.Relation, tagW, outW int, src conj.RelSource) {
+	classVals := make(rel.Tuple, 0, 8)
+	for !carry2.Empty() {
+		e.bud.Round()
+		e.col.AddIteration()
+		next := rel.New(tagW + outW)
+		for _, t := range carry2.Rows() {
+			vals := t[tagW:]
+			for ci := range p2 {
+				pc := &p2[ci]
+				classVals = classVals[:0]
+				for _, j := range pc.colIdx {
+					classVals = append(classVals, vals[j])
+				}
+				for _, tr := range pc.trans {
+					tr.Apply(src, classVals, func(out rel.Tuple) {
+						row := t.Clone()
+						for k, j := range pc.colIdx {
+							row[tagW+j] = out[k]
+						}
+						next.Insert(row)
+					})
+				}
+			}
+		}
+		if e.noDedup {
+			carry2 = next
+		} else {
+			carry2 = next.Difference(seen2)
+		}
+		added := seen2.InsertAll(carry2)
+		e.col.AddInserted(added)
+		e.bud.AddDerived(added, tagW+outW)
+		e.col.Observe("carry2", carry2.Len())
+		e.col.Observe("seen2", seen2.Len())
+	}
+}

@@ -171,6 +171,75 @@ func Lemma43DB(n, k, p int) *database.Database {
 	return db
 }
 
+// MultiClassPrefix names the constant family of class i in MultiClassDB;
+// the chain of class i runs MultiClassPrefix(i)+"1" → … → +"n".
+func MultiClassPrefix(i int) string { return fmt.Sprintf("c%dv", i) }
+
+// MultiClassProgram returns a separable recursion with c independent
+// equivalence classes, one per column — the §5 query family the parallel
+// Separable evaluator is benchmarked on:
+//
+//	t(X1,…,Xc) :- e_i(X_i, W) & t(…, W at position i, …).   for i = 1..c
+//	t(X1,…,Xc) :- t0(X1,…,Xc).
+//
+// Class i touches only column i, so on a selection query every non-driver
+// class contributes an independent closure and the answer is their
+// product.
+func MultiClassProgram(c int) *ast.Program {
+	if c < 2 {
+		panic(fmt.Sprintf("datagen: MultiClassProgram(%d)", c))
+	}
+	headArgs := make([]ast.Term, c)
+	for i := range headArgs {
+		headArgs[i] = ast.V(Name("X", i+1))
+	}
+	prog := &ast.Program{}
+	for i := 1; i <= c; i++ {
+		bodyArgs := make([]ast.Term, c)
+		copy(bodyArgs, headArgs)
+		bodyArgs[i-1] = ast.V("W")
+		prog.Rules = append(prog.Rules, ast.Rule{
+			Head: ast.Atom{Pred: "t", Args: headArgs},
+			Body: []ast.Atom{
+				{Pred: Name("e", i), Args: []ast.Term{ast.V(Name("X", i)), ast.V("W")}},
+				{Pred: "t", Args: bodyArgs},
+			},
+		})
+	}
+	prog.Rules = append(prog.Rules, ast.Rule{
+		Head: ast.Atom{Pred: "t", Args: headArgs},
+		Body: []ast.Atom{{Pred: "t0", Args: headArgs}},
+	})
+	return prog
+}
+
+// MultiClassDB pairs MultiClassProgram(c) with one chain of length n per
+// class (e_i over MultiClassPrefix(i) constants) and a single exit tuple
+// at the chain ends. On the query t(c1v1, Y2, …, Yc)? phase 1 walks chain
+// 1 forward, the exit tuple seeds phase 2, and each remaining class walks
+// its own chain backward — n^(c-1) answers, the product the parallel
+// evaluator assembles from per-class closures.
+func MultiClassDB(n, c int) *database.Database {
+	db := database.New()
+	exit := make([]string, c)
+	for i := 1; i <= c; i++ {
+		Chain(db, Name("e", i), MultiClassPrefix(i), n)
+		exit[i-1] = Name(MultiClassPrefix(i), n)
+	}
+	db.AddFact("t0", exit...)
+	return db
+}
+
+// MultiClassQuery returns the driver-class selection query for
+// MultiClassDB: t(c1v1, Y2, …, Yc)?.
+func MultiClassQuery(c int) string {
+	q := "t(" + Name(MultiClassPrefix(1), 1)
+	for i := 2; i <= c; i++ {
+		q += ", " + Name("Y", i)
+	}
+	return q + ")?"
+}
+
 // DisconnectedProgram returns the §5 example used to show what condition 4
 // buys: t(X,Y) :- a(X,W) & t(W,Z) & b(Z,Y) with the a and b parts
 // unconnected.

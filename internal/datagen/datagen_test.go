@@ -141,3 +141,31 @@ func TestRandomGraph(t *testing.T) {
 		t.Fatalf("edges = %d", db.Relation("e").Len())
 	}
 }
+
+func TestMultiClassFamily(t *testing.T) {
+	for _, c := range []int{2, 3, 4} {
+		prog := MultiClassProgram(c)
+		if got := len(prog.Rules); got != c+1 {
+			t.Fatalf("c=%d: rules = %d, want %d", c, got, c+1)
+		}
+		a, err := core.Analyze(prog, "t")
+		if err != nil {
+			t.Fatalf("c=%d: not separable: %v", c, err)
+		}
+		if len(a.Classes) != c {
+			t.Errorf("c=%d: classes = %d", c, len(a.Classes))
+		}
+		db := MultiClassDB(5, c)
+		for i := 1; i <= c; i++ {
+			if got := db.Relation(Name("e", i)).Len(); got != 4 {
+				t.Errorf("c=%d: |e%d| = %d, want 4", c, i, got)
+			}
+		}
+		if db.Relation("t0").Len() != 1 {
+			t.Errorf("c=%d: |t0| = %d, want 1", c, db.Relation("t0").Len())
+		}
+	}
+	if q := MultiClassQuery(3); q != "t(c1v1, Y2, Y3)?" {
+		t.Errorf("query = %q", q)
+	}
+}

@@ -31,6 +31,18 @@ type Options struct {
 	// join-inner-loop granularity; exceeding it aborts the run with a
 	// *budget.ResourceError and leaves db untouched.
 	Budget *budget.Budget
+	// Parallelism sets the worker-pool size used to evaluate a round's
+	// rules — and hash-partitioned chunks of the delta frontier —
+	// concurrently. 0 or 1 evaluates sequentially. The answer set is
+	// identical either way; only the insertion order of derived tuples
+	// (and hence unsorted Rows order) can differ.
+	Parallelism int
+	// ParallelThreshold is the minimum round input size (tuples feeding
+	// the round's joins) at which the worker pool engages; smaller rounds
+	// run sequentially even with Parallelism > 1. 0 means
+	// DefaultParallelThreshold; negative removes the floor entirely
+	// (tests use this to force the parallel path on tiny programs).
+	ParallelThreshold int
 }
 
 type compiledRule struct {
@@ -139,14 +151,20 @@ func runStratum(rules []ast.Rule, inStratum map[string]bool, view *database.Data
 		}
 	}
 
+	pr := newParRunner(opts)
+
 	// Round 0: evaluate every rule against the initial totals.
 	opts.Budget.Round()
 	newFacts := make(map[string]*rel.Relation)
 	for p := range inStratum {
 		newFacts[p] = rel.New(total[p].Arity())
 	}
-	for i := range compiled {
-		runRule(&compiled[i], baseSrc, newFacts[compiled[i].rule.Head.Pred])
+	if pr.eligible(baseWork(compiled, view.Relation)) {
+		pr.runTasks(baseTasks(compiled, baseSrc), newFacts, opts.Budget)
+	} else {
+		for i := range compiled {
+			runRule(&compiled[i], baseSrc, newFacts[compiled[i].rule.Head.Pred])
+		}
 	}
 	opts.Collector.AddIteration()
 	changed := false
@@ -173,11 +191,16 @@ func runStratum(rules []ast.Rule, inStratum map[string]bool, view *database.Data
 		for p := range inStratum {
 			newFacts[p] = rel.New(total[p].Arity())
 		}
-		if opts.Naive {
+		switch {
+		case opts.Naive && pr.eligible(baseWork(compiled, view.Relation)):
+			pr.runTasks(baseTasks(compiled, baseSrc), newFacts, opts.Budget)
+		case opts.Naive:
 			for i := range compiled {
 				runRule(&compiled[i], baseSrc, newFacts[compiled[i].rule.Head.Pred])
 			}
-		} else {
+		case pr.eligible(deltaWork(compiled, delta)):
+			pr.runTasks(pr.deltaTasks(compiled, delta, baseSrc), newFacts, opts.Budget)
+		default:
 			for i := range compiled {
 				cr := &compiled[i]
 				if len(cr.idbOccs) == 0 {

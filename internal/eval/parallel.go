@@ -1,0 +1,187 @@
+package eval
+
+import (
+	"sepdl/internal/budget"
+	"sepdl/internal/conj"
+	"sepdl/internal/par"
+	"sepdl/internal/rel"
+)
+
+// DefaultParallelThreshold is the round work size — tuples feeding the
+// round's joins — below which a parallel-enabled evaluation still runs the
+// round sequentially. Fan-out has a fixed cost (goroutines, channel, tuple
+// clones), and on the small rounds that dominate most workloads it loses
+// to the plain loop; 4096 input tuples is comfortably past break-even.
+const DefaultParallelThreshold = 4096
+
+// mergeBatchSize is how many head tuples a worker buffers before handing
+// them to the merger; small enough to keep the merger streaming, large
+// enough that channel traffic is not per-tuple.
+const mergeBatchSize = 256
+
+// roundTask is one unit of a round's work: evaluate a rule's plan against
+// a relation source (the base source, or one with a delta chunk
+// substituted at one IDB occurrence).
+type roundTask struct {
+	cr  *compiledRule
+	src conj.RelSource
+}
+
+// parRunner is the per-stratum handle on the parallel round machinery;
+// nil means the run is sequential.
+type parRunner struct {
+	workers   int
+	threshold int
+}
+
+func newParRunner(opts Options) *parRunner {
+	if opts.Parallelism <= 1 {
+		return nil
+	}
+	th := opts.ParallelThreshold
+	if th == 0 {
+		th = DefaultParallelThreshold
+	}
+	return &parRunner{workers: opts.Parallelism, threshold: th}
+}
+
+// eligible reports whether a round with the given input work size should
+// fan out. A negative threshold forces fan-out (tests use it to drive the
+// parallel path on tiny programs).
+func (pr *parRunner) eligible(work int) bool {
+	if pr == nil {
+		return false
+	}
+	return pr.threshold < 0 || work >= pr.threshold
+}
+
+type mergeBatch struct {
+	pred string
+	rows []rel.Tuple
+}
+
+// runTasks evaluates tasks on the worker pool. Workers read the round's
+// immutable (total, delta, base) relations through their task sources and
+// batch emitted head tuples to a single merger goroutine, which is the
+// only writer of newFacts for the round — so dedup against the growing
+// round output needs no locking. A budget abort in any worker (their
+// runners tick per candidate) or in the merger (it ticks per batch)
+// re-panics here on the calling goroutine, where the evaluation's
+// budget.Guard recovers it; before that the merger drains the channel so
+// no worker is left blocked on send.
+func (pr *parRunner) runTasks(tasks []roundTask, newFacts map[string]*rel.Relation, bud *budget.Budget) {
+	ch := make(chan mergeBatch, pr.workers*2)
+	mergeDone := make(chan any, 1)
+	go func() {
+		var p any
+		func() {
+			defer func() { p = recover() }()
+			for b := range ch {
+				bud.Tick()
+				nf := newFacts[b.pred]
+				for _, row := range b.rows {
+					nf.Insert(row)
+				}
+			}
+		}()
+		if p != nil {
+			for range ch {
+			}
+		}
+		mergeDone <- p
+	}()
+
+	var workerPanic any
+	func() {
+		defer close(ch)
+		defer func() { workerPanic = recover() }()
+		par.ForEach(pr.workers, len(tasks), func(_, i int) {
+			t := tasks[i]
+			pred := t.cr.rule.Head.Pred
+			run := t.cr.plan.NewRunner()
+			row := make(rel.Tuple, t.cr.proj.Arity())
+			buf := make([]rel.Tuple, 0, mergeBatchSize)
+			run.Run(t.src, nil, func(binding []rel.Value) {
+				buf = append(buf, t.cr.proj.Tuple(binding, row).Clone())
+				if len(buf) == mergeBatchSize {
+					ch <- mergeBatch{pred: pred, rows: buf}
+					buf = make([]rel.Tuple, 0, mergeBatchSize)
+				}
+			})
+			if len(buf) > 0 {
+				ch <- mergeBatch{pred: pred, rows: buf}
+			}
+		})
+	}()
+	if p := <-mergeDone; p != nil && workerPanic == nil {
+		workerPanic = p
+	}
+	if workerPanic != nil {
+		panic(workerPanic)
+	}
+}
+
+// baseTasks is one task per rule against the base source — the shape of
+// round 0 and of naive rounds, where parallelism is across rules only.
+func baseTasks(compiled []compiledRule, baseSrc conj.RelSource) []roundTask {
+	tasks := make([]roundTask, 0, len(compiled))
+	for i := range compiled {
+		tasks = append(tasks, roundTask{cr: &compiled[i], src: baseSrc})
+	}
+	return tasks
+}
+
+// deltaTasks builds the semi-naive round's task list: one task per rule ×
+// IDB occurrence × hash-partitioned chunk of that occurrence's delta.
+// Chunk relations share tuple storage with the delta (rel.PartitionHash),
+// so fan-out does not copy the frontier.
+func (pr *parRunner) deltaTasks(compiled []compiledRule, delta map[string]*rel.Relation, base conj.RelSource) []roundTask {
+	var tasks []roundTask
+	for i := range compiled {
+		cr := &compiled[i]
+		if len(cr.idbOccs) == 0 {
+			continue
+		}
+		for _, occ := range cr.idbOccs {
+			occIdx := occ
+			for _, part := range delta[cr.rule.Body[occ].Pred].PartitionHash(pr.workers) {
+				part := part
+				tasks = append(tasks, roundTask{cr: cr, src: func(atomIdx int, pred string) *rel.Relation {
+					if atomIdx == occIdx {
+						return part
+					}
+					return base(atomIdx, pred)
+				}})
+			}
+		}
+	}
+	return tasks
+}
+
+// deltaWork is the semi-naive round's input size: the sum of the delta
+// relations each IDB occurrence will be joined from.
+func deltaWork(compiled []compiledRule, delta map[string]*rel.Relation) int {
+	work := 0
+	for i := range compiled {
+		cr := &compiled[i]
+		for _, occ := range cr.idbOccs {
+			work += delta[cr.rule.Body[occ].Pred].Len()
+		}
+	}
+	return work
+}
+
+// baseWork is the round-0 (and naive-round) input size: every rule scans
+// its body relations, so the sum of their sizes across rules bounds the
+// work the round's joins are driven by.
+func baseWork(compiled []compiledRule, relation func(string) *rel.Relation) int {
+	work := 0
+	for i := range compiled {
+		for _, a := range compiled[i].rule.Body {
+			if r := relation(a.Pred); r != nil {
+				work += r.Len()
+			}
+		}
+	}
+	return work
+}

@@ -15,6 +15,15 @@
 // it calls. Loops that are genuinely exempt carry a
 // "// budgetcheck:ignore" comment on the for statement's line or the line
 // above it.
+//
+// A second rule covers parallel fan-out, where the materializing loop is
+// often a range over a partitioned chunk (which the first rule exempts):
+// any spawned body — a go statement, or the function literal handed to the
+// par.Run / par.ForEach worker pools — that materializes tuples must reach
+// a budget hook itself, directly or through one same-package function.
+// A goroutine that inserts without ticking would keep deriving after the
+// caller's budget aborts the rest of the evaluation, so cancellation must
+// propagate into every spawn. The same ignore comment applies.
 package lint
 
 import (
@@ -92,15 +101,26 @@ func CheckDir(dir string) ([]Finding, error) {
 	for _, f := range files {
 		ignored := ignoredLines(fset, f)
 		ast.Inspect(f, func(n ast.Node) bool {
-			loop, ok := n.(*ast.ForStmt)
-			if !ok {
+			var (
+				body ast.Node
+				kind string
+			)
+			switch s := n.(type) {
+			case *ast.ForStmt:
+				body, kind = s.Body, "fixpoint loop"
+			case *ast.GoStmt:
+				body, kind = spawnedBody(s.Call, funcs), "goroutine"
+			case *ast.CallExpr:
+				body, kind = poolWorkerBody(s), "worker-pool goroutine"
+			}
+			if body == nil {
 				return true
 			}
-			pos := fset.Position(loop.Pos())
+			pos := fset.Position(n.Pos())
 			if ignored[pos.Line] {
 				return true
 			}
-			called := calledNames(loop.Body)
+			called := calledNames(body)
 			mat := ""
 			for name := range called {
 				if materializing[name] {
@@ -116,7 +136,7 @@ func CheckDir(dir string) ([]Finding, error) {
 			}
 			findings = append(findings, Finding{
 				Pos: pos,
-				Msg: fmt.Sprintf("fixpoint loop materializes tuples (%s) without a budget call (Round/Tick/AddDerived/Err/TickFunc/Guard); see the budget invariant", mat),
+				Msg: fmt.Sprintf("%s materializes tuples (%s) without a budget call (Round/Tick/AddDerived/Err/TickFunc/Guard); see the budget invariant", kind, mat),
 			})
 			return true
 		})
@@ -129,6 +149,42 @@ func CheckDir(dir string) ([]Finding, error) {
 		return a.Offset < b.Offset
 	})
 	return findings, nil
+}
+
+// spawnedBody resolves the body a go statement starts running: the
+// literal's body for `go func(){...}()`, the declaration's body for
+// `go f(...)` when f is a same-package function. Spawns of methods or
+// other packages' functions are outside the heuristic's reach.
+func spawnedBody(call *ast.CallExpr, funcs map[string]*ast.FuncDecl) ast.Node {
+	switch fn := call.Fun.(type) {
+	case *ast.FuncLit:
+		return fn.Body
+	case *ast.Ident:
+		if fd, ok := funcs[fn.Name]; ok {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// poolWorkerBody recognizes the repo's worker-pool spawns — par.Run(n,
+// func(...){...}) and par.ForEach(n, count, func(...){...}) — and returns
+// the worker function literal's body.
+func poolWorkerBody(call *ast.CallExpr) ast.Node {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "par" || (sel.Sel.Name != "Run" && sel.Sel.Name != "ForEach") {
+		return nil
+	}
+	for _, arg := range call.Args {
+		if fl, ok := arg.(*ast.FuncLit); ok {
+			return fl.Body
+		}
+	}
+	return nil
 }
 
 // callsBudget reports whether the called set reaches a budget hook,

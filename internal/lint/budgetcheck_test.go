@@ -158,6 +158,125 @@ func fixpoint(rel interface{ Insert(x int) bool }) {
 	}
 }
 
+func TestFlagsGoroutineMaterializingWithoutBudget(t *testing.T) {
+	// A range loop is exempt from the loop rule, but inside a goroutine the
+	// spawn rule still demands a budget call: fan-out must propagate
+	// cancellation.
+	dir := writePkg(t, `package p
+
+func fanout(rel interface{ Insert(x int) bool }, parts [][]int) {
+	for _, part := range parts {
+		part := part
+		go func() {
+			for _, x := range part {
+				rel.Insert(x)
+			}
+		}()
+	}
+}
+`)
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly 1", findings)
+	}
+	if findings[0].Pos.Line != 6 {
+		t.Errorf("finding at line %d, want 6", findings[0].Pos.Line)
+	}
+}
+
+func TestGoroutineWithBudgetPasses(t *testing.T) {
+	dir := writePkg(t, `package p
+
+type budget struct{}
+
+func (budget) Tick() error { return nil }
+
+func fanout(rel interface{ Insert(x int) bool }, b budget, part []int) {
+	go func() {
+		for _, x := range part {
+			if b.Tick() != nil {
+				return
+			}
+			rel.Insert(x)
+		}
+	}()
+}
+`)
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("findings = %v, want none", findings)
+	}
+}
+
+func TestFlagsNamedFunctionSpawn(t *testing.T) {
+	dir := writePkg(t, `package p
+
+var r interface{ InsertAll(xs []int) int }
+
+func work(xs []int) { r.InsertAll(xs) }
+
+func fanout(xs []int) {
+	go work(xs)
+}
+`)
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly 1", findings)
+	}
+}
+
+func TestFlagsPoolWorkerWithoutBudget(t *testing.T) {
+	dir := writePkg(t, `package p
+
+import "sepdl/internal/par"
+
+func fanout(rel interface{ Insert(x int) bool }, parts [][]int) {
+	par.ForEach(4, len(parts), func(_, i int) {
+		for _, x := range parts[i] {
+			rel.Insert(x)
+		}
+	})
+}
+`)
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly 1", findings)
+	}
+}
+
+func TestIgnoreCommentOnSpawn(t *testing.T) {
+	dir := writePkg(t, `package p
+
+func fanout(rel interface{ Insert(x int) bool }, part []int) {
+	// budgetcheck:ignore — bounded by construction
+	go func() {
+		for _, x := range part {
+			rel.Insert(x)
+		}
+	}()
+}
+`)
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("findings = %v, want none", findings)
+	}
+}
+
 // TestRealPackagesClean pins the repo invariant itself: the evaluation and
 // strategy packages must stay budgetcheck-clean.
 func TestRealPackagesClean(t *testing.T) {

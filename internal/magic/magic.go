@@ -164,6 +164,10 @@ type Options struct {
 	// Budget, when non-nil, governs the bottom-up evaluation of the
 	// rewritten program at round and join-inner-loop granularity.
 	Budget *budget.Budget
+	// Parallelism and ParallelThreshold forward to the semi-naive fixpoint
+	// over the rewritten program (eval.Options).
+	Parallelism       int
+	ParallelThreshold int
 }
 
 // Answer evaluates query q over prog and db with the Generalized Magic Sets
@@ -179,10 +183,12 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 		return nil, err
 	}
 	view, err := eval.Run(rw, db, eval.Options{
-		Collector:     opts.Collector,
-		MaxIterations: opts.MaxIterations,
-		Naive:         opts.Naive,
-		Budget:        opts.Budget,
+		Collector:         opts.Collector,
+		MaxIterations:     opts.MaxIterations,
+		Naive:             opts.Naive,
+		Budget:            opts.Budget,
+		Parallelism:       opts.Parallelism,
+		ParallelThreshold: opts.ParallelThreshold,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,12 @@
+package par
+
+import "sync/atomic"
+
+// atomicCounter hands out consecutive ints starting at 0.
+type atomicCounter struct {
+	v atomic.Int64
+}
+
+func (c *atomicCounter) next() int {
+	return int(c.v.Add(1) - 1)
+}

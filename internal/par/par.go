@@ -1,0 +1,72 @@
+// Package par holds the small worker-group machinery the parallel
+// evaluators share: bounded goroutine fan-out with panic capture, so a
+// budget abort (which travels as a panic, see internal/budget) raised
+// inside any worker surfaces on the calling goroutine where the query's
+// budget.Guard can recover it.
+package par
+
+import "runtime"
+
+// Degree clamps a requested parallelism to something sane: n < 1 means
+// "use the machine", i.e. GOMAXPROCS.
+func Degree(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Run executes fn(worker) on n goroutines, worker = 0..n-1, and waits for
+// all of them. If any worker panics, the first captured panic is re-raised
+// on the calling goroutine after every worker has finished — never lost,
+// never delivered twice. n below 2 runs fn(0) inline.
+func Run(n int, fn func(worker int)) {
+	if n < 2 {
+		fn(0)
+		return
+	}
+	panics := make(chan any, n)
+	done := make(chan struct{})
+	for w := 0; w < n; w++ {
+		w := w
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- p
+				}
+				done <- struct{}{}
+			}()
+			fn(w)
+		}()
+	}
+	for w := 0; w < n; w++ {
+		<-done
+	}
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+}
+
+// ForEach processes items 0..count-1 on up to n workers, pulling the next
+// item off a shared atomic cursor, so uneven item costs balance across the
+// pool. Panic semantics are those of Run.
+func ForEach(n, count int, fn func(worker, item int)) {
+	if count == 0 {
+		return
+	}
+	if n > count {
+		n = count
+	}
+	var cursor atomicCounter
+	Run(n, func(worker int) {
+		for {
+			i := cursor.next()
+			if i >= count {
+				return
+			}
+			fn(worker, i)
+		}
+	})
+}

@@ -60,6 +60,23 @@ func BenchmarkIndexLookup(b *testing.B) {
 	}
 }
 
+// BenchmarkIndexHit measures the warm path of Relation.Index — the call
+// that sits inside every join loop. With the old fmt.Sprintf/strings.Join
+// colsKey this allocated on every call; the integer encoding brings it to
+// zero allocations (run with -benchmem to see the drop).
+func BenchmarkIndexHit(b *testing.B) {
+	r := buildRelation(1024)
+	cols := []int{0, 1}
+	r.Index(cols) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Index(cols) == nil {
+			b.Fatal("nil index")
+		}
+	}
+}
+
 func BenchmarkIndexBuild(b *testing.B) {
 	r := buildRelation(65536)
 	b.ReportAllocs()

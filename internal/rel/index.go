@@ -2,58 +2,108 @@ package rel
 
 import (
 	"fmt"
-	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Index is a hash index over a subset of a relation's columns. Indexes are
 // built lazily by Relation.Index and kept current as tuples are inserted.
+// A built Index is safe for concurrent Lookup as long as the relation is
+// not being mutated — the isolation contract every snapshot provides.
 type Index struct {
 	cols    []int
 	buckets map[string][]Tuple
-	scratch []byte
 }
 
-func colsKey(cols []int) string {
-	parts := make([]string, len(cols))
-	for i, c := range cols {
-		parts[i] = fmt.Sprintf("%d", c)
+// colsKey appends a fixed-width binary encoding of the column list to dst
+// and returns it. It replaces the old fmt.Sprintf/strings.Join rendering:
+// the key is only ever a map key, so a 4-byte integer encoding (injective
+// for any realistic arity) avoids the per-call formatting allocations on
+// what is the entry ticket to every index probe in the join loops.
+func colsKey(dst []byte, cols []int) []byte {
+	for _, c := range cols {
+		dst = append(dst, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
 	}
-	return strings.Join(parts, ",")
+	return dst
+}
+
+// idxCache holds a relation's lazily built indexes. Reads go through an
+// atomic pointer to an immutable map, so any number of concurrent readers
+// can hit warm indexes without locking; building a missing index swaps in
+// a copied map under the mutex (copy-on-write). The zero value is ready to
+// use.
+type idxCache struct {
+	mu sync.Mutex
+	p  atomic.Pointer[map[string]*Index]
+}
+
+// load returns the current index map (nil when no index exists yet).
+func (c *idxCache) load() map[string]*Index {
+	if m := c.p.Load(); m != nil {
+		return *m
+	}
+	return nil
+}
+
+// insert publishes a new index under key; the caller must hold mu.
+func (c *idxCache) insert(key string, idx *Index) {
+	old := c.load()
+	m := make(map[string]*Index, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	m[key] = idx
+	c.p.Store(&m)
 }
 
 // Index returns a hash index over cols, building it on first use. The index
 // stays valid across subsequent Insert calls on the relation. It panics if
-// any column is out of range.
+// any column is out of range. Concurrent readers of an immutable relation
+// (or snapshot) may call Index concurrently: warm hits are lock-free, and
+// a cold build is serialized internally.
 func (r *Relation) Index(cols []int) *Index {
+	var buf [keyBufLen]byte
+	key := colsKey(buf[:0], cols)
+	if m := r.idx.load(); m != nil {
+		if idx, ok := m[string(key)]; ok {
+			return idx
+		}
+	}
+	return r.buildIndex(cols, string(key))
+}
+
+// buildIndex constructs and publishes the index for cols under the cache
+// mutex, so two readers racing on a cold index build it once.
+func (r *Relation) buildIndex(cols []int, key string) *Index {
 	for _, c := range cols {
 		if c < 0 || c >= r.arity {
 			panic(fmt.Sprintf("rel: index column %d out of range for arity %d", c, r.arity))
 		}
 	}
-	key := colsKey(cols)
-	if r.indexes == nil {
-		r.indexes = make(map[string]*Index)
-	}
-	if idx, ok := r.indexes[key]; ok {
-		return idx
+	r.idx.mu.Lock()
+	defer r.idx.mu.Unlock()
+	if m := r.idx.load(); m != nil {
+		if idx, ok := m[key]; ok {
+			return idx
+		}
 	}
 	idx := &Index{cols: append([]int(nil), cols...), buckets: make(map[string][]Tuple)}
 	for _, t := range r.rows {
 		idx.add(t)
 	}
-	r.indexes[key] = idx
+	r.idx.insert(key, idx)
 	return idx
 }
 
 func (idx *Index) add(t Tuple) {
-	idx.scratch = encode(idx.scratch[:0], t, idx.cols)
-	k := string(idx.scratch)
-	idx.buckets[k] = append(idx.buckets[k], t)
+	var buf [keyBufLen]byte
+	k := encode(buf[:0], t, idx.cols)
+	idx.buckets[string(k)] = append(idx.buckets[string(k)], t)
 }
 
 func (idx *Index) remove(t Tuple) {
-	idx.scratch = encode(idx.scratch[:0], t, idx.cols)
-	k := string(idx.scratch)
+	var buf [keyBufLen]byte
+	k := string(encode(buf[:0], t, idx.cols))
 	bucket := idx.buckets[k]
 	for i, row := range bucket {
 		if row.Equal(t) {
@@ -70,16 +120,18 @@ func (idx *Index) remove(t Tuple) {
 
 // Lookup returns the tuples whose indexed columns equal vals, which must
 // have one value per indexed column. The returned slice must not be
-// modified.
+// modified. The probe key is built in a per-call buffer, so concurrent
+// readers of one index never interfere.
 func (idx *Index) Lookup(vals []Value) []Tuple {
 	if len(vals) != len(idx.cols) {
 		panic(fmt.Sprintf("rel: index lookup with %d values for %d columns", len(vals), len(idx.cols)))
 	}
-	idx.scratch = idx.scratch[:0]
+	var buf [keyBufLen]byte
+	key := buf[:0]
 	for _, v := range vals {
-		idx.scratch = append(idx.scratch, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 	}
-	return idx.buckets[string(idx.scratch)]
+	return idx.buckets[string(key)]
 }
 
 // Buckets reports the number of distinct key combinations in the index.

@@ -40,6 +40,13 @@ func (t Tuple) Equal(u Tuple) bool {
 	return true
 }
 
+// keyBufLen sizes the stack buffers tuple encodings are built in: 16
+// columns fit without a heap allocation, wider tuples spill transparently.
+// Per-call buffers (instead of a scratch field on the relation or index)
+// are what make the read paths — Contains, Index, Lookup — safe for any
+// number of concurrent readers of one snapshot.
+const keyBufLen = 64
+
 // encode appends a fixed-width binary encoding of the values at cols (all
 // columns when cols is nil) to dst and returns it. The encoding is
 // injective for a fixed column list, which is all the set and index maps
@@ -61,13 +68,15 @@ func encode(dst []byte, t Tuple, cols []int) []byte {
 // Relation is a set of same-arity tuples with optional hash indexes.
 // The zero value is unusable; construct with New. Relations are not safe
 // for concurrent mutation; point-in-time isolation for concurrent readers
-// is provided by Snapshot's copy-on-write scheme.
+// is provided by Snapshot's copy-on-write scheme. The read paths —
+// Contains, Rows, Index, Lookup — are safe for concurrent use on a
+// relation nobody is mutating, which is what lets the parallel evaluators
+// share one immutable (total, delta) snapshot across a worker pool.
 type Relation struct {
-	arity   int
-	rows    []Tuple
-	set     map[string]struct{}
-	indexes map[string]*Index
-	scratch []byte
+	arity int
+	rows  []Tuple
+	set   map[string]struct{}
+	idx   idxCache
 	// shared marks rows and set as aliased by at least one Snapshot; the
 	// next mutation through this handle copies them first (copy-on-write),
 	// so the aliased storage is frozen forever once a snapshot exists.
@@ -93,6 +102,55 @@ func FromTuples(arity int, tuples []Tuple) *Relation {
 	return r
 }
 
+// FromRows builds a relation over rows without cloning tuple storage: the
+// tuples are shared with the caller, which must treat them as immutable
+// (every tuple a Relation hands out already is). Duplicates are ignored.
+// The parallel evaluators use it to slice a delta relation into per-worker
+// chunks without copying every tuple.
+func FromRows(arity int, rows []Tuple) *Relation {
+	r := New(arity)
+	var buf [keyBufLen]byte
+	for _, t := range rows {
+		if len(t) != r.arity {
+			panic(fmt.Sprintf("rel: arity-%d row in arity-%d FromRows", len(t), r.arity))
+		}
+		key := encode(buf[:0], t, nil)
+		if _, ok := r.set[string(key)]; ok {
+			continue
+		}
+		r.set[string(key)] = struct{}{}
+		r.rows = append(r.rows, t)
+	}
+	return r
+}
+
+// PartitionHash splits r's rows into k relations by a content hash, so
+// equal tuples always land in the same part and typical data spreads
+// evenly. Tuple storage is shared with r (see FromRows). k below 2 (or a
+// relation smaller than k) returns r itself as the only part.
+func (r *Relation) PartitionHash(k int) []*Relation {
+	if k < 2 || len(r.rows) < k {
+		return []*Relation{r}
+	}
+	parts := make([][]Tuple, k)
+	est := len(r.rows)/k + 1
+	for i := range parts {
+		parts[i] = make([]Tuple, 0, est)
+	}
+	for _, t := range r.rows {
+		h := uint64(14695981039346656037)
+		for _, v := range t {
+			h = (h ^ uint64(uint32(v))) * 1099511628211
+		}
+		parts[h%uint64(k)] = append(parts[h%uint64(k)], t)
+	}
+	out := make([]*Relation, k)
+	for i, rows := range parts {
+		out[i] = FromRows(r.arity, rows)
+	}
+	return out
+}
+
 // Arity returns the number of columns.
 func (r *Relation) Arity() int { return r.arity }
 
@@ -106,7 +164,7 @@ func (r *Relation) Empty() bool { return len(r.rows) == 0 }
 // holds exactly r's current tuples and never changes, sharing storage with
 // r until either side mutates (copy-on-write). Snapshots are what make
 // concurrent queries safe: each query evaluates against its own snapshot
-// handles (with private lazy indexes and scratch buffers), while writers
+// handles (with private lazy indexes), while writers
 // keep mutating the original. Taking a snapshot mutates r's bookkeeping,
 // so it must be serialized with writers by the caller — the engine does
 // this under its writer lock.
@@ -140,16 +198,16 @@ func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("rel: inserting arity-%d tuple into arity-%d relation", len(t), r.arity))
 	}
-	r.scratch = encode(r.scratch[:0], t, nil)
-	key := string(r.scratch)
-	if _, ok := r.set[key]; ok {
+	var buf [keyBufLen]byte
+	key := encode(buf[:0], t, nil)
+	if _, ok := r.set[string(key)]; ok {
 		return false
 	}
 	r.detach()
 	c := t.Clone()
-	r.set[key] = struct{}{}
+	r.set[string(key)] = struct{}{}
 	r.rows = append(r.rows, c)
-	for _, idx := range r.indexes {
+	for _, idx := range r.idx.load() {
 		idx.add(c)
 	}
 	return true
@@ -177,8 +235,8 @@ func (r *Relation) Delete(t Tuple) bool {
 	if len(t) != r.arity {
 		return false
 	}
-	r.scratch = encode(r.scratch[:0], t, nil)
-	key := string(r.scratch)
+	var buf [keyBufLen]byte
+	key := string(encode(buf[:0], t, nil))
 	if _, ok := r.set[key]; !ok {
 		return false
 	}
@@ -192,19 +250,20 @@ func (r *Relation) Delete(t Tuple) bool {
 			break
 		}
 	}
-	for _, idx := range r.indexes {
+	for _, idx := range r.idx.load() {
 		idx.remove(t)
 	}
 	return true
 }
 
-// Contains reports whether t is present.
+// Contains reports whether t is present. The membership key is built in a
+// per-call buffer, so concurrent readers of one relation never interfere.
 func (r *Relation) Contains(t Tuple) bool {
 	if len(t) != r.arity {
 		return false
 	}
-	r.scratch = encode(r.scratch[:0], t, nil)
-	_, ok := r.set[string(r.scratch)]
+	var buf [keyBufLen]byte
+	_, ok := r.set[string(encode(buf[:0], t, nil))]
 	return ok
 }
 

@@ -90,7 +90,7 @@ func TestSnapshotIndexesArePrivate(t *testing.T) {
 	r.Index([]int{0})
 
 	snap := r.Snapshot()
-	if snap.indexes != nil {
+	if snap.idx.load() != nil {
 		t.Fatal("snapshot inherited the master's index map")
 	}
 	// Lazy index building on the snapshot must not touch the master, and

@@ -9,12 +9,16 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Collector accumulates per-relation peak sizes and work counters for one
 // query evaluation. A nil *Collector is valid and records nothing, so hot
-// paths need no nil checks at call sites.
+// paths need no nil checks at call sites. A Collector is safe for
+// concurrent use: the parallel evaluators report observations from every
+// worker goroutine into the query's single collector.
 type Collector struct {
+	mu sync.Mutex
 	// Sizes maps each materialized relation to the largest size it reached.
 	Sizes map[string]int
 	// Inserted counts successful tuple insertions into derived relations.
@@ -34,9 +38,11 @@ func (c *Collector) Observe(name string, size int) {
 	if c == nil {
 		return
 	}
+	c.mu.Lock()
 	if size > c.Sizes[name] {
 		c.Sizes[name] = size
 	}
+	c.mu.Unlock()
 }
 
 // AddInserted counts n successful insertions into derived relations.
@@ -44,7 +50,9 @@ func (c *Collector) AddInserted(n int) {
 	if c == nil {
 		return
 	}
+	c.mu.Lock()
 	c.Inserted += n
+	c.mu.Unlock()
 }
 
 // AddIteration counts one fixpoint round.
@@ -52,7 +60,9 @@ func (c *Collector) AddIteration() {
 	if c == nil {
 		return
 	}
+	c.mu.Lock()
 	c.Iterations++
+	c.mu.Unlock()
 }
 
 // SizesCopy returns a copy of the Sizes map, so callers can publish the
@@ -62,6 +72,8 @@ func (c *Collector) SizesCopy() map[string]int {
 	if c == nil {
 		return nil
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make(map[string]int, len(c.Sizes))
 	for n, s := range c.Sizes {
 		out[n] = s
@@ -76,6 +88,8 @@ func (c *Collector) MaxRelation() (string, int) {
 	if c == nil {
 		return "", 0
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	best, size := "", 0
 	for n, s := range c.Sizes {
 		if s > size || (s == size && (best == "" || n < best)) {
@@ -90,6 +104,8 @@ func (c *Collector) TotalSize() int {
 	if c == nil {
 		return 0
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	t := 0
 	for _, s := range c.Sizes {
 		t += s
@@ -103,6 +119,8 @@ func (c *Collector) String() string {
 	if c == nil {
 		return "<no stats>"
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	names := make([]string, 0, len(c.Sizes))
 	for n := range c.Sizes {
 		names = append(names, n)
