@@ -22,6 +22,7 @@ test:
 bench:
 	go run ./cmd/sepbench -quick
 	go run ./cmd/sepbench -parallel-bench -parallelism 4 -json BENCH_parallel.json
+	go run ./cmd/sepbench -cache-bench -json BENCH_plancache.json
 
 # stress repeats the concurrent-serving tests under the race detector and
 # replays the parser fuzz seed corpus. It is slower than tier-1 and meant

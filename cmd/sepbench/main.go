@@ -35,11 +35,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		quick    = fs.Bool("quick", false, "run reduced parameter sweeps")
 		list     = fs.Bool("list", false, "list experiments and exit")
 		format   = fs.String("format", "table", "output format: table|csv")
-		parBench = fs.Bool("parallel-bench", false, "run the parallel-vs-sequential regression benchmark instead of the experiments")
-		jsonPath = fs.String("json", "", "with -parallel-bench: also write the report as JSON to this path")
-		sizes    = fs.String("sizes", "16,32,48", "with -parallel-bench: comma-separated problem sizes")
-		classes  = fs.Int("classes", 4, "with -parallel-bench: equivalence classes in the separable query family")
-		par      = fs.Int("parallelism", 0, "with -parallel-bench: worker count for the parallel runs (0 = GOMAXPROCS)")
+		parBench   = fs.Bool("parallel-bench", false, "run the parallel-vs-sequential regression benchmark instead of the experiments")
+		cacheBench = fs.Bool("cache-bench", false, "run the plan/closure-cache regression benchmark (cold vs warm vs batched) instead of the experiments")
+		jsonPath   = fs.String("json", "", "with -parallel-bench or -cache-bench: also write the report as JSON to this path")
+		sizes      = fs.String("sizes", "16,32,48", "with -parallel-bench or -cache-bench: comma-separated problem sizes")
+		classes    = fs.Int("classes", 4, "with -parallel-bench: equivalence classes in the separable query family")
+		par        = fs.Int("parallelism", 0, "with -parallel-bench: worker count for the parallel runs (0 = GOMAXPROCS)")
+		seeds      = fs.Int("seeds", 8, "with -cache-bench: distinct query constants per point")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -47,6 +49,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *parBench {
 		return runParallelBench(*sizes, *classes, *par, *jsonPath, stdout, stderr)
+	}
+	if *cacheBench {
+		cacheSizes := *sizes
+		if cacheSizes == "16,32,48" {
+			cacheSizes = "400,800"
+		}
+		return runCacheBench(cacheSizes, *seeds, *jsonPath, stdout, stderr)
 	}
 
 	if *list {
@@ -84,18 +93,75 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runParallelBench runs the parallel regression harness and renders a
-// table (plus optional JSON artifact, the BENCH_parallel.json that make
-// bench commits to the repository root).
-func runParallelBench(sizeList string, classes, parallelism int, jsonPath string, stdout, stderr io.Writer) int {
+// parseSizes parses a comma-separated size list.
+func parseSizes(sizeList string, stderr io.Writer) ([]int, bool) {
 	var sizes []int
 	for _, s := range strings.Split(sizeList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil || n < 2 {
 			fmt.Fprintf(stderr, "sepbench: bad -sizes entry %q\n", s)
-			return 2
+			return nil, false
 		}
 		sizes = append(sizes, n)
+	}
+	return sizes, true
+}
+
+// runCacheBench runs the prepared-query cache harness and renders a table
+// (plus optional JSON artifact, the BENCH_plancache.json that make bench
+// commits to the repository root). The exit code is 1 when any point's
+// cached or batched answers diverge from the uncached baseline, so CI can
+// use it as an equivalence smoke test; speedups are reported but never
+// fail the run (timing is environment-dependent).
+func runCacheBench(sizeList string, seeds int, jsonPath string, stdout, stderr io.Writer) int {
+	sizes, ok := parseSizes(sizeList, stderr)
+	if !ok {
+		return 2
+	}
+	if seeds < 2 {
+		fmt.Fprintf(stderr, "sepbench: -seeds must be at least 2, got %d\n", seeds)
+		return 2
+	}
+	rep := bench.RunCache(sizes, seeds)
+	fmt.Fprintf(stdout, "cache benchmark: GOMAXPROCS=%d cpus=%d seeds=%d\n",
+		rep.GOMAXPROCS, rep.NumCPU, seeds)
+	fmt.Fprintf(stdout, "%-10s %6s %9s %12s %12s %8s %12s %12s %8s\n",
+		"family", "n", "answers", "cold", "warm", "warm-x", "uncached", "batch", "batch-x")
+	for _, p := range rep.Points {
+		if p.Err != "" {
+			fmt.Fprintf(stdout, "%-10s %6d  ERROR: %s\n", p.Family, p.Size, p.Err)
+			continue
+		}
+		fmt.Fprintf(stdout, "%-10s %6d %9d %12d %12d %7.2fx %12d %12d %7.2fx\n",
+			p.Family, p.Size, p.Answers, p.ColdNs, p.WarmNs, p.WarmSpeedup,
+			p.UncachedNs, p.BatchNs, p.BatchSpeedup)
+	}
+	if jsonPath != "" {
+		out, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(stderr, "sepbench: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(jsonPath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "sepbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", jsonPath)
+	}
+	if rep.Failed() {
+		fmt.Fprintln(stderr, "sepbench: cached or batched answers diverged from the uncached baseline")
+		return 1
+	}
+	return 0
+}
+
+// runParallelBench runs the parallel regression harness and renders a
+// table (plus optional JSON artifact, the BENCH_parallel.json that make
+// bench commits to the repository root).
+func runParallelBench(sizeList string, classes, parallelism int, jsonPath string, stdout, stderr io.Writer) int {
+	sizes, ok := parseSizes(sizeList, stderr)
+	if !ok {
+		return 2
 	}
 	if parallelism < 1 {
 		parallelism = runtime.GOMAXPROCS(0)

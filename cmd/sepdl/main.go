@@ -269,8 +269,14 @@ func runQuery(e *sepdl.Engine, w io.Writer, query, strategy string, relaxed, sho
 		if st.FallbackFrom != "" {
 			from = fmt.Sprintf(" fallback-from=%s", st.FallbackFrom)
 		}
+		plan := "miss"
+		if st.PlanCacheHit {
+			plan = "hit"
+		}
 		fmt.Fprintf(w, "%% strategy=%s%s time=%s iterations=%d inserted=%d max=%s(%d)\n",
 			st.Strategy, from, st.Duration, st.Iterations, st.Inserted, st.MaxRelation, st.MaxRelationSize)
+		fmt.Fprintf(w, "%% plan-cache=%s closure-hits=%d closure-misses=%d batch=%d\n",
+			plan, st.ClosureCacheHits, st.ClosureCacheMisses, st.BatchSize)
 		for name, size := range st.RelationSizes {
 			fmt.Fprintf(w, "%%   %s: %d\n", name, size)
 		}

@@ -54,6 +54,10 @@ func TestStatsFlag(t *testing.T) {
 	if !strings.Contains(out, "strategy=separable") || !strings.Contains(out, "seen1") {
 		t.Errorf("stats missing:\n%s", out)
 	}
+	// A one-shot CLI query is always a cold cache and a batch of one.
+	if !strings.Contains(out, "plan-cache=miss") || !strings.Contains(out, "batch=1") {
+		t.Errorf("stats missing cache counters:\n%s", out)
+	}
 }
 
 func TestExplainFlag(t *testing.T) {

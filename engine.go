@@ -7,6 +7,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sepdl/internal/aho"
@@ -22,6 +23,7 @@ import (
 	"sepdl/internal/magic"
 	"sepdl/internal/par"
 	"sepdl/internal/parser"
+	"sepdl/internal/plancache"
 	"sepdl/internal/provenance"
 	"sepdl/internal/rel"
 	"sepdl/internal/stats"
@@ -66,6 +68,10 @@ type Engine struct {
 	mu    sync.Mutex
 	db    *database.Database
 	state *progState
+	// dbRev is the fact-database revision: bumped under mu by every write
+	// that actually changes the fact set. Closure-cache entries are keyed
+	// by it, so a bump strands every entry computed against older facts.
+	dbRev uint64
 
 	maxConcurrent int
 	admitWait     time.Duration
@@ -73,20 +79,80 @@ type Engine struct {
 	strict        bool
 	parallelism   int
 	parThreshold  int
+	planCacheOff  bool
+	closureBytes  int64
+	closures      *plancache.Closures
 }
 
 // progState is one immutable program revision plus its memoized
-// separability analyses. LoadProgram and ClearProgram install a fresh
-// state, so queries already running keep analyzing the revision they
-// started with and never pollute the new cache.
+// separability analyses and compiled query plans. LoadProgram and
+// ClearProgram install a fresh state, so queries already running keep
+// analyzing the revision they started with and never pollute the new
+// cache; the plan cache dies with its revision, which is exactly its
+// validity scope (plans depend only on the program and the query form).
 type progState struct {
-	prog     *ast.Program
+	prog *ast.Program
+	// rev is this revision's engine-global number, used to scope
+	// closure-cache entries; see plancache.Scope.
+	rev      uint64
 	mu       sync.Mutex
-	analyses map[string]*core.Analysis
+	analyses map[string]analysisEntry
+	plans    map[planKey]*plan
 }
 
+// analysisEntry memoizes one AnalyzeOpts outcome, keeping the error so
+// Explain and AnalyzeSeparability can report why a recursion is not
+// separable without re-running the analysis.
+type analysisEntry struct {
+	a   *core.Analysis
+	err error
+}
+
+// progRevCounter numbers program revisions engine-globally, so closure
+// cache scopes never collide across engines sharing one cache in tests.
+var progRevCounter atomic.Uint64
+
 func newProgState(p *ast.Program) *progState {
-	return &progState{prog: p, analyses: make(map[string]*core.Analysis)}
+	return &progState{
+		prog:     p,
+		rev:      progRevCounter.Add(1),
+		analyses: make(map[string]analysisEntry),
+		plans:    make(map[planKey]*plan),
+	}
+}
+
+// planKey identifies one compiled plan: the requested strategy (Auto
+// included — its entry memoizes the pick), the predicate, which argument
+// positions carry constants, and the connectivity relaxation.
+type planKey struct {
+	strategy Strategy
+	pred     string
+	mask     string
+	relaxed  bool
+}
+
+// plan holds the constant-independent compiled artifacts for one query
+// form: the resolved strategy, the separability analysis the strategy
+// consumes (nil when not separable), and the magic rewrite template for
+// the Magic strategies.
+type plan struct {
+	strategy Strategy
+	analysis *core.Analysis
+	template *magic.Template
+}
+
+// formMask renders which argument positions carry constants ('b') versus
+// variables ('f') — the query-form key plans and batches group by.
+func formMask(q ast.Atom) string {
+	b := make([]byte, len(q.Args))
+	for i, t := range q.Args {
+		if t.IsVar() {
+			b[i] = 'f'
+		} else {
+			b[i] = 'b'
+		}
+	}
+	return string(b)
 }
 
 // EngineOption configures an Engine at construction.
@@ -149,17 +215,41 @@ func WithParallelThreshold(n int) EngineOption {
 	return func(e *Engine) { e.parThreshold = n }
 }
 
+// WithPlanCache toggles the per-program-revision plan cache (default on):
+// compiled query plans — strategy picks, separability analyses, magic
+// rewrite templates — are memoized by query form, so repeated forms skip
+// rewrite and analysis. Disabling it recompiles every query, which only
+// makes sense for measuring the cache's own benefit.
+func WithPlanCache(enabled bool) EngineOption {
+	return func(e *Engine) { e.planCacheOff = !enabled }
+}
+
+// WithClosureCache sets the byte budget of the cross-query closure cache:
+// the Separable evaluator's non-driver class closures depend only on the
+// program and the facts, never on the selection constant, so they are
+// memoized across queries and invalidated by revision bump on every write.
+// maxBytes == 0 (the default) uses plancache.DefaultMaxBytes; maxBytes < 0
+// disables the cache. Enabling it (the default) routes the Separable
+// second phase through the product evaluator, whose answers are identical.
+func WithClosureCache(maxBytes int64) EngineOption {
+	return func(e *Engine) { e.closureBytes = maxBytes }
+}
+
 // New returns an empty engine.
 func New(opts ...EngineOption) *Engine {
 	e := &Engine{
 		db:    database.New(),
 		state: newProgState(&ast.Program{}),
+		dbRev: 1,
 	}
 	for _, o := range opts {
 		o(e)
 	}
 	if e.maxConcurrent > 0 {
 		e.gate = make(chan struct{}, e.maxConcurrent)
+	}
+	if e.closureBytes >= 0 {
+		e.closures = plancache.NewClosures(e.closureBytes)
 	}
 	return e
 }
@@ -237,13 +327,25 @@ func (e *Engine) admit(ctx context.Context) (release func(), err error) {
 	}
 }
 
-// snapshot captures, under the writer lock, the current program revision
-// and an immutable snapshot of the fact database for one query to evaluate
-// against.
-func (e *Engine) snapshot() (*progState, *database.Database) {
+// snapshot captures, under the writer lock, the current program revision,
+// an immutable snapshot of the fact database, and the database revision
+// the snapshot corresponds to, for one query to evaluate against.
+func (e *Engine) snapshot() (*progState, *database.Database, uint64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.state, e.db.Snapshot()
+	return e.state, e.db.Snapshot(), e.dbRev
+}
+
+// bumpDBRevLocked records that the fact set changed: queries snapshotted
+// from now on key closure-cache entries under the new revision, which no
+// old entry can match. The eager sweep only reclaims the stranded entries'
+// memory; correctness needs nothing beyond the bump.
+func (e *Engine) bumpDBRevLocked() {
+	e.dbRev++
+	if e.closures != nil {
+		rev := e.dbRev
+		e.closures.Invalidate(func(s plancache.Scope) bool { return s.DBRev >= rev })
+	}
 }
 
 // LoadProgram parses src and appends its rules to the engine's program.
@@ -264,6 +366,7 @@ func (e *Engine) LoadProgram(src string) error {
 		}
 	}
 	e.state = newProgState(combined)
+	e.closures.Clear()
 	return nil
 }
 
@@ -272,6 +375,7 @@ func (e *Engine) ClearProgram() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.state = newProgState(&ast.Program{})
+	e.closures.Clear()
 }
 
 // ProgramText renders the current rules.
@@ -292,7 +396,12 @@ func (e *Engine) LoadFacts(src string) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.db.Load(fs)
+	before := e.db.NumTuples()
+	err = e.db.Load(fs)
+	if e.db.NumTuples() != before {
+		e.bumpDBRevLocked()
+	}
+	return err
 }
 
 // AddFact adds a single fact. Queries admitted after AddFact returns see
@@ -300,7 +409,10 @@ func (e *Engine) LoadFacts(src string) error {
 func (e *Engine) AddFact(pred string, args ...string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	_, err := e.db.AddFact(pred, args...)
+	added, err := e.db.AddFact(pred, args...)
+	if added {
+		e.bumpDBRevLocked()
+	}
 	return err
 }
 
@@ -362,7 +474,8 @@ const (
 	LimitCanceled = budget.LimitCanceled // context canceled
 )
 
-// queryConfig collects query options.
+// queryConfig collects query options, plus the per-attempt cache wiring
+// the engine threads through to the strategies.
 type queryConfig struct {
 	strategy          Strategy
 	allowDisconnected bool
@@ -372,6 +485,8 @@ type queryConfig struct {
 	fallback          bool
 	parallelism       int // resolved worker count (par.Degree applied)
 	parThreshold      int
+	closures          *plancache.Closures // engine's closure cache (nil when disabled)
+	scope             plancache.Scope     // revisions of the attempt's snapshot
 }
 
 // tracker builds the internal budget tracker for ctx and the configured
@@ -458,6 +573,20 @@ type Stats struct {
 	// insertions into derived relations.
 	Iterations int
 	Inserted   int
+	// PlanCacheHit reports whether the query's compiled plan (strategy
+	// pick, analysis, magic rewrite template) came from the plan cache
+	// instead of being compiled for this query.
+	PlanCacheHit bool
+	// ClosureCacheHits and ClosureCacheMisses count the Separable
+	// evaluator's per-start class closures resolved from the cross-query
+	// closure cache versus computed (and filled) during this query. Both
+	// zero for other strategies or with the cache disabled.
+	ClosureCacheHits   int
+	ClosureCacheMisses int
+	// BatchSize is how many queries shared this evaluation's fixpoint: 1
+	// for a standalone Query, len(batch) for QueryBatch/RunBatch (every
+	// result of one batch reports the whole batch's work).
+	BatchSize int
 	// Duration is wall-clock evaluation time.
 	Duration time.Duration
 }
@@ -525,14 +654,27 @@ func (e *Engine) Query(query string, opts ...QueryOption) (*Result, error) {
 // context.DeadlineExceeded or context.Canceled. Under WithMaxConcurrent,
 // an admission rejection returns an *OverloadError matching ErrOverloaded.
 func (e *Engine) QueryCtx(ctx context.Context, query string, opts ...QueryOption) (*Result, error) {
-	cfg := queryConfig{strategy: Auto, parallelism: par.Degree(e.parallelism), parThreshold: e.parThreshold}
-	for _, o := range opts {
-		o(&cfg)
-	}
+	cfg := e.newQueryConfig(opts)
 	q, err := parser.Query(query)
 	if err != nil {
 		return nil, err
 	}
+	return e.queryAtom(ctx, q, query, cfg)
+}
+
+// newQueryConfig resolves QueryOptions against the engine's defaults.
+func (e *Engine) newQueryConfig(opts []QueryOption) queryConfig {
+	cfg := queryConfig{strategy: Auto, parallelism: par.Degree(e.parallelism), parThreshold: e.parThreshold}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// queryAtom evaluates one already-parsed query: admission, snapshot, plan
+// lookup, strategy dispatch, fallback. Query/QueryCtx and Prepared.Run all
+// land here.
+func (e *Engine) queryAtom(ctx context.Context, q ast.Atom, query string, cfg queryConfig) (*Result, error) {
 	if cfg.deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.deadline)
@@ -543,7 +685,7 @@ func (e *Engine) QueryCtx(ctx context.Context, query string, opts ...QueryOption
 		return nil, err
 	}
 	defer release()
-	st, db := e.snapshot()
+	st, db, dbRev := e.snapshot()
 
 	bud := cfg.tracker(ctx)
 	if err := bud.Err(); err != nil {
@@ -552,27 +694,29 @@ func (e *Engine) QueryCtx(ctx context.Context, query string, opts ...QueryOption
 	c := stats.New()
 	start := time.Now()
 
-	strategy := cfg.strategy
 	if !st.prog.IDBPreds()[q.Pred] {
 		// EDB query: answer directly from the base relations.
 		ans, err := eval.Answer(db, q)
 		if err != nil {
 			return nil, err
 		}
-		return result(db, q, ans, Stats{Strategy: strategy, Duration: time.Since(start)}, c), nil
+		return result(db, q, ans, Stats{Strategy: cfg.strategy, BatchSize: 1, Duration: time.Since(start)}, c), nil
 	}
-	if strategy == Auto {
-		strategy = pick(st, q, cfg)
-	}
+	pl, hit := e.planFor(st, q, cfg)
+	strategy := pl.strategy
 	bud.SetStrategy(string(strategy))
+	if e.closures != nil {
+		cfg.closures = e.closures
+		cfg.scope = plancache.Scope{ProgRev: st.rev, DBRev: dbRev}
+	}
 
-	ans, err := runStrategy(st, db, q, query, strategy, cfg, c, bud)
+	ans, err := runStrategy(st, db, q, query, pl, cfg, c, bud)
 	fellFrom := Strategy("")
 	if err != nil && cfg.fallback && fallbackEligible(strategy, err) {
 		fbBud := cfg.tracker(ctx)
 		fbBud.SetStrategy(string(SemiNaive))
 		fbCol := stats.New()
-		fbAns, fbErr := runStrategy(st, db, q, query, SemiNaive, cfg, fbCol, fbBud)
+		fbAns, fbErr := runStrategy(st, db, q, query, &plan{strategy: SemiNaive}, cfg, fbCol, fbBud)
 		if fbErr == nil {
 			fellFrom, strategy, ans, err, c = strategy, SemiNaive, fbAns, nil, fbCol
 		} else {
@@ -582,7 +726,18 @@ func (e *Engine) QueryCtx(ctx context.Context, query string, opts ...QueryOption
 	if err != nil {
 		return nil, err
 	}
-	return result(db, q, ans, Stats{Strategy: strategy, FallbackFrom: fellFrom, Duration: time.Since(start)}, c), nil
+	return result(db, q, ans, Stats{Strategy: strategy, FallbackFrom: fellFrom, PlanCacheHit: hit, BatchSize: 1, Duration: time.Since(start)}, c), nil
+}
+
+// planFor resolves q's compiled plan against st, honoring WithPlanCache:
+// with the cache off the plan is compiled fresh and not stored.
+func (e *Engine) planFor(st *progState, q ast.Atom, cfg queryConfig) (*plan, bool) {
+	if e.planCacheOff {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return st.compileLocked(q, cfg), false
+	}
+	return st.cachedPlan(q, cfg)
 }
 
 // fallbackEligible reports whether WithFallback should retry after err: a
@@ -603,7 +758,8 @@ func fallbackEligible(s Strategy, err error) bool {
 // caller. A budget abort that escaped a path without its own Guard still
 // surfaces as its typed error; anything else is reported with the strategy
 // and query for the bug report.
-func runStrategy(st *progState, db *database.Database, q ast.Atom, query string, strategy Strategy, cfg queryConfig, c *stats.Collector, bud *budget.Budget) (ans *rel.Relation, err error) {
+func runStrategy(st *progState, db *database.Database, q ast.Atom, query string, pl *plan, cfg queryConfig, c *stats.Collector, bud *budget.Budget) (ans *rel.Relation, err error) {
+	strategy := pl.strategy
 	defer func() {
 		if r := recover(); r != nil {
 			ans = nil
@@ -622,11 +778,13 @@ func runStrategy(st *progState, db *database.Database, q ast.Atom, query string,
 	case Separable:
 		ans, err = core.Answer(st.prog, db, q, core.EvalOptions{
 			Collector:         c,
-			Analysis:          st.analysis(q.Pred, cfg.allowDisconnected),
+			Analysis:          pl.analysis,
 			AllowDisconnected: cfg.allowDisconnected,
 			Budget:            bud,
 			Parallelism:       cfg.parallelism,
 			ParallelThreshold: cfg.parThreshold,
+			Closures:          cfg.closures,
+			CacheScope:        cfg.scope,
 		})
 	case MagicSets, MagicSetsSup:
 		ans, err = magic.Answer(st.prog, db, q, magic.Options{
@@ -636,11 +794,12 @@ func runStrategy(st *progState, db *database.Database, q ast.Atom, query string,
 			Budget:            bud,
 			Parallelism:       cfg.parallelism,
 			ParallelThreshold: cfg.parThreshold,
+			Template:          pl.template,
 		})
 	case Counting:
-		ans, err = counting.Answer(st.prog, db, q, counting.Options{Collector: c, MaxLevels: cfg.maxIterations, Budget: bud})
+		ans, err = counting.Answer(st.prog, db, q, counting.Options{Collector: c, Analysis: pl.analysis, MaxLevels: cfg.maxIterations, Budget: bud})
 	case HenschenNaqvi:
-		ans, err = hn.Answer(st.prog, db, q, hn.Options{Collector: c, MaxDepth: cfg.maxIterations, Budget: bud})
+		ans, err = hn.Answer(st.prog, db, q, hn.Options{Collector: c, Analysis: pl.analysis, MaxDepth: cfg.maxIterations, Budget: bud})
 	case AhoUllman:
 		ans, err = aho.Answer(st.prog, db, q, aho.Options{
 			Collector:         c,
@@ -675,34 +834,79 @@ func result(db *database.Database, q ast.Atom, ans *rel.Relation, st Stats, c *s
 	st.MaxRelation, st.MaxRelationSize = c.MaxRelation()
 	st.Iterations = c.Iterations
 	st.Inserted = c.Inserted
+	st.ClosureCacheHits, st.ClosureCacheMisses = c.ClosureCounts()
 	return &Result{Columns: eval.QueryVars(q), Stats: st, rel: ans, db: db}
 }
 
-// analysis returns the cached separability analysis for pred, or nil if
-// the recursion is not separable (under the given relaxation). The cache
-// is scoped to one program revision and safe for concurrent queries.
-func (st *progState) analysis(pred string, relaxed bool) *core.Analysis {
+// analysisErr returns the cached separability analysis for pred under the
+// given relaxation, with the analysis error when it is not separable. The
+// cache is scoped to one program revision and safe for concurrent queries.
+func (st *progState) analysisErr(pred string, relaxed bool) (*core.Analysis, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.analysisLocked(pred, relaxed)
+}
+
+// analysisLocked is analysisErr for callers already holding st.mu (the
+// plan-compilation path, which would deadlock taking it twice).
+func (st *progState) analysisLocked(pred string, relaxed bool) (*core.Analysis, error) {
 	key := pred
 	if relaxed {
 		key = pred + "\x00relaxed"
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if a, ok := st.analyses[key]; ok {
-		return a
+	if ent, ok := st.analyses[key]; ok {
+		return ent.a, ent.err
 	}
 	a, err := core.AnalyzeOpts(st.prog, pred, core.Options{AllowDisconnected: relaxed})
 	if err != nil {
 		a = nil
 	}
-	st.analyses[key] = a
-	return a
+	st.analyses[key] = analysisEntry{a: a, err: err}
+	return a, err
 }
 
-// pick implements Auto: Separable when the recursion is separable and the
-// query is a selection; Magic Sets for other selections; semi-naive
-// otherwise.
-func pick(st *progState, q ast.Atom, cfg queryConfig) Strategy {
+// cachedPlan returns the memoized plan for q's form, compiling it on first
+// use. The second return reports a cache hit.
+func (st *progState) cachedPlan(q ast.Atom, cfg queryConfig) (*plan, bool) {
+	key := planKey{strategy: cfg.strategy, pred: q.Pred, mask: formMask(q), relaxed: cfg.allowDisconnected}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if pl, ok := st.plans[key]; ok {
+		return pl, true
+	}
+	pl := st.compileLocked(q, cfg)
+	st.plans[key] = pl
+	return pl, false
+}
+
+// compileLocked builds the plan for q's form under st.mu: resolve Auto,
+// then compile the strategy's constant-independent artifacts. A magic
+// template that fails to compile stays nil, so evaluation reproduces the
+// rewrite's error instead of reporting a cache artifact.
+func (st *progState) compileLocked(q ast.Atom, cfg queryConfig) *plan {
+	strategy := cfg.strategy
+	if strategy == Auto {
+		strategy = st.pickLocked(q, cfg)
+	}
+	pl := &plan{strategy: strategy}
+	switch strategy {
+	case Separable:
+		pl.analysis, _ = st.analysisLocked(q.Pred, cfg.allowDisconnected)
+	case MagicSets, MagicSetsSup:
+		if tpl, err := magic.NewTemplate(st.prog, q, strategy == MagicSetsSup); err == nil {
+			pl.template = tpl
+		}
+	case Counting, HenschenNaqvi:
+		// Both analyze strictly regardless of the relaxation option.
+		pl.analysis, _ = st.analysisLocked(q.Pred, false)
+	}
+	return pl
+}
+
+// pickLocked implements Auto: Separable when the recursion is separable
+// and the query is a selection; Magic Sets for other selections;
+// semi-naive otherwise.
+func (st *progState) pickLocked(q ast.Atom, cfg queryConfig) Strategy {
 	hasConst := false
 	for _, t := range q.Args {
 		if !t.IsVar() {
@@ -713,7 +917,7 @@ func pick(st *progState, q ast.Atom, cfg queryConfig) Strategy {
 	if !hasConst {
 		return SemiNaive
 	}
-	if a := st.analysis(q.Pred, cfg.allowDisconnected); a != nil {
+	if a, _ := st.analysisLocked(q.Pred, cfg.allowDisconnected); a != nil {
 		if sel, err := a.Classify(q); err == nil && sel.Kind != core.SelNone {
 			return Separable
 		}
@@ -722,8 +926,11 @@ func pick(st *progState, q ast.Atom, cfg queryConfig) Strategy {
 }
 
 // Explain reports, without evaluating, which strategy Auto would use for
-// the query and why.
-func (e *Engine) Explain(query string) (string, error) {
+// the query and why. It consults the same cached analysis as evaluation —
+// including WithRelaxedConnectivity, which changes what Auto picks — so
+// the explanation always agrees with what Query would run.
+func (e *Engine) Explain(query string, opts ...QueryOption) (string, error) {
+	cfg := e.newQueryConfig(opts)
 	q, err := parser.Query(query)
 	if err != nil {
 		return "", err
@@ -741,7 +948,7 @@ func (e *Engine) Explain(query string) (string, error) {
 	if !hasConst {
 		return "no selection constants: semi-naive bottom-up evaluation", nil
 	}
-	a, aerr := core.Analyze(st.prog, q.Pred)
+	a, aerr := st.analysisErr(q.Pred, cfg.allowDisconnected)
 	if aerr != nil {
 		return fmt.Sprintf("recursion is not separable (%v): Generalized Magic Sets", aerr), nil
 	}
@@ -749,13 +956,17 @@ func (e *Engine) Explain(query string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	if sel.Kind == core.SelNone {
+		return "constants select no equivalence class: Generalized Magic Sets", nil
+	}
 	return fmt.Sprintf("separable recursion, %s: Separable evaluation schema\n%s", sel.Kind, a), nil
 }
 
 // AnalyzeSeparability runs the Definition 2.4 test on pred's definition
-// and returns the human-readable analysis, or the reason it fails.
+// and returns the human-readable analysis, or the reason it fails. The
+// result is served from the engine's per-revision analysis cache.
 func (e *Engine) AnalyzeSeparability(pred string) (report string, separable bool) {
-	a, err := core.Analyze(e.progState().prog, pred)
+	a, err := e.progState().analysisErr(pred, false)
 	if err != nil {
 		return err.Error(), false
 	}
@@ -786,7 +997,7 @@ func (e *Engine) CompilePlan(query string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	a, err := core.Analyze(e.progState().prog, q.Pred)
+	a, err := e.progState().analysisErr(q.Pred, false)
 	if err != nil {
 		return "", err
 	}
@@ -797,7 +1008,7 @@ func (e *Engine) CompilePlan(query string) (string, error) {
 // atoms, suitable for reloading with LoadFacts. The facts written are a
 // consistent snapshot even while writers run.
 func (e *Engine) WriteFacts(w io.Writer) error {
-	_, db := e.snapshot()
+	_, db, _ := e.snapshot()
 	return db.WriteFacts(w)
 }
 
@@ -809,7 +1020,7 @@ func (e *Engine) Why(fact string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	st, db := e.snapshot()
+	st, db, _ := e.snapshot()
 	ex, err := provenance.New(st.prog, db)
 	if err != nil {
 		return "", err

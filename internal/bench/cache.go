@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"sepdl"
+	"sepdl/internal/database"
+	"sepdl/internal/datagen"
+)
+
+// CachePoint is one size of the cold-vs-warm-vs-batched comparison: the
+// same program and database queried with a fresh engine (cold: plan
+// compile plus closure fill), with a warmed engine (plan and closure
+// caches hit), and as one batched call (one seeded fixpoint for all
+// constants), against an engine with both caches disabled as the
+// correctness baseline.
+type CachePoint struct {
+	Family   string `json:"family"` // "separable" or "magic"
+	Strategy string `json:"strategy"`
+	Size     int    `json:"size"`  // graph nodes / chain length n
+	Seeds    int    `json:"seeds"` // distinct query constants
+	Answers  int    `json:"answers"`
+	// ColdNs is the first query on a fresh engine; WarmNs averages the
+	// remaining seeds-1 queries on the same engine.
+	ColdNs int64 `json:"cold_ns"`
+	WarmNs int64 `json:"warm_ns"`
+	// UncachedNs totals all seeds queries with caching disabled; BatchNs is
+	// one QueryBatch over the same constants on a fresh engine.
+	UncachedNs int64 `json:"uncached_ns"`
+	BatchNs    int64 `json:"batch_ns"`
+	// WarmSpeedup is ColdNs/WarmNs; BatchSpeedup is UncachedNs/BatchNs.
+	WarmSpeedup  float64 `json:"warm_speedup"`
+	BatchSpeedup float64 `json:"batch_speedup"`
+	// Cache observability from the warm run's Stats.
+	PlanCacheHitWarm bool   `json:"plan_cache_hit_warm"`
+	ClosureHitsWarm  int    `json:"closure_hits_warm,omitempty"`
+	Err              string `json:"err,omitempty"`
+}
+
+// CacheReport is the regression artifact make bench writes to
+// BENCH_plancache.json. Any non-empty Err means the cached, batched, and
+// uncached answers diverged (or an evaluation failed) — a correctness
+// failure, not a performance one.
+type CacheReport struct {
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	Points     []CachePoint `json:"points"`
+}
+
+// JSON renders the report with stable indentation for diffing.
+func (r CacheReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Failed reports whether any point diverged or errored.
+func (r CacheReport) Failed() bool {
+	for _, p := range r.Points {
+		if p.Err != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// RunCache measures the prepared-query machinery on two families. The
+// separable family is a two-class recursion whose non-driver class walks a
+// dense random graph, so the phase-2 closure — identical across query
+// constants — dominates a cold evaluation and is served from the closure
+// cache on warm ones. The magic family is transitive closure over a chain
+// under the Magic Sets strategy, where batching fuses the per-constant
+// rewritten fixpoints into one.
+func RunCache(sizes []int, seeds int) CacheReport {
+	rep := CacheReport{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	for _, n := range sizes {
+		rep.Points = append(rep.Points, separableCachePoint(n, seeds))
+	}
+	for _, n := range sizes {
+		rep.Points = append(rep.Points, magicCachePoint(n, seeds))
+	}
+	return rep
+}
+
+// loadEngine builds an engine over prog and db's facts.
+func loadEngine(progText string, db *database.Database, opts ...sepdl.EngineOption) (*sepdl.Engine, error) {
+	e := sepdl.New(opts...)
+	if err := e.LoadProgram(progText); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := db.WriteFacts(&buf); err != nil {
+		return nil, err
+	}
+	if err := e.LoadFacts(buf.String()); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// separableCachePoint: MultiClassProgram(2) with a chain driver class and
+// a dense random-graph non-driver class. Every query constant selects a
+// different driver chain position, but the non-driver closure starts from
+// the same exit value, so warm queries pay only the (short) driver walk
+// and the product assembly.
+func separableCachePoint(n, seeds int) CachePoint {
+	pt := CachePoint{Family: "separable", Strategy: string(sepdl.Separable), Size: n, Seeds: seeds}
+	prog := datagen.MultiClassProgram(2)
+	db := database.New()
+	datagen.Chain(db, "e1", "c1v", seeds+1)
+	datagen.RandomGraph(db, "e2", "c2v", n, 4*n, 7)
+	db.AddFact("t0", datagen.Name("c1v", seeds+1), datagen.Name("c2v", 1))
+	queries := make([]string, seeds)
+	for i := range queries {
+		queries[i] = fmt.Sprintf("t(%s, Y)?", datagen.Name("c1v", i+1))
+	}
+	return fillCachePoint(pt, prog.String(), db, queries, sepdl.WithStrategy(sepdl.Separable))
+}
+
+// magicCachePoint: transitive closure over a chain, evaluated with the
+// Magic Sets strategy. The plan cache elides the per-query rewrite; the
+// batch fuses all seed constants' magic fixpoints into one.
+func magicCachePoint(n, seeds int) CachePoint {
+	pt := CachePoint{Family: "magic", Strategy: string(sepdl.MagicSets), Size: n, Seeds: seeds}
+	prog := `
+path(X, Y) :- e(X, W) & path(W, Y).
+path(X, Y) :- e(X, Y).
+`
+	db := database.New()
+	datagen.Chain(db, "e", "v", n)
+	queries := make([]string, seeds)
+	for i := range queries {
+		// Spread the constants over the chain's first half so each seed has
+		// a distinct, overlapping suffix to derive.
+		queries[i] = fmt.Sprintf("path(%s, Y)?", datagen.Name("v", 1+i*(n/2)/seeds))
+	}
+	return fillCachePoint(pt, prog, db, queries, sepdl.WithStrategy(sepdl.MagicSets))
+}
+
+// fillCachePoint runs the four configurations and cross-checks every
+// answer set: uncached (baseline), cold+warm on one caching engine, and
+// batched on a fresh caching engine. Any divergence is recorded in Err.
+func fillCachePoint(pt CachePoint, progText string, db *database.Database, queries []string, opt sepdl.QueryOption) CachePoint {
+	ctx := context.Background()
+
+	// Baseline: both caches disabled, queried one at a time.
+	plain, err := loadEngine(progText, db, sepdl.WithPlanCache(false), sepdl.WithClosureCache(-1))
+	if err != nil {
+		pt.Err = err.Error()
+		return pt
+	}
+	want := make([]string, len(queries))
+	startUn := time.Now()
+	for i, q := range queries {
+		res, err := plain.Query(q, opt)
+		if err != nil {
+			pt.Err = fmt.Sprintf("uncached %s: %v", q, err)
+			return pt
+		}
+		want[i] = res.String()
+	}
+	pt.UncachedNs = time.Since(startUn).Nanoseconds()
+
+	// Cold then warm on one caching engine.
+	cached, err := loadEngine(progText, db)
+	if err != nil {
+		pt.Err = err.Error()
+		return pt
+	}
+	startCold := time.Now()
+	res, err := cached.Query(queries[0], opt)
+	if err != nil {
+		pt.Err = fmt.Sprintf("cold %s: %v", queries[0], err)
+		return pt
+	}
+	pt.ColdNs = time.Since(startCold).Nanoseconds()
+	pt.Answers = res.Len()
+	if got := res.String(); got != want[0] {
+		pt.Err = fmt.Sprintf("cold %s diverges from uncached", queries[0])
+		return pt
+	}
+	startWarm := time.Now()
+	for i, q := range queries[1:] {
+		res, err := cached.Query(q, opt)
+		if err != nil {
+			pt.Err = fmt.Sprintf("warm %s: %v", q, err)
+			return pt
+		}
+		if got := res.String(); got != want[i+1] {
+			pt.Err = fmt.Sprintf("warm %s diverges from uncached", q)
+			return pt
+		}
+		pt.PlanCacheHitWarm = res.Stats.PlanCacheHit
+		pt.ClosureHitsWarm = res.Stats.ClosureCacheHits
+	}
+	if warmRuns := len(queries) - 1; warmRuns > 0 {
+		pt.WarmNs = time.Since(startWarm).Nanoseconds() / int64(warmRuns)
+	}
+
+	// Batched on a fresh caching engine: one call, all constants.
+	batch, err := loadEngine(progText, db)
+	if err != nil {
+		pt.Err = err.Error()
+		return pt
+	}
+	startBatch := time.Now()
+	results, err := batch.QueryBatch(ctx, queries, opt)
+	if err != nil {
+		pt.Err = fmt.Sprintf("batch: %v", err)
+		return pt
+	}
+	pt.BatchNs = time.Since(startBatch).Nanoseconds()
+	for i, r := range results {
+		if got := r.String(); got != want[i] {
+			pt.Err = fmt.Sprintf("batch %s diverges from uncached", queries[i])
+			return pt
+		}
+	}
+
+	if pt.WarmNs > 0 {
+		pt.WarmSpeedup = float64(pt.ColdNs) / float64(pt.WarmNs)
+	}
+	if pt.BatchNs > 0 {
+		pt.BatchSpeedup = float64(pt.UncachedNs) / float64(pt.BatchNs)
+	}
+	return pt
+}

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRunCacheSmoke(t *testing.T) {
+	rep := RunCache([]int{24}, 3)
+	if len(rep.Points) != 2 {
+		t.Fatalf("points = %d, want 2 (1 size x 2 families)", len(rep.Points))
+	}
+	if rep.Failed() {
+		t.Fatalf("report failed: %+v", rep.Points)
+	}
+	for _, p := range rep.Points {
+		if p.Answers == 0 || p.ColdNs <= 0 || p.WarmNs <= 0 || p.UncachedNs <= 0 || p.BatchNs <= 0 {
+			t.Errorf("%s n=%d: degenerate point %+v", p.Family, p.Size, p)
+		}
+		if !p.PlanCacheHitWarm {
+			t.Errorf("%s n=%d: warm query missed the plan cache", p.Family, p.Size)
+		}
+	}
+	// The separable family's warm queries must be served from the closure
+	// cache — that is the entire point of the family.
+	if sep := rep.Points[0]; sep.Family != "separable" || sep.ClosureHitsWarm == 0 {
+		t.Errorf("separable warm query had no closure-cache hits: %+v", sep)
+	}
+
+	out, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CacheReport
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(back.Points) != 2 {
+		t.Errorf("round-trip lost fields: %+v", back)
+	}
+}

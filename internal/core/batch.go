@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/budget"
+	"sepdl/internal/conj"
+	"sepdl/internal/database"
+	"sepdl/internal/eval"
+	"sepdl/internal/rel"
+)
+
+// AnswerBatch evaluates many selection queries of one form — same
+// predicate, constants at the same positions — in a single seeded run of
+// the Figure 2 schema, and returns one answer relation per query, aligned
+// with qs. The seed index rides as the first tag column through both
+// phases, so every carry loop, every class closure, and the support
+// fixpoint run once for the whole batch; per-seed answers are routed out by
+// tag at delivery. Answers are identical to len(qs) separate Answer calls.
+func AnswerBatch(prog *ast.Program, db *database.Database, qs []ast.Atom, opts EvalOptions) (_ []*rel.Relation, err error) {
+	defer budget.Guard(&err)
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	a := opts.Analysis
+	if a == nil {
+		var err error
+		a, err = AnalyzeOpts(prog, qs[0].Pred, Options{AllowDisconnected: opts.AllowDisconnected})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sel, err := a.Classify(qs[0])
+	if err != nil {
+		return nil, err
+	}
+	if sel.Kind == SelNone {
+		return nil, ErrNoSelection
+	}
+	for _, q := range qs[1:] {
+		si, err := a.Classify(q)
+		if err != nil {
+			return nil, err
+		}
+		if q.Pred != qs[0].Pred || !equalInts(si.ConstPos, sel.ConstPos) {
+			return nil, fmt.Errorf("core: batch mixes query forms: %s vs %s", q, qs[0])
+		}
+	}
+
+	base, err := MaterializeSupportOpts(prog, db, qs[0].Pred, eval.Options{
+		Collector:         opts.Collector,
+		Budget:            opts.Budget,
+		Parallelism:       opts.Parallelism,
+		ParallelThreshold: opts.ParallelThreshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	e := newEvaluator(a, base, qs[0].Pred, opts)
+	sinks := make([]*eval.AnswerSink, len(qs))
+	for i, q := range qs {
+		sinks[i] = eval.NewAnswerSink(q, base.Syms)
+	}
+
+	switch sel.Kind {
+	case SelPers:
+		if err := e.batchFull(qs, sel.PersPos, -1, sinks); err != nil {
+			return nil, err
+		}
+	case SelFullClass:
+		if err := e.batchFull(qs, a.Classes[sel.Driver].Cols, sel.Driver, sinks); err != nil {
+			return nil, err
+		}
+	case SelPartial:
+		if err := e.batchPartial(qs, sel, sinks); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]*rel.Relation, len(qs))
+	ansLen := 0
+	for i, s := range sinks {
+		out[i] = s.Result()
+		ansLen += out[i].Len()
+	}
+	opts.Collector.Observe("ans", ansLen)
+	return out, nil
+}
+
+// batchFull runs the full-selection schema (SelPers or SelFullClass) for
+// every query at once: seeds are (seedIdx, consts...) rows, driver is the
+// persistent columns or the driver class's columns.
+func (e *evaluator) batchFull(qs []ast.Atom, driverCols []int, driver int, sinks []*eval.AnswerSink) error {
+	intern := e.db.Syms.Intern
+	seeds := rel.New(1 + len(driverCols))
+	for i, q := range qs {
+		row := make(rel.Tuple, 0, 1+len(driverCols))
+		row = append(row, rel.Value(i))
+		row = append(row, constsAt(q, driverCols, intern)...)
+		seeds.Insert(row)
+	}
+	res, outCols, err := e.run(driverCols, driver, driver, seeds, 1)
+	if err != nil {
+		return err
+	}
+	driverVals := make([]rel.Tuple, len(qs))
+	for i, q := range qs {
+		driverVals[i] = constsAt(q, driverCols, intern)
+	}
+	e.deliverBatch(res, nil, driverCols, driverVals, outCols, sinks)
+	return nil
+}
+
+// batchPartial runs both Lemma 2.1 branches for every query at once. The
+// seed index is tag column 0; branch B additionally tags the unbound
+// driver-class head columns, as in the single-query path.
+func (e *evaluator) batchPartial(qs []ast.Atom, sel Selection, sinks []*eval.AnswerSink) error {
+	intern := e.db.Syms.Intern
+	src := conj.DBSource(e.db.Relation)
+	cls := &e.a.Classes[sel.Driver]
+	isConst := make(map[int]bool)
+	for _, p := range sel.ConstPos {
+		isConst[p] = true
+	}
+	var boundCols, freeCols []int
+	for _, p := range cls.Cols {
+		if isConst[p] {
+			boundCols = append(boundCols, p)
+		} else {
+			freeCols = append(freeCols, p)
+		}
+	}
+
+	// Branch A (t_part): zero applications of the driver class.
+	seedsA := rel.New(1 + len(boundCols))
+	for i, q := range qs {
+		row := make(rel.Tuple, 0, 1+len(boundCols))
+		row = append(row, rel.Value(i))
+		row = append(row, constsAt(q, boundCols, intern)...)
+		seedsA.Insert(row)
+	}
+	resA, outColsA, err := e.run(boundCols, -1, sel.Driver, seedsA, 1)
+	if err != nil {
+		return err
+	}
+	boundVals := make([]rel.Tuple, len(qs))
+	for i, q := range qs {
+		boundVals[i] = constsAt(q, boundCols, intern)
+	}
+	e.deliverBatch(resA, nil, boundCols, boundVals, outColsA, sinks)
+
+	// Branch B (t_full): the first driver-class application is made here
+	// per seed, through each rule's nonrecursive conjunction.
+	tagW := 1 + len(freeCols)
+	seedsB := rel.New(tagW + len(cls.Cols))
+	boundHead := headVarsAt(boundCols)
+	freeHead := headVarsAt(freeCols)
+	for _, r := range cls.Rules {
+		outVars := append(append([]string{}, freeHead...), r.BodyVars...)
+		tr, err := conj.NewTransition(r.Conj, boundHead, outVars, intern)
+		if err != nil {
+			return fmt.Errorf("core: rule %s: %w", r.Rule, err)
+		}
+		tr.SetTick(e.bud.TickFunc())
+		for i := range qs {
+			i := i
+			tr.Apply(src, boundVals[i], func(out rel.Tuple) {
+				row := make(rel.Tuple, 0, tagW+len(cls.Cols))
+				row = append(row, rel.Value(i))
+				row = append(row, out...)
+				seedsB.Insert(row)
+			})
+		}
+	}
+	resB, outColsB, err := e.run(cls.Cols, sel.Driver, sel.Driver, seedsB, tagW)
+	if err != nil {
+		return err
+	}
+	driverVals := make([]rel.Tuple, len(qs))
+	for i, q := range qs {
+		dv := make(rel.Tuple, len(cls.Cols))
+		for j, p := range cls.Cols {
+			if isConst[p] {
+				dv[j] = intern(q.Args[p].Name)
+			}
+		}
+		driverVals[i] = dv
+	}
+	e.deliverBatch(resB, freeCols, cls.Cols, driverVals, outColsB, sinks)
+	return nil
+}
+
+// deliverBatch assembles full-arity tuples from a batched run's result and
+// routes each to its seed's sink. Result rows are the seed index, then one
+// value per tagCols, then the output columns; driverCols take the seed's
+// driverVals (with free positions, if any, overwritten by the tag, as in
+// deliver).
+func (e *evaluator) deliverBatch(res *rel.Relation, tagCols []int, driverCols []int, driverVals []rel.Tuple, outCols []int, sinks []*eval.AnswerSink) {
+	tagW := 1 + len(tagCols)
+	full := make(rel.Tuple, e.a.Arity)
+	for _, t := range res.Rows() {
+		i := int(t[0])
+		for j, p := range driverCols {
+			full[p] = driverVals[i][j]
+		}
+		for j, p := range tagCols {
+			full[p] = t[1+j]
+		}
+		for j, p := range outCols {
+			full[p] = t[tagW+j]
+		}
+		sinks[i].Add(full)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sepdl/internal/conj"
 	"sepdl/internal/database"
 	"sepdl/internal/eval"
+	"sepdl/internal/plancache"
 	"sepdl/internal/rel"
 	"sepdl/internal/stats"
 )
@@ -48,6 +49,19 @@ type EvalOptions struct {
 	// database's tuple count; 0 means eval.DefaultParallelThreshold,
 	// negative removes the gate (tests).
 	ParallelThreshold int
+	// Closures, when non-nil, memoizes the second loop's per-start class
+	// closures across queries: those closures depend only on the program
+	// and the EDB, never on the selection constant, so repeated queries of
+	// one form reuse them. Enabling it routes phase 2 through the product
+	// evaluator (the only form that computes closures as reusable units);
+	// the answer set is identical. Cache fills run under the evaluation's
+	// budget like any other carry loop.
+	Closures *plancache.Closures
+	// CacheScope carries the program and database revisions closure-cache
+	// entries are keyed under. Answer fills in the predicate and relaxation
+	// itself; callers (the engine) supply only the revisions. Ignored when
+	// Closures is nil.
+	CacheScope plancache.Scope
 }
 
 // Answer evaluates the selection query q on the separable recursion
@@ -87,8 +101,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts EvalOptio
 		return nil, err
 	}
 
-	e := &evaluator{a: a, db: base, col: opts.Collector, noDedup: opts.NoCarryDedup, bud: opts.Budget,
-		par: opts.Parallelism, parThreshold: opts.ParallelThreshold}
+	e := newEvaluator(a, base, q.Pred, opts)
 	sink := eval.NewAnswerSink(q, base.Syms)
 
 	switch sel.Kind {
@@ -130,6 +143,20 @@ type evaluator struct {
 	bud          *budget.Budget
 	par          int
 	parThreshold int
+	closures     *plancache.Closures
+	scope        plancache.Scope
+}
+
+// newEvaluator builds the evaluator for one analyzed predicate, pinning the
+// closure-cache scope to that predicate and its analysis relaxation so
+// callers cannot key entries under the wrong form.
+func newEvaluator(a *Analysis, base *database.Database, pred string, opts EvalOptions) *evaluator {
+	scope := opts.CacheScope
+	scope.Pred = pred
+	scope.Relaxed = a.AllowDisconnected
+	return &evaluator{a: a, db: base, col: opts.Collector, noDedup: opts.NoCarryDedup, bud: opts.Budget,
+		par: opts.Parallelism, parThreshold: opts.ParallelThreshold,
+		closures: opts.Closures, scope: scope}
 }
 
 // headVarsAt returns the canonical head variables for positions.
@@ -251,7 +278,7 @@ func (e *evaluator) run(driverCols []int, phase1Class, excludePhase2 int, seeds 
 		return nil, nil, err
 	}
 	if len(p2) > 0 {
-		if e.parallelPhase2(len(p2)) {
+		if e.productPhase2(len(p2)) {
 			e.runPhase2Product(p2, carry2, seen2, tagW, src)
 		} else {
 			e.runPhase2Loop(p2, carry2, seen2, tagW, len(outCols), src)

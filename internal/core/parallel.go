@@ -2,17 +2,22 @@ package core
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"sepdl/internal/conj"
 	"sepdl/internal/eval"
 	"sepdl/internal/par"
+	"sepdl/internal/plancache"
 	"sepdl/internal/rel"
 )
 
 // phase2class groups one equivalence class's compiled body-to-head
 // transitions with the mapping of its columns into the run's output
-// columns.
+// columns. cols keeps the original column positions for closure-cache
+// keys.
 type phase2class struct {
+	cols   []int
 	colIdx []int
 	trans  []*conj.Transition
 }
@@ -39,7 +44,7 @@ func (e *evaluator) phase2Classes(phase1Class, excludePhase2 int, outCols []int,
 			}
 			colIdx[i] = j
 		}
-		pc := phase2class{colIdx: colIdx}
+		pc := phase2class{cols: cls.Cols, colIdx: colIdx}
 		for _, r := range cls.Rules {
 			tr, err := conj.NewTransition(r.Conj, r.BodyVars, cls.HeadVars, intern)
 			if err != nil {
@@ -53,11 +58,11 @@ func (e *evaluator) phase2Classes(phase1Class, excludePhase2 int, outCols []int,
 	return p2, nil
 }
 
-// parallelPhase2 decides whether the product evaluator runs instead of the
-// interleaved loop. It needs dedup (the closure sets ARE the seen sets)
-// and at least two classes to have anything to factorize; below the work
-// threshold — measured by the support database the transitions join
-// against, the best cheap proxy for closure sizes — the plain loop wins.
+// parallelPhase2 decides whether the per-class closures run on their own
+// goroutines. It needs at least two classes to have anything to fan out;
+// below the work threshold — measured by the support database the
+// transitions join against, the best cheap proxy for closure sizes — the
+// spawn overhead wins.
 func (e *evaluator) parallelPhase2(nClasses int) bool {
 	if e.par <= 1 || e.noDedup || nClasses < 2 {
 		return false
@@ -67,6 +72,33 @@ func (e *evaluator) parallelPhase2(nClasses int) bool {
 		th = eval.DefaultParallelThreshold
 	}
 	return th < 0 || e.db.NumTuples() >= th
+}
+
+// productPhase2 decides whether phase 2 runs as a product of per-class
+// closures instead of the interleaved loop. The product form needs dedup
+// (the closure sets ARE the seen sets). It runs whenever the closures are
+// worth having as standalone units: when the closure cache is enabled
+// (only the product form computes per-start closures it can memoize), or
+// when the parallel evaluator would fan the classes out anyway.
+func (e *evaluator) productPhase2(nClasses int) bool {
+	if e.noDedup || nClasses < 1 {
+		return false
+	}
+	return e.closures != nil || e.parallelPhase2(nClasses)
+}
+
+// classCacheKey renders a class's column set canonically for closure-cache
+// keys ("1,3"). Column sets identify classes stably across queries on one
+// analysis.
+func classCacheKey(cols []int) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(c))
+	}
+	return b.String()
 }
 
 // vkey renders a tuple as a map key (same injective 4-byte scheme the rel
@@ -79,16 +111,18 @@ func vkey(t rel.Tuple) string {
 	return string(b)
 }
 
-// classReach is one class's closure over the seed rows: seen holds
-// (startIdx, classVals...) tuples, starts maps a seed row's projection
-// onto the class columns to its startIdx tag.
+// classReach is one class's closure over the seed rows: sets[i] holds the
+// class-arity tuples reachable from start vector i, and starts maps a seed
+// row's projection onto the class columns to its index. The per-start sets
+// are standalone immutable relations so the closure cache can share them
+// across queries.
 type classReach struct {
 	starts map[string]int
-	seen   *rel.Relation
+	sets   []*rel.Relation
 }
 
-// lookup returns the tagged closure rows reachable from seed row t's
-// class projection.
+// lookup returns the closure rows reachable from seed row t's class
+// projection.
 func (cr *classReach) lookup(t rel.Tuple, tagW int, colIdx []int) []rel.Tuple {
 	cv := make(rel.Tuple, len(colIdx))
 	for i, j := range colIdx {
@@ -98,31 +132,60 @@ func (cr *classReach) lookup(t rel.Tuple, tagW int, colIdx []int) []rel.Tuple {
 	if !ok {
 		return nil
 	}
-	return cr.seen.Index([]int{0}).Lookup([]rel.Value{rel.Value(idx)})
+	return cr.sets[idx].Rows()
 }
 
-// classClosure computes one class's reachable set from every distinct
-// seed projection, as a tagged carry loop: tuples are (startIdx,
+// classClosure computes one class's reachable set from every distinct seed
+// projection. Starts resolved from the closure cache cost nothing; the
+// misses run as one joint tagged carry loop — tuples are (startIdx,
 // classVals...), so closures of different starts stay separate while
-// sharing one seen relation and one round structure. This is the per-class
+// sharing one round structure — and are split, published to the cache, and
+// kept. Cache fills charge the evaluation's budget exactly like the
+// uncached loop, so resource errors are unchanged. This is the per-class
 // unit of work the product evaluator runs one goroutine per class.
 func (e *evaluator) classClosure(pc *phase2class, seeds *rel.Relation, tagW int, src conj.RelSource) *classReach {
 	k := len(pc.colIdx)
 	cr := &classReach{starts: make(map[string]int)}
-	carry := rel.New(1 + k)
-	row := make(rel.Tuple, 1+k)
+	var startVecs []rel.Tuple
 	for _, t := range seeds.Rows() {
-		cv := row[1:]
+		cv := make(rel.Tuple, k)
 		for i, j := range pc.colIdx {
 			cv[i] = t[tagW+j]
 		}
-		key := vkey(cv)
-		idx, ok := cr.starts[key]
-		if !ok {
-			idx = len(cr.starts)
-			cr.starts[key] = idx
+		if _, ok := cr.starts[vkey(cv)]; !ok {
+			cr.starts[vkey(cv)] = len(startVecs)
+			startVecs = append(startVecs, cv)
 		}
-		row[0] = rel.Value(idx)
+	}
+	cr.sets = make([]*rel.Relation, len(startVecs))
+
+	ck := ""
+	if e.closures != nil {
+		ck = classCacheKey(pc.cols)
+	}
+	var missIdx []int
+	for idx, cv := range startVecs {
+		if e.closures != nil {
+			key := plancache.ClosureKey{Scope: e.scope, Class: ck, Start: plancache.EncodeStart(cv)}
+			if set := e.closures.Get(key); set != nil {
+				cr.sets[idx] = set
+				continue
+			}
+		}
+		missIdx = append(missIdx, idx)
+	}
+	if e.closures != nil {
+		e.col.AddClosure(len(startVecs)-len(missIdx), len(missIdx))
+	}
+	if len(missIdx) == 0 {
+		return cr
+	}
+
+	carry := rel.New(1 + k)
+	for mi, idx := range missIdx {
+		row := make(rel.Tuple, 1+k)
+		row[0] = rel.Value(mi)
+		copy(row[1:], startVecs[idx])
 		carry.Insert(row)
 	}
 	seen := carry.Clone()
@@ -145,26 +208,49 @@ func (e *evaluator) classClosure(pc *phase2class, seeds *rel.Relation, tagW int,
 		e.col.AddInserted(added)
 		e.bud.AddDerived(added, 1+k)
 	}
-	cr.seen = seen
+
+	// Split the joint closure by tag into per-start sets (tuple storage is
+	// shared with the seen rows, which nothing mutates) and publish them.
+	rowsByTag := make([][]rel.Tuple, len(missIdx))
+	for _, t := range seen.Rows() {
+		mi := int(t[0])
+		rowsByTag[mi] = append(rowsByTag[mi], t[1:])
+	}
+	for mi, idx := range missIdx {
+		set := rel.FromRows(k, rowsByTag[mi])
+		cr.sets[idx] = set
+		if e.closures != nil {
+			e.closures.Put(plancache.ClosureKey{Scope: e.scope, Class: ck, Start: plancache.EncodeStart(startVecs[idx])}, set)
+		}
+	}
 	return cr
 }
 
 // runPhase2Product evaluates the second loop of Figure 2 as a product of
-// per-class closures, one goroutine per class. It is sound because a
-// class's transitions read and write only that class's columns and their
-// enabledness depends on nothing else, so the set reachable from a seed
-// row under interleaved applications factorizes into the product of the
-// per-class reachable sets (the independence that makes the recursion
-// separable in the first place). Beyond using the cores, this skips the
-// interleaved loop's join work per product tuple: the joins run once per
-// per-class closure tuple, and the product rows are assembled by copying.
-// A budget abort in a class goroutine panics; par.Run re-raises it here
-// and the evaluation's budget.Guard turns it into the query error.
+// per-class closures, one goroutine per class when the parallel evaluator
+// is engaged (sequentially when only the closure cache asked for the
+// product form). It is sound because a class's transitions read and write
+// only that class's columns and their enabledness depends on nothing else,
+// so the set reachable from a seed row under interleaved applications
+// factorizes into the product of the per-class reachable sets (the
+// independence that makes the recursion separable in the first place).
+// Beyond using the cores, this skips the interleaved loop's join work per
+// product tuple: the joins run once per per-class closure tuple, and the
+// product rows are assembled by copying. A budget abort in a class
+// goroutine panics; par.Run re-raises it here and the evaluation's
+// budget.Guard turns it into the query error.
 func (e *evaluator) runPhase2Product(p2 []phase2class, carry2, seen2 *rel.Relation, tagW int, src conj.RelSource) {
 	closures := make([]*classReach, len(p2))
-	par.Run(len(p2), func(ci int) {
+	fill := func(ci int) {
 		closures[ci] = e.classClosure(&p2[ci], carry2, tagW, src)
-	})
+	}
+	if e.parallelPhase2(len(p2)) {
+		par.Run(len(p2), fill)
+	} else {
+		for ci := range p2 {
+			fill(ci)
+		}
+	}
 
 	// Sequential product merge: every seed row crossed with one reachable
 	// vector per class. The tick keeps huge products cancellable.
@@ -186,7 +272,7 @@ func (e *evaluator) runPhase2Product(p2 []phase2class, carry2, seen2 *rel.Relati
 			pc := &p2[ci]
 			for _, rv := range closures[ci].lookup(t, tagW, pc.colIdx) {
 				for k, j := range pc.colIdx {
-					row[tagW+j] = rv[1+k]
+					row[tagW+j] = rv[k]
 				}
 				rec(ci + 1)
 			}

@@ -24,6 +24,13 @@
 // A goroutine that inserts without ticking would keep deriving after the
 // caller's budget aborts the rest of the evaluation, so cancellation must
 // propagate into every spawn. The same ignore comment applies.
+//
+// A third rule covers cache fills: a function that publishes a relation
+// into a cache (a Put call) and materializes the tuples it publishes
+// (Insert, InsertAll, FromRows, FromTuples) must reach a budget hook.
+// Filling a closure cache is evaluation work — the first query pays it —
+// and an unaccounted fill would let a cold cache blow straight through
+// the caller's tuple and byte limits. The same ignore comment applies.
 package lint
 
 import (
@@ -54,6 +61,13 @@ var materializing = map[string]bool{
 	"Insert":    true,
 	"InsertAll": true,
 }
+
+// cacheFillMaterializing are the calls that build or grow the relation a
+// cache-fill path publishes, checked in this order so findings are
+// deterministic. FromRows and FromTuples construct whole relations, which
+// the loop rules never see (no loop needed), but a fill that builds its
+// payload that way still owes the budget for it.
+var cacheFillMaterializing = []string{"Insert", "InsertAll", "FromRows", "FromTuples"}
 
 // budgetHooks are the budget.Budget calls that satisfy the invariant.
 var budgetHooks = map[string]bool{
@@ -101,6 +115,31 @@ func CheckDir(dir string) ([]Finding, error) {
 	for _, f := range files {
 		ignored := ignoredLines(fset, f)
 		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
+				pos := fset.Position(fd.Pos())
+				if ignored[pos.Line] {
+					return true
+				}
+				called := calledNames(fd.Body)
+				if !called["Put"] {
+					return true
+				}
+				mat := ""
+				for _, name := range cacheFillMaterializing {
+					if called[name] {
+						mat = name
+						break
+					}
+				}
+				if mat == "" || callsBudget(called, funcs, 1) {
+					return true
+				}
+				findings = append(findings, Finding{
+					Pos: pos,
+					Msg: fmt.Sprintf("cache-fill path materializes tuples (%s) and publishes them (Put) without a budget call (Round/Tick/AddDerived/Err/TickFunc/Guard); cache fills must be budget-accounted", mat),
+				})
+				return true
+			}
 			var (
 				body ast.Node
 				kind string

@@ -3,6 +3,7 @@ package lint
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -266,6 +267,81 @@ func fanout(rel interface{ Insert(x int) bool }, part []int) {
 			rel.Insert(x)
 		}
 	}()
+}
+`)
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("findings = %v, want none", findings)
+	}
+}
+
+func TestFlagsCacheFillWithoutBudget(t *testing.T) {
+	dir := writePkg(t, `package p
+
+type cache struct{}
+
+func (cache) Put(k string, v []int) {}
+
+func FromRows(rows [][]int) []int { return rows[0] }
+
+func fill(c cache, rows [][]int) {
+	c.Put("k", FromRows(rows))
+}
+`)
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly 1", findings)
+	}
+	if !strings.Contains(findings[0].Msg, "cache-fill") {
+		t.Errorf("finding %q should mention cache-fill", findings[0].Msg)
+	}
+}
+
+func TestCacheFillWithBudgetPasses(t *testing.T) {
+	dir := writePkg(t, `package p
+
+type cache struct{}
+
+func (cache) Put(k string, v []int) {}
+
+type budget struct{}
+
+func (budget) AddDerived(n, w int) {}
+
+func FromRows(rows [][]int) []int { return rows[0] }
+
+func fill(c cache, b budget, rows [][]int) {
+	v := FromRows(rows)
+	b.AddDerived(len(v), 1)
+	c.Put("k", v)
+}
+`)
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("findings = %v, want none", findings)
+	}
+}
+
+func TestPutWithoutMaterializingExempt(t *testing.T) {
+	// Publishing an already-built relation (no materializing call in the
+	// same function) is bookkeeping, not evaluation work.
+	dir := writePkg(t, `package p
+
+type cache struct{}
+
+func (cache) Put(k string, v []int) {}
+
+func publish(c cache, v []int) {
+	c.Put("k", v)
 }
 `)
 	findings, err := CheckDir(dir)

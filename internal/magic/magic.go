@@ -168,12 +168,24 @@ type Options struct {
 	// over the rewritten program (eval.Options).
 	Parallelism       int
 	ParallelThreshold int
+	// Template, when non-nil, supplies the precompiled rewrite for the
+	// query's form (from a plan cache): Answer binds the query's constants
+	// into it instead of rewriting, and Supplementary is ignored in favor
+	// of the template's own flavor.
+	Template *Template
 }
 
 // Answer evaluates query q over prog and db with the Generalized Magic Sets
 // strategy: rewrite, evaluate the rewritten program semi-naively, and
 // project the answer onto q's distinct variables.
 func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) (*rel.Relation, error) {
+	if opts.Template != nil {
+		out, err := AnswerBatch(prog, db, []ast.Atom{q}, opts)
+		if err != nil {
+			return nil, err
+		}
+		return out[0], nil
+	}
 	rewrite := Rewrite
 	if opts.Supplementary {
 		rewrite = RewriteSupplementary

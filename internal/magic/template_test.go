@@ -1,0 +1,86 @@
+package magic
+
+import (
+	"fmt"
+	"testing"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/database"
+)
+
+func exampleDB(t *testing.T) *database.Database {
+	t.Helper()
+	db := database.New()
+	mustLoad(t, db, `
+		friend(tom, ann). friend(ann, sue). friend(sue, kim).
+		perfectFor(kim, vest). perfectFor(sue, ring). perfectFor(ann, hat).
+	`)
+	return db
+}
+
+func TestTemplateBindMatchesRewrite(t *testing.T) {
+	prog := mustProgram(t, example11)
+	db := exampleDB(t)
+	for _, sup := range []bool{false, true} {
+		tpl, err := NewTemplate(prog, mustQuery(t, `buys(tom, Y)?`), sup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, who := range []string{"tom", "ann", "sue", "kim"} {
+			q := mustQuery(t, fmt.Sprintf("buys(%s, Y)?", who))
+			direct, err := Answer(prog, db, q, Options{Supplementary: sup})
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaTpl, err := Answer(prog, db, q, Options{Template: tpl})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if direct.String() != viaTpl.String() {
+				t.Fatalf("sup=%v %s: template answer %s, direct %s", sup, q, viaTpl, direct)
+			}
+		}
+	}
+}
+
+func TestTemplateRejectsOtherForms(t *testing.T) {
+	prog := mustProgram(t, example11)
+	tpl, err := NewTemplate(prog, mustQuery(t, `buys(tom, Y)?`), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{`buys(X, vest)?`, `buys(X, Y)?`, `friend(tom, Y)?`} {
+		if _, _, err := tpl.Bind(mustQuery(t, bad)); err == nil {
+			t.Fatalf("Bind(%s) on a buys@bf template should fail", bad)
+		}
+	}
+}
+
+func TestAnswerBatchMatchesPerSeed(t *testing.T) {
+	prog := mustProgram(t, example12)
+	db := exampleDB(t)
+	mustLoad(t, db, `cheaper(ring, vest). cheaper(hat, ring).`)
+	forms := []string{"buys(tom, Y)?", "buys(ann, Y)?", "buys(kim, Y)?", "buys(tom, Y)?"}
+	for _, sup := range []bool{false, true} {
+		qs := make([]ast.Atom, len(forms))
+		for i, f := range forms {
+			qs[i] = mustQuery(t, f)
+		}
+		batch, err := AnswerBatch(prog, db, qs, Options{Supplementary: sup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) != len(qs) {
+			t.Fatalf("batch returned %d answers for %d queries", len(batch), len(qs))
+		}
+		for i, q := range qs {
+			direct, err := Answer(prog, db, q, Options{Supplementary: sup})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if direct.String() != batch[i].String() {
+				t.Fatalf("sup=%v %s: batch answer %s, direct %s", sup, q, batch[i], direct)
+			}
+		}
+	}
+}

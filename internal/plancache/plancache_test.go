@@ -1,0 +1,172 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sepdl/internal/rel"
+)
+
+func mkRel(vals ...int32) *rel.Relation {
+	r := rel.New(1)
+	for _, v := range vals {
+		r.Insert(rel.Tuple{rel.Value(v)})
+	}
+	return r
+}
+
+func key(progRev, dbRev uint64, start string) ClosureKey {
+	return ClosureKey{
+		Scope: Scope{ProgRev: progRev, DBRev: dbRev, Pred: "t", Relaxed: false},
+		Class: "1",
+		Start: start,
+	}
+}
+
+func TestGetPutHitMiss(t *testing.T) {
+	c := NewClosures(0)
+	k := key(1, 1, "a")
+	if got := c.Get(k); got != nil {
+		t.Fatalf("empty cache Get = %v, want nil", got)
+	}
+	set := mkRel(1, 2, 3)
+	c.Put(k, set)
+	if got := c.Get(k); got != set {
+		t.Fatalf("Get after Put = %v, want the stored relation", got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+}
+
+func TestRevisionMismatchMisses(t *testing.T) {
+	c := NewClosures(0)
+	c.Put(key(1, 1, "a"), mkRel(1))
+	// Same form, newer database revision: must not match.
+	if got := c.Get(key(1, 2, "a")); got != nil {
+		t.Fatalf("Get with bumped dbRev = %v, want nil", got)
+	}
+	// Same form, newer program revision: must not match.
+	if got := c.Get(key(2, 1, "a")); got != nil {
+		t.Fatalf("Get with bumped progRev = %v, want nil", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	one := mkRel(1)
+	perEntry := relBytes(one) + 1 + 1 + 1 + entryOverhead // start+class+pred are 1 byte each
+	c := NewClosures(3 * perEntry)
+	for i := 0; i < 3; i++ {
+		c.Put(key(1, 1, fmt.Sprintf("%d", i)), mkRel(int32(i)))
+	}
+	// Touch "0" so "1" is the LRU entry, then overflow.
+	if c.Get(key(1, 1, "0")) == nil {
+		t.Fatal("expected hit on entry 0")
+	}
+	c.Put(key(1, 1, "3"), mkRel(3))
+	if c.Get(key(1, 1, "1")) != nil {
+		t.Fatal("LRU entry 1 should have been evicted")
+	}
+	for _, s := range []string{"0", "2", "3"} {
+		if c.Get(key(1, 1, s)) == nil {
+			t.Fatalf("entry %q should have survived", s)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestOversizedEntryStillAdmitted(t *testing.T) {
+	c := NewClosures(1) // budget smaller than any entry
+	k := key(1, 1, "a")
+	c.Put(k, mkRel(1, 2, 3, 4, 5))
+	if c.Get(k) == nil {
+		t.Fatal("an entry larger than the whole budget must still be admitted alone")
+	}
+}
+
+func TestPutReplacesAndAdjustsBytes(t *testing.T) {
+	c := NewClosures(0)
+	k := key(1, 1, "a")
+	c.Put(k, mkRel(1, 2, 3, 4, 5))
+	big := c.Stats().Bytes
+	c.Put(k, mkRel(1))
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+	if st.Bytes >= big {
+		t.Fatalf("bytes = %d, want < %d after replacing with a smaller set", st.Bytes, big)
+	}
+}
+
+func TestInvalidateSweepsStaleRevisions(t *testing.T) {
+	c := NewClosures(0)
+	c.Put(key(1, 1, "a"), mkRel(1))
+	c.Put(key(1, 2, "b"), mkRel(2))
+	c.Put(key(2, 2, "c"), mkRel(3))
+	c.Invalidate(func(s Scope) bool { return s.DBRev >= 2 })
+	if c.Get(key(1, 1, "a")) != nil {
+		t.Fatal("stale dbRev entry survived Invalidate")
+	}
+	if c.Get(key(1, 2, "b")) == nil || c.Get(key(2, 2, "c")) == nil {
+		t.Fatal("current-revision entries must survive Invalidate")
+	}
+	c.Clear()
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("after Clear: %+v, want empty", st)
+	}
+}
+
+func TestNilCacheIsInert(t *testing.T) {
+	var c *Closures
+	if c.Get(key(1, 1, "a")) != nil {
+		t.Fatal("nil cache Get must return nil")
+	}
+	c.Put(key(1, 1, "a"), mkRel(1))
+	c.Invalidate(func(Scope) bool { return false })
+	c.Clear()
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache stats = %+v, want zero", st)
+	}
+}
+
+func TestEncodeStartInjective(t *testing.T) {
+	a := EncodeStart(rel.Tuple{1, 2})
+	b := EncodeStart(rel.Tuple{2, 1})
+	cc := EncodeStart(rel.Tuple{1, 2})
+	if a == b {
+		t.Fatal("distinct tuples encoded equal")
+	}
+	if a != cc {
+		t.Fatal("equal tuples encoded differently")
+	}
+	if len(a) != 8 {
+		t.Fatalf("encoding length = %d, want 8", len(a))
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := NewClosures(1 << 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := key(1, uint64(i%7), fmt.Sprintf("g%d-%d", g, i%13))
+				if c.Get(k) == nil {
+					c.Put(k, mkRel(int32(i)))
+				}
+				if i%50 == 0 {
+					c.Invalidate(func(s Scope) bool { return s.DBRev >= uint64(i%7) })
+				}
+				_ = c.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

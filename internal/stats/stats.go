@@ -25,6 +25,12 @@ type Collector struct {
 	Inserted int
 	// Iterations counts fixpoint (or carry-loop) rounds.
 	Iterations int
+	// ClosureHits and ClosureMisses count per-start class closures the
+	// Separable product evaluator resolved from the cross-query closure
+	// cache versus computed (and filled) itself. Zero when the cache is
+	// disabled.
+	ClosureHits   int
+	ClosureMisses int
 }
 
 // New returns an empty collector.
@@ -53,6 +59,27 @@ func (c *Collector) AddInserted(n int) {
 	c.mu.Lock()
 	c.Inserted += n
 	c.mu.Unlock()
+}
+
+// AddClosure counts class-closure cache hits and misses (fills).
+func (c *Collector) AddClosure(hits, misses int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.ClosureHits += hits
+	c.ClosureMisses += misses
+	c.mu.Unlock()
+}
+
+// ClosureCounts returns the accumulated closure-cache hits and misses.
+func (c *Collector) ClosureCounts() (hits, misses int) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ClosureHits, c.ClosureMisses
 }
 
 // AddIteration counts one fixpoint round.

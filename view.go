@@ -75,7 +75,7 @@ func (e *Engine) MaterializeCtx(ctx context.Context, opts ...QueryOption) (*View
 	}
 	bud.SetStrategy(string(Materialized))
 	col := stats.New()
-	st, db := e.snapshot()
+	st, db, _ := e.snapshot()
 	m, err := eval.MaterializeBudget(st.prog, db, col, bud)
 	if err != nil {
 		return nil, err
