@@ -1,6 +1,6 @@
 # Tier-1 verify: everything a change must keep green (see ROADMAP.md).
 # For deeper concurrency soak-testing beyond tier-1, run `make stress`.
-.PHONY: verify vet build test bench stress fuzz lint
+.PHONY: verify vet build test bench stress fuzz lint serve-smoke
 
 verify: vet build test
 
@@ -23,6 +23,13 @@ bench:
 	go run ./cmd/sepbench -quick
 	go run ./cmd/sepbench -parallel-bench -parallelism 4 -json BENCH_parallel.json
 	go run ./cmd/sepbench -cache-bench -json BENCH_plancache.json
+	go run ./cmd/sepbench -serve-bench -json BENCH_serve.json
+
+# serve-smoke boots a real sepdld process, answers a query and a prepared
+# batch over HTTP, SIGTERMs it mid-load, and asserts 503 + Retry-After
+# shedding during the drain window plus a clean exit 0.
+serve-smoke:
+	go run ./cmd/servesmoke
 
 # stress repeats the concurrent-serving tests under the race detector and
 # replays the parser fuzz seed corpus. It is slower than tier-1 and meant

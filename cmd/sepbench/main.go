@@ -37,11 +37,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		format   = fs.String("format", "table", "output format: table|csv")
 		parBench   = fs.Bool("parallel-bench", false, "run the parallel-vs-sequential regression benchmark instead of the experiments")
 		cacheBench = fs.Bool("cache-bench", false, "run the plan/closure-cache regression benchmark (cold vs warm vs batched) instead of the experiments")
-		jsonPath   = fs.String("json", "", "with -parallel-bench or -cache-bench: also write the report as JSON to this path")
+		serveBench = fs.Bool("serve-bench", false, "run the sepdld serving-layer load benchmark (cold vs warm vs overloaded over HTTP) instead of the experiments")
+		jsonPath   = fs.String("json", "", "with -parallel-bench, -cache-bench, or -serve-bench: also write the report as JSON to this path")
 		sizes      = fs.String("sizes", "16,32,48", "with -parallel-bench or -cache-bench: comma-separated problem sizes")
 		classes    = fs.Int("classes", 4, "with -parallel-bench: equivalence classes in the separable query family")
 		par        = fs.Int("parallelism", 0, "with -parallel-bench: worker count for the parallel runs (0 = GOMAXPROCS)")
-		seeds      = fs.Int("seeds", 8, "with -cache-bench: distinct query constants per point")
+		seeds      = fs.Int("seeds", 8, "with -cache-bench or -serve-bench: distinct query constants per point")
+		size       = fs.Int("size", 400, "with -serve-bench: chain length of the served database")
+		requests   = fs.Int("requests", 200, "with -serve-bench: requests per regime")
+		clients    = fs.Int("clients", 4, "with -serve-bench: concurrent clients in the cold and warm regimes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -49,6 +53,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *parBench {
 		return runParallelBench(*sizes, *classes, *par, *jsonPath, stdout, stderr)
+	}
+	if *serveBench {
+		return runServeBench(*size, *seeds, *requests, *clients, *jsonPath, stdout, stderr)
 	}
 	if *cacheBench {
 		cacheSizes := *sizes
@@ -150,6 +157,49 @@ func runCacheBench(sizeList string, seeds int, jsonPath string, stdout, stderr i
 	}
 	if rep.Failed() {
 		fmt.Fprintln(stderr, "sepbench: cached or batched answers diverged from the uncached baseline")
+		return 1
+	}
+	return 0
+}
+
+// runServeBench runs the serving-layer load harness and renders a table
+// (plus optional JSON artifact, the BENCH_serve.json that make bench
+// commits to the repository root). The exit code is 1 when any regime
+// errored or lost requests — every request must eventually succeed, shed
+// requests by retrying with the server's backoff hint; latency numbers
+// are reported but never fail the run.
+func runServeBench(size, seeds, requests, clients int, jsonPath string, stdout, stderr io.Writer) int {
+	if size < 4 || seeds < 1 || requests < 1 || clients < 1 {
+		fmt.Fprintln(stderr, "sepbench: -size, -seeds, -requests, and -clients must be positive (size at least 4)")
+		return 2
+	}
+	rep := bench.RunServe(bench.ServeConfig{Size: size, Seeds: seeds, Requests: requests, Clients: clients})
+	fmt.Fprintf(stdout, "serve benchmark: GOMAXPROCS=%d cpus=%d size=%d seeds=%d\n",
+		rep.GOMAXPROCS, rep.NumCPU, rep.Size, rep.Seeds)
+	fmt.Fprintf(stdout, "%-12s %8s %8s %8s %8s %8s %12s %12s\n",
+		"regime", "requests", "clients", "ok", "sheds", "retries", "p50", "p99")
+	for _, p := range rep.Points {
+		if p.Err != "" {
+			fmt.Fprintf(stdout, "%-12s %8d  ERROR: %s\n", p.Regime, p.Requests, p.Err)
+			continue
+		}
+		fmt.Fprintf(stdout, "%-12s %8d %8d %8d %8d %8d %12d %12d\n",
+			p.Regime, p.Requests, p.Clients, p.OK, p.Sheds, p.Retries, p.P50Ns, p.P99Ns)
+	}
+	if jsonPath != "" {
+		out, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(stderr, "sepbench: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(jsonPath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "sepbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", jsonPath)
+	}
+	if rep.Failed() {
+		fmt.Fprintln(stderr, "sepbench: serve benchmark lost requests or errored")
 		return 1
 	}
 	return 0

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sepdl/internal/bench"
+)
+
+// TestServeBenchSmoke runs a miniature serve benchmark end to end: all
+// three regimes over real HTTP, every request eventually answered, and a
+// well-formed JSON artifact.
+func TestServeBenchSmoke(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "serve.json")
+	out, errOut, code := runBench(t, "-serve-bench",
+		"-size", "60", "-seeds", "3", "-requests", "24", "-clients", "3",
+		"-json", jsonPath)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	for _, regime := range []string{"cold", "warm", "overloaded"} {
+		if !strings.Contains(out, regime) {
+			t.Errorf("output missing regime %q:\n%s", regime, out)
+		}
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.ServeReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("artifact not JSON: %v\n%s", err, data)
+	}
+	if len(rep.Points) != 3 {
+		t.Fatalf("got %d points, want 3", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.Err != "" {
+			t.Errorf("regime %s errored: %s", p.Regime, p.Err)
+		}
+		if p.OK != p.Requests {
+			t.Errorf("regime %s: %d/%d requests succeeded", p.Regime, p.OK, p.Requests)
+		}
+		if p.P50Ns <= 0 || p.P99Ns < p.P50Ns {
+			t.Errorf("regime %s: implausible percentiles p50=%d p99=%d", p.Regime, p.P50Ns, p.P99Ns)
+		}
+	}
+}
+
+func TestServeBenchBadFlags(t *testing.T) {
+	_, errOut, code := runBench(t, "-serve-bench", "-size", "1")
+	if code != 2 || !strings.Contains(errOut, "must be positive") {
+		t.Fatalf("exit=%d err=%q", code, errOut)
+	}
+}

@@ -11,10 +11,15 @@
 //	sepdl -program rules.dl -facts data.dl            # REPL on stdin
 //
 // -concurrency bounds how many queries evaluate at once (0 = unlimited;
-// negative admits none, a drain mode); a query rejected by admission
-// control exits with status 3. -parallel fires the same -query N times
-// concurrently, exercising snapshot isolation and admission control.
-// -fallback retries a budget-aborted compiled strategy under semi-naive.
+// negative admits none, a drain mode). -parallel fires the same -query N
+// times concurrently, exercising snapshot isolation and admission
+// control. -fallback retries a budget-aborted compiled strategy under
+// semi-naive.
+//
+// Exit codes follow the shared taxonomy in internal/errcode (sepdld maps
+// the same classes to HTTP statuses): 0 success, 1 load/parse/check
+// failure, 2 usage, 3 overloaded or draining (query never evaluated),
+// 4 deadline exceeded, 5 resource budget exhausted, 6 internal error.
 //
 // In the REPL, enter queries like "buys(tom, Y)?"; lines starting with
 // ":explain " explain the strategy choice, ":analyze PRED" prints the
@@ -26,7 +31,6 @@ package main
 import (
 	"bufio"
 	"bytes"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +40,7 @@ import (
 	"time"
 
 	"sepdl"
+	"sepdl/internal/errcode"
 )
 
 func main() {
@@ -178,16 +183,20 @@ type queryLimits struct {
 	fallback  bool
 }
 
-// reportQueryError prints a query failure and maps it to an exit code:
-// 3 for an admission-control rejection (the engine is overloaded, the
-// query was never evaluated), 1 for everything else.
+// reportQueryError prints a query failure and maps it to an exit code
+// via the shared internal/errcode taxonomy — the same classes sepdld maps
+// to HTTP statuses, so scripts and load balancers agree on what happened:
+// 3 overloaded/draining (never evaluated; retry elsewhere), 4 deadline,
+// 5 resource budget (tuples/rounds/bytes), 6 internal, 1 everything else.
 func reportQueryError(stderr io.Writer, err error) int {
-	if errors.Is(err, sepdl.ErrOverloaded) {
+	class := errcode.Classify(err)
+	switch class {
+	case errcode.Overload, errcode.Drain:
 		fmt.Fprintln(stderr, "sepdl: overloaded:", err)
-		return 3
+	default:
+		fmt.Fprintln(stderr, "sepdl:", err)
 	}
-	fmt.Fprintln(stderr, "sepdl:", err)
-	return 1
+	return class.ExitCode()
 }
 
 // runParallel fires the same query n times concurrently. Each worker

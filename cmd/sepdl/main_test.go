@@ -163,8 +163,8 @@ func TestREPLWhy(t *testing.T) {
 func TestMaxTuplesFlag(t *testing.T) {
 	_, errOut, code := runCLI(t, "", "-program", rulesPath, "-facts", factsPath,
 		"-max-tuples", "1", "-query", "buys(tom, Y)?")
-	if code != 1 {
-		t.Fatalf("exit = %d, want 1", code)
+	if code != 5 {
+		t.Fatalf("exit = %d, want 5 (resource budget)", code)
 	}
 	if !strings.Contains(errOut, "tuples limit 1 exceeded") {
 		t.Fatalf("stderr = %q, want tuples budget error", errOut)
@@ -181,8 +181,8 @@ func TestTimeoutFlag(t *testing.T) {
 	// 1ns expires before evaluation starts, so the error is deterministic.
 	_, errOut, code := runCLI(t, "", "-program", rulesPath, "-facts", factsPath,
 		"-timeout", "1ns", "-query", "buys(tom, Y)?")
-	if code != 1 {
-		t.Fatalf("exit = %d, want 1", code)
+	if code != 4 {
+		t.Fatalf("exit = %d, want 4 (deadline)", code)
 	}
 	if !strings.Contains(errOut, "deadline") {
 		t.Fatalf("stderr = %q, want deadline error", errOut)
@@ -266,7 +266,7 @@ func TestFallbackFlagReportsStrategy(t *testing.T) {
 	rules, facts := writeChainFixture(t, t.TempDir())
 	_, errOut, code := runCLI(t, "", "-program", rules, "-facts", facts,
 		"-strategy", "magic", "-max-tuples", "12", "-query", "buys(a0, Y)?")
-	if code != 1 || !strings.Contains(errOut, "tuples limit") {
+	if code != 5 || !strings.Contains(errOut, "tuples limit") {
 		t.Fatalf("without -fallback: exit=%d stderr=%q, want budget failure", code, errOut)
 	}
 	out, errOut, code := runCLI(t, "", "-program", rules, "-facts", facts,

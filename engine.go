@@ -82,6 +82,16 @@ type Engine struct {
 	planCacheOff  bool
 	closureBytes  int64
 	closures      *plancache.Closures
+
+	// draining is the runtime drain switch (see Drain); drainCh is closed
+	// on Drain so queries queued at the admission gate wake up and fail
+	// instead of waiting out a slot that will never serve them.
+	draining atomic.Bool
+	drainMu  sync.Mutex
+	drainCh  chan struct{}
+
+	// counters aggregates lifetime totals across all queries; see Stats.
+	counters engineCounters
 }
 
 // progState is one immutable program revision plus its memoized
@@ -238,9 +248,10 @@ func WithClosureCache(maxBytes int64) EngineOption {
 // New returns an empty engine.
 func New(opts ...EngineOption) *Engine {
 	e := &Engine{
-		db:    database.New(),
-		state: newProgState(&ast.Program{}),
-		dbRev: 1,
+		db:      database.New(),
+		state:   newProgState(&ast.Program{}),
+		dbRev:   1,
+		drainCh: make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(e)
@@ -259,6 +270,56 @@ func New(opts ...EngineOption) *Engine {
 // WithMaxConcurrent slots stayed busy for the whole admissible wait.
 var ErrOverloaded = errors.New("sepdl: engine overloaded")
 
+// ErrDraining is the sentinel matched (in addition to ErrOverloaded) by
+// rejections from a draining engine: Drain was called, or the engine was
+// built with a negative WithMaxConcurrent. A draining engine finishes the
+// queries it already admitted and rejects everything new, so callers that
+// see ErrDraining should fail over to another replica rather than retry.
+var ErrDraining = errors.New("sepdl: engine draining")
+
+// ErrInternal is the sentinel wrapped by the panic-recovery boundary: an
+// evaluation strategy panicked and the engine converted the panic into an
+// error instead of crashing the process. It indicates a bug in the engine,
+// not in the caller's program or query.
+var ErrInternal = errors.New("sepdl: internal panic")
+
+// Drain puts the engine in drain mode: queries already admitted run to
+// completion, but every new Query/QueryBatch/Materialize — and any query
+// still queued at the admission gate — fails with an *OverloadError
+// matching both ErrOverloaded and ErrDraining. Writes (AddFact, LoadFacts,
+// LoadProgram) remain allowed. Drain is idempotent and safe to call
+// concurrently with queries; a server uses it on SIGTERM to finish
+// in-flight work while shedding new requests, then exits once InFlight
+// (see Stats) returns to zero.
+func (e *Engine) Drain() {
+	e.drainMu.Lock()
+	defer e.drainMu.Unlock()
+	if e.draining.CompareAndSwap(false, true) {
+		close(e.drainCh)
+	}
+}
+
+// Resume takes the engine back out of drain mode, admitting queries again.
+func (e *Engine) Resume() {
+	e.drainMu.Lock()
+	defer e.drainMu.Unlock()
+	if e.draining.CompareAndSwap(true, false) {
+		e.drainCh = make(chan struct{})
+	}
+}
+
+// Draining reports whether the engine is in drain mode (via Drain; a
+// negative WithMaxConcurrent is a construction-time drain and reports
+// false here but still rejects with ErrDraining).
+func (e *Engine) Draining() bool { return e.draining.Load() }
+
+// drainSignal returns the channel closed by Drain, for admission waits.
+func (e *Engine) drainSignal() <-chan struct{} {
+	e.drainMu.Lock()
+	defer e.drainMu.Unlock()
+	return e.drainCh
+}
+
 // OverloadError reports a query rejected by admission control: how many
 // slots the engine has, how long the query queued, and the context error
 // that ended the wait (nil when the admission wait elapsed or the engine
@@ -271,28 +332,39 @@ type OverloadError struct {
 	Waited time.Duration
 	// Cause is the context error that cut the wait short, if any.
 	Cause error
+	// Draining reports that the rejection came from runtime drain mode
+	// (Drain was called); the error then also matches ErrDraining.
+	Draining bool
 }
 
 // Error renders the rejection with its limit and wait.
 func (e *OverloadError) Error() string {
-	if e.MaxConcurrent < 0 {
+	if e.Draining || e.MaxConcurrent < 0 {
 		return "sepdl: engine overloaded: draining, no queries admitted"
 	}
 	return fmt.Sprintf("sepdl: engine overloaded: no admission slot freed in %v (max %d concurrent)",
 		e.Waited.Round(time.Microsecond), e.MaxConcurrent)
 }
 
-// Unwrap matches ErrOverloaded always, plus the context cause when present.
+// Unwrap matches ErrOverloaded always, ErrDraining for drain rejections,
+// plus the context cause when present.
 func (e *OverloadError) Unwrap() []error {
-	if e.Cause != nil {
-		return []error{ErrOverloaded, e.Cause}
+	errs := []error{ErrOverloaded}
+	if e.Draining || e.MaxConcurrent < 0 {
+		errs = append(errs, ErrDraining)
 	}
-	return []error{ErrOverloaded}
+	if e.Cause != nil {
+		errs = append(errs, e.Cause)
+	}
+	return errs
 }
 
 // admit acquires an admission slot, returning the release func. The
 // returned error is always an *OverloadError.
 func (e *Engine) admit(ctx context.Context) (release func(), err error) {
+	if e.draining.Load() {
+		return nil, &OverloadError{MaxConcurrent: e.maxConcurrent, Draining: true}
+	}
 	if e.maxConcurrent == 0 {
 		return func() {}, nil
 	}
@@ -320,6 +392,10 @@ func (e *Engine) admit(ctx context.Context) (release func(), err error) {
 	select {
 	case e.gate <- struct{}{}:
 		return func() { <-e.gate }, nil
+	case <-e.drainSignal():
+		// Drain flipped while we queued: the slots still busy belong to
+		// queries that will run to completion, but nothing new is admitted.
+		return nil, &OverloadError{MaxConcurrent: e.maxConcurrent, Waited: time.Since(start), Draining: true}
 	case <-expired:
 		return nil, &OverloadError{MaxConcurrent: e.maxConcurrent, Waited: time.Since(start)}
 	case <-ctx.Done():
@@ -682,14 +758,18 @@ func (e *Engine) queryAtom(ctx context.Context, q ast.Atom, query string, cfg qu
 	}
 	release, err := e.admit(ctx)
 	if err != nil {
+		e.counters.admitRejected(err)
 		return nil, err
 	}
 	defer release()
+	e.counters.queries.Add(1)
+	e.counters.inFlight.Add(1)
+	defer e.counters.inFlight.Add(-1)
 	st, db, dbRev := e.snapshot()
 
 	bud := cfg.tracker(ctx)
 	if err := bud.Err(); err != nil {
-		return nil, err // context already expired / canceled
+		return nil, e.counters.evalFailed(err) // context already expired / canceled
 	}
 	c := stats.New()
 	start := time.Now()
@@ -698,11 +778,12 @@ func (e *Engine) queryAtom(ctx context.Context, q ast.Atom, query string, cfg qu
 		// EDB query: answer directly from the base relations.
 		ans, err := eval.Answer(db, q)
 		if err != nil {
-			return nil, err
+			return nil, e.counters.evalFailed(err)
 		}
-		return result(db, q, ans, Stats{Strategy: cfg.strategy, BatchSize: 1, Duration: time.Since(start)}, c), nil
+		return e.counters.evalOK(result(db, q, ans, Stats{Strategy: cfg.strategy, BatchSize: 1, Duration: time.Since(start)}, c)), nil
 	}
 	pl, hit := e.planFor(st, q, cfg)
+	e.counters.planLookup(hit)
 	strategy := pl.strategy
 	bud.SetStrategy(string(strategy))
 	if e.closures != nil {
@@ -724,9 +805,9 @@ func (e *Engine) queryAtom(ctx context.Context, q ast.Atom, query string, cfg qu
 		}
 	}
 	if err != nil {
-		return nil, err
+		return nil, e.counters.evalFailed(err)
 	}
-	return result(db, q, ans, Stats{Strategy: strategy, FallbackFrom: fellFrom, PlanCacheHit: hit, BatchSize: 1, Duration: time.Since(start)}, c), nil
+	return e.counters.evalOK(result(db, q, ans, Stats{Strategy: strategy, FallbackFrom: fellFrom, PlanCacheHit: hit, BatchSize: 1, Duration: time.Since(start)}, c)), nil
 }
 
 // planFor resolves q's compiled plan against st, honoring WithPlanCache:
@@ -767,7 +848,7 @@ func runStrategy(st *progState, db *database.Database, q ast.Atom, query string,
 				err = aerr
 				return
 			}
-			err = fmt.Errorf("sepdl: internal panic evaluating %q with strategy %s: %v", query, strategy, r)
+			err = fmt.Errorf("%w evaluating %q with strategy %s: %v", ErrInternal, query, strategy, r)
 		}
 	}()
 	if testHookEval != nil {

@@ -1,0 +1,147 @@
+package sepdl
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// EngineStats is a snapshot of the engine's lifetime aggregate counters,
+// the observability surface a serving layer exports (sepdld renders these
+// as Prometheus counters under the sepdl_* prefix, one per field, in the
+// order below). All fields except InFlight are monotonic totals since New.
+//
+// Accounting model: one Query/QueryCtx/Prepared.Run is one evaluation;
+// one QueryBatch/RunBatch is also one evaluation (Batches and
+// BatchQueries record the batching). Queries counts evaluations admitted
+// past admission control; QueryErrors the admitted evaluations that
+// returned an error, so Queries - QueryErrors is the number served
+// successfully. Rejections at the admission gate are counted only by
+// Overloads/DrainRejections and never reach Queries.
+type EngineStats struct {
+	// Queries counts evaluations admitted past admission control
+	// (Prometheus: sepdl_queries_total).
+	Queries uint64
+	// QueryErrors counts admitted evaluations that returned any error —
+	// budget aborts, deadline expiry, evaluation failures, internal
+	// panics (sepdl_query_errors_total).
+	QueryErrors uint64
+	// Overloads counts admission rejections, drain rejections included
+	// (sepdl_overloads_total).
+	Overloads uint64
+	// DrainRejections counts the subset of Overloads rejected because the
+	// engine was draining (sepdl_drain_rejections_total).
+	DrainRejections uint64
+	// DeadlineAborts counts evaluations cut off by a wall-clock deadline
+	// or cancellation (sepdl_deadline_aborts_total); BudgetAborts those
+	// cut off by a tuple/round/byte cap (sepdl_budget_aborts_total).
+	// Both are subsets of QueryErrors.
+	DeadlineAborts uint64
+	BudgetAborts   uint64
+	// Fallbacks counts evaluations answered by WithFallback's semi-naive
+	// retry after the compiled strategy hit its budget
+	// (sepdl_fallbacks_total).
+	Fallbacks uint64
+	// PlanCacheHits/Misses count compiled-plan lookups for IDB
+	// evaluations (sepdl_plan_cache_hits_total / _misses_total). With
+	// WithPlanCache(false) every lookup is a miss.
+	PlanCacheHits   uint64
+	PlanCacheMisses uint64
+	// ClosureCacheHits/Misses total the Separable evaluator's per-class
+	// closure cache hits and fills across all evaluations
+	// (sepdl_closure_cache_hits_total / _misses_total).
+	ClosureCacheHits   uint64
+	ClosureCacheMisses uint64
+	// Batches counts QueryBatch/RunBatch evaluations; BatchQueries their
+	// total elements (sepdl_batches_total, sepdl_batch_queries_total).
+	Batches      uint64
+	BatchQueries uint64
+	// InFlight is the number of admitted evaluations currently running —
+	// a gauge (sepdl_inflight_queries). It returns to zero when the
+	// engine is idle; chaos tests assert on that to prove aborted and
+	// disconnected queries release their admission slots.
+	InFlight int64
+}
+
+// engineCounters is the engine's internal atomic mirror of EngineStats.
+type engineCounters struct {
+	queries         atomic.Uint64
+	queryErrors     atomic.Uint64
+	overloads       atomic.Uint64
+	drainRejections atomic.Uint64
+	deadlineAborts  atomic.Uint64
+	budgetAborts    atomic.Uint64
+	fallbacks       atomic.Uint64
+	planHits        atomic.Uint64
+	planMisses      atomic.Uint64
+	closureHits     atomic.Uint64
+	closureMisses   atomic.Uint64
+	batches         atomic.Uint64
+	batchQueries    atomic.Uint64
+	inFlight        atomic.Int64
+}
+
+// admitRejected records an admission-gate rejection.
+func (c *engineCounters) admitRejected(err error) {
+	c.overloads.Add(1)
+	if errors.Is(err, ErrDraining) {
+		c.drainRejections.Add(1)
+	}
+}
+
+// planLookup records one compiled-plan cache lookup.
+func (c *engineCounters) planLookup(hit bool) {
+	if hit {
+		c.planHits.Add(1)
+	} else {
+		c.planMisses.Add(1)
+	}
+}
+
+// evalFailed classifies and records a failed evaluation, returning err so
+// call sites stay one-line.
+func (c *engineCounters) evalFailed(err error) error {
+	c.queryErrors.Add(1)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		c.deadlineAborts.Add(1)
+	case errors.Is(err, ErrBudgetExceeded):
+		c.budgetAborts.Add(1)
+	}
+	return err
+}
+
+// evalOK records a successful evaluation's cache and fallback outcome,
+// returning res so call sites stay one-line.
+func (c *engineCounters) evalOK(res *Result) *Result {
+	if res.Stats.FallbackFrom != "" {
+		c.fallbacks.Add(1)
+	}
+	c.closureHits.Add(uint64(res.Stats.ClosureCacheHits))
+	c.closureMisses.Add(uint64(res.Stats.ClosureCacheMisses))
+	return res
+}
+
+// Stats returns a snapshot of the engine's aggregate counters. It is safe
+// to call at any time, including concurrently with queries; the fields are
+// read individually, so a snapshot taken mid-query may be off by the
+// queries in flight but every counter is individually exact.
+func (e *Engine) Stats() EngineStats {
+	c := &e.counters
+	return EngineStats{
+		Queries:            c.queries.Load(),
+		QueryErrors:        c.queryErrors.Load(),
+		Overloads:          c.overloads.Load(),
+		DrainRejections:    c.drainRejections.Load(),
+		DeadlineAborts:     c.deadlineAborts.Load(),
+		BudgetAborts:       c.budgetAborts.Load(),
+		Fallbacks:          c.fallbacks.Load(),
+		PlanCacheHits:      c.planHits.Load(),
+		PlanCacheMisses:    c.planMisses.Load(),
+		ClosureCacheHits:   c.closureHits.Load(),
+		ClosureCacheMisses: c.closureMisses.Load(),
+		Batches:            c.batches.Load(),
+		BatchQueries:       c.batchQueries.Load(),
+		InFlight:           c.inFlight.Load(),
+	}
+}

@@ -1,0 +1,308 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sepdl"
+	"sepdl/internal/database"
+	"sepdl/internal/datagen"
+	"sepdl/internal/server"
+)
+
+// The serve benchmark measures sepdld's serving layer end to end — real
+// TCP, real HTTP, JSON both ways — in three regimes: cold (per-query
+// compile, no cache help), warm (plan and closure caches hot), and
+// overloaded (an engine with two admission slots flooded by many clients,
+// where the interesting numbers are how much is shed, how often clients
+// retry, and what latency the survivors see).
+
+// ServeConfig sizes the workload.
+type ServeConfig struct {
+	// Size is the chain length of the path/edge database.
+	Size int
+	// Seeds is how many distinct query constants rotate through requests
+	// (distinct compiled plans and closure starts).
+	Seeds int
+	// Requests is the per-regime request count; Clients the concurrent
+	// client goroutines in the cold and warm regimes. The overloaded
+	// regime always floods with FloodClients.
+	Requests int
+	Clients  int
+}
+
+// FloodClients is the client count for the overloaded regime — far more
+// than the two admission slots the regime's engine offers.
+const FloodClients = 16
+
+// maxAttempts bounds one request's retry loop in the overloaded regime —
+// generous, because losing a request to bounded retries would turn a
+// latency benchmark into a flake: under full saturation a request can
+// wait through many shed/backoff cycles before its turn.
+const maxAttempts = 1000
+
+// ServePoint is one regime's measurement.
+type ServePoint struct {
+	Regime   string `json:"regime"` // "cold", "warm", "overloaded"
+	Requests int    `json:"requests"`
+	Clients  int    `json:"clients"`
+	// OK counts requests that eventually succeeded; Sheds counts 503
+	// responses (each followed by an honoured Retry-After backoff);
+	// Retries counts re-attempts after a shed.
+	OK      int `json:"ok"`
+	Sheds   int `json:"sheds"`
+	Retries int `json:"retries"`
+	// P50Ns and P99Ns are per-request latency percentiles over successful
+	// attempts (backoff sleeps excluded — they are the client's choice).
+	P50Ns int64  `json:"p50_ns"`
+	P99Ns int64  `json:"p99_ns"`
+	Err   string `json:"err,omitempty"`
+}
+
+// ServeReport is the artifact make bench writes to BENCH_serve.json.
+type ServeReport struct {
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	Size       int          `json:"size"`
+	Seeds      int          `json:"seeds"`
+	Points     []ServePoint `json:"points"`
+}
+
+// JSON renders the report with stable indentation for diffing.
+func (r ServeReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Failed reports whether any regime errored or lost requests.
+func (r ServeReport) Failed() bool {
+	for _, p := range r.Points {
+		if p.Err != "" || p.OK != p.Requests {
+			return true
+		}
+	}
+	return false
+}
+
+// RunServe measures the three regimes over the same database.
+func RunServe(cfg ServeConfig) ServeReport {
+	rep := ServeReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		Size: cfg.Size, Seeds: cfg.Seeds,
+	}
+	prog := `
+path(X, Y) :- e(X, W) & path(W, Y).
+path(X, Y) :- e(X, Y).
+`
+	db := database.New()
+	datagen.Chain(db, "e", "v", cfg.Size)
+	queries := make([]string, cfg.Seeds)
+	for i := range queries {
+		queries[i] = fmt.Sprintf(`{"query": "path(%s, Y)?"}`, datagen.Name("v", 1+i*(cfg.Size/2)/cfg.Seeds))
+	}
+	// The overloaded regime floods with ground full-closure queries: the
+	// forced semi-naive fixpoint derives the whole path relation inside the
+	// admission slot and the answer is one boolean, so the flooding clients
+	// genuinely contend for the two slots instead of spending their wall
+	// time marshalling result rows outside the gate.
+	groundQueries := make([]string, cfg.Seeds)
+	for i := range groundQueries {
+		groundQueries[i] = fmt.Sprintf(`{"query": "path(%s, %s)?", "strategy": "seminaive"}`,
+			datagen.Name("v", 1+i*(cfg.Size/2)/cfg.Seeds), datagen.Name("v", cfg.Size))
+	}
+
+	cold := serveRegime{
+		name: "cold", requests: cfg.Requests, clients: cfg.Clients,
+		engineOpts: []sepdl.EngineOption{sepdl.WithPlanCache(false), sepdl.WithClosureCache(-1)},
+	}
+	warm := serveRegime{
+		name: "warm", requests: cfg.Requests, clients: cfg.Clients, warmup: true,
+	}
+	overloaded := serveRegime{
+		// Cache-cold like the cold regime, so each evaluation holds its
+		// admission slot long enough for the two slots to saturate under
+		// sixteen clients — the regime measures shedding, not cache luck.
+		name: "overloaded", requests: cfg.Requests, clients: FloodClients,
+		engineOpts: []sepdl.EngineOption{
+			sepdl.WithPlanCache(false), sepdl.WithClosureCache(-1),
+			sepdl.WithMaxConcurrent(2), sepdl.WithAdmissionWait(time.Millisecond),
+		},
+		// The hint is short enough to keep the benchmark moving but long
+		// enough that retry traffic does not itself become the overload:
+		// clients honour it, so the shed/backoff cycle is measured.
+		retryAfter: 50 * time.Millisecond,
+	}
+	rep.Points = append(rep.Points, cold.run(prog, db, queries))
+	rep.Points = append(rep.Points, warm.run(prog, db, queries))
+	rep.Points = append(rep.Points, overloaded.run(prog, db, groundQueries))
+	return rep
+}
+
+// serveRegime is one named server + workload configuration.
+type serveRegime struct {
+	name       string
+	requests   int
+	clients    int
+	warmup     bool
+	engineOpts []sepdl.EngineOption
+	retryAfter time.Duration
+}
+
+// run boots an in-process server on a real listener, drives the workload,
+// and tears everything down.
+func (g serveRegime) run(progText string, db *database.Database, queries []string) ServePoint {
+	pt := ServePoint{Regime: g.name, Requests: g.requests, Clients: g.clients}
+
+	eng, err := loadEngine(progText, db, g.engineOpts...)
+	if err != nil {
+		pt.Err = err.Error()
+		return pt
+	}
+	srv := server.New(eng, server.Config{RetryAfter: g.retryAfter})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		pt.Err = err.Error()
+		return pt
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns: g.clients * 2, MaxIdleConnsPerHost: g.clients * 2,
+	}}
+	defer client.CloseIdleConnections()
+
+	if g.warmup {
+		for _, q := range queries {
+			if _, _, err := postOnce(client, base, q); err != nil {
+				pt.Err = "warmup: " + err.Error()
+				return pt
+			}
+		}
+	}
+
+	// Workers pull request indices from one channel; each request retries
+	// on 503, honouring the Retry-After hint.
+	work := make(chan int)
+	var (
+		mu        sync.Mutex
+		latencies []int64
+		firstErr  error
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < g.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lats []int64
+			oks, sheds, retries := 0, 0, 0
+			for i := range work {
+				q := queries[i%len(queries)]
+				var reqErr error
+				for attempt := 0; attempt < maxAttempts; attempt++ {
+					if attempt > 0 {
+						retries++
+					}
+					start := time.Now()
+					status, retryIn, err := postOnce(client, base, q)
+					if err != nil {
+						reqErr = err
+						break
+					}
+					if status == http.StatusServiceUnavailable {
+						sheds++
+						time.Sleep(retryIn)
+						reqErr = fmt.Errorf("request shed %d times", attempt+1)
+						continue
+					}
+					if status != http.StatusOK {
+						reqErr = fmt.Errorf("status %d", status)
+						break
+					}
+					lats = append(lats, time.Since(start).Nanoseconds())
+					oks++
+					reqErr = nil
+					break
+				}
+				if reqErr != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = reqErr
+					}
+					mu.Unlock()
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, lats...)
+			pt.OK += oks
+			pt.Sheds += sheds
+			pt.Retries += retries
+			mu.Unlock()
+		}()
+	}
+	for i := 0; i < g.requests; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	if firstErr != nil {
+		pt.Err = firstErr.Error()
+	}
+	pt.P50Ns, pt.P99Ns = percentiles(latencies)
+	return pt
+}
+
+// postOnce sends one request body and reports the status plus the
+// server's backoff hint. The hint comes from the error document's
+// retry_after_ms (millisecond precision; the Retry-After header is
+// rounded up to whole seconds), floored at 1ms so a retry loop can never
+// spin.
+func postOnce(client *http.Client, base, body string) (status int, retryIn time.Duration, err error) {
+	resp, err := client.Post(base+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	retryIn = time.Millisecond
+	if resp.StatusCode != http.StatusOK {
+		var doc struct {
+			Error struct {
+				RetryAfterMS int64 `json:"retry_after_ms"`
+			} `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&doc) == nil && doc.Error.RetryAfterMS > 0 {
+			retryIn = time.Duration(doc.Error.RetryAfterMS) * time.Millisecond
+		}
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return 0, 0, err
+	}
+	return resp.StatusCode, retryIn, nil
+}
+
+// percentiles returns the p50 and p99 of ns (zero for an empty slice).
+func percentiles(ns []int64) (p50, p99 int64) {
+	if len(ns) == 0 {
+		return 0, 0
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	idx := func(p int) int64 {
+		i := len(ns) * p / 100
+		if i >= len(ns) {
+			i = len(ns) - 1
+		}
+		return ns[i]
+	}
+	return idx(50), idx(99)
+}

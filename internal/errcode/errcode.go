@@ -1,0 +1,114 @@
+// Package errcode is the single source of truth for how engine errors map
+// onto process exit codes (the sepdl CLI) and HTTP status codes (the
+// sepdld server). Both front ends consult this table, so a script that
+// shells out to sepdl and a client that speaks HTTP observe the same
+// failure taxonomy:
+//
+//	class        condition                                  exit  HTTP
+//	ok           no error                                    0    200
+//	bad_request  parse/validation/unknown-strategy errors    1    400
+//	check        static-analysis diagnostics (strict mode)   1    422
+//	overload     admission rejection (slots stayed busy)     3    503 + Retry-After
+//	drain        draining engine sheds the query             3    503 + Retry-After
+//	deadline     wall-clock deadline expired / canceled      4    408
+//	resource     tuple/round/byte budget cap exhausted       5    429
+//	internal     recovered evaluation panic                  6    500
+//
+// Exit code 2 stays reserved for command-line usage errors, as the flag
+// package convention; it never comes from Classify. The mapping is pinned
+// by a table test; changing it is a compatibility break for both surfaces.
+package errcode
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"sepdl"
+	"sepdl/internal/diag"
+)
+
+// Class is one row of the error taxonomy shared by the CLI and the server.
+type Class string
+
+// The classes, most specific first (the order Classify tests them in).
+const (
+	OK         Class = "ok"
+	Drain      Class = "drain"
+	Overload   Class = "overload"
+	Deadline   Class = "deadline"
+	Resource   Class = "resource"
+	Internal   Class = "internal"
+	Check      Class = "check"
+	BadRequest Class = "bad_request"
+)
+
+// Classify maps an error from the engine (Query, QueryBatch, Prepare,
+// LoadProgram, LoadFacts) to its class. Order matters: a drain rejection
+// also matches ErrOverloaded, and a deadline cutoff also matches
+// ErrBudgetExceeded, so the more specific class is tested first.
+func Classify(err error) Class {
+	var diags diag.List
+	switch {
+	case err == nil:
+		return OK
+	case errors.Is(err, sepdl.ErrDraining):
+		return Drain
+	case errors.Is(err, sepdl.ErrOverloaded):
+		return Overload
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return Deadline
+	case errors.Is(err, sepdl.ErrBudgetExceeded):
+		return Resource
+	case errors.Is(err, sepdl.ErrInternal):
+		return Internal
+	case errors.As(err, &diags):
+		return Check
+	default:
+		return BadRequest
+	}
+}
+
+// ExitCode is the process exit status the sepdl CLI uses for the class.
+func (c Class) ExitCode() int {
+	switch c {
+	case OK:
+		return 0
+	case Overload, Drain:
+		return 3
+	case Deadline:
+		return 4
+	case Resource:
+		return 5
+	case Internal:
+		return 6
+	default: // BadRequest, Check
+		return 1
+	}
+}
+
+// HTTPStatus is the response status the sepdld server uses for the class.
+func (c Class) HTTPStatus() int {
+	switch c {
+	case OK:
+		return http.StatusOK
+	case Overload, Drain:
+		return http.StatusServiceUnavailable
+	case Deadline:
+		return http.StatusRequestTimeout
+	case Resource:
+		return http.StatusTooManyRequests
+	case Internal:
+		return http.StatusInternalServerError
+	case Check:
+		return http.StatusUnprocessableEntity
+	default: // BadRequest
+		return http.StatusBadRequest
+	}
+}
+
+// Retryable reports whether a client should retry the same request against
+// the same server after backing off: true only for overload shedding
+// (which 503s carry a Retry-After hint for). Drain rejections are not
+// retryable here — the server is going away; fail over to a replica.
+func (c Class) Retryable() bool { return c == Overload }

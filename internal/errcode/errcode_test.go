@@ -1,0 +1,105 @@
+package errcode
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"sepdl"
+	"sepdl/internal/diag"
+)
+
+// TestMapping pins the shared CLI-exit / HTTP-status table. Every row uses
+// a realistically constructed error (the exact types the engine returns),
+// so a change to the engine's error wrapping that breaks the taxonomy
+// fails here, not in production. Changing any expectation below is a
+// compatibility break for scripts (exit codes) and HTTP clients alike.
+func TestMapping(t *testing.T) {
+	cases := []struct {
+		name  string
+		err   error
+		class Class
+		exit  int
+		http  int
+	}{
+		{"nil", nil, OK, 0, http.StatusOK},
+		{"parse error", errors.New("sepdl: parse: unexpected token"), BadRequest, 1, http.StatusBadRequest},
+		{"unknown strategy", fmt.Errorf("%w: %q", sepdl.ErrUnknownStrategy, "bogus"), BadRequest, 1, http.StatusBadRequest},
+		{"check diagnostics", diag.List{{Code: "SEP020", Severity: diag.Warning, Message: "singleton variable"}}, Check, 1, http.StatusUnprocessableEntity},
+		{"overload, slots busy", &sepdl.OverloadError{MaxConcurrent: 4}, Overload, 3, http.StatusServiceUnavailable},
+		{"overload, wait cut by deadline", &sepdl.OverloadError{MaxConcurrent: 4, Cause: context.DeadlineExceeded}, Overload, 3, http.StatusServiceUnavailable},
+		{"drain via Drain()", &sepdl.OverloadError{MaxConcurrent: 4, Draining: true}, Drain, 3, http.StatusServiceUnavailable},
+		{"drain via negative concurrency", &sepdl.OverloadError{MaxConcurrent: -1}, Drain, 3, http.StatusServiceUnavailable},
+		{"deadline expired", &sepdl.ResourceError{Limit: sepdl.LimitDeadline, Cause: context.DeadlineExceeded}, Deadline, 4, http.StatusRequestTimeout},
+		{"canceled", &sepdl.ResourceError{Limit: sepdl.LimitCanceled, Cause: context.Canceled}, Deadline, 4, http.StatusRequestTimeout},
+		{"tuple cap", &sepdl.ResourceError{Limit: sepdl.LimitTuples, Consumed: 11, Max: 10}, Resource, 5, http.StatusTooManyRequests},
+		{"round cap", &sepdl.ResourceError{Limit: sepdl.LimitRounds, Consumed: 3, Max: 2}, Resource, 5, http.StatusTooManyRequests},
+		{"byte cap", &sepdl.ResourceError{Limit: sepdl.LimitBytes, Consumed: 2048, Max: 1024}, Resource, 5, http.StatusTooManyRequests},
+		{"internal panic", fmt.Errorf("%w evaluating %q with strategy %s: boom", sepdl.ErrInternal, "q(X)?", "seminaive"), Internal, 6, http.StatusInternalServerError},
+		{"wrapped overload", fmt.Errorf("context: %w", &sepdl.OverloadError{MaxConcurrent: 1}), Overload, 3, http.StatusServiceUnavailable},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Classify(tc.err)
+			if c != tc.class {
+				t.Fatalf("Classify = %q, want %q", c, tc.class)
+			}
+			if got := c.ExitCode(); got != tc.exit {
+				t.Errorf("ExitCode = %d, want %d", got, tc.exit)
+			}
+			if got := c.HTTPStatus(); got != tc.http {
+				t.Errorf("HTTPStatus = %d, want %d", got, tc.http)
+			}
+		})
+	}
+}
+
+// TestClassifyLiveEngineErrors runs the three headline failure modes
+// through a real engine and asserts they land in the pinned classes, so
+// the table test above cannot drift from what the engine actually returns.
+func TestClassifyLiveEngineErrors(t *testing.T) {
+	e := sepdl.New()
+	if err := e.LoadProgram("path(X, Y) :- e(X, W) & path(W, Y).\npath(X, Y) :- e(X, Y).\n"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := e.AddFact("e", fmt.Sprintf("v%d", i), fmt.Sprintf("v%d", i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, err := e.Query("path(v0, Y)?", sepdl.WithBudget(sepdl.Budget{MaxTuples: 3}))
+	if got := Classify(err); got != Resource {
+		t.Fatalf("tuple-cap abort classified %q, want %q (err: %v)", got, Resource, err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = e.QueryCtx(ctx, "path(v0, Y)?")
+	if got := Classify(err); got != Deadline {
+		t.Fatalf("canceled query classified %q, want %q (err: %v)", got, Deadline, err)
+	}
+
+	e.Drain()
+	_, err = e.Query("path(v0, Y)?")
+	if got := Classify(err); got != Drain {
+		t.Fatalf("drain rejection classified %q, want %q (err: %v)", got, Drain, err)
+	}
+	e.Resume()
+	if _, err := e.Query("path(v0, Y)?"); err != nil {
+		t.Fatalf("query after Resume: %v", err)
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	if !Overload.Retryable() {
+		t.Error("Overload must be retryable")
+	}
+	for _, c := range []Class{OK, Drain, Deadline, Resource, Internal, Check, BadRequest} {
+		if c.Retryable() {
+			t.Errorf("%s must not be retryable", c)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package faultinject
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestDribbleDeliversEverythingSlowly(t *testing.T) {
+	data := []byte("hello, slow world")
+	start := time.Now()
+	got, err := io.ReadAll(Dribble(data, 4, 10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("read %q, want %q", got, data)
+	}
+	// 17 bytes at 4/chunk = 5 chunks, 4 inter-chunk delays.
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("dribble finished in %v, want >= 40ms of pacing", elapsed)
+	}
+}
+
+func TestBreakAfterFailsMidBody(t *testing.T) {
+	r := BreakAfter([]byte(`{"query": "p(X)?"}`), 5, nil)
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != `{"que` {
+		t.Fatalf("prefix = %q", buf)
+	}
+	if _, err := r.Read(buf); !errors.Is(err, ErrNetFault) {
+		t.Fatalf("after break: err = %v, want ErrNetFault", err)
+	}
+	// A JSON decoder over the broken stream must fail, not hang.
+	var v map[string]any
+	if err := json.NewDecoder(BreakAfter([]byte(`{"query": "p(X)?"}`), 7, nil)).Decode(&v); err == nil {
+		t.Fatal("decode of broken body succeeded")
+	}
+}
+
+func TestStallWriterBlocksThenReleases(t *testing.T) {
+	w := NewStallWriter(4)
+	if n, err := w.Write([]byte("abcd")); n != 4 || err != nil {
+		t.Fatalf("within allowance: %d, %v", n, err)
+	}
+	done := make(chan struct{})
+	go func() {
+		w.Write([]byte("more"))
+		close(done)
+	}()
+	select {
+	case <-w.Stalled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer never stalled")
+	}
+	select {
+	case <-done:
+		t.Fatal("stalled write returned before Release")
+	case <-time.After(20 * time.Millisecond):
+	}
+	w.Release()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Release did not unblock the write")
+	}
+}
+
+func TestMalformedJSONCorpusAllInvalid(t *testing.T) {
+	for i, body := range MalformedJSON() {
+		var v struct {
+			Query      string `json:"query"`
+			DeadlineMS int64  `json:"deadline_ms"`
+		}
+		if err := json.Unmarshal(body, &v); err == nil {
+			t.Errorf("corpus[%d] (%.40q) unmarshals cleanly into a request struct", i, body)
+		}
+	}
+}

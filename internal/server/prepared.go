@@ -1,0 +1,150 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"sepdl"
+)
+
+// preparedReg is the server-side registry of prepared-query handles. A
+// handle is compiled once (warming the engine's plan cache) and executed
+// many times by id; because clients crash and leak, every handle carries
+// an idle TTL and a background reaper closes the ones nobody executes —
+// a bounded registry is what keeps prepare-and-vanish clients from
+// growing server state without limit. Ids carry a random suffix so one
+// client cannot guess (and close or ride on) another's handle.
+type preparedReg struct {
+	ttl time.Duration
+	max int
+	now func() time.Time
+
+	mu     sync.Mutex
+	m      map[string]*preparedEntry
+	nextID uint64
+	reaped uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+type preparedEntry struct {
+	p        *sepdl.Prepared
+	form     string
+	lastUsed time.Time
+}
+
+// reapInterval is how often the reaper scans for idle handles; expiry
+// precision is ttl + one interval in the worst case.
+const reapInterval = 15 * time.Second
+
+func newPreparedReg(ttl time.Duration, max int, now func() time.Time) *preparedReg {
+	r := &preparedReg{
+		ttl: ttl, max: max, now: now,
+		m:    make(map[string]*preparedEntry),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	interval := reapInterval
+	if ttl > 0 && ttl < interval {
+		interval = ttl
+	}
+	if ttl > 0 {
+		go r.reapLoop(interval)
+	} else {
+		close(r.done) // no reaper to wait for
+	}
+	return r
+}
+
+// add registers p and returns its handle id, failing when the registry is
+// at capacity (the caller maps that to 429).
+func (r *preparedReg) add(p *sepdl.Prepared, form string) (string, error) {
+	var suffix [4]byte
+	rand.Read(suffix[:])
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.m) >= r.max {
+		return "", fmt.Errorf("prepared-handle limit reached (%d live); close handles or retry after the idle reaper runs", r.max)
+	}
+	r.nextID++
+	id := fmt.Sprintf("p%d-%s", r.nextID, hex.EncodeToString(suffix[:]))
+	r.m[id] = &preparedEntry{p: p, form: form, lastUsed: r.now()}
+	return id, nil
+}
+
+// get resolves a handle and marks it used, resetting its idle clock.
+func (r *preparedReg) get(id string) (*sepdl.Prepared, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.m[id]
+	if !ok {
+		return nil, false
+	}
+	e.lastUsed = r.now()
+	return e.p, true
+}
+
+// close removes a handle, reporting whether it existed.
+func (r *preparedReg) close(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.m[id]
+	delete(r.m, id)
+	return ok
+}
+
+func (r *preparedReg) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.m)
+}
+
+// reapedCount reports how many handles the reaper has expired.
+func (r *preparedReg) reapedCount() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reaped
+}
+
+// reapLoop expires idle handles until shutdown.
+func (r *preparedReg) reapLoop(interval time.Duration) {
+	defer close(r.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			r.reap()
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// reap removes every handle idle past the TTL, returning how many.
+func (r *preparedReg) reap() int {
+	cutoff := r.now().Add(-r.ttl)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for id, e := range r.m {
+		if e.lastUsed.Before(cutoff) {
+			delete(r.m, id)
+			n++
+		}
+	}
+	r.reaped += uint64(n)
+	return n
+}
+
+// shutdown stops the reaper goroutine and waits for it to exit, so tests
+// running under leakcheck see the registry leave nothing behind.
+func (r *preparedReg) shutdown() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+}

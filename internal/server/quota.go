@@ -1,0 +1,100 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// quotas is a per-client token-bucket limiter: rate tokens/second refill
+// up to burst, one token per request. It exists to shed a hostile or
+// buggy client before it ever reaches the engine's admission gate, so one
+// tenant flooding the server cannot starve the rest out of admission
+// slots. Implemented by hand (lazy refill on access, no timers, no
+// background goroutine) so the serving layer adds no dependencies and
+// leaks nothing.
+type quotas struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time
+
+	mu        sync.Mutex
+	m         map[string]*bucket
+	lastSweep time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// sweepLimit is the bucket count that triggers dropping refilled-idle
+// buckets, bounding memory against clients that never return (or an
+// attacker cycling client keys).
+const sweepLimit = 4096
+
+// newQuotas returns nil when rps <= 0 (quotas disabled).
+func newQuotas(rps float64, burst int, now func() time.Time) *quotas {
+	if rps <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &quotas{rate: rps, burst: b, now: now, m: make(map[string]*bucket)}
+}
+
+// allow takes one token from client's bucket. When the bucket is empty it
+// reports how long until the next token accrues, the Retry-After the 429
+// response carries.
+func (q *quotas) allow(client string) (ok bool, retryIn time.Duration) {
+	now := q.now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.m[client]
+	if b == nil {
+		if len(q.m) >= sweepLimit {
+			q.sweepLocked(now)
+		}
+		b = &bucket{tokens: q.burst, last: now}
+		q.m[client] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / q.rate // seconds until one whole token
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// sweepLocked drops buckets that have fully refilled — a client absent
+// long enough to be back at burst is indistinguishable from a new one, so
+// its bucket carries no information. Runs at most once per second.
+func (q *quotas) sweepLocked(now time.Time) {
+	if now.Sub(q.lastSweep) < time.Second {
+		return
+	}
+	q.lastSweep = now
+	idle := time.Duration(q.burst / q.rate * float64(time.Second))
+	for k, b := range q.m {
+		if now.Sub(b.last) >= idle {
+			delete(q.m, k)
+		}
+	}
+}
+
+// len reports the live bucket count (for tests and metrics).
+func (q *quotas) len() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.m)
+}

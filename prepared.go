@@ -145,14 +145,20 @@ func (e *Engine) queryBatch(ctx context.Context, qs []ast.Atom, cfg queryConfig)
 	}
 	release, err := e.admit(ctx)
 	if err != nil {
+		e.counters.admitRejected(err)
 		return nil, err
 	}
 	defer release()
+	e.counters.queries.Add(1)
+	e.counters.batches.Add(1)
+	e.counters.batchQueries.Add(uint64(len(qs)))
+	e.counters.inFlight.Add(1)
+	defer e.counters.inFlight.Add(-1)
 	st, db, dbRev := e.snapshot()
 
 	bud := cfg.tracker(ctx)
 	if err := bud.Err(); err != nil {
-		return nil, err
+		return nil, e.counters.evalFailed(err)
 	}
 	c := stats.New()
 	start := time.Now()
@@ -172,7 +178,7 @@ func (e *Engine) queryBatch(ctx context.Context, qs []ast.Atom, cfg queryConfig)
 		for i, q := range qs {
 			ans, err := eval.Answer(db, q)
 			if err != nil {
-				return nil, err
+				return nil, e.counters.evalFailed(err)
 			}
 			anss[i] = ans
 		}
@@ -180,6 +186,7 @@ func (e *Engine) queryBatch(ctx context.Context, qs []ast.Atom, cfg queryConfig)
 	}
 
 	pl, hit := e.planFor(st, qs[0], cfg)
+	e.counters.planLookup(hit)
 	strategy := pl.strategy
 	bud.SetStrategy(string(strategy))
 	if e.closures != nil {
@@ -201,9 +208,15 @@ func (e *Engine) queryBatch(ctx context.Context, qs []ast.Atom, cfg queryConfig)
 		}
 	}
 	if err != nil {
-		return nil, err
+		return nil, e.counters.evalFailed(err)
 	}
-	return results(strategy, fellFrom, hit, anss, c), nil
+	out := results(strategy, fellFrom, hit, anss, c)
+	if len(out) > 0 {
+		// Every batch element reports the whole batch's work; record the
+		// shared evaluation's outcome once.
+		e.counters.evalOK(out[0])
+	}
+	return out, nil
 }
 
 // runStrategyBatch dispatches one batched evaluation attempt, with the
@@ -219,7 +232,7 @@ func runStrategyBatch(st *progState, db *database.Database, qs []ast.Atom, pl *p
 				err = aerr
 				return
 			}
-			err = fmt.Errorf("sepdl: internal panic batch-evaluating %q (%d seeds) with strategy %s: %v", qs[0].Pred, len(qs), strategy, r)
+			err = fmt.Errorf("%w batch-evaluating %q (%d seeds) with strategy %s: %v", ErrInternal, qs[0].Pred, len(qs), strategy, r)
 		}
 	}()
 	if testHookEval != nil {
