@@ -1,6 +1,6 @@
 # Tier-1 verify: everything a change must keep green (see ROADMAP.md).
 # For deeper concurrency soak-testing beyond tier-1, run `make stress`.
-.PHONY: verify vet build test bench stress fuzz lint serve-smoke
+.PHONY: verify vet build test bench stress fuzz lint serve-smoke crash-smoke
 
 verify: vet build test
 
@@ -24,12 +24,22 @@ bench:
 	go run ./cmd/sepbench -parallel-bench -parallelism 4 -json BENCH_parallel.json
 	go run ./cmd/sepbench -cache-bench -json BENCH_plancache.json
 	go run ./cmd/sepbench -serve-bench -json BENCH_serve.json
+	go run ./cmd/sepbench -wal-bench -json BENCH_wal.json
 
 # serve-smoke boots a real sepdld process, answers a query and a prepared
 # batch over HTTP, SIGTERMs it mid-load, and asserts 503 + Retry-After
 # shedding during the drain window plus a clean exit 0.
 serve-smoke:
 	go run ./cmd/servesmoke
+
+# crash-smoke runs the kill-loop durability harness: a child process
+# ingests facts into a write-ahead-logged engine, gets SIGKILLed at a
+# different point each cycle, and the reopened database must contain
+# every acknowledged fact, exactly a prefix of the ingest order, and
+# answer queries identically to an in-RAM oracle under all nine
+# evaluation strategies.
+crash-smoke:
+	go run ./cmd/crashsmoke -iterations 8 -facts 200 -v
 
 # stress repeats the concurrent-serving tests under the race detector and
 # replays the parser fuzz seed corpus. It is slower than tier-1 and meant

@@ -18,7 +18,8 @@ import (
 )
 
 // defaultDirs are the packages whose loops materialize tuples: the
-// bottom-up evaluators and every strategy implementation.
+// bottom-up evaluators, every strategy implementation, and the durable
+// store (whose replay loops are evaluation-shaped work over the log).
 var defaultDirs = []string{
 	"internal/eval",
 	"internal/core",
@@ -29,6 +30,7 @@ var defaultDirs = []string{
 	"internal/aho",
 	"internal/expand",
 	"internal/adorn",
+	"internal/wal",
 }
 
 func main() {

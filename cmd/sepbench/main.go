@@ -38,12 +38,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parBench   = fs.Bool("parallel-bench", false, "run the parallel-vs-sequential regression benchmark instead of the experiments")
 		cacheBench = fs.Bool("cache-bench", false, "run the plan/closure-cache regression benchmark (cold vs warm vs batched) instead of the experiments")
 		serveBench = fs.Bool("serve-bench", false, "run the sepdld serving-layer load benchmark (cold vs warm vs overloaded over HTTP) instead of the experiments")
-		jsonPath   = fs.String("json", "", "with -parallel-bench, -cache-bench, or -serve-bench: also write the report as JSON to this path")
+		walBench   = fs.Bool("wal-bench", false, "run the durability benchmark (in-RAM vs WAL fsync modes, plus recovery cost) instead of the experiments")
+		jsonPath   = fs.String("json", "", "with -parallel-bench, -cache-bench, -serve-bench, or -wal-bench: also write the report as JSON to this path")
 		sizes      = fs.String("sizes", "16,32,48", "with -parallel-bench or -cache-bench: comma-separated problem sizes")
 		classes    = fs.Int("classes", 4, "with -parallel-bench: equivalence classes in the separable query family")
 		par        = fs.Int("parallelism", 0, "with -parallel-bench: worker count for the parallel runs (0 = GOMAXPROCS)")
 		seeds      = fs.Int("seeds", 8, "with -cache-bench or -serve-bench: distinct query constants per point")
 		size       = fs.Int("size", 400, "with -serve-bench: chain length of the served database")
+		walFacts   = fs.Int("wal-facts", 2000, "with -wal-bench: facts ingested per storage mode")
+		walCkpt    = fs.Int64("wal-ckpt-bytes", 16<<10, "with -wal-bench: checkpoint threshold for the wal-ckpt mode")
 		requests   = fs.Int("requests", 200, "with -serve-bench: requests per regime")
 		clients    = fs.Int("clients", 4, "with -serve-bench: concurrent clients in the cold and warm regimes")
 	)
@@ -56,6 +59,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *serveBench {
 		return runServeBench(*size, *seeds, *requests, *clients, *jsonPath, stdout, stderr)
+	}
+	if *walBench {
+		return runWALBench(*walFacts, *walCkpt, *jsonPath, stdout, stderr)
 	}
 	if *cacheBench {
 		cacheSizes := *sizes
@@ -200,6 +206,50 @@ func runServeBench(size, seeds, requests, clients int, jsonPath string, stdout, 
 	}
 	if rep.Failed() {
 		fmt.Fprintln(stderr, "sepbench: serve benchmark lost requests or errored")
+		return 1
+	}
+	return 0
+}
+
+// runWALBench runs the durability harness and renders a table (plus
+// optional JSON artifact, the BENCH_wal.json that make bench commits to
+// the repository root). The exit code is 1 when any mode errored or a
+// recovered store answered the probe query differently from the in-RAM
+// baseline; append latencies and recovery times are reported but never
+// fail the run (timing is environment-dependent).
+func runWALBench(facts int, ckptBytes int64, jsonPath string, stdout, stderr io.Writer) int {
+	if facts < 4 || ckptBytes < 1 {
+		fmt.Fprintln(stderr, "sepbench: -wal-facts must be at least 4 and -wal-ckpt-bytes positive")
+		return 2
+	}
+	rep := bench.RunWAL(bench.WALConfig{Facts: facts, CheckpointBytes: ckptBytes})
+	fmt.Fprintf(stdout, "wal benchmark: GOMAXPROCS=%d cpus=%d facts=%d\n",
+		rep.GOMAXPROCS, rep.NumCPU, rep.Facts)
+	fmt.Fprintf(stdout, "%-12s %10s %10s %12s %8s %6s %10s %12s %10s\n",
+		"mode", "app-p50", "app-p99", "ingest", "syncs", "ckpts", "log-bytes", "recovery", "replayed")
+	for _, p := range rep.Points {
+		if p.Err != "" {
+			fmt.Fprintf(stdout, "%-12s  ERROR: %s\n", p.Mode, p.Err)
+			continue
+		}
+		fmt.Fprintf(stdout, "%-12s %10d %10d %12d %8d %6d %10d %12d %10d\n",
+			p.Mode, p.AppendP50Ns, p.AppendP99Ns, p.IngestNs, p.Syncs, p.Checkpoints,
+			p.LogBytes, p.RecoveryNs, p.RecoveredRecords)
+	}
+	if jsonPath != "" {
+		out, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(stderr, "sepbench: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(jsonPath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "sepbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", jsonPath)
+	}
+	if rep.Failed() {
+		fmt.Fprintln(stderr, "sepbench: a recovered store diverged from the in-RAM baseline")
 		return 1
 	}
 	return 0

@@ -9,6 +9,7 @@
 //	sepdl -program rules.dl -facts data.dl -query '...' -timeout 2s -max-tuples 100000 -fallback
 //	sepdl -program rules.dl -facts data.dl -query '...' -parallel 8 -concurrency 2 -admit-wait 5s
 //	sepdl -program rules.dl -facts data.dl            # REPL on stdin
+//	sepdl -data-dir ./data -program rules.dl -query '...'  # durable facts (WAL)
 //
 // -concurrency bounds how many queries evaluate at once (0 = unlimited;
 // negative admits none, a drain mode). -parallel fires the same -query N
@@ -54,8 +55,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sepdl", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		programPath = fs.String("program", "", "path to the Datalog rules file (required)")
+		programPath = fs.String("program", "", "path to the Datalog rules file (required unless -data-dir has state)")
 		factsPath   = fs.String("facts", "", "comma-separated paths to ground-facts files")
+		dataDir     = fs.String("data-dir", "", "durable data directory (write-ahead log); empty = in-RAM only")
 		query       = fs.String("query", "", "query to evaluate; omit for a REPL")
 		strategy    = fs.String("strategy", "auto", "auto|separable|magic|magic-sup|counting|hn|aho|tabling|seminaive|naive")
 		showStats   = fs.Bool("stats", false, "print evaluation statistics (relation sizes, iterations, time)")
@@ -73,35 +75,53 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *programPath == "" {
+	if *programPath == "" && *dataDir == "" {
 		fmt.Fprintln(stderr, "sepdl: -program is required")
 		fs.Usage()
 		return 2
 	}
-	e := sepdl.New(
+	engOpts := []sepdl.EngineOption{
 		sepdl.WithMaxConcurrent(*concurrency),
 		sepdl.WithAdmissionWait(*admitWait),
 		sepdl.WithParallelism(*parallelism),
-	)
-	src, err := os.ReadFile(*programPath)
-	if err != nil {
-		fmt.Fprintln(stderr, "sepdl:", err)
-		return 1
 	}
-	if err := e.LoadProgram(string(src)); err != nil {
-		fmt.Fprintln(stderr, "sepdl:", err)
-		return 1
+	var e *sepdl.Engine
+	if *dataDir != "" {
+		// Recover the durable state first; -program/-facts then only
+		// bootstrap an empty directory, so re-running with the same flags
+		// never double-loads the rules into a recovered database.
+		var err error
+		if e, err = sepdl.Open(*dataDir, engOpts...); err != nil {
+			fmt.Fprintln(stderr, "sepdl:", err)
+			return 1
+		}
+		defer e.Close()
+	} else {
+		e = sepdl.New(engOpts...)
 	}
-	if *factsPath != "" {
-		for _, p := range strings.Split(*factsPath, ",") {
-			data, err := os.ReadFile(strings.TrimSpace(p))
+	if e.ProgramText() == "" && e.NumFacts() == 0 {
+		if *programPath != "" {
+			src, err := os.ReadFile(*programPath)
 			if err != nil {
 				fmt.Fprintln(stderr, "sepdl:", err)
 				return 1
 			}
-			if err := e.LoadFacts(string(data)); err != nil {
+			if err := e.LoadProgram(string(src)); err != nil {
 				fmt.Fprintln(stderr, "sepdl:", err)
 				return 1
+			}
+		}
+		if *factsPath != "" {
+			for _, p := range strings.Split(*factsPath, ",") {
+				data, err := os.ReadFile(strings.TrimSpace(p))
+				if err != nil {
+					fmt.Fprintln(stderr, "sepdl:", err)
+					return 1
+				}
+				if err := e.LoadFacts(string(data)); err != nil {
+					fmt.Fprintln(stderr, "sepdl:", err)
+					return 1
+				}
 			}
 		}
 	}

@@ -11,6 +11,14 @@
 //	sepdld -program rules.dl -facts data.dl -addr :8080
 //	sepdld -program rules.dl -facts data.dl -concurrency 8 -admit-wait 100ms \
 //	       -quota-rps 50 -max-deadline 5s -max-tuples 1000000
+//	sepdld -data-dir /var/lib/sepdl -program rules.dl
+//
+// With -data-dir every accepted write (POST /v1/facts, /v1/load) is
+// appended to a write-ahead log and fsynced before it is acknowledged;
+// on restart the state is recovered — including after a crash mid-write —
+// before the listener binds, so /readyz never reports ready with a
+// partial database. -program/-facts only bootstrap an empty data dir;
+// recovered state wins on later restarts.
 //
 // Endpoints: POST /v1/{query,batch,prepare,execute,close,facts,load};
 // GET /healthz, /readyz, /metrics. See internal/server for wire formats.
@@ -53,8 +61,12 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 	fs.SetOutput(stderr)
 	var (
 		addr        = fs.String("addr", ":8080", "listen address")
-		programPath = fs.String("program", "", "path to the Datalog rules file (required)")
+		programPath = fs.String("program", "", "path to the Datalog rules file (required unless -data-dir has state)")
 		factsPath   = fs.String("facts", "", "comma-separated paths to ground-facts files")
+
+		dataDir   = fs.String("data-dir", "", "durable data directory (write-ahead log); empty = in-RAM only")
+		ckptBytes = fs.Int64("checkpoint-bytes", 0, "log growth that triggers a checkpoint; 0 = default, negative disables")
+		noSync    = fs.Bool("no-sync", false, "skip fsync per write; durability only at checkpoints and shutdown")
 
 		concurrency = fs.Int("concurrency", 0, "max queries evaluated at once; 0 unlimited")
 		admitWait   = fs.Duration("admit-wait", 100*time.Millisecond, "how long an over-limit query queues before 503")
@@ -83,7 +95,7 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *programPath == "" {
+	if *programPath == "" && *dataDir == "" {
 		fmt.Fprintln(stderr, "sepdld: -program is required")
 		fs.Usage()
 		return 2
@@ -97,26 +109,52 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 	if *strict {
 		opts = append(opts, sepdl.WithStrictChecks())
 	}
-	eng := sepdl.New(opts...)
-	src, err := os.ReadFile(*programPath)
-	if err != nil {
-		fmt.Fprintln(stderr, "sepdld:", err)
-		return 1
+	var eng *sepdl.Engine
+	if *dataDir != "" {
+		// Open recovers the persisted state (replaying the log, truncating
+		// any crash-torn tail) before returning, so by the time the
+		// listener binds and /readyz answers, the database is complete.
+		opts = append(opts, sepdl.WithCheckpointBytes(*ckptBytes), sepdl.WithSyncWrites(!*noSync))
+		var err error
+		if eng, err = sepdl.Open(*dataDir, opts...); err != nil {
+			fmt.Fprintln(stderr, "sepdld:", err)
+			return 1
+		}
+		defer eng.Close()
+		if w := eng.Stats().WAL; w.RecoveredRecords > 0 || w.RecoveryTruncations > 0 {
+			fmt.Fprintf(stdout, "sepdld: recovered %d log records (%d bytes, %d torn tails truncated) in %s\n",
+				w.RecoveredRecords, w.RecoveredBytes, w.RecoveryTruncations,
+				time.Duration(w.RecoveryNanos))
+		}
+	} else {
+		eng = sepdl.New(opts...)
 	}
-	if err := eng.LoadProgram(string(src)); err != nil {
-		fmt.Fprintln(stderr, "sepdld:", err)
-		return 1
-	}
-	if *factsPath != "" {
-		for _, p := range strings.Split(*factsPath, ",") {
-			data, err := os.ReadFile(strings.TrimSpace(p))
+	// -program/-facts bootstrap an empty engine; a durable engine that
+	// already recovered state keeps it and ignores the bootstrap files, so
+	// restarting with the same flags never double-loads the rules.
+	if eng.ProgramText() == "" && eng.NumFacts() == 0 {
+		if *programPath != "" {
+			src, err := os.ReadFile(*programPath)
 			if err != nil {
 				fmt.Fprintln(stderr, "sepdld:", err)
 				return 1
 			}
-			if err := eng.LoadFacts(string(data)); err != nil {
+			if err := eng.LoadProgram(string(src)); err != nil {
 				fmt.Fprintln(stderr, "sepdld:", err)
 				return 1
+			}
+		}
+		if *factsPath != "" {
+			for _, p := range strings.Split(*factsPath, ",") {
+				data, err := os.ReadFile(strings.TrimSpace(p))
+				if err != nil {
+					fmt.Fprintln(stderr, "sepdld:", err)
+					return 1
+				}
+				if err := eng.LoadFacts(string(data)); err != nil {
+					fmt.Fprintln(stderr, "sepdld:", err)
+					return 1
+				}
 			}
 		}
 	}

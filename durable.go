@@ -1,0 +1,190 @@
+package sepdl
+
+import (
+	"errors"
+	"fmt"
+
+	"sepdl/internal/ast"
+	"sepdl/internal/database"
+	"sepdl/internal/parser"
+	"sepdl/internal/wal"
+)
+
+// This file is the durability layer over the core engine: Open builds an
+// Engine whose writes go through a write-ahead log (internal/wal) before
+// they touch memory, recovering the persisted state first. Everything
+// else about the engine — snapshots, admission control, strategies — is
+// identical to New; queries never touch the disk.
+
+// ErrEngineClosed reports a write on an engine whose Close has run.
+var ErrEngineClosed = errors.New("sepdl: engine closed")
+
+// StoreStats is the durable store's counter snapshot, re-exported so
+// callers outside the module can name EngineStats.WAL's type.
+type StoreStats = database.StoreStats
+
+// WithCheckpointBytes sets the log-growth threshold (bytes in the current
+// segment) at which a durable engine checkpoints and compacts its log.
+// 0 (the default) uses wal.DefaultCheckpointBytes; a negative value
+// disables automatic checkpoints (the log grows until Checkpoint is
+// called). Ignored by New.
+func WithCheckpointBytes(n int64) EngineOption {
+	return func(e *Engine) { e.ckptBytes = n }
+}
+
+// WithSyncWrites controls fsync-per-write on a durable engine. The
+// default (true) fsyncs every acknowledged write — the full crash
+// guarantee. false batches durability: writes reach the OS immediately
+// but are only guaranteed on disk at checkpoints and Close, trading the
+// per-write guarantee for ingest throughput. Ignored by New.
+func WithSyncWrites(sync bool) EngineOption {
+	return func(e *Engine) { e.noSync = !sync }
+}
+
+// Open returns an engine whose facts and rules are durable in dir,
+// creating the directory on first use. Open replays the existing log —
+// checkpoint first, then every acknowledged write after it, truncating a
+// tail torn by a crash — so the returned engine holds exactly the state
+// every acknowledged write built, and is ready to serve queries. All
+// EngineOptions apply as with New. The caller must Close the engine to
+// release the log; a crash instead of a Close loses nothing acknowledged.
+func Open(dir string, opts ...EngineOption) (*Engine, error) {
+	e := New(opts...)
+	st, err := wal.Open(dir, wal.Options{
+		CheckpointBytes: e.ckptBytes,
+		NoSync:          e.noSync,
+		Tick: func() error {
+			if e.closed.Load() {
+				return ErrEngineClosed
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := e.attach(st); err != nil {
+		st.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// attach installs a recovered durable store as the engine's write-ahead
+// seam: replay the persisted history into the in-memory state, then start
+// logging. Split from Open so tests can attach a store with fault hooks.
+func (e *Engine) attach(st database.Store) error {
+	if err := st.Recover(recoverSink{e}); err != nil {
+		return fmt.Errorf("sepdl: recovering %w", err)
+	}
+	e.mu.Lock()
+	e.store = st
+	e.bumpDBRevLocked()
+	e.mu.Unlock()
+	return nil
+}
+
+// Close waits out any in-flight checkpoint and releases the durable
+// store's files; writes after Close fail with the store's closed error.
+// The caller must have stopped its writers (a serving layer drains
+// first); queries need nothing from the store and keep working against
+// the in-memory state. Close is idempotent and a no-op on New engines.
+func (e *Engine) Close() error {
+	e.closed.Store(true)
+	e.ckptWG.Wait()
+	return e.store.Close()
+}
+
+// Checkpoint forces a checkpoint synchronously: the log is rotated under
+// the writer lock and the engine's exact state at that instant is written
+// as the new recovery baseline, superseding the sealed segments. On a
+// New engine it is a no-op. Automatic checkpoints (WithCheckpointBytes)
+// make calling this optional; it exists for maintenance windows and
+// tests.
+func (e *Engine) Checkpoint() error {
+	e.mu.Lock()
+	seq, err := e.store.Rotate()
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	prog := e.state.prog.String()
+	snap := e.db.Snapshot()
+	e.mu.Unlock()
+	if seq == 0 {
+		return nil // MemStore: nothing to checkpoint
+	}
+	return e.store.WriteCheckpoint(seq, prog, snap.WriteFacts)
+}
+
+// maybeCheckpointLocked starts a background checkpoint when the log has
+// outgrown its threshold and none is already running. The rotation and
+// state snapshot happen here, under the writer lock the caller holds, so
+// the checkpoint is exactly the state the sealed segments produce; the
+// expensive write streams from the immutable snapshot off-lock,
+// concurrent with new appends and with readers.
+func (e *Engine) maybeCheckpointLocked() {
+	if !e.store.NeedCheckpoint() || !e.ckptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	seq, err := e.store.Rotate()
+	if err != nil {
+		e.ckptBusy.Store(false)
+		return
+	}
+	prog := e.state.prog.String()
+	snap := e.db.Snapshot()
+	st := e.store
+	e.ckptWG.Add(1)
+	go func() {
+		defer e.ckptWG.Done()
+		defer e.ckptBusy.Store(false)
+		// Failure is recorded in StoreStats.CheckpointErrors; the sealed
+		// segments stay live, so nothing acknowledged is at risk and the
+		// next threshold crossing retries.
+		st.WriteCheckpoint(seq, prog, snap.WriteFacts)
+	}()
+}
+
+// recoverSink applies the store's replayed history directly to the
+// engine's in-memory state, without logging (the records are already in
+// the log) and without strict checks (the writes were accepted when first
+// acknowledged; a policy change must not brick an existing database).
+// Recovery runs single-threaded before the engine serves, but the sink
+// locks anyway so a misuse degrades to contention.
+type recoverSink struct{ e *Engine }
+
+func (s recoverSink) AddFact(pred string, args []string) error {
+	s.e.mu.Lock()
+	defer s.e.mu.Unlock()
+	_, err := s.e.db.AddFact(pred, args...)
+	return err
+}
+
+func (s recoverSink) LoadFacts(src string) error {
+	fs, err := parser.Facts(src)
+	if err != nil {
+		return err
+	}
+	s.e.mu.Lock()
+	defer s.e.mu.Unlock()
+	return s.e.db.Load(fs)
+}
+
+func (s recoverSink) LoadProgram(src string) error {
+	s.e.mu.Lock()
+	defer s.e.mu.Unlock()
+	combined, err := s.e.compileProgramLocked(src, false)
+	if err != nil {
+		return err
+	}
+	s.e.state = newProgState(combined)
+	return nil
+}
+
+func (s recoverSink) ClearProgram() error {
+	s.e.mu.Lock()
+	defer s.e.mu.Unlock()
+	s.e.state = newProgState(&ast.Program{})
+	return nil
+}

@@ -68,6 +68,11 @@ type Engine struct {
 	mu    sync.Mutex
 	db    *database.Database
 	state *progState
+	// store is the durability seam: every write is appended (and fsynced)
+	// here before it is applied to db/state, so an acknowledged write is
+	// durable and a failed append changes nothing. New engines get the
+	// no-op MemStore; Open swaps in the write-ahead log.
+	store database.Store
 	// dbRev is the fact-database revision: bumped under mu by every write
 	// that actually changes the fact set. Closure-cache entries are keyed
 	// by it, so a bump strands every entry computed against older facts.
@@ -82,6 +87,14 @@ type Engine struct {
 	planCacheOff  bool
 	closureBytes  int64
 	closures      *plancache.Closures
+	ckptBytes     int64
+	noSync        bool
+
+	// ckptBusy single-flights background checkpoints; ckptWG lets Close
+	// wait out one still in flight; closed gates writes after Close.
+	ckptBusy atomic.Bool
+	ckptWG   sync.WaitGroup
+	closed   atomic.Bool
 
 	// draining is the runtime drain switch (see Drain); drainCh is closed
 	// on Drain so queries queued at the admission gate wake up and fail
@@ -250,6 +263,7 @@ func New(opts ...EngineOption) *Engine {
 	e := &Engine{
 		db:      database.New(),
 		state:   newProgState(&ast.Program{}),
+		store:   database.NewMemStore(),
 		dbRev:   1,
 		drainCh: make(chan struct{}),
 	}
@@ -425,33 +439,58 @@ func (e *Engine) bumpDBRevLocked() {
 }
 
 // LoadProgram parses src and appends its rules to the engine's program.
+// On a durable engine the source is logged (and fsynced) before the
+// program swap, so a load that returns nil survives a crash and a load
+// that fails leaves both the log and the program unchanged.
 func (e *Engine) LoadProgram(src string) error {
-	p, err := parser.Program(src)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	combined, err := e.compileProgramLocked(src, e.strict)
 	if err != nil {
 		return err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	combined := &ast.Program{Rules: append(append([]ast.Rule{}, e.state.prog.Rules...), p.Rules...)}
-	if err := combined.Validate(); err != nil {
+	if err := e.store.AppendProgram(src); err != nil {
 		return err
-	}
-	if e.strict {
-		if l := check.Program(combined, nil).Filter(diag.Warning); len(l) > 0 {
-			return l
-		}
 	}
 	e.state = newProgState(combined)
 	e.closures.Clear()
+	e.maybeCheckpointLocked()
 	return nil
 }
 
-// ClearProgram removes all rules (facts are kept).
-func (e *Engine) ClearProgram() {
+// compileProgramLocked parses src and validates the program that would
+// result from appending its rules, without installing anything — the
+// write-ahead ordering needs every failure found before the log append.
+func (e *Engine) compileProgramLocked(src string, strict bool) (*ast.Program, error) {
+	p, err := parser.Program(src)
+	if err != nil {
+		return nil, err
+	}
+	combined := &ast.Program{Rules: append(append([]ast.Rule{}, e.state.prog.Rules...), p.Rules...)}
+	if err := combined.Validate(); err != nil {
+		return nil, err
+	}
+	if strict {
+		if l := check.Program(combined, nil).Filter(diag.Warning); len(l) > 0 {
+			return nil, l
+		}
+	}
+	return combined, nil
+}
+
+// ClearProgram removes all rules (facts are kept). The error is always
+// nil on an in-RAM engine; a durable engine can fail to log the clear,
+// in which case the rules remain.
+func (e *Engine) ClearProgram() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.store.AppendClear(); err != nil {
+		return err
+	}
 	e.state = newProgState(&ast.Program{})
 	e.closures.Clear()
+	e.maybeCheckpointLocked()
+	return nil
 }
 
 // ProgramText renders the current rules.
@@ -465,6 +504,9 @@ func (e *Engine) progState() *progState {
 }
 
 // LoadFacts parses ground atoms from src and adds them to the database.
+// The batch is atomic: it is validated whole before anything is logged or
+// applied, so an error — parse, groundness, arity — leaves the engine
+// byte-for-byte unchanged, with no prefix of the batch visible.
 func (e *Engine) LoadFacts(src string) error {
 	fs, err := parser.Facts(src)
 	if err != nil {
@@ -472,24 +514,39 @@ func (e *Engine) LoadFacts(src string) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.db.CheckFacts(fs); err != nil {
+		return err
+	}
+	if err := e.store.AppendFacts(src); err != nil {
+		return err
+	}
 	before := e.db.NumTuples()
-	err = e.db.Load(fs)
+	e.db.Load(fs) // cannot fail: validated above
 	if e.db.NumTuples() != before {
 		e.bumpDBRevLocked()
 	}
-	return err
+	e.maybeCheckpointLocked()
+	return nil
 }
 
 // AddFact adds a single fact. Queries admitted after AddFact returns see
-// the fact; queries already evaluating keep their snapshot.
+// the fact; queries already evaluating keep their snapshot. On a durable
+// engine the fact is logged and fsynced before it becomes visible.
 func (e *Engine) AddFact(pred string, args ...string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	added, err := e.db.AddFact(pred, args...)
+	if err := e.db.CheckFact(pred, args); err != nil {
+		return err
+	}
+	if err := e.store.AppendFact(pred, args); err != nil {
+		return err
+	}
+	added, _ := e.db.AddFact(pred, args...) // cannot fail: validated above
 	if added {
 		e.bumpDBRevLocked()
 	}
-	return err
+	e.maybeCheckpointLocked()
+	return nil
 }
 
 // Predicates returns the names of all relations with facts, sorted.

@@ -61,6 +61,10 @@ type EngineStats struct {
 	// engine is idle; chaos tests assert on that to prove aborted and
 	// disconnected queries release their admission slots.
 	InFlight int64
+	// WAL is the durable store's counter snapshot (sepdld exports the
+	// fields as sepdl_wal_* series). All zeros with Durable false on a
+	// New (in-RAM) engine.
+	WAL StoreStats
 }
 
 // engineCounters is the engine's internal atomic mirror of EngineStats.
@@ -143,5 +147,6 @@ func (e *Engine) Stats() EngineStats {
 		Batches:            c.batches.Load(),
 		BatchQueries:       c.batchQueries.Load(),
 		InFlight:           c.inFlight.Load(),
+		WAL:                e.store.Stats(),
 	}
 }

@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"sepdl"
+)
+
+// The WAL benchmark prices durability: the same ingest (LoadProgram +
+// N AddFacts) runs against the in-RAM store and the write-ahead-logged
+// store in its two sync modes, then each durable variant is closed and
+// reopened to time boot recovery. The interesting numbers are the
+// per-append cost of fsync-per-write versus group durability, and how a
+// checkpoint bounds both the log size and the replay.
+
+// WALConfig sizes the workload.
+type WALConfig struct {
+	// Facts is how many AddFacts each mode ingests.
+	Facts int
+	// CheckpointBytes is the threshold for the "wal-ckpt" mode; the plain
+	// "wal" modes never checkpoint so their recovery replays everything.
+	CheckpointBytes int64
+}
+
+// WALPoint is one storage mode's measurement.
+type WALPoint struct {
+	// Mode is "mem" (no durability), "wal" (fsync per append),
+	// "wal-nosync" (group durability: fsync at rotation/checkpoint/close),
+	// or "wal-ckpt" (fsync per append + background checkpoints).
+	Mode  string `json:"mode"`
+	Facts int    `json:"facts"`
+	// Append latency over all AddFact calls.
+	AppendP50Ns int64 `json:"append_p50_ns"`
+	AppendP99Ns int64 `json:"append_p99_ns"`
+	IngestNs    int64 `json:"ingest_ns"`
+	// Fsyncs acknowledged during ingest (0 for mem and nosync).
+	Syncs uint64 `json:"syncs"`
+	// Checkpoints taken during ingest; LogBytes is the on-disk footprint
+	// at close (0 for mem).
+	Checkpoints uint64 `json:"checkpoints"`
+	LogBytes    int64  `json:"log_bytes"`
+	// Recovery cost of reopening the directory (0 for mem).
+	RecoveryNs       int64  `json:"recovery_ns"`
+	RecoveredRecords uint64 `json:"recovered_records"`
+	// QueryOK records whether the recovered store answered the probe query
+	// identically to the in-RAM baseline.
+	QueryOK bool   `json:"query_ok"`
+	Err     string `json:"err,omitempty"`
+}
+
+// WALReport is the artifact make bench writes to BENCH_wal.json.
+type WALReport struct {
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	NumCPU     int        `json:"num_cpu"`
+	Facts      int        `json:"facts"`
+	Points     []WALPoint `json:"points"`
+}
+
+// JSON renders the report with stable indentation for diffing.
+func (r WALReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Failed reports whether any mode errored or answered the probe query
+// differently from the in-RAM baseline.
+func (r WALReport) Failed() bool {
+	for _, p := range r.Points {
+		if p.Err != "" || !p.QueryOK {
+			return true
+		}
+	}
+	return false
+}
+
+const walBenchProgram = `
+path(X, Y) :- e(X, W) & path(W, Y).
+path(X, Y) :- e(X, Y).
+`
+
+// RunWAL measures every storage mode over the same ingest.
+func RunWAL(cfg WALConfig) WALReport {
+	rep := WALReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		Facts: cfg.Facts,
+	}
+	probe := fmt.Sprintf("path(v1, v%d)?", cfg.Facts)
+
+	// The in-RAM baseline also supplies the reference answer every durable
+	// mode must reproduce after recovery.
+	base, basePt := runWALMode("mem", cfg, "", nil)
+	var want string
+	if basePt.Err == "" {
+		if res, err := base.Query(probe); err != nil {
+			basePt.Err = err.Error()
+		} else {
+			want = res.String()
+		}
+	}
+	basePt.QueryOK = basePt.Err == ""
+	rep.Points = append(rep.Points, basePt)
+
+	for _, mode := range []string{"wal", "wal-nosync", "wal-ckpt"} {
+		dir, err := os.MkdirTemp("", "sepbench-wal-*")
+		if err != nil {
+			rep.Points = append(rep.Points, WALPoint{Mode: mode, Facts: cfg.Facts, Err: err.Error()})
+			continue
+		}
+		var opts []sepdl.EngineOption
+		switch mode {
+		case "wal":
+			opts = []sepdl.EngineOption{sepdl.WithCheckpointBytes(-1)}
+		case "wal-nosync":
+			opts = []sepdl.EngineOption{sepdl.WithCheckpointBytes(-1), sepdl.WithSyncWrites(false)}
+		case "wal-ckpt":
+			opts = []sepdl.EngineOption{sepdl.WithCheckpointBytes(cfg.CheckpointBytes)}
+		}
+		_, pt := runWALMode(mode, cfg, dir, opts)
+		if pt.Err == "" {
+			pt = reopenAndProbe(dir, opts, pt, probe, want)
+		}
+		rep.Points = append(rep.Points, pt)
+		os.RemoveAll(dir)
+	}
+	return rep
+}
+
+// runWALMode ingests the workload into one engine and measures appends.
+// An empty dir means the in-RAM store.
+func runWALMode(mode string, cfg WALConfig, dir string, opts []sepdl.EngineOption) (*sepdl.Engine, WALPoint) {
+	pt := WALPoint{Mode: mode, Facts: cfg.Facts}
+	var (
+		e   *sepdl.Engine
+		err error
+	)
+	if dir == "" {
+		e = sepdl.New(opts...)
+	} else if e, err = sepdl.Open(dir, opts...); err != nil {
+		pt.Err = err.Error()
+		return nil, pt
+	}
+	if err := e.LoadProgram(walBenchProgram); err != nil {
+		pt.Err = err.Error()
+		return e, pt
+	}
+	lats := make([]int64, 0, cfg.Facts)
+	start := time.Now()
+	for i := 1; i <= cfg.Facts; i++ {
+		t0 := time.Now()
+		if err := e.AddFact("e", fmt.Sprintf("v%d", i), fmt.Sprintf("v%d", i+1)); err != nil {
+			pt.Err = err.Error()
+			return e, pt
+		}
+		lats = append(lats, time.Since(t0).Nanoseconds())
+	}
+	pt.IngestNs = time.Since(start).Nanoseconds()
+	pt.AppendP50Ns, pt.AppendP99Ns = percentiles(lats)
+	st := e.Stats().WAL
+	pt.Syncs, pt.Checkpoints = st.Syncs, st.Checkpoints
+	if dir != "" {
+		if err := e.Close(); err != nil {
+			pt.Err = err.Error()
+			return nil, pt
+		}
+		pt.LogBytes = dirBytes(dir)
+	}
+	return e, pt
+}
+
+// reopenAndProbe times boot recovery and checks the probe answer.
+func reopenAndProbe(dir string, opts []sepdl.EngineOption, pt WALPoint, probe, want string) WALPoint {
+	e, err := sepdl.Open(dir, opts...)
+	if err != nil {
+		pt.Err = err.Error()
+		return pt
+	}
+	defer e.Close()
+	st := e.Stats().WAL
+	pt.RecoveryNs = int64(st.RecoveryNanos)
+	pt.RecoveredRecords = st.RecoveredRecords
+	res, err := e.Query(probe)
+	if err != nil {
+		pt.Err = err.Error()
+		return pt
+	}
+	pt.QueryOK = res.String() == want
+	return pt
+}
+
+// dirBytes sums the sizes of the files in dir.
+func dirBytes(dir string) int64 {
+	var n int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	for _, ent := range entries {
+		if info, err := os.Stat(filepath.Join(dir, ent.Name())); err == nil {
+			n += info.Size()
+		}
+	}
+	return n
+}

@@ -92,12 +92,54 @@ func (db *Database) AddAtom(a ast.Atom) (bool, error) {
 	return db.AddFact(a.Pred, args...)
 }
 
-// Load inserts a batch of ground atoms, stopping at the first error.
+// Load inserts a batch of ground atoms atomically: the whole batch is
+// validated first (groundness, arity agreement with existing relations and
+// within the batch), so an error leaves the database byte-for-byte
+// unchanged — no prefix of the batch is ever applied. This is what lets
+// the engine acknowledge a batch to its durable store before touching the
+// in-memory state: once validation passes, the apply phase cannot fail.
 func (db *Database) Load(facts []ast.Atom) error {
+	if err := db.CheckFacts(facts); err != nil {
+		return err
+	}
 	for _, a := range facts {
-		if _, err := db.AddAtom(a); err != nil {
-			return err
+		db.AddAtom(a) // cannot fail: the batch was validated above
+	}
+	return nil
+}
+
+// CheckFacts validates a batch for Load without applying it: every atom
+// must be ground, and every predicate's arity must agree with its existing
+// relation (if any) and with every other use inside the batch.
+func (db *Database) CheckFacts(facts []ast.Atom) error {
+	arity := make(map[string]int)
+	for _, a := range facts {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				return fmt.Errorf("database: fact %s contains variable %s", a, t.Name)
+			}
 		}
+		want, ok := arity[a.Pred]
+		if !ok {
+			if r := db.rels[a.Pred]; r != nil {
+				want, ok = r.Arity(), true
+			}
+		}
+		if ok && want != len(a.Args) {
+			return fmt.Errorf("database: %s has arity %d, want %d", a.Pred, want, len(a.Args))
+		}
+		arity[a.Pred] = len(a.Args)
+	}
+	return nil
+}
+
+// CheckFact validates a single AddFact without applying it: the only way
+// AddFact can fail is an arity clash with an existing relation, so a
+// caller that validates first may treat the subsequent apply as
+// infallible (the write-ahead ordering durable engines rely on).
+func (db *Database) CheckFact(pred string, args []string) error {
+	if r := db.rels[pred]; r != nil && r.Arity() != len(args) {
+		return fmt.Errorf("database: %s has arity %d, want %d", pred, r.Arity(), len(args))
 	}
 	return nil
 }

@@ -1,0 +1,150 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestZeroDiskInjectsNothing(t *testing.T) {
+	d := NewDisk()
+	p := []byte("hello")
+	got, err := d.BeforeWrite("wal-1.log", 0, p)
+	if err != nil || !bytes.Equal(got, p) {
+		t.Fatalf("BeforeWrite = %q, %v; want passthrough", got, err)
+	}
+	if err := d.BeforeSync("wal-1.log"); err != nil {
+		t.Fatalf("BeforeSync = %v", err)
+	}
+	if err := d.BeforeTruncate("wal-1.log"); err != nil {
+		t.Fatalf("BeforeTruncate = %v", err)
+	}
+	if d.Writes() != 1 || d.Syncs() != 1 || d.Truncates() != 1 {
+		t.Fatalf("counters = %d/%d/%d, want 1/1/1", d.Writes(), d.Syncs(), d.Truncates())
+	}
+}
+
+func TestMatchFilters(t *testing.T) {
+	d := NewDisk().FailWrite(1)
+	d.Match = "ckpt"
+	if _, err := d.BeforeWrite("wal-1.log", 0, []byte("x")); err != nil {
+		t.Fatalf("non-matching write faulted: %v", err)
+	}
+	if d.Writes() != 0 {
+		t.Fatalf("non-matching write counted: %d", d.Writes())
+	}
+	if _, err := d.BeforeWrite("ckpt-1.ckpt.tmp", 0, []byte("x")); !errors.Is(err, ErrDisk) {
+		t.Fatalf("matching write err = %v, want ErrDisk", err)
+	}
+}
+
+func TestFailWriteOrdinal(t *testing.T) {
+	d := NewDisk().FailWrite(2)
+	if _, err := d.BeforeWrite("f", 0, []byte("a")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	got, err := d.BeforeWrite("f", 1, []byte("b"))
+	if !errors.Is(err, ErrDisk) {
+		t.Fatalf("write 2 err = %v, want ErrDisk", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("failed write persisted %q, want nothing", got)
+	}
+	if _, err := d.BeforeWrite("f", 1, []byte("c")); err != nil {
+		t.Fatalf("write 3 after fault: %v", err)
+	}
+}
+
+func TestShortWriteKeepsPrefix(t *testing.T) {
+	d := NewDisk().ShortWrite(1, 3)
+	got, err := d.BeforeWrite("f", 0, []byte("abcdef"))
+	if !errors.Is(err, ErrDisk) {
+		t.Fatalf("err = %v, want ErrDisk", err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("persisted %q, want the 3-byte prefix", got)
+	}
+}
+
+func TestFailSyncAndTruncateOrdinals(t *testing.T) {
+	d := NewDisk().FailSync(2).FailTruncate(1)
+	if err := d.BeforeSync("f"); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := d.BeforeSync("f"); !errors.Is(err, ErrDisk) {
+		t.Fatalf("sync 2 err = %v, want ErrDisk", err)
+	}
+	if err := d.BeforeSync("f"); err != nil {
+		t.Fatalf("sync 3: %v", err)
+	}
+	if err := d.BeforeTruncate("f"); !errors.Is(err, ErrDisk) {
+		t.Fatalf("truncate 1 err = %v, want ErrDisk", err)
+	}
+}
+
+func TestCorruptAtFlipsRange(t *testing.T) {
+	// Corruption window [4, 8) with mask 0xFF; write covers [2, 10).
+	d := NewDisk().CorruptAt(4, 4, 0xff)
+	p := []byte{0, 1, 2, 3, 4, 5, 6, 7}
+	got, err := d.BeforeWrite("f", 2, p)
+	if err != nil {
+		t.Fatalf("corrupting write errored: %v", err)
+	}
+	want := []byte{0, 1, ^byte(2), ^byte(3), ^byte(4), ^byte(5), 6, 7}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("persisted % x, want % x", got, want)
+	}
+	if !bytes.Equal(p, []byte{0, 1, 2, 3, 4, 5, 6, 7}) {
+		t.Fatal("CorruptAt mutated the caller's buffer")
+	}
+	// A write outside the window passes through untouched.
+	got, err = d.BeforeWrite("f", 10, []byte{9, 9})
+	if err != nil || !bytes.Equal(got, []byte{9, 9}) {
+		t.Fatalf("out-of-window write = % x, %v", got, err)
+	}
+}
+
+func TestCrashAtClipsAndSticks(t *testing.T) {
+	d := NewDisk().CrashAt(5)
+	// Write [0, 4) is fully before the crash point.
+	if _, err := d.BeforeWrite("f", 0, []byte("aaaa")); err != nil {
+		t.Fatalf("pre-crash write: %v", err)
+	}
+	if d.Crashed() {
+		t.Fatal("crashed before the offset was reached")
+	}
+	// Write [4, 8) straddles offset 5: one byte persists, then the crash.
+	got, err := d.BeforeWrite("f", 4, []byte("bbbb"))
+	if !errors.Is(err, ErrDisk) {
+		t.Fatalf("straddling write err = %v, want ErrDisk", err)
+	}
+	if string(got) != "b" {
+		t.Fatalf("straddling write persisted %q, want 1 byte", got)
+	}
+	if !d.Crashed() {
+		t.Fatal("Crashed() = false after the crash point")
+	}
+	// Everything after the crash fails: the machine is dead.
+	if _, err := d.BeforeWrite("f", 0, []byte("x")); !errors.Is(err, ErrDisk) {
+		t.Fatalf("post-crash write err = %v, want ErrDisk", err)
+	}
+	if err := d.BeforeSync("f"); !errors.Is(err, ErrDisk) {
+		t.Fatalf("post-crash sync err = %v, want ErrDisk", err)
+	}
+	if err := d.BeforeTruncate("f"); !errors.Is(err, ErrDisk) {
+		t.Fatalf("post-crash truncate err = %v, want ErrDisk", err)
+	}
+}
+
+func TestCrashAtExactBoundary(t *testing.T) {
+	// A write ending exactly at the crash offset still fits; the next
+	// byte does not.
+	d := NewDisk().CrashAt(4)
+	if _, err := d.BeforeWrite("f", 0, []byte("aaaa")); err != nil {
+		t.Fatalf("write ending at crash offset: %v", err)
+	}
+	got, err := d.BeforeWrite("f", 4, []byte("b"))
+	if !errors.Is(err, ErrDisk) || len(got) != 0 {
+		t.Fatalf("write at crash offset = %q, %v; want clipped to nothing", got, err)
+	}
+}

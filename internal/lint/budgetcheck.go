@@ -31,6 +31,13 @@
 // Filling a closure cache is evaluation work — the first query pays it —
 // and an unaccounted fill would let a cold cache blow straight through
 // the caller's tuple and byte limits. The same ignore comment applies.
+//
+// A fourth rule covers WAL replay and checkpoint materialization: any
+// loop (for or range) that applies recovered records through a
+// RecoverSink method (AddFact, LoadFacts, LoadProgram) must reach a
+// budget hook. Boot-time recovery walks input as long as the log, so it
+// owes the same cancellation points as a fixpoint — the wal package's
+// progress.Tick satisfies it. The same ignore comment applies.
 package lint
 
 import (
@@ -60,6 +67,18 @@ func (f Finding) String() string {
 var materializing = map[string]bool{
 	"Insert":    true,
 	"InsertAll": true,
+}
+
+// replayMaterializing are the RecoverSink methods a WAL replay or
+// checkpoint-materialization loop applies recovered records through.
+// Replay is evaluation-shaped work over unbounded input (the log can be
+// arbitrarily long), so the fourth rule holds it to the same invariant:
+// a loop applying these must reach a budget hook, or recovery of a huge
+// log could neither be cancelled nor observed.
+var replayMaterializing = map[string]bool{
+	"AddFact":     true,
+	"LoadFacts":   true,
+	"LoadProgram": true,
 }
 
 // cacheFillMaterializing are the calls that build or grow the relation a
@@ -144,9 +163,15 @@ func CheckDir(dir string) ([]Finding, error) {
 				body ast.Node
 				kind string
 			)
+			replayOnly := false
 			switch s := n.(type) {
 			case *ast.ForStmt:
 				body, kind = s.Body, "fixpoint loop"
+			case *ast.RangeStmt:
+				// Range loops are exempt from the Insert rule (they iterate a
+				// bounded chunk), but a range loop replaying recovered records
+				// still walks input as long as the log.
+				body, kind, replayOnly = s.Body, "replay loop", true
 			case *ast.GoStmt:
 				body, kind = spawnedBody(s.Call, funcs), "goroutine"
 			case *ast.CallExpr:
@@ -162,8 +187,12 @@ func CheckDir(dir string) ([]Finding, error) {
 			called := calledNames(body)
 			mat := ""
 			for name := range called {
-				if materializing[name] {
+				if !replayOnly && materializing[name] {
 					mat = name
+					break
+				}
+				if replayMaterializing[name] {
+					mat, kind = name, "replay loop"
 					break
 				}
 			}

@@ -356,7 +356,7 @@ func publish(c cache, v []int) {
 // TestRealPackagesClean pins the repo invariant itself: the evaluation and
 // strategy packages must stay budgetcheck-clean.
 func TestRealPackagesClean(t *testing.T) {
-	for _, dir := range []string{"../eval", "../core", "../counting", "../hn", "../tabling", "../magic", "../aho"} {
+	for _, dir := range []string{"../eval", "../core", "../counting", "../hn", "../tabling", "../magic", "../aho", "../wal"} {
 		findings, err := CheckDir(dir)
 		if err != nil {
 			t.Fatal(err)
@@ -364,5 +364,93 @@ func TestRealPackagesClean(t *testing.T) {
 		for _, f := range findings {
 			t.Errorf("%s: %s", dir, f)
 		}
+	}
+}
+
+func TestFlagsReplayLoopWithoutBudget(t *testing.T) {
+	dir := writePkg(t, `package p
+
+type sink interface {
+	AddFact(pred string, args []string) error
+}
+
+func replay(s sink, recs [][]string) error {
+	for _, r := range recs {
+		if err := s.AddFact(r[0], r[1:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+`)
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly 1", findings)
+	}
+	if !strings.Contains(findings[0].Msg, "replay loop") || !strings.Contains(findings[0].Msg, "AddFact") {
+		t.Fatalf("finding = %v, want a replay-loop AddFact violation", findings[0])
+	}
+}
+
+func TestReplayLoopWithTickPasses(t *testing.T) {
+	dir := writePkg(t, `package p
+
+type sink interface {
+	LoadFacts(src string) error
+}
+
+type ticker interface{ Tick() error }
+
+func replay(s sink, tick ticker, chunks []string) error {
+	for _, c := range chunks {
+		if err := tick.Tick(); err != nil {
+			return err
+		}
+		if err := s.LoadFacts(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+`)
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("findings = %v, want none", findings)
+	}
+}
+
+func TestForLoopReplayFlagged(t *testing.T) {
+	// The fourth rule also covers plain for loops: a segment-replay loop
+	// stepping an offset through decoded records.
+	dir := writePkg(t, `package p
+
+type sink interface {
+	LoadProgram(src string) error
+}
+
+func replaySegment(s sink, recs []string) error {
+	for i := 0; i < len(recs); i++ {
+		if err := s.LoadProgram(recs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+`)
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly 1", findings)
+	}
+	if !strings.Contains(findings[0].Msg, "replay loop") {
+		t.Fatalf("finding = %v, want a replay-loop violation", findings[0])
 	}
 }

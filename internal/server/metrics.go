@@ -26,6 +26,9 @@ import (
 //	sepdl_batch_queries_total       total batch elements
 //	sepdl_inflight_queries          gauge: evaluations running now
 //	sepdl_facts                     gauge: base facts loaded
+//	sepdl_wal_*                     durable-store counters: appends, fsyncs,
+//	                                checkpoints, boot-time recovery (all zero
+//	                                with sepdl_wal_durable 0)
 //	sepdld_http_requests_total{endpoint,code}  responses sent
 //	sepdld_quota_rejections_total   requests shed by per-client quotas
 //	sepdld_prepared_handles         gauge: live prepared handles
@@ -58,6 +61,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("sepdl_batch_queries_total", "Total elements across batched evaluations.", st.BatchQueries)
 	gauge("sepdl_inflight_queries", "Admitted evaluations currently running.", st.InFlight)
 	gauge("sepdl_facts", "Base facts loaded.", int64(s.eng.NumFacts()))
+
+	wal := st.WAL
+	durable := int64(0)
+	if wal.Durable {
+		durable = 1
+	}
+	gauge("sepdl_wal_durable", "1 when writes go through the write-ahead log.", durable)
+	counter("sepdl_wal_appends_total", "Acknowledged (durable) log records.", wal.Appends)
+	counter("sepdl_wal_append_errors_total", "Appends that failed and were rolled back.", wal.AppendErrors)
+	counter("sepdl_wal_syncs_total", "Fsyncs issued for appended data.", wal.Syncs)
+	counter("sepdl_wal_sync_errors_total", "Fsyncs that failed.", wal.SyncErrors)
+	counter("sepdl_wal_bytes_appended_total", "Encoded bytes of acknowledged records.", wal.BytesAppended)
+	counter("sepdl_wal_checkpoints_total", "Checkpoints durably installed.", wal.Checkpoints)
+	counter("sepdl_wal_checkpoint_errors_total", "Checkpoint attempts abandoned on error.", wal.CheckpointErrors)
+	gauge("sepdl_wal_segments", "Live log segments.", int64(wal.Segments))
+	counter("sepdl_wal_recovered_records_total", "Log records replayed by boot-time recovery.", wal.RecoveredRecords)
+	counter("sepdl_wal_recovered_bytes_total", "Log bytes replayed by boot-time recovery.", wal.RecoveredBytes)
+	counter("sepdl_wal_recovery_truncations_total", "Torn log tails cut off during recovery.", wal.RecoveryTruncations)
+	gauge("sepdl_wal_recovery_nanos", "Duration of boot-time recovery.", int64(wal.RecoveryNanos))
 
 	s.mu.Lock()
 	quotaRejects := s.quotaRejects

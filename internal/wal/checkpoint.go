@@ -1,0 +1,171 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"sepdl/internal/leakcheck"
+)
+
+// Checkpoint file format:
+//
+//	magic "sepdl-ckpt1\n"
+//	u32le progLen | program text
+//	u32le factLen | facts text (database/io.WriteFacts form)
+//	u32le crc32c over everything between magic and crc
+//
+// The file is written to a .tmp name, fsynced, renamed into place, and
+// the directory fsynced — so a checkpoint either exists whole and valid
+// or not at all, and recovery can always fall back to an older one (or
+// to full log replay) when the payload fails its checksum.
+const ckptMagic = "sepdl-ckpt1\n"
+
+// loadCheckpoint reads and validates one checkpoint file.
+func loadCheckpoint(path string) (prog, facts string, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", "", err
+	}
+	if len(data) < len(ckptMagic)+12 || string(data[:len(ckptMagic)]) != ckptMagic {
+		return "", "", fmt.Errorf("%w: checkpoint %s: bad header", ErrCorrupt, filepath.Base(path))
+	}
+	body := data[len(ckptMagic) : len(data)-4]
+	crc := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, castagnoli) != crc {
+		return "", "", fmt.Errorf("%w: checkpoint %s: checksum mismatch", ErrCorrupt, filepath.Base(path))
+	}
+	progLen := int(binary.LittleEndian.Uint32(body))
+	if progLen < 0 || 4+progLen+4 > len(body) {
+		return "", "", fmt.Errorf("%w: checkpoint %s: bad program length", ErrCorrupt, filepath.Base(path))
+	}
+	prog = string(body[4 : 4+progLen])
+	rest := body[4+progLen:]
+	factLen := int(binary.LittleEndian.Uint32(rest))
+	if factLen < 0 || 4+factLen != len(rest) {
+		return "", "", fmt.Errorf("%w: checkpoint %s: bad facts length", ErrCorrupt, filepath.Base(path))
+	}
+	facts = string(rest[4 : 4+factLen])
+	return prog, facts, nil
+}
+
+// WriteCheckpoint atomically persists a snapshot covering every segment
+// below seq (the sequence Rotate returned), then deletes the superseded
+// segments and older checkpoints. program and facts must be the engine
+// state at the exact instant of that rotation. The write runs concurrent
+// with appends to the new segment; only bookkeeping takes the store lock.
+func (s *Store) WriteCheckpoint(seq uint64, program string, facts func(io.Writer) error) error {
+	var body bytes.Buffer
+	var lb [4]byte
+	binary.LittleEndian.PutUint32(lb[:], uint32(len(program)))
+	body.Write(lb[:])
+	body.WriteString(program)
+	// Reserve the facts length slot, stream the facts, then patch it in.
+	factAt := body.Len()
+	body.Write(lb[:])
+	if err := facts(&body); err != nil {
+		s.noteCheckpointError()
+		return fmt.Errorf("wal: checkpoint snapshot: %w", err)
+	}
+	binary.LittleEndian.PutUint32(body.Bytes()[factAt:], uint32(body.Len()-factAt-4))
+
+	out := make([]byte, 0, len(ckptMagic)+body.Len()+4)
+	out = append(out, ckptMagic...)
+	out = append(out, body.Bytes()...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(body.Bytes(), castagnoli))
+
+	if err := s.writeCheckpointFile(seq, out); err != nil {
+		s.noteCheckpointError()
+		return err
+	}
+	s.compact(seq)
+	return nil
+}
+
+// writeCheckpointFile lands the encoded checkpoint via tmp-write, fsync,
+// rename, directory fsync. Writes and the fsync go through the fault
+// hooks so tests can tear or fail a checkpoint like any other file.
+func (s *Store) writeCheckpointFile(seq uint64, out []byte) error {
+	tmp := filepath.Join(s.dir, ckptName(seq)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	tok := leakcheck.OpenResource("walfile " + tmp)
+	cleanup := func(err error) error {
+		f.Close()
+		leakcheck.CloseResource(tok)
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	p, herr := out, error(nil)
+	if h := s.opts.BeforeWrite; h != nil {
+		p, herr = h(tmp, 0, out)
+	}
+	if len(p) > 0 {
+		if _, werr := f.WriteAt(p, 0); werr != nil {
+			return cleanup(werr)
+		}
+	}
+	if herr != nil {
+		return cleanup(herr)
+	}
+	if h := s.opts.BeforeSync; h != nil {
+		if err := h(tmp); err != nil {
+			return cleanup(err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		leakcheck.CloseResource(tok)
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	leakcheck.CloseResource(tok)
+	if err := os.Rename(tmp, filepath.Join(s.dir, ckptName(seq))); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// compact deletes segments and checkpoints the new checkpoint at seq
+// supersedes. Removal is best-effort: a leftover file wastes disk until
+// the next checkpoint but can never be replayed (recovery prefers the
+// newest valid checkpoint), so errors here don't fail the checkpoint.
+func (s *Store) compact(seq uint64) {
+	s.mu.Lock()
+	lo, hi := s.minSeq, s.seq
+	if seq > s.minSeq {
+		s.minSeq = seq
+	}
+	s.stats.Checkpoints++
+	if hi >= s.minSeq {
+		s.stats.Segments = hi - s.minSeq + 1
+	}
+	prevCkp := s.ckpSeq
+	s.ckpSeq, s.ckpProg, s.ckpFact = seq, "", ""
+	s.mu.Unlock()
+
+	for q := lo; q < seq; q++ {
+		os.Remove(filepath.Join(s.dir, segName(q)))
+	}
+	if prevCkp > 0 && prevCkp < seq {
+		os.Remove(filepath.Join(s.dir, ckptName(prevCkp)))
+	}
+}
+
+func (s *Store) noteCheckpointError() {
+	s.mu.Lock()
+	s.stats.CheckpointErrors++
+	s.mu.Unlock()
+}

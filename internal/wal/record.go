@@ -1,0 +1,114 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Log record wire format, designed so a reader can always tell a torn
+// tail (the bytes a crash cut short) from a complete record:
+//
+//	u32le length   — length of type byte + payload
+//	u32le crc32c   — Castagnoli CRC over type byte + payload
+//	u8    type     — record type below
+//	[]    payload
+//
+// The length field bounds the read, the checksum proves the record was
+// fully and faithfully persisted; a record that fails either test is
+// where replay stops (and, in the newest segment, where recovery
+// truncates — see Store.Recover).
+const (
+	recAddFact byte = 1 // payload: packed strings (pred, args...)
+	recFacts   byte = 2 // payload: raw LoadFacts source text
+	recProgram byte = 3 // payload: raw LoadProgram source text
+	recClear   byte = 4 // payload: empty
+)
+
+// recHeader is the fixed prefix: length + crc.
+const recHeader = 8
+
+// maxRecord caps a single record's declared length; a larger length is
+// corruption by definition (no real record approaches it) and must not
+// drive a giant allocation.
+const maxRecord = 1 << 30
+
+// castagnoli is the CRC32C polynomial table, the checksum flavor storage
+// systems use for its error-detection properties and hardware support.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errTorn reports an incomplete or checksum-failing record — the log's
+// tail was torn by a crash (or the bytes rotted). Recovery treats it as
+// "the log ends here".
+var errTorn = errors.New("wal: torn or corrupt record")
+
+// appendRecord appends the encoding of one record to dst.
+func appendRecord(dst []byte, typ byte, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)+1))
+	crc := crc32.Update(crc32.Checksum([]byte{typ}, castagnoli), castagnoli, payload)
+	dst = binary.LittleEndian.AppendUint32(dst, crc)
+	dst = append(dst, typ)
+	return append(dst, payload...)
+}
+
+// parseRecord decodes the record starting at off, returning its type,
+// payload, and the offset of the next record. Any violation — truncated
+// header, impossible length, truncated body, checksum mismatch — returns
+// errTorn; the caller decides whether that means "stop replaying" or
+// "corruption mid-log".
+func parseRecord(data []byte, off int) (typ byte, payload []byte, next int, err error) {
+	if off+recHeader > len(data) {
+		return 0, nil, 0, errTorn
+	}
+	length := int(binary.LittleEndian.Uint32(data[off:]))
+	crc := binary.LittleEndian.Uint32(data[off+4:])
+	if length < 1 || length > maxRecord || off+recHeader+length > len(data) {
+		return 0, nil, 0, errTorn
+	}
+	body := data[off+recHeader : off+recHeader+length]
+	if crc32.Checksum(body, castagnoli) != crc {
+		return 0, nil, 0, errTorn
+	}
+	return body[0], body[1:], off + recHeader + length, nil
+}
+
+// encodeFact packs an AddFact as a sequence of uvarint-length-prefixed
+// strings: the predicate first, then each argument.
+func encodeFact(pred string, args []string) []byte {
+	n := binary.MaxVarintLen64 + len(pred)
+	for _, a := range args {
+		n += binary.MaxVarintLen64 + len(a)
+	}
+	out := make([]byte, 0, n+binary.MaxVarintLen64)
+	out = binary.AppendUvarint(out, uint64(len(args)+1))
+	out = binary.AppendUvarint(out, uint64(len(pred)))
+	out = append(out, pred...)
+	for _, a := range args {
+		out = binary.AppendUvarint(out, uint64(len(a)))
+		out = append(out, a...)
+	}
+	return out
+}
+
+// decodeFact unpacks encodeFact's payload.
+func decodeFact(payload []byte) (pred string, args []string, err error) {
+	count, n := binary.Uvarint(payload)
+	if n <= 0 || count < 1 || count > uint64(len(payload))+1 {
+		return "", nil, fmt.Errorf("wal: bad fact record header")
+	}
+	rest := payload[n:]
+	fields := make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		l, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest[n:])) < l {
+			return "", nil, fmt.Errorf("wal: bad fact record field %d", i)
+		}
+		fields = append(fields, string(rest[n:n+int(l)]))
+		rest = rest[n+int(l):]
+	}
+	if len(rest) != 0 {
+		return "", nil, fmt.Errorf("wal: trailing bytes in fact record")
+	}
+	return fields[0], fields[1:], nil
+}
