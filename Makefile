@@ -1,17 +1,32 @@
 # Tier-1 verify: everything a change must keep green (see ROADMAP.md).
 # For deeper concurrency soak-testing beyond tier-1, run `make stress`.
-.PHONY: verify vet build test bench stress fuzz lint serve-smoke crash-smoke
+.PHONY: verify vet build test bench stress fuzz lint lint-selftest serve-smoke crash-smoke
 
 verify: vet build test
 
 vet:
 	go vet ./...
 
-# lint runs go vet plus budgetcheck, the project analyzer enforcing the
-# budget invariant: every fixpoint loop that materializes tuples must
-# consult the evaluation budget (see internal/lint).
+# lint runs go vet plus sepvet, the project's static-analysis suite
+# (internal/lint): five analyzers enforcing the budget, write-ahead
+# ordering, snapshot-immutability, error-taxonomy, and leak-registration
+# invariants over every package in the module, plus the driver's own
+# directive checks (stale or unjustified ignores are findings too).
 lint: vet
-	go run ./cmd/budgetcheck
+	go run ./cmd/sepvet
+
+# lint-selftest proves the lint gate can actually fail: sepvet over the
+# seeded-violation corpus must exit 1, and over the clean fixture must
+# exit 0. A silently broken analyzer (or a walk that stopped finding
+# packages) fails this target, not the violations it was meant to catch.
+lint-selftest:
+	@go run ./cmd/sepvet internal/lint/testdata/budgetcheck >/dev/null 2>/dev/null; \
+	st=$$?; if [ $$st -ne 1 ]; then \
+		echo "lint-selftest: sepvet exited $$st on the seeded corpus, want 1"; exit 1; fi
+	@go run ./cmd/sepvet cmd/sepvet/testdata/clean >/dev/null; \
+	st=$$?; if [ $$st -ne 0 ]; then \
+		echo "lint-selftest: sepvet exited $$st on the clean fixture, want 0"; exit 1; fi
+	@echo "lint-selftest: ok (seeded corpus exits 1, clean fixture exits 0)"
 
 build:
 	go build ./...

@@ -1,13 +1,18 @@
-// Command budgetcheck runs the budget-invariant analyzer (internal/lint)
-// over the given package directories: every fixpoint loop that
-// materializes tuples must consult the evaluation budget. With no
-// arguments it checks the evaluation and strategy packages.
+// Command budgetcheck is a deprecated shim: the budget-invariant
+// analyzer now lives in the sepvet suite (cmd/sepvet, internal/lint),
+// which walks the whole module and runs four more invariant analyzers
+// alongside it. This command survives one release for scripts that call
+// it by name; it runs sepvet restricted to the budgetcheck analyzer over
+// the given directories (the whole module when none are given) and exits
+// with sepvet's codes: 0 clean, 1 findings, 2 usage or I/O errors.
 //
 // Usage:
 //
 //	budgetcheck [dir ...]
 //
-// Exit status is 1 when any violation is found, 2 on usage or I/O errors.
+// Migrate to:
+//
+//	sepvet -analyzers budgetcheck [dir ...]
 package main
 
 import (
@@ -17,40 +22,29 @@ import (
 	"sepdl/internal/lint"
 )
 
-// defaultDirs are the packages whose loops materialize tuples: the
-// bottom-up evaluators, every strategy implementation, and the durable
-// store (whose replay loops are evaluation-shaped work over the log).
-var defaultDirs = []string{
-	"internal/eval",
-	"internal/core",
-	"internal/counting",
-	"internal/hn",
-	"internal/tabling",
-	"internal/magic",
-	"internal/aho",
-	"internal/expand",
-	"internal/adorn",
-	"internal/wal",
-}
-
 func main() {
-	dirs := os.Args[1:]
-	if len(dirs) == 0 {
-		dirs = defaultDirs
+	fmt.Fprintln(os.Stderr, "budgetcheck: deprecated; use sepvet (cmd/sepvet), which runs this analyzer and four more")
+	opts := lint.Options{
+		Analyzers: []*lint.Analyzer{lint.Budgetcheck()},
+		// A single-analyzer run cannot judge directives aimed at the rest
+		// of the suite, so the shim skips the stale-ignore checks.
+		NoDirectiveChecks: true,
 	}
-	bad := false
-	for _, dir := range dirs {
-		findings, err := lint.CheckDir(dir)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "budgetcheck:", err)
-			os.Exit(2)
-		}
-		for _, f := range findings {
-			fmt.Println(f)
-			bad = true
-		}
+	if len(os.Args) > 1 {
+		opts.Dirs = os.Args[1:]
 	}
-	if bad {
+	findings, err := lint.Check(".", opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "budgetcheck:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		// Exit 1 is the lint "findings" convention shared with sepvet and
+		// sepdl check — not an engine error crossing the boundary.
+		// sepvet:ignore:errcodecheck — findings exit convention; no engine error to classify
 		os.Exit(1)
 	}
 }

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"sepdl"
+	"sepdl/internal/leakcheck"
 	"sepdl/internal/server"
 )
 
@@ -179,6 +180,8 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		fmt.Fprintln(stderr, "sepdld:", err)
 		return 1
 	}
+	lnTok := leakcheck.OpenResource("listener " + ln.Addr().String())
+	defer leakcheck.CloseResource(lnTok)
 	hs := &http.Server{
 		Handler:      srv,
 		ReadTimeout:  *readTimeout,

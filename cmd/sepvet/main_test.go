@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden.json from current output")
+
+// TestGoldenJSON pins the -json report byte-for-byte against
+// testdata/golden.json; regenerate with go test -run TestGoldenJSON -update.
+func TestGoldenJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "testdata/golden"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if *update {
+		if err := os.WriteFile("testdata/golden.json", out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile("testdata/golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("JSON report drifted from testdata/golden.json (rerun with -update if intended):\n%s", out.String())
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean", []string{"testdata/clean"}, 0},
+		{"findings", []string{"testdata/golden"}, 1},
+		{"unknown analyzer", []string{"-analyzers", "nope"}, 2},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
+		{"missing dir", []string{"testdata/no-such-dir"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if got := run(tc.args, &out, &errb); got != tc.want {
+				t.Errorf("run(%v) = %d, want %d (stderr: %s)", tc.args, got, tc.want, errb.String())
+			}
+		})
+	}
+}
+
+func TestTextOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"testdata/golden"}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"[budgetcheck]",
+		"[walorder]",
+		"[snapshotcheck]",
+		"sepvet: 3 finding(s)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestAnalyzerFilter pins that -analyzers restricts the suite: the golden
+// package holds a walorder violation that a budgetcheck-only run must not
+// report, and a partial suite must not report stale directives either.
+func TestAnalyzerFilter(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-analyzers", "budgetcheck", "testdata/golden"}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if strings.Contains(out.String(), "[walorder]") {
+		t.Errorf("budgetcheck-only run reported walorder findings:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "sepvet: 1 finding(s)") {
+		t.Errorf("want exactly the budgetcheck finding:\n%s", out.String())
+	}
+}

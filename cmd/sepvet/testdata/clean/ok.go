@@ -1,0 +1,6 @@
+// A violation-free package for the exit-code test.
+package clean
+
+func add(a, b int) int {
+	return a + b
+}

@@ -1,0 +1,21 @@
+// Seeded violations for the golden-output test: one finding for each of
+// the unscoped analyzers (budgetcheck, walorder, snapshotcheck), in a
+// stable order. Parse-only; the referenced types stay undefined.
+package golden
+
+func fixpointNoHook(rel Rel) {
+	for {
+		if !rel.Insert(1) {
+			break
+		}
+	}
+}
+
+func applyBeforeAppend(db DB, store Store, a Atom) error {
+	db.AddAtom(a)
+	return store.AppendFact(a)
+}
+
+func mutateSnapshot(db DB, t Tuple) {
+	db.Snapshot().Insert(t)
+}

@@ -1154,12 +1154,25 @@ func (e *Engine) WriteFacts(w io.Writer) error {
 // (fact, the rule deriving it, and recursively the supporting facts),
 // rendered as indented text. The fact must actually hold.
 func (e *Engine) Why(fact string) (string, error) {
+	return e.WhyCtx(context.Background(), fact)
+}
+
+// WhyCtx is Why with a context and query options. Building an
+// explanation re-derives the whole IDB with round recording, so it is
+// evaluation-shaped work: ctx cancellation and WithBudget limits bound
+// it exactly as they bound a query.
+func (e *Engine) WhyCtx(ctx context.Context, fact string, opts ...QueryOption) (string, error) {
 	a, err := parser.Query(fact)
 	if err != nil {
 		return "", err
 	}
+	cfg := e.newQueryConfig(opts)
+	bud := cfg.tracker(ctx)
+	if err := bud.Err(); err != nil {
+		return "", err
+	}
 	st, db, _ := e.snapshot()
-	ex, err := provenance.New(st.prog, db)
+	ex, err := provenance.New(st.prog, db, bud)
 	if err != nil {
 		return "", err
 	}

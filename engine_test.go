@@ -1,6 +1,8 @@
 package sepdl
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -548,6 +550,34 @@ func TestWhy(t *testing.T) {
 	}
 	if _, err := e.Why(`buys(alice, radio)`); err == nil {
 		t.Fatal("Why explained a false fact")
+	}
+}
+
+func TestWhyCtxBudget(t *testing.T) {
+	e := newExample11(t)
+
+	// The recording fixpoint is evaluation-shaped work: a canceled
+	// context must abort it with the usual typed error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.WhyCtx(ctx, `buys(tom, radio)`); !errors.Is(err, context.Canceled) {
+		t.Fatalf("WhyCtx on canceled ctx: got %v, want context.Canceled", err)
+	}
+
+	// A starvation budget must trip inside the explanation build.
+	_, err := e.WhyCtx(context.Background(), `buys(tom, radio)`, WithBudget(Budget{MaxTuples: 1}))
+	var re *ResourceError
+	if !errors.As(err, &re) {
+		t.Fatalf("WhyCtx with MaxTuples=1: got %v, want *ResourceError", err)
+	}
+
+	// A generous budget changes nothing about the answer.
+	out, err := e.WhyCtx(context.Background(), `buys(tom, radio)`, WithBudget(Budget{MaxTuples: 100000}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "buys(tom, radio)") {
+		t.Errorf("WhyCtx output missing the fact:\n%s", out)
 	}
 }
 

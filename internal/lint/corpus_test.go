@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCorpus runs every analyzer over its testdata corpus and matches
+// the findings against the "// want <analyzer>" markers in the corpus
+// files: every marker must produce exactly one finding on its line, and
+// every finding must land on a marked line. Driver findings (analyzer
+// "sepvet") have no markers, so an unjustified or stale directive in a
+// corpus fails the test too.
+func TestCorpus(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", a.Name)
+			findings, err := CheckDirWith(dir, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := wantMarkers(t, dir)
+			got := make(map[string]int)
+			for _, f := range findings {
+				got[fmt.Sprintf("%s:%d %s", filepath.ToSlash(f.Pos.Filename), f.Pos.Line, f.Analyzer)]++
+			}
+			for key, n := range want {
+				if got[key] != n {
+					t.Errorf("want %d finding(s) at %s, got %d", n, key, got[key])
+				}
+			}
+			for key, n := range got {
+				if want[key] == 0 {
+					t.Errorf("unexpected finding(s) at %s (x%d)", key, n)
+				}
+			}
+		})
+	}
+}
+
+// wantMarkers scans the corpus directory for "// want <analyzer>"
+// markers and returns the expected multiset keyed "file:line analyzer".
+func wantMarkers(t *testing.T, dir string) map[string]int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]int)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			_, after, found := strings.Cut(sc.Text(), "// want ")
+			if !found {
+				continue
+			}
+			name := strings.TrimSpace(after)
+			if name == "" {
+				t.Fatalf("%s:%d: empty want marker", path, line)
+			}
+			want[fmt.Sprintf("%s:%d %s", filepath.ToSlash(path), line, name)]++
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	if len(want) == 0 && !strings.Contains(dir, "negative") {
+		// Every corpus has at least one positive case; zero markers means
+		// the scan itself is broken.
+		t.Fatalf("no want markers found under %s", dir)
+	}
+	return want
+}

@@ -1,0 +1,136 @@
+// errcodecheck enforces the shared error taxonomy at the process
+// boundaries: every engine error that crosses the HTTP surface
+// (internal/server) or the exit-code surface (the cmd/ CLIs) must flow
+// through internal/errcode, the single source of truth mapping error
+// classes onto HTTP statuses and exit codes. A handler that writes its
+// own status, or a CLI that exits with a hand-picked code, silently forks
+// the taxonomy — scripts and load balancers then disagree with the
+// documented contract.
+//
+// Three rules:
+//
+//  1. No http.Error calls. The server's writeError/writeEngineError are
+//     the only response-writing paths; http.Error bypasses both the JSON
+//     error document and the errcode classification.
+//  2. No os.Exit with a bare integer literal other than 0 or 2. Exit 0 is
+//     success and exit 2 is the flag-package usage convention; every
+//     other code belongs to the taxonomy and must come from
+//     errcode.Classify(err).ExitCode() (or a run() function returning
+//     it), never be hard-coded.
+//  3. An HTTP handler (a function named handle*) that calls an engine or
+//     prepared-query method returning an evaluation error (Query,
+//     QueryCtx, QueryBatch, Prepare, Run, RunBatch, LoadFacts,
+//     LoadProgram, AddFact) must reach writeEngineError, the one path
+//     that classifies engine errors onto the wire.
+//
+// Like every sepvet rule, exemptions carry a justified
+// "// sepvet:ignore" comment on the offending line or the line above.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// engineErrorCalls are the engine/prepared methods whose errors carry the
+// taxonomy's classes and therefore must be mapped, not improvised.
+var engineErrorCalls = map[string]bool{
+	"Query":       true,
+	"QueryCtx":    true,
+	"QueryBatch":  true,
+	"Prepare":     true,
+	"Run":         true,
+	"RunBatch":    true,
+	"LoadFacts":   true,
+	"LoadProgram": true,
+	"AddFact":     true,
+}
+
+// Errcodecheck returns the error-taxonomy analyzer, scoped to the serving
+// layer and the CLIs — the two surfaces internal/errcode exists to keep
+// in agreement.
+func Errcodecheck() *Analyzer {
+	return &Analyzer{
+		Name:  "errcodecheck",
+		Doc:   "errors crossing the HTTP or exit-code boundary must flow through the internal/errcode taxonomy",
+		Paths: []string{"internal/server", "cmd"},
+		Run:   runErrcodecheck,
+	}
+}
+
+func runErrcodecheck(p *Pass) []Finding {
+	var findings []Finding
+	for _, f := range p.Files {
+		// Rules 1 and 2: boundary calls anywhere in the file.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkg.Name == "http" && sel.Sel.Name == "Error":
+				findings = append(findings, Finding{
+					Pos: p.Fset.Position(call.Pos()),
+					Msg: "http.Error bypasses the errcode taxonomy and the JSON error document; respond via writeError/writeEngineError",
+				})
+			case pkg.Name == "os" && sel.Sel.Name == "Exit" && len(call.Args) == 1:
+				if code, ok := intLiteral(call.Args[0]); ok && code != 0 && code != 2 {
+					findings = append(findings, Finding{
+						Pos: p.Fset.Position(call.Pos()),
+						Msg: fmt.Sprintf("os.Exit(%d) hard-codes an exit code the errcode taxonomy owns; derive it from errcode.Classify(err).ExitCode() (0 and usage's 2 are the only bare literals)", code),
+					})
+				}
+			}
+			return true
+		})
+		// Rule 3: handlers calling the engine must classify its errors.
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "handle") {
+				continue
+			}
+			called := calledNames(fd.Body)
+			engine := ""
+			for name := range called {
+				if engineErrorCalls[name] && (engine == "" || name < engine) {
+					engine = name
+				}
+			}
+			if engine == "" {
+				continue
+			}
+			if reaches(called, map[string]bool{"writeEngineError": true}, p.Funcs, 1) {
+				continue
+			}
+			findings = append(findings, Finding{
+				Pos: p.Fset.Position(fd.Pos()),
+				Msg: fmt.Sprintf("handler calls the engine (%s) but never reaches writeEngineError; engine errors must cross the wire through the errcode taxonomy", engine),
+			})
+		}
+	}
+	return findings
+}
+
+// intLiteral extracts a non-negative integer literal from e.
+func intLiteral(e ast.Expr) (int, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return 0, false
+	}
+	n, err := strconv.Atoi(lit.Value)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}

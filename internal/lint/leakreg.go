@@ -1,0 +1,76 @@
+// leakreg enforces handle registration in the long-lived I/O subsystems:
+// a function in the WAL or the serving layer that opens an OS resource —
+// os.OpenFile, os.Open, os.Create, net.Listen — must register it with
+// internal/leakcheck (leakcheck.OpenResource) on the same path that
+// stores the handle, directly or through one same-package helper. The
+// leakcheck registry is what lets the crash-recovery sweeps, chaos
+// suites, and fault-injected append tests assert "no handle leaked"; an
+// unregistered open is invisible to every one of those nets, so a leak
+// on that path ships.
+//
+// Transient handles that are provably closed before the function returns
+// (open, fsync, defer-close — the directory-sync idiom) are legitimate
+// exemptions; annotate them with a justified "// sepvet:ignore:leakreg"
+// on the opening line or the line above.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// resourceOpens maps package identifier → function names that hand back
+// an OS resource worth tracking.
+var resourceOpens = map[string]map[string]bool{
+	"os":  {"OpenFile": true, "Open": true, "Create": true},
+	"net": {"Listen": true},
+}
+
+// Leakreg returns the handle-registration analyzer, scoped to the
+// subsystems whose handles outlive a request: the WAL's segment and
+// checkpoint files and the serving layer's listener.
+func Leakreg() *Analyzer {
+	return &Analyzer{
+		Name:  "leakreg",
+		Doc:   "os.OpenFile/net.Listen in the WAL and serving layer must register with internal/leakcheck",
+		Paths: []string{"internal/wal", "internal/server", "cmd/sepdld"},
+		Run:   runLeakreg,
+	}
+}
+
+func runLeakreg(p *Pass) []Finding {
+	var findings []Finding
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			called := calledNames(fd.Body)
+			registered := reaches(called, map[string]bool{"OpenResource": true}, p.Funcs, 1)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkg, ok := sel.X.(*ast.Ident)
+				if !ok || !resourceOpens[pkg.Name][sel.Sel.Name] {
+					return true
+				}
+				if registered {
+					return true
+				}
+				findings = append(findings, Finding{
+					Pos: p.Fset.Position(call.Pos()),
+					Msg: fmt.Sprintf("%s.%s opens an OS resource without registering it (leakcheck.OpenResource) on the path that stores the handle; unregistered handles are invisible to the leak-asserting test suites", pkg.Name, sel.Sel.Name),
+				})
+				return true
+			})
+		}
+	}
+	return findings
+}

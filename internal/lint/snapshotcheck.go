@@ -1,0 +1,154 @@
+// snapshotcheck enforces copy-on-write snapshot immutability: once a
+// relation or database is published via Snapshot(), the returned handle
+// is a frozen point-in-time view shared with concurrent readers, and no
+// mutating method may run on it. The COW scheme makes mutation through a
+// snapshot handle *silently* un-isolate readers (the mutator detaches,
+// but only after the aliased storage has been observed), so this is the
+// static twin of the data race the -race seam tests catch dynamically.
+//
+// The heuristic is per-function dataflow-lite: any identifier bound from
+// a Snapshot() call — snap := x.Snapshot() — must not later receive a
+// mutating call (Insert, InsertAll, Delete, Set, AddFact, AddAtom, Load,
+// Ensure) or an index-assignment (snap[...] = v, snap.f[...] = v) in the
+// same function. A mutator chained straight onto the call
+// (x.Snapshot().Insert(t)) is flagged the same way. Mutating the
+// *source* after snapshotting is legal — that is exactly what
+// copy-on-write exists for.
+//
+// Like every sepvet rule, exemptions carry a justified
+// "// sepvet:ignore" comment on the offending line or the line above.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// snapshotMutators are the methods that mutate a relation or database.
+var snapshotMutators = map[string]bool{
+	"Insert":    true,
+	"InsertAll": true,
+	"Delete":    true,
+	"Set":       true,
+	"AddFact":   true,
+	"AddAtom":   true,
+	"Load":      true,
+	"Ensure":    true,
+}
+
+// Snapshotcheck returns the snapshot-immutability analyzer. It applies
+// everywhere: snapshots flow from the storage layer through the engine
+// into the server, and the invariant travels with the handle.
+func Snapshotcheck() *Analyzer {
+	return &Analyzer{
+		Name: "snapshotcheck",
+		Doc:  "no mutating call on a relation/database handle after it is published via Snapshot()",
+		Run:  runSnapshotcheck,
+	}
+}
+
+func runSnapshotcheck(p *Pass) []Finding {
+	var findings []Finding
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				findings = append(findings, checkSnapshotUse(p, fd.Body)...)
+			}
+		}
+	}
+	return findings
+}
+
+// checkSnapshotUse flags mutations of snapshot-bound identifiers and of
+// chained Snapshot() results within one function body.
+func checkSnapshotUse(p *Pass, body *ast.BlockStmt) []Finding {
+	// First pass: identifiers assigned from a Snapshot() call.
+	snaps := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != len(as.Lhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isSnapshotCall(rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+				snaps[id.Name] = true
+			}
+		}
+		return true
+	})
+
+	var findings []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch m := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := m.Fun.(*ast.SelectorExpr)
+			if !ok || !snapshotMutators[sel.Sel.Name] {
+				return true
+			}
+			switch x := sel.X.(type) {
+			case *ast.Ident:
+				if snaps[x.Name] {
+					findings = append(findings, Finding{
+						Pos: p.Fset.Position(m.Pos()),
+						Msg: fmt.Sprintf("mutating call %s.%s on a snapshot handle; a published snapshot is an immutable point-in-time view shared with concurrent readers", x.Name, sel.Sel.Name),
+					})
+				}
+			case *ast.CallExpr:
+				if isSnapshotCall(x) {
+					findings = append(findings, Finding{
+						Pos: p.Fset.Position(m.Pos()),
+						Msg: fmt.Sprintf("mutating call %s chained onto Snapshot(); a published snapshot is an immutable point-in-time view shared with concurrent readers", sel.Sel.Name),
+					})
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				if name, ok := indexedRoot(lhs); ok && snaps[name] {
+					findings = append(findings, Finding{
+						Pos: p.Fset.Position(lhs.Pos()),
+						Msg: fmt.Sprintf("map/index write into snapshot handle %s; a published snapshot is an immutable point-in-time view shared with concurrent readers", name),
+					})
+				}
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// isSnapshotCall reports whether e is a call whose terminal name is
+// Snapshot (x.Snapshot() or Snapshot()).
+func isSnapshotCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fn.Sel.Name == "Snapshot"
+	case *ast.Ident:
+		return fn.Name == "Snapshot"
+	}
+	return false
+}
+
+// indexedRoot resolves the root identifier of an index-assignment target:
+// snap[...] or snap.f[...] both root at snap.
+func indexedRoot(e ast.Expr) (string, bool) {
+	ix, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return "", false
+	}
+	switch x := ix.X.(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			return id.Name, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,25 @@
+// Ignored corpus: real violations suppressed by justified directives —
+// one per directive form. Nothing here may surface as a finding, and
+// every directive must count as used (a stale one would itself be
+// reported by the driver).
+package corpus
+
+func ignoredFixpoint(total Rel) {
+	// sepvet:ignore — bounded by construction: the loop runs at most once per arity
+	for {
+		if !total.Insert(nil) {
+			break
+		}
+	}
+}
+
+func ignoredSpawnAnalyzerScoped(out Rel, q Queue) {
+	// sepvet:ignore:budgetcheck — drains a bounded handoff queue, never derives
+	go func() {
+		out.Insert(q.Next())
+	}()
+}
+
+func ignoredFillLegacy(c Cache, rows []Tuple) { // budgetcheck:ignore — fill of a fixed-size config relation
+	c.Put("k", FromRows(rows))
+}

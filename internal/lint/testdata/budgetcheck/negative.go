@@ -1,0 +1,64 @@
+// Negative corpus: the same shapes as positive.go with budget hooks in
+// reach; nothing here may be flagged.
+package corpus
+
+func fixpointWithHook(b Budget, total, delta Rel) {
+	for {
+		b.Round()
+		n := 0
+		for _, t := range delta.Rows() {
+			if total.Insert(t) {
+				b.AddDerived(1, len(t))
+				n++
+			}
+		}
+		if n == 0 {
+			break
+		}
+	}
+}
+
+func spawnWithHook(b Budget, out Rel, chunks [][]Tuple) {
+	for _, c := range chunks {
+		c := c
+		go func() {
+			for _, t := range c {
+				b.Tick()
+				out.InsertAll(t)
+			}
+		}()
+	}
+}
+
+func poolWithHook(b Budget, out Rel, parts []Part) {
+	par.Run(4, func(i int) {
+		b.Tick()
+		out.Insert(parts[i].Tuple())
+	})
+}
+
+// A hook one same-package call away satisfies the rule.
+func fillViaHelper(c Cache, rows []Tuple) {
+	r := FromRows(rows)
+	account(len(rows))
+	c.Put("k", r)
+}
+
+func account(n int) {
+	bud.AddDerived(n, 2)
+}
+
+func replayWithHook(b Budget, sink Sink, recs []Rec) {
+	for _, r := range recs {
+		b.Tick()
+		sink.AddFact(r.Line)
+	}
+}
+
+// A bounded range loop inserting is not a fixpoint; the Insert rule only
+// watches non-range for statements.
+func boundedRangeInsert(out Rel, rows []Tuple) {
+	for _, t := range rows {
+		out.Insert(t)
+	}
+}

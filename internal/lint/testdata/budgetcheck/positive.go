@@ -1,0 +1,54 @@
+// Positive corpus: every function violates the budget invariant. Lines
+// carrying findings are marked "want budgetcheck"; the corpus harness in
+// corpus_test.go matches findings against these markers. Files here are
+// parsed, never compiled, so referenced types and helpers stay undefined.
+package corpus
+
+// A fixpoint loop that materializes without ever consulting the budget.
+func fixpointNoHook(total, delta Rel) {
+	for { // want budgetcheck
+		n := 0
+		for _, t := range delta.Rows() {
+			if total.Insert(t) {
+				n++
+			}
+		}
+		if n == 0 {
+			break
+		}
+	}
+}
+
+// A spawned goroutine that materializes without a hook: cancellation
+// never propagates into the spawn.
+func spawnNoHook(out Rel, chunks [][]Tuple) {
+	for _, c := range chunks {
+		c := c
+		go func() { // want budgetcheck
+			for _, t := range c {
+				out.InsertAll(t)
+			}
+		}()
+	}
+}
+
+// A worker-pool body that materializes without a hook.
+func poolNoHook(out Rel, parts []Part) {
+	par.Run(4, func(i int) { // want budgetcheck
+		out.Insert(parts[i].Tuple())
+	})
+}
+
+// A cache fill that builds and publishes a relation with no accounting.
+func fillNoHook(c Cache, rows []Tuple) { // want budgetcheck
+	r := FromRows(rows)
+	c.Put("k", r)
+}
+
+// A replay loop applying recovered records without a hook (this corpus
+// directory is inside the replay rule's scope).
+func replayNoHook(sink Sink, recs []Rec) {
+	for _, r := range recs { // want budgetcheck
+		sink.AddFact(r.Line)
+	}
+}

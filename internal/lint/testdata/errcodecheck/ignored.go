@@ -1,0 +1,10 @@
+// Ignored corpus for errcodecheck: a real violation excused with a
+// justification. Nothing here may surface, and the directive must count
+// as used.
+package corpus
+
+// A panic-path bailout that must not run the taxonomy machinery.
+func mainExitAbort() {
+	// sepvet:ignore:errcodecheck — last-resort abort after the error writer itself failed; nothing left to classify
+	os.Exit(7)
+}

@@ -1,0 +1,45 @@
+// Negative corpus for errcodecheck: errors crossing the boundaries the
+// sanctioned way. Nothing here may be flagged.
+package corpus
+
+// Handlers respond through writeEngineError, the one path that maps
+// engine errors onto the taxonomy's statuses.
+func handleQueryClassified(w RW, r Req, eng Engine) {
+	res, err := eng.Query(r.Query)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+// writeEngineError one same-package call away still counts.
+func handleBatchViaHelper(w RW, r Req, eng Engine) {
+	res, err := eng.QueryBatch(r.Queries)
+	if err != nil {
+		respondErr(w, err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func respondErr(w RW, err error) {
+	writeEngineError(w, err)
+}
+
+// Exit 0 and the flag package's usage 2 are the sanctioned bare literals;
+// taxonomy codes come from Classify.
+func mainExitSanctioned(err error) {
+	if err == nil {
+		os.Exit(0)
+	}
+	if isUsage(err) {
+		os.Exit(2)
+	}
+	os.Exit(errcode.Classify(err).ExitCode())
+}
+
+// A handler that never touches the engine owes nothing to rule 3.
+func handleHealthz(w RW, r Req) {
+	w.WriteHeader(200)
+}

@@ -1,0 +1,27 @@
+// Positive corpus for errcodecheck: errors crossing the HTTP or
+// exit-code boundary without the errcode taxonomy. Finding lines are
+// marked "want errcodecheck". Parse-only.
+package corpus
+
+// http.Error bypasses both the JSON error document and the taxonomy.
+func handlePlainError(w RW, r Req) {
+	http.Error(w, "bad query", 400) // want errcodecheck
+}
+
+// A hand-picked exit code forks the taxonomy's exit-code table.
+func mainExitHardcoded(err error) {
+	if err != nil {
+		os.Exit(3) // want errcodecheck
+	}
+}
+
+// A handler that calls the engine but never classifies its errors onto
+// the wire.
+func handleQueryNoClassify(w RW, r Req, eng Engine) { // want errcodecheck
+	res, err := eng.Query(r.Query)
+	if err != nil {
+		w.WriteHeader(500)
+		return
+	}
+	writeJSON(w, res)
+}

@@ -1,0 +1,29 @@
+// Negative corpus for leakreg: opens registered with leakcheck on the
+// same path, directly or one same-package call away. Nothing here may be
+// flagged.
+package corpus
+
+func openSegmentRegistered(s *Seg, path string) error {
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return err
+	}
+	s.f = f
+	s.tok = leakcheck.OpenResource("walfile " + path)
+	return nil
+}
+
+// Registration through a same-package helper still counts.
+func listenRegistered(srv *Server, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv.ln = ln
+	track(srv, "listener "+addr)
+	return nil
+}
+
+func track(srv *Server, desc string) {
+	srv.tok = leakcheck.OpenResource(desc)
+}

@@ -1,0 +1,33 @@
+// Positive corpus for leakreg: OS resources opened on paths that never
+// register with leakcheck. Finding lines are marked "want leakreg".
+// Parse-only.
+package corpus
+
+// A stored file handle invisible to the leak-asserting suites.
+func openSegmentUnregistered(s *Seg, path string) error {
+	f, err := os.OpenFile(path, flags, 0o644) // want leakreg
+	if err != nil {
+		return err
+	}
+	s.f = f
+	return nil
+}
+
+// A listener held for the process lifetime, likewise untracked.
+func listenUnregistered(addr string) (Listener, error) {
+	return net.Listen("tcp", addr) // want leakreg
+}
+
+// Two opens in one unregistered function are two findings.
+func openPairUnregistered(s *Seg, a, b string) error {
+	fa, err := os.Open(a) // want leakreg
+	if err != nil {
+		return err
+	}
+	fb, err := os.Create(b) // want leakreg
+	if err != nil {
+		return err
+	}
+	s.a, s.b = fa, fb
+	return nil
+}

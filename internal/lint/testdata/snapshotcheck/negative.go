@@ -1,0 +1,29 @@
+// Negative corpus for snapshotcheck: legal uses of snapshots — reading
+// through the handle, and mutating the source after snapshotting (which
+// is exactly what copy-on-write exists for). Nothing here may be flagged.
+package corpus
+
+func readThroughSnapshot(db DB, pred string) int {
+	snap := db.Snapshot()
+	return snap.Relation(pred).Len()
+}
+
+// Mutating the source after publishing a snapshot is the COW happy path:
+// the writer detaches, the snapshot stays frozen.
+func mutateSourceAfterSnapshot(db DB, t Tuple) Snap {
+	snap := db.Snapshot()
+	db.Insert(t)
+	return snap
+}
+
+// A handle not bound from Snapshot() is fair game.
+func mutateFreshRelation(t Tuple) {
+	r := New(2)
+	r.Insert(t)
+}
+
+// Blank-bound snapshots bind nothing.
+func discardSnapshot(db DB, t Tuple) {
+	_ = db.Snapshot()
+	db.Insert(t)
+}

@@ -1,0 +1,28 @@
+// Positive corpus for snapshotcheck: mutations of published snapshot
+// handles. Finding lines are marked "want snapshotcheck". Parse-only.
+package corpus
+
+// Mutating through the handle bound from Snapshot().
+func mutateBoundHandle(db DB, t Tuple) {
+	snap := db.Snapshot()
+	snap.Insert(t) // want snapshotcheck
+}
+
+// A mutator chained straight onto the Snapshot() call.
+func mutateChained(r Rel, t Tuple) {
+	r.Snapshot().InsertAll(t) // want snapshotcheck
+}
+
+// Database-level mutators are mutators too.
+func mutateDatabaseSnapshot(db DB, p string, r Rel) {
+	view := db.Snapshot()
+	view.Set(p, r) // want snapshotcheck
+}
+
+// Index writes into the snapshot's storage un-isolate readers the same
+// way a method call does.
+func mutateIndexed(db DB, k string, v Rel) {
+	snap := db.Snapshot()
+	snap[k] = v      // want snapshotcheck
+	snap.rels[k] = v // want snapshotcheck
+}

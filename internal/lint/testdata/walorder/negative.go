@@ -1,0 +1,42 @@
+// Negative corpus for walorder: the correct write-ahead shape —
+// validate, append+fsync, then infallible apply — plus the sync helper
+// reached one call away. Nothing here may be flagged.
+package corpus
+
+func correctWritePath(db DB, store Store, a Atom) error {
+	if err := db.CheckAtom(a); err != nil {
+		return err
+	}
+	if err := store.AppendFact(a); err != nil {
+		return err
+	}
+	db.AddAtom(a)
+	return nil
+}
+
+func correctProgramSwap(e Engine, store Store, next State, text string) error {
+	if err := store.AppendProgram(text); err != nil {
+		return err
+	}
+	e.state = next
+	return nil
+}
+
+func writeThenSync(s *Seg, p []byte, off int64) error {
+	if err := s.writeAt(p, off); err != nil {
+		return err
+	}
+	return s.syncFile()
+}
+
+// The fsync one same-package call away still counts.
+func writeViaFlush(s *Seg, p []byte, off int64) error {
+	if err := s.writeAt(p, off); err != nil {
+		return err
+	}
+	return flush(s)
+}
+
+func flush(s *Seg) error {
+	return s.syncFile()
+}

@@ -1,0 +1,46 @@
+// Positive corpus for walorder: durable write paths that apply before
+// appending, discard append errors, or write without syncing. Finding
+// lines are marked "want walorder". Parse-only — helpers stay undefined.
+package corpus
+
+// Apply reachable before the durable append: a crash between the two
+// acknowledges state the log will never replay.
+func applyBeforeAppend(db DB, store Store, a Atom) error {
+	db.AddAtom(a) // want walorder
+	if err := store.AppendFact(a); err != nil {
+		return err
+	}
+	return nil
+}
+
+// The program-revision swap is an apply too.
+func swapBeforeAppend(e Engine, store Store, next State, text string) error {
+	e.state = next // want walorder
+	if err := store.AppendProgram(text); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Append as a bare statement discards the one signal that must gate the
+// apply.
+func appendBareStatement(db DB, store Store, a Atom) {
+	store.AppendFact(a) // want walorder
+	db.AddAtom(a)
+}
+
+// Append under go loses both ordering and the error.
+func appendUnderGo(store Store, text string) {
+	go store.AppendProgram(text) // want walorder
+}
+
+// Append assigned only to blanks is still discarded.
+func appendToBlank(db DB, store Store, lines []string) {
+	_ = store.AppendFacts(lines) // want walorder
+	db.LoadFacts(lines)
+}
+
+// A log write with no reachable fsync: unsynced bytes are not durable.
+func writeNoSync(s *Seg, p []byte, off int64) error { // want walorder
+	return s.writeAt(p, off)
+}

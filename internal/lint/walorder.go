@@ -1,0 +1,197 @@
+// walorder enforces the write-ahead ordering of the durable write path:
+// acknowledged ⇒ durable and failed ⇒ unchanged. The engine's writers
+// (AddFact, LoadFacts, LoadProgram, ClearProgram) validate first, then
+// append the record to the store — an append that returns nil has been
+// fsynced — and only then apply the mutation to the in-memory state,
+// which at that point cannot fail. An apply reachable before the append
+// is a durability hole: a crash after the apply and before the append
+// acknowledges state the log will never replay.
+//
+// Three rules, all within a single function body:
+//
+//  1. In any function that calls a store append method (AppendFact,
+//     AppendFacts, AppendProgram, AppendClear), no apply call — AddFact,
+//     AddAtom, Load, LoadFacts on the database, or an assignment to a
+//     field named state (the program-revision swap) — may appear before
+//     the first append.
+//  2. Every store append's error must be consumed: an append as a bare
+//     statement, under a go/defer, or assigned only to blanks discards
+//     the one signal that the apply must not run.
+//  3. A function that calls the wal's writeAt must also reach syncFile
+//     (directly or through one same-package function): bytes that are
+//     written but never fsynced are not durable, and the append path may
+//     not acknowledge them.
+//
+// Like every sepvet rule, exemptions carry a justified
+// "// sepvet:ignore" comment on the offending line or the line above.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// storeAppends are the database.Store mutation-logging methods; calling
+// one marks the surrounding function as a durable write path.
+var storeAppends = map[string]bool{
+	"AppendFact":    true,
+	"AppendFacts":   true,
+	"AppendProgram": true,
+	"AppendClear":   true,
+}
+
+// applyCalls are the in-memory apply methods a durable write path runs
+// after its append. (Check* preflight calls are deliberately absent:
+// validation must happen before the append.)
+var applyCalls = map[string]bool{
+	"AddFact":   true,
+	"AddAtom":   true,
+	"Load":      true,
+	"LoadFacts": true,
+}
+
+// Walorder returns the durable write-ordering analyzer. It applies
+// everywhere: the write path lives in the root package today, but any
+// subsystem that grows a durable writer owes the same ordering.
+func Walorder() *Analyzer {
+	return &Analyzer{
+		Name: "walorder",
+		Doc:  "durable write paths must append+fsync to the WAL before applying, and must check the append error",
+		Run:  runWalorder,
+	}
+}
+
+func runWalorder(p *Pass) []Finding {
+	var findings []Finding
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			findings = append(findings, checkWriteOrder(p, fd)...)
+			findings = append(findings, checkWriteSync(p, fd)...)
+		}
+	}
+	return findings
+}
+
+// checkWriteOrder applies rules 1 and 2 to one function.
+func checkWriteOrder(p *Pass, fd *ast.FuncDecl) []Finding {
+	firstAppend := token.Pos(-1)
+	appendName := ""
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, ok := selectorName(call); ok && storeAppends[name] {
+				if firstAppend < 0 || call.Pos() < firstAppend {
+					firstAppend, appendName = call.Pos(), name
+				}
+			}
+		}
+		return true
+	})
+	if firstAppend < 0 {
+		return nil
+	}
+
+	var findings []Finding
+	// Rule 1: no apply before the first append.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch m := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := selectorName(m); ok && applyCalls[name] && m.Pos() < firstAppend {
+				findings = append(findings, Finding{
+					Pos: p.Fset.Position(m.Pos()),
+					Msg: fmt.Sprintf("in-memory apply (%s) is reachable before the durable append (%s); the write-ahead ordering requires validate, then append+fsync, then apply", name, appendName),
+				})
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				if sel, ok := lhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "state" && m.Pos() < firstAppend {
+					findings = append(findings, Finding{
+						Pos: p.Fset.Position(m.Pos()),
+						Msg: fmt.Sprintf("program-state swap is reachable before the durable append (%s); the write-ahead ordering requires validate, then append+fsync, then apply", appendName),
+					})
+				}
+			}
+		}
+		return true
+	})
+	// Rule 2: every append's error is consumed.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch m := n.(type) {
+		case *ast.ExprStmt:
+			if name, ok := callAppendName(m.X); ok {
+				findings = append(findings, unchecked(p, m.Pos(), name))
+			}
+		case *ast.GoStmt:
+			if name, ok := callAppendName(m.Call); ok {
+				findings = append(findings, unchecked(p, m.Pos(), name))
+			}
+		case *ast.DeferStmt:
+			if name, ok := callAppendName(m.Call); ok {
+				findings = append(findings, unchecked(p, m.Pos(), name))
+			}
+		case *ast.AssignStmt:
+			if len(m.Rhs) != 1 {
+				return true
+			}
+			name, ok := callAppendName(m.Rhs[0])
+			if !ok {
+				return true
+			}
+			for _, lhs := range m.Lhs {
+				if id, isID := lhs.(*ast.Ident); !isID || id.Name != "_" {
+					return true
+				}
+			}
+			findings = append(findings, unchecked(p, m.Pos(), name))
+		}
+		return true
+	})
+	return findings
+}
+
+func unchecked(p *Pass, pos token.Pos, name string) Finding {
+	return Finding{
+		Pos: p.Fset.Position(pos),
+		Msg: fmt.Sprintf("durable append (%s) with its error discarded; a failed append must abort the apply, or acknowledged state diverges from the log", name),
+	}
+}
+
+// checkWriteSync applies rule 3: writeAt without a reachable syncFile.
+func checkWriteSync(p *Pass, fd *ast.FuncDecl) []Finding {
+	called := calledNames(fd.Body)
+	if !called["writeAt"] {
+		return nil
+	}
+	if reaches(called, map[string]bool{"syncFile": true}, p.Funcs, 1) {
+		return nil
+	}
+	return []Finding{{
+		Pos: p.Fset.Position(fd.Pos()),
+		Msg: "log write (writeAt) without a reachable fsync (syncFile); unsynced bytes are not durable and must not be acknowledged",
+	}}
+}
+
+// selectorName returns the method name of a selector call (x.M(...)).
+func selectorName(call *ast.CallExpr) (string, bool) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// callAppendName reports whether e is a call to a store append method.
+func callAppendName(e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	name, ok := selectorName(call)
+	if !ok || !storeAppends[name] {
+		return "", false
+	}
+	return name, true
+}

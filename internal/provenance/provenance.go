@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"sepdl/internal/ast"
+	"sepdl/internal/budget"
 	"sepdl/internal/conj"
 	"sepdl/internal/database"
 	"sepdl/internal/rel"
@@ -91,8 +92,12 @@ func key(t rel.Tuple) string {
 }
 
 // New evaluates prog over db (stratified), recording the round in which
-// each IDB tuple first appears.
-func New(prog *ast.Program, db *database.Database) (*Explainer, error) {
+// each IDB tuple first appears. The recording fixpoint charges bud (nil
+// for unbounded) like any evaluation: explanation builds re-derive the
+// whole IDB, so they owe the same cancellation points and tuple
+// accounting as the query that derived the fact being explained.
+func New(prog *ast.Program, db *database.Database, bud *budget.Budget) (ex *Explainer, err error) {
+	defer budget.Guard(&err)
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
@@ -153,6 +158,7 @@ func New(prog *ast.Program, db *database.Database) (*Explainer, error) {
 			rules = append(rules, cRule{head: r.Head, plan: plan, proj: proj})
 		}
 		for {
+			bud.Round()
 			globalRound++
 			changed := false
 			for _, cr := range rules {
@@ -160,6 +166,7 @@ func New(prog *ast.Program, db *database.Database) (*Explainer, error) {
 				cr.plan.Run(conj.DBSource(e.db.Relation), nil, func(b []rel.Value) {
 					h := cr.proj.Tuple(b, row)
 					if e.total[cr.head.Pred].Insert(h) {
+						bud.AddDerived(1, len(h))
 						e.round[cr.head.Pred][key(h)] = globalRound
 						changed = true
 					}

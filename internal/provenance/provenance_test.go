@@ -23,7 +23,7 @@ func mustExplainer(t *testing.T, progSrc, facts string) *Explainer {
 	if err := db.Load(fs); err != nil {
 		t.Fatal(err)
 	}
-	e, err := New(prog, db)
+	e, err := New(prog, db, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
