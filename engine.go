@@ -228,12 +228,18 @@ func WithParallelism(n int) EngineOption {
 	return func(e *Engine) { e.parallelism = n }
 }
 
-// WithParallelThreshold sets the minimum per-round work size (tuples
-// feeding the round's joins, or the support database size for the
-// Separable product evaluator) at which parallel evaluation engages; 0
-// (the default) uses eval.DefaultParallelThreshold and a negative value
-// removes the floor entirely (useful in tests to force the parallel paths
-// on tiny programs).
+// WithParallelThreshold sets a static floor on the per-round work size
+// (tuples feeding the round's joins, or the support database size for the
+// Separable product evaluator) at which parallel evaluation engages.
+//
+// Deprecated: the default (0) now gates each round adaptively — the
+// engine estimates a round's output as its input work times the join
+// fan-out observed on earlier rounds and fans out only past the measured
+// break-even — which parallelizes emission-heavy rounds a static input
+// floor keeps sequential. The option is kept as a manual override for
+// workloads whose fan-out the estimator misjudges: a positive n restores
+// the old fixed floor, and a negative n removes the gate entirely (useful
+// in tests to force the parallel paths on tiny programs).
 func WithParallelThreshold(n int) EngineOption {
 	return func(e *Engine) { e.parThreshold = n }
 }
@@ -618,6 +624,7 @@ type queryConfig struct {
 	fallback          bool
 	parallelism       int // resolved worker count (par.Degree applied)
 	parThreshold      int
+	materializeRounds bool                // ablation: pre-streaming round pipeline
 	closures          *plancache.Closures // engine's closure cache (nil when disabled)
 	scope             plancache.Scope     // revisions of the attempt's snapshot
 }
@@ -667,6 +674,17 @@ func WithBudget(b Budget) QueryOption {
 // context.DeadlineExceeded.
 func WithDeadline(d time.Duration) QueryOption {
 	return func(c *queryConfig) { c.deadline = d }
+}
+
+// withMaterializedRounds restores the pre-streaming evaluation pipeline
+// for one query: every fixpoint round and carry loop materializes its
+// full emission set and computes the delta by differencing afterwards,
+// instead of streaming emissions through the round sinks. Answers are
+// byte-identical either way; the equivalence suite and sepbench
+// -stream-bench use it to measure and verify what streaming buys. Not
+// exported: it is an ablation, not a tuning knob.
+func withMaterializedRounds() QueryOption {
+	return func(c *queryConfig) { c.materializeRounds = true }
 }
 
 // WithFallback opts the query into graceful degradation: if the selected
@@ -720,6 +738,12 @@ type Stats struct {
 	// for a standalone Query, len(batch) for QueryBatch/RunBatch (every
 	// result of one batch reports the whole batch's work).
 	BatchSize int
+	// PeakIntermediateBytes is the largest transient materialization any
+	// single fixpoint round or carry-loop step held outside the growing
+	// totals — under the streaming executor, just the round's delta. It is
+	// not part of RelationSizes (the paper's Definition 4.2 measure counts
+	// named relations, not round scratch).
+	PeakIntermediateBytes int64
 	// Duration is wall-clock evaluation time.
 	Duration time.Duration
 }
@@ -921,6 +945,7 @@ func runStrategy(st *progState, db *database.Database, q ast.Atom, query string,
 			Budget:            bud,
 			Parallelism:       cfg.parallelism,
 			ParallelThreshold: cfg.parThreshold,
+			MaterializeRounds: cfg.materializeRounds,
 			Closures:          cfg.closures,
 			CacheScope:        cfg.scope,
 		})
@@ -932,6 +957,7 @@ func runStrategy(st *progState, db *database.Database, q ast.Atom, query string,
 			Budget:            bud,
 			Parallelism:       cfg.parallelism,
 			ParallelThreshold: cfg.parThreshold,
+			MaterializeRounds: cfg.materializeRounds,
 			Template:          pl.template,
 		})
 	case Counting:
@@ -945,6 +971,7 @@ func runStrategy(st *progState, db *database.Database, q ast.Atom, query string,
 			Budget:            bud,
 			Parallelism:       cfg.parallelism,
 			ParallelThreshold: cfg.parThreshold,
+			MaterializeRounds: cfg.materializeRounds,
 		})
 	case Tabling:
 		ans, err = tabling.Answer(st.prog, db, q, tabling.Options{Collector: c, Budget: bud})
@@ -957,6 +984,7 @@ func runStrategy(st *progState, db *database.Database, q ast.Atom, query string,
 			Budget:            bud,
 			Parallelism:       cfg.parallelism,
 			ParallelThreshold: cfg.parThreshold,
+			MaterializeRounds: cfg.materializeRounds,
 		})
 		if err == nil {
 			ans, err = eval.Answer(view, q)
@@ -973,6 +1001,7 @@ func result(db *database.Database, q ast.Atom, ans *rel.Relation, st Stats, c *s
 	st.Iterations = c.Iterations
 	st.Inserted = c.Inserted
 	st.ClosureCacheHits, st.ClosureCacheMisses = c.ClosureCounts()
+	st.PeakIntermediateBytes = c.PeakIntermediate()
 	return &Result{Columns: eval.QueryVars(q), Stats: st, rel: ans, db: db}
 }
 

@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"sepdl/internal/core"
+	"sepdl/internal/database"
+	"sepdl/internal/datagen"
+	"sepdl/internal/eval"
+	"sepdl/internal/parser"
+	"sepdl/internal/stats"
+)
+
+// StreamPoint is one size of the streaming-vs-materializing comparison:
+// the same program, database, and query evaluated with the streaming
+// round pipeline (the default) and with the materializing ablation
+// (MaterializeRounds), which reproduces the pre-iterator executor:
+// every emission allocated and inserted into a per-round relation, the
+// delta recovered by set difference at the round boundary.
+type StreamPoint struct {
+	Family  string `json:"family"` // "dense" or "separable"
+	Size    int    `json:"size"`   // graph nodes / chain length n
+	Classes int    `json:"classes,omitempty"`
+	Answers int    `json:"answers"`
+	// ColdNs is the first (cache-cold) run of each mode; WarmNs is the
+	// minimum of the remaining runs, which is what the speedup compares.
+	MatColdNs    int64 `json:"mat_cold_ns"`
+	MatWarmNs    int64 `json:"mat_warm_ns"`
+	StreamColdNs int64 `json:"stream_cold_ns"`
+	StreamWarmNs int64 `json:"stream_warm_ns"`
+	// Allocs counts heap allocations (runtime.MemStats.Mallocs delta) of
+	// the best warm run of each mode.
+	MatAllocs    uint64 `json:"mat_allocs"`
+	StreamAllocs uint64 `json:"stream_allocs"`
+	// PeakBytes is the peak intermediate footprint the collector observed:
+	// for the ablation the per-round emission relation plus its delta, for
+	// streaming just the delta the round keeps anyway.
+	MatPeakBytes    int64 `json:"mat_peak_bytes"`
+	StreamPeakBytes int64 `json:"stream_peak_bytes"`
+	// Speedup is MatWarmNs/StreamWarmNs; PeakBytesReduction is
+	// 1 - StreamPeakBytes/MatPeakBytes.
+	Speedup            float64 `json:"speedup"`
+	PeakBytesReduction float64 `json:"peak_bytes_reduction"`
+	Err                string  `json:"err,omitempty"`
+}
+
+// StreamReport is the regression artifact make bench writes to
+// BENCH_stream.json. Any non-empty Err means the streaming and
+// materializing answers diverged or an evaluation failed — a correctness
+// failure, not a performance one.
+type StreamReport struct {
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Points     []StreamPoint `json:"points"`
+}
+
+// JSON renders the report with stable indentation for diffing.
+func (r StreamReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Failed reports whether any point diverged or errored.
+func (r StreamReport) Failed() bool {
+	for _, p := range r.Points {
+		if p.Err != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// RunStream measures the streaming executor against the materializing
+// ablation on two families. The dense family is transitive closure over a
+// random graph with mean out-degree 8, where most of a late round's
+// emissions re-derive known tuples: the ablation pays an allocation and a
+// relation insert for every one of them, the streaming sink a Contains
+// probe. The separable family is the §5 multi-class product query, where
+// phase 1 and the per-class closures stream through reused row buffers
+// instead of allocating per emission.
+func RunStream(sizes []int, classes int) StreamReport {
+	rep := StreamReport{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	for _, n := range sizes {
+		rep.Points = append(rep.Points, denseStreamPoint(n))
+	}
+	for _, n := range sizes {
+		rep.Points = append(rep.Points, separableStreamPoint(n, classes))
+	}
+	return rep
+}
+
+func denseStreamPoint(n int) StreamPoint {
+	pt := StreamPoint{Family: "dense", Size: n}
+	prog, err := parser.Program(`
+path(X, Y) :- e(X, W) & path(W, Y).
+path(X, Y) :- e(X, Y).
+`)
+	if err != nil {
+		pt.Err = err.Error()
+		return pt
+	}
+	db := database.New()
+	datagen.RandomGraph(db, "e", "v", n, 8*n, 7)
+	run := func(materialize bool) (int, int64, error) {
+		c := stats.New()
+		view, err := eval.Run(prog, db, eval.Options{
+			Collector:         c,
+			MaterializeRounds: materialize,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		return view.Relation("path").Len(), c.PeakIntermediate(), nil
+	}
+	return fillStreamPoint(pt, run)
+}
+
+func separableStreamPoint(n, classes int) StreamPoint {
+	pt := StreamPoint{Family: "separable", Size: n, Classes: classes}
+	prog := datagen.MultiClassProgram(classes)
+	db := datagen.MultiClassDB(n, classes)
+	q, err := parser.Query(datagen.MultiClassQuery(classes))
+	if err != nil {
+		pt.Err = err.Error()
+		return pt
+	}
+	run := func(materialize bool) (int, int64, error) {
+		c := stats.New()
+		ans, err := core.Answer(prog, db, q, core.EvalOptions{
+			Collector:         c,
+			MaterializeRounds: materialize,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		return ans.Len(), c.PeakIntermediate(), nil
+	}
+	return fillStreamPoint(pt, run)
+}
+
+// streamReps is the total runs per mode: one cold, the rest warm, with
+// the minimum warm duration reported.
+const streamReps = 4
+
+// fillStreamPoint times both modes of a point. Each run is preceded by a
+// forced GC so allocation counts and timings are not polluted by garbage
+// from the previous run.
+func fillStreamPoint(pt StreamPoint, run func(materialize bool) (int, int64, error)) StreamPoint {
+	measure := func(materialize bool) (ans int, peak int64, cold, warm time.Duration, allocs uint64, err error) {
+		var ms0, ms1 runtime.MemStats
+		for i := 0; i < streamReps; i++ {
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			a, p, e := run(materialize)
+			d := time.Since(start)
+			runtime.ReadMemStats(&ms1)
+			if e != nil {
+				return 0, 0, 0, 0, 0, e
+			}
+			ans, peak = a, p
+			if i == 0 {
+				cold = d
+				continue
+			}
+			if warm == 0 || d < warm {
+				warm = d
+				allocs = ms1.Mallocs - ms0.Mallocs
+			}
+		}
+		if streamReps == 1 {
+			warm, allocs = cold, 0
+		}
+		return ans, peak, cold, warm, allocs, nil
+	}
+	ansMat, peakMat, coldMat, warmMat, allocsMat, err := measure(true)
+	if err != nil {
+		pt.Err = err.Error()
+		return pt
+	}
+	ansStream, peakStream, coldStream, warmStream, allocsStream, err := measure(false)
+	if err != nil {
+		pt.Err = err.Error()
+		return pt
+	}
+	if ansMat != ansStream {
+		pt.Err = fmt.Sprintf("answer mismatch: materialized %d, streaming %d", ansMat, ansStream)
+		return pt
+	}
+	pt.Answers = ansStream
+	pt.MatColdNs = coldMat.Nanoseconds()
+	pt.MatWarmNs = warmMat.Nanoseconds()
+	pt.StreamColdNs = coldStream.Nanoseconds()
+	pt.StreamWarmNs = warmStream.Nanoseconds()
+	pt.MatAllocs = allocsMat
+	pt.StreamAllocs = allocsStream
+	pt.MatPeakBytes = peakMat
+	pt.StreamPeakBytes = peakStream
+	if pt.StreamWarmNs > 0 {
+		pt.Speedup = float64(pt.MatWarmNs) / float64(pt.StreamWarmNs)
+	}
+	if peakMat > 0 {
+		pt.PeakBytesReduction = 1 - float64(peakStream)/float64(peakMat)
+	}
+	return pt
+}

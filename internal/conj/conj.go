@@ -212,144 +212,44 @@ func (p *Plan) AtomOrder() []int {
 // Run allocates fresh binding state per call, so one compiled Plan may be
 // Run from many goroutines at once (against relations nobody is mutating).
 // Hot loops that execute the same plan many times from one goroutine
-// should hold a Runner instead and reuse its arrays.
+// should hold a Runner instead and reuse its arrays — or pull from
+// Runner.Stream directly and skip the callback.
 func (p *Plan) Run(src RelSource, in []rel.Value, emit func(binding []rel.Value)) {
-	r := Runner{p: p, tick: p.tick, binding: make([]rel.Value, len(p.vars)), key: make([]rel.Value, 0, 8)}
-	r.Run(src, in, emit)
+	p.NewRunner().Run(src, in, emit)
 }
 
-// Runner executes one compiled Plan with private, reusable binding and key
-// arrays. Each worker goroutine of the parallel evaluators holds its own
-// Runner over the shared Plan: the Plan itself stays immutable during
-// execution, so any number of Runners may execute it concurrently.
+// Runner executes one compiled Plan with private, reusable scratch: the
+// slot binding vector plus one cursor (probe-key buffer and candidate
+// scan) per plan step. Each worker goroutine of the parallel evaluators
+// holds its own Runner over the shared Plan: the Plan itself stays
+// immutable during execution, so any number of Runners may execute it
+// concurrently. One Runner supports one in-flight Stream at a time.
 type Runner struct {
 	p       *Plan
 	tick    func()
 	binding []rel.Value
-	key     []rel.Value
+	cursors []stepCursor
+	stream  Stream
 }
 
 // NewRunner returns a Runner over p with its own binding state. The
 // runner inherits the plan's tick hook as installed at creation time;
 // override per worker with SetTick.
 func (p *Plan) NewRunner() *Runner {
-	return &Runner{p: p, tick: p.tick, binding: make([]rel.Value, len(p.vars)), key: make([]rel.Value, 0, 8)}
+	return &Runner{p: p, tick: p.tick, binding: make([]rel.Value, len(p.vars))}
 }
 
 // SetTick installs this runner's per-candidate budget hook, shadowing the
 // plan-level one.
 func (r *Runner) SetTick(tick func()) { r.tick = tick }
 
-// Run is Plan.Run on the runner's private arrays.
+// Run is Plan.Run on the runner's private arrays: a pull loop over the
+// runner's Stream, so the push and pull styles share one executor and one
+// enumeration order.
 func (r *Runner) Run(src RelSource, in []rel.Value, emit func(binding []rel.Value)) {
-	p := r.p
-	if len(in) != p.nIn {
-		panic(fmt.Sprintf("conj: Run got %d input values, plan declares %d", len(in), p.nIn))
-	}
-	if r.binding == nil {
-		r.binding = make([]rel.Value, len(p.vars))
-	}
-	for i := range r.binding {
-		r.binding[i] = Unbound
-	}
-	copy(r.binding, in)
-	r.run(0, src, r.binding, r.key[:0], emit)
-}
-
-func (r *Runner) run(depth int, src RelSource, binding []rel.Value, key []rel.Value, emit func([]rel.Value)) {
-	p := r.p
-	if depth == len(p.steps) {
-		emit(binding)
-		return
-	}
-	st := &p.steps[depth]
-	if st.builtin {
-		// eq/neq over two bound positions: lookupCols holds both argument
-		// columns, in order; their probe values are in the computed key.
-		var a, b rel.Value
-		if st.lookupSlot[0] < 0 {
-			a = st.lookupVal[0]
-		} else {
-			a = binding[st.lookupSlot[0]]
-		}
-		if st.lookupSlot[1] < 0 {
-			b = st.lookupVal[1]
-		} else {
-			b = binding[st.lookupSlot[1]]
-		}
-		if (a == b) == (st.pred == "eq") {
-			r.run(depth+1, src, binding, key[:0], emit)
-		}
-		return
-	}
-	rn := src(st.atomIdx, st.pred)
-	if rn == nil || rn.Len() == 0 {
-		if st.negated {
-			r.run(depth+1, src, binding, key[:0], emit)
-		}
-		return
-	}
-	key = key[:0]
-	for i, s := range st.lookupSlot {
-		if s < 0 {
-			key = append(key, st.lookupVal[i])
-		} else {
-			key = append(key, binding[s])
-		}
-	}
-	var candidates []rel.Tuple
-	if len(st.lookupCols) == 0 || p.noIndex {
-		candidates = rn.Rows()
-	} else {
-		candidates = rn.Index(st.lookupCols).Lookup(key)
-	}
-	if st.negated {
-		// All columns are bound (Compile guarantees it), so any candidate
-		// surviving the lookup-column filter refutes the negation.
-		for _, t := range candidates {
-			if r.tick != nil {
-				r.tick()
-			}
-			match := true
-			if p.noIndex {
-				for i, c := range st.lookupCols {
-					if t[c] != key[i] {
-						match = false
-						break
-					}
-				}
-			}
-			if match {
-				return
-			}
-		}
-		r.run(depth+1, src, binding, key[:0], emit)
-		return
-	}
-next:
-	for _, t := range candidates {
-		if r.tick != nil {
-			r.tick()
-		}
-		if p.noIndex {
-			for i, c := range st.lookupCols {
-				if t[c] != key[i] {
-					continue next
-				}
-			}
-		}
-		for _, cs := range st.assign {
-			binding[cs.slot] = t[cs.col]
-		}
-		for _, cs := range st.check {
-			if t[cs.col] != binding[cs.slot] {
-				continue next
-			}
-		}
-		r.run(depth+1, src, binding, key[:0], emit)
-	}
-	for _, cs := range st.assign {
-		binding[cs.slot] = Unbound
+	s := r.Stream(src, in)
+	for b, ok := s.Next(); ok; b, ok = s.Next() {
+		emit(b)
 	}
 }
 

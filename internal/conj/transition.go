@@ -54,19 +54,67 @@ func (tr *Transition) SetTick(tick func()) { tr.plan.SetTick(tick) }
 
 // Apply runs the transition for one carry tuple and emits projected output
 // tuples. The emitted tuple is reused between calls; emit must copy
-// anything it keeps.
+// anything it keeps. Apply allocates its scratch per call; carry-loop hot
+// paths should hold a TransitionRunner instead.
 func (tr *Transition) Apply(src RelSource, carry rel.Tuple, emit func(rel.Tuple)) {
-	for _, p := range tr.eqPairs {
+	tr.NewRunner().Apply(src, carry, emit)
+}
+
+// TransitionRunner executes one Transition with fully reusable scratch:
+// the plan runner's binding and cursor arrays plus the bound-input and
+// projected-output rows. The carry loops of the Separable evaluator apply
+// the same handful of transitions to every carry tuple of every round, so
+// holding a runner per transition removes all per-tuple allocation from
+// that path. Like conj.Runner, a TransitionRunner belongs to one goroutine
+// and supports one in-flight Apply/Stream at a time.
+type TransitionRunner struct {
+	tr  *Transition
+	run *Runner
+	in  []rel.Value
+	row rel.Tuple
+}
+
+// NewRunner returns a runner over the transition with its own scratch. It
+// inherits the plan's tick hook as installed at creation time.
+func (tr *Transition) NewRunner() *TransitionRunner {
+	return &TransitionRunner{
+		tr:  tr,
+		run: tr.plan.NewRunner(),
+		in:  make([]rel.Value, len(tr.inIdx)),
+		row: make(rel.Tuple, tr.proj.Arity()),
+	}
+}
+
+// Apply is Transition.Apply on the runner's reusable scratch: it pulls
+// bindings from the underlying plan stream and projects each into a reused
+// output row, so emit must copy anything it keeps.
+func (t *TransitionRunner) Apply(src RelSource, carry rel.Tuple, emit func(rel.Tuple)) {
+	s, ok := t.Stream(src, carry)
+	if !ok {
+		return
+	}
+	for b, bok := s.Next(); bok; b, bok = s.Next() {
+		emit(t.tr.proj.Tuple(b, t.row))
+	}
+}
+
+// Stream begins a pull evaluation for one carry tuple, returning false
+// when the carry fails the transition's equality guards (no bindings). Use
+// Project to turn each yielded binding into the transition's output row.
+func (t *TransitionRunner) Stream(src RelSource, carry rel.Tuple) (*Stream, bool) {
+	for _, p := range t.tr.eqPairs {
 		if carry[p[0]] != carry[p[1]] {
-			return
+			return nil, false
 		}
 	}
-	in := make([]rel.Value, len(tr.inIdx))
-	for i, j := range tr.inIdx {
-		in[i] = carry[j]
+	for i, j := range t.tr.inIdx {
+		t.in[i] = carry[j]
 	}
-	row := make(rel.Tuple, tr.proj.Arity())
-	tr.plan.Run(src, in, func(b []rel.Value) {
-		emit(tr.proj.Tuple(b, row))
-	})
+	return t.run.Stream(src, t.in), true
+}
+
+// Project renders a binding yielded by Stream into the transition's
+// projected output row. The row is the runner's reused buffer.
+func (t *TransitionRunner) Project(b []rel.Value) rel.Tuple {
+	return t.tr.proj.Tuple(b, t.row)
 }

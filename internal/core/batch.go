@@ -53,6 +53,7 @@ func AnswerBatch(prog *ast.Program, db *database.Database, qs []ast.Atom, opts E
 		Budget:            opts.Budget,
 		Parallelism:       opts.Parallelism,
 		ParallelThreshold: opts.ParallelThreshold,
+		MaterializeRounds: opts.MaterializeRounds,
 	})
 	if err != nil {
 		return nil, err
@@ -164,9 +165,10 @@ func (e *evaluator) batchPartial(qs []ast.Atom, sel Selection, sinks []*eval.Ans
 			return fmt.Errorf("core: rule %s: %w", r.Rule, err)
 		}
 		tr.SetTick(e.bud.TickFunc())
+		run := tr.NewRunner()
 		for i := range qs {
 			i := i
-			tr.Apply(src, boundVals[i], func(out rel.Tuple) {
+			run.Apply(src, boundVals[i], func(out rel.Tuple) {
 				row := make(rel.Tuple, 0, tagW+len(cls.Cols))
 				row = append(row, rel.Value(i))
 				row = append(row, out...)

@@ -45,10 +45,21 @@ type EvalOptions struct {
 	// one carry loop. The answer set is identical. It also forwards to the
 	// support-predicate fixpoint (eval.Options.Parallelism).
 	Parallelism int
-	// ParallelThreshold gates the product evaluator on the support
-	// database's tuple count; 0 means eval.DefaultParallelThreshold,
-	// negative removes the gate (tests).
+	// ParallelThreshold overrides the product evaluator's profit gate on
+	// the support database's tuple count. 0 (the default) uses the
+	// adaptive per-class floor (see parallelPhase2); a positive value is
+	// the deprecated static floor, kept as a manual override; negative
+	// removes the gate (tests). Also forwarded to the support-predicate
+	// fixpoint's round gate.
 	ParallelThreshold int
+	// MaterializeRounds restores the pre-streaming carry loops as an
+	// ablation: every transition emission is allocated and materialized
+	// into the round's intermediate relation and the next carry is
+	// computed by differencing against the seen set afterwards, instead
+	// of streaming emissions through a reused row buffer that
+	// materializes unseen tuples only. The answer is identical; sepbench
+	// -stream-bench uses this to measure what streaming buys.
+	MaterializeRounds bool
 	// Closures, when non-nil, memoizes the second loop's per-start class
 	// closures across queries: those closures depend only on the program
 	// and the EDB, never on the selection constant, so repeated queries of
@@ -96,6 +107,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts EvalOptio
 		Budget:            opts.Budget,
 		Parallelism:       opts.Parallelism,
 		ParallelThreshold: opts.ParallelThreshold,
+		MaterializeRounds: opts.MaterializeRounds,
 	})
 	if err != nil {
 		return nil, err
@@ -140,6 +152,7 @@ type evaluator struct {
 	db           *database.Database
 	col          *stats.Collector
 	noDedup      bool
+	matRounds    bool
 	bud          *budget.Budget
 	par          int
 	parThreshold int
@@ -154,9 +167,16 @@ func newEvaluator(a *Analysis, base *database.Database, pred string, opts EvalOp
 	scope := opts.CacheScope
 	scope.Pred = pred
 	scope.Relaxed = a.AllowDisconnected
-	return &evaluator{a: a, db: base, col: opts.Collector, noDedup: opts.NoCarryDedup, bud: opts.Budget,
+	return &evaluator{a: a, db: base, col: opts.Collector, noDedup: opts.NoCarryDedup,
+		matRounds: opts.MaterializeRounds, bud: opts.Budget,
 		par: opts.Parallelism, parThreshold: opts.ParallelThreshold,
 		closures: opts.Closures, scope: scope}
+}
+
+// observeIntermediate reports a carry round's transient materialization —
+// tuples held outside the seen sets — to the collector's peak tracker.
+func (e *evaluator) observeIntermediate(tuples, arity int) {
+	e.col.ObserveIntermediate(int64(tuples) * int64(arity) * rel.ValueBytes)
 }
 
 // headVarsAt returns the canonical head variables for positions.
@@ -200,33 +220,50 @@ func (e *evaluator) run(driverCols []int, phase1Class, excludePhase2 int, seeds 
 	e.col.Observe("seen1", seen1.Len())
 	if phase1Class >= 0 {
 		cls := &e.a.Classes[phase1Class]
-		trans := make([]*conj.Transition, len(cls.Rules))
+		runners := make([]*conj.TransitionRunner, len(cls.Rules))
 		for i, r := range cls.Rules {
 			tr, err := conj.NewTransition(r.Conj, cls.HeadVars, r.BodyVars, intern)
 			if err != nil {
 				return nil, nil, fmt.Errorf("core: rule %s: %w", r.Rule, err)
 			}
 			tr.SetTick(e.bud.TickFunc())
-			trans[i] = tr
+			runners[i] = tr.NewRunner()
 		}
+		row := make(rel.Tuple, 0, tagW+w)
 		for !carry1.Empty() {
 			e.bud.Round()
 			e.col.AddIteration()
 			next := rel.New(tagW + w)
-			for _, t := range carry1.Rows() {
-				tag, vals := t[:tagW], t[tagW:]
-				for _, tr := range trans {
-					tr.Apply(src, vals, func(out rel.Tuple) {
-						row := make(rel.Tuple, 0, tagW+w)
-						row = append(append(row, tag...), out...)
-						next.Insert(row)
-					})
+			var tag rel.Tuple
+			// Streaming sink: each emission lands in the reused row buffer
+			// and only tuples absent from the frozen seen set materialize
+			// (Insert clones). The ablation reproduces the old pipeline:
+			// a fresh allocation per emission, dedup deferred to the
+			// round-boundary difference.
+			sink := func(out rel.Tuple) {
+				if e.matRounds {
+					r := make(rel.Tuple, 0, tagW+w)
+					next.Insert(append(append(r, tag...), out...))
+					return
+				}
+				row = append(append(row[:0], tag...), out...)
+				if e.noDedup || !seen1.Contains(row) {
+					next.Insert(row)
 				}
 			}
-			if e.noDedup {
-				carry1 = next
-			} else {
+			for _, t := range carry1.Rows() {
+				tag = t[:tagW]
+				vals := t[tagW:]
+				for _, run := range runners {
+					run.Apply(src, vals, sink)
+				}
+			}
+			if e.matRounds && !e.noDedup {
 				carry1 = next.Difference(seen1)
+				e.observeIntermediate(next.Len()+carry1.Len(), tagW+w)
+			} else {
+				carry1 = next
+				e.observeIntermediate(carry1.Len(), tagW+w)
 			}
 			added := seen1.InsertAll(carry1)
 			e.col.AddInserted(added)
@@ -248,21 +285,31 @@ func (e *evaluator) run(driverCols []int, phase1Class, excludePhase2 int, seeds 
 		}
 	}
 
-	// Phase 2 initialization (line 8): carry_2 := t_0 & seen_1.
+	// Phase 2 initialization (line 8): carry_2 := t_0 & seen_1. Emissions
+	// stream through a reused row buffer straight into carry_2 (a set, so
+	// duplicates collapse on insert); the ablation allocates per emission
+	// as the old pipeline did.
 	carry2 := rel.New(tagW + len(outCols))
+	initRow := make(rel.Tuple, 0, tagW+len(outCols))
 	for _, ex := range e.a.Exit {
 		tr, err := conj.NewTransition(ex.Body, headVarsAt(driverCols), headVarsAt(outCols), intern)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: exit rule %s: %w", ex, err)
 		}
 		tr.SetTick(e.bud.TickFunc())
+		run := tr.NewRunner()
+		var tag rel.Tuple
+		sink := func(out rel.Tuple) {
+			if e.matRounds {
+				r := make(rel.Tuple, 0, tagW+len(outCols))
+				carry2.Insert(append(append(r, tag...), out...))
+				return
+			}
+			carry2.Insert(append(append(initRow[:0], tag...), out...))
+		}
 		for _, t := range seen1.Rows() {
-			tag, vals := t[:tagW], t[tagW:]
-			tr.Apply(src, vals, func(out rel.Tuple) {
-				row := make(rel.Tuple, 0, tagW+len(outCols))
-				row = append(append(row, tag...), out...)
-				carry2.Insert(row)
-			})
+			tag = t[:tagW]
+			run.Apply(src, t[tagW:], sink)
 		}
 	}
 	seen2 := carry2.Clone()

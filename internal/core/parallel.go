@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"sepdl/internal/conj"
-	"sepdl/internal/eval"
 	"sepdl/internal/par"
 	"sepdl/internal/plancache"
 	"sepdl/internal/rel"
@@ -58,20 +57,34 @@ func (e *evaluator) phase2Classes(phase1Class, excludePhase2 int, outCols []int,
 	return p2, nil
 }
 
+// adaptiveClosureFloor is the support-database size below which the
+// product evaluator's per-class fan-out is not worth its setup. Unlike the
+// fixpoint rounds' per-round gate, phase 2 spawns exactly one goroutine
+// per class for the whole closure computation, so the fixed cost is a few
+// microseconds — BENCH_parallel.json shows multi-x speedups on separable
+// programs with support databases of only a few dozen tuples. The floor
+// exists only to keep trivial databases (unit tests, tiny examples) off
+// the goroutine machinery.
+const adaptiveClosureFloor = 64
+
 // parallelPhase2 decides whether the per-class closures run on their own
 // goroutines. It needs at least two classes to have anything to fan out;
-// below the work threshold — measured by the support database the
-// transitions join against, the best cheap proxy for closure sizes — the
-// spawn overhead wins.
+// the gate on the support database the transitions join against — the
+// best cheap proxy for closure sizes — keeps trivial inputs sequential.
+// ParallelThreshold 0 (the default) applies the adaptive floor; a
+// positive value is the deprecated static override; negative forces
+// fan-out (tests).
 func (e *evaluator) parallelPhase2(nClasses int) bool {
 	if e.par <= 1 || e.noDedup || nClasses < 2 {
 		return false
 	}
-	th := e.parThreshold
-	if th == 0 {
-		th = eval.DefaultParallelThreshold
+	switch th := e.parThreshold; {
+	case th < 0:
+		return true
+	case th > 0:
+		return e.db.NumTuples() >= th
 	}
-	return th < 0 || e.db.NumTuples() >= th
+	return e.db.NumTuples() >= adaptiveClosureFloor
 }
 
 // productPhase2 decides whether phase 2 runs as a product of per-class
@@ -189,21 +202,43 @@ func (e *evaluator) classClosure(pc *phase2class, seeds *rel.Relation, tagW int,
 		carry.Insert(row)
 	}
 	seen := carry.Clone()
+	// Per-call transition runners and row buffer: classClosure runs one
+	// goroutine per class under the product evaluator, so the reusable
+	// scratch must be private to this invocation.
+	runners := make([]*conj.TransitionRunner, len(pc.trans))
+	for i, tr := range pc.trans {
+		runners[i] = tr.NewRunner()
+	}
+	row := make(rel.Tuple, 0, 1+k)
 	for !carry.Empty() {
 		e.bud.Round()
 		e.col.AddIteration()
 		next := rel.New(1 + k)
-		for _, t := range carry.Rows() {
-			tag, cv := t[:1], t[1:]
-			for _, tr := range pc.trans {
-				tr.Apply(src, cv, func(out rel.Tuple) {
-					r := make(rel.Tuple, 0, 1+k)
-					r = append(append(r, tag...), out...)
-					next.Insert(r)
-				})
+		var tag rel.Tuple
+		sink := func(out rel.Tuple) {
+			if e.matRounds {
+				r := make(rel.Tuple, 0, 1+k)
+				next.Insert(append(append(r, tag...), out...))
+				return
+			}
+			row = append(append(row[:0], tag...), out...)
+			if !seen.Contains(row) {
+				next.Insert(row)
 			}
 		}
-		carry = next.Difference(seen)
+		for _, t := range carry.Rows() {
+			tag = t[:1]
+			for _, run := range runners {
+				run.Apply(src, t[1:], sink)
+			}
+		}
+		if e.matRounds {
+			carry = next.Difference(seen)
+			e.observeIntermediate(next.Len()+carry.Len(), 1+k)
+		} else {
+			carry = next
+			e.observeIntermediate(carry.Len(), 1+k)
+		}
 		added := seen.InsertAll(carry)
 		e.col.AddInserted(added)
 		e.bud.AddDerived(added, 1+k)
@@ -289,33 +324,61 @@ func (e *evaluator) runPhase2Product(p2 []phase2class, carry2, seen2 *rel.Relati
 // the seen sets) and below the parallel threshold.
 func (e *evaluator) runPhase2Loop(p2 []phase2class, carry2, seen2 *rel.Relation, tagW, outW int, src conj.RelSource) {
 	classVals := make(rel.Tuple, 0, 8)
+	runners := make([][]*conj.TransitionRunner, len(p2))
+	for ci := range p2 {
+		runners[ci] = make([]*conj.TransitionRunner, len(p2[ci].trans))
+		for i, tr := range p2[ci].trans {
+			runners[ci][i] = tr.NewRunner()
+		}
+	}
+	row := make(rel.Tuple, 0, tagW+outW)
 	for !carry2.Empty() {
 		e.bud.Round()
 		e.col.AddIteration()
 		next := rel.New(tagW + outW)
+		var base rel.Tuple
+		var pc *phase2class
+		// Streaming sink: overlay the class's output columns onto the
+		// carried row in the reused buffer; only tuples the seen set does
+		// not already hold materialize. The ablation clones per emission
+		// like the old loop.
+		sink := func(out rel.Tuple) {
+			if e.matRounds {
+				r := base.Clone()
+				for k, j := range pc.colIdx {
+					r[tagW+j] = out[k]
+				}
+				next.Insert(r)
+				return
+			}
+			row = append(row[:0], base...)
+			for k, j := range pc.colIdx {
+				row[tagW+j] = out[k]
+			}
+			if e.noDedup || !seen2.Contains(row) {
+				next.Insert(row)
+			}
+		}
 		for _, t := range carry2.Rows() {
+			base = t
 			vals := t[tagW:]
 			for ci := range p2 {
-				pc := &p2[ci]
+				pc = &p2[ci]
 				classVals = classVals[:0]
 				for _, j := range pc.colIdx {
 					classVals = append(classVals, vals[j])
 				}
-				for _, tr := range pc.trans {
-					tr.Apply(src, classVals, func(out rel.Tuple) {
-						row := t.Clone()
-						for k, j := range pc.colIdx {
-							row[tagW+j] = out[k]
-						}
-						next.Insert(row)
-					})
+				for _, run := range runners[ci] {
+					run.Apply(src, classVals, sink)
 				}
 			}
 		}
-		if e.noDedup {
-			carry2 = next
-		} else {
+		if e.matRounds && !e.noDedup {
 			carry2 = next.Difference(seen2)
+			e.observeIntermediate(next.Len()+carry2.Len(), tagW+outW)
+		} else {
+			carry2 = next
+			e.observeIntermediate(carry2.Len(), tagW+outW)
 		}
 		added := seen2.InsertAll(carry2)
 		e.col.AddInserted(added)

@@ -53,6 +53,8 @@ func newSupportCheck(r ast.Rule, intern func(string) rel.Value) (*supportCheck, 
 }
 
 // derives reports whether the rule can derive t from the relations in src.
+// Pulling from the plan's stream lets it stop at the first witness instead
+// of enumerating every derivation the way the old push evaluator had to.
 func (sc *supportCheck) derives(src conj.RelSource, t rel.Tuple) bool {
 	for i, p := range sc.constPos {
 		if t[p] != sc.constVal[i] {
@@ -68,8 +70,7 @@ func (sc *supportCheck) derives(src conj.RelSource, t rel.Tuple) bool {
 	for i, p := range sc.varPos {
 		in[i] = t[p]
 	}
-	found := false
-	sc.plan.Run(src, in, func([]rel.Value) { found = true })
+	_, found := sc.plan.Stream(src, in).Next()
 	return found
 }
 
@@ -138,20 +139,22 @@ func (m *Materialized) DeleteFact(pred string, args ...string) (bool, error) {
 				}
 				newMarks := rel.New(cr.proj.Arity())
 				row := make(rel.Tuple, cr.proj.Arity())
-				cr.plan.Run(src, nil, func(binding []rel.Value) {
-					h := cr.proj.Tuple(binding, row)
+				s := cr.plan.Stream(src, nil)
+				// sepvet:ignore:budgetcheck — the pull loop ticks per candidate inside Stream.Next (the plan's tick hook is m.bud.TickFunc), and the enclosing worklist round calls m.bud.Round
+				for b, ok := s.Next(); ok; b, ok = s.Next() {
+					h := cr.proj.Tuple(b, row)
 					if !m.total[head].Contains(h) {
-						return
+						continue
 					}
 					if mk := marked[head]; mk != nil && mk.Contains(h) {
-						return
+						continue
 					}
 					if marked[head] == nil {
 						marked[head] = rel.New(len(h))
 					}
 					marked[head].Insert(h)
 					newMarks.Insert(h)
-				})
+				}
 				if !newMarks.Empty() {
 					queue = append(queue, work{head, newMarks})
 				}

@@ -37,12 +37,23 @@ type Options struct {
 	// identical either way; only the insertion order of derived tuples
 	// (and hence unsorted Rows order) can differ.
 	Parallelism int
-	// ParallelThreshold is the minimum round input size (tuples feeding
-	// the round's joins) at which the worker pool engages; smaller rounds
-	// run sequentially even with Parallelism > 1. 0 means
-	// DefaultParallelThreshold; negative removes the floor entirely
-	// (tests use this to force the parallel path on tiny programs).
+	// ParallelThreshold overrides the parallel profit gate. 0 (the
+	// default) gates each round adaptively: fan out only when the round's
+	// estimated emissions — input work × the observed join fan-out — reach
+	// DefaultParallelThreshold, the measured break-even for the fan-out
+	// machinery. A positive value is the deprecated static floor on round
+	// input size (kept as a manual override for workloads the estimator
+	// misjudges); negative removes the gate entirely (tests use this to
+	// force the parallel path on tiny programs).
 	ParallelThreshold int
+	// MaterializeRounds restores the pre-streaming round pipeline as an
+	// ablation: every rule emission is materialized into an intermediate
+	// round relation and the delta is computed by differencing against the
+	// totals afterwards, instead of streaming emissions through a
+	// RoundSink that materializes new tuples only. The answer is
+	// identical; sepbench -stream-bench uses this to measure what
+	// streaming buys.
+	MaterializeRounds bool
 }
 
 type compiledRule struct {
@@ -50,6 +61,12 @@ type compiledRule struct {
 	plan    *conj.Plan
 	proj    *conj.Projector
 	idbOccs []int // body atom indexes whose predicate is IDB
+
+	// runner and row are the sequential evaluator's reusable scratch: one
+	// pull-stream runner and one projected-head buffer per rule, reused
+	// across every round of the stratum. Parallel workers build their own.
+	runner *conj.Runner
+	row    rel.Tuple
 }
 
 // Run evaluates prog to fixpoint over db and returns a database view that
@@ -128,6 +145,8 @@ func runStratum(rules []ast.Rule, inStratum map[string]bool, view *database.Data
 		}
 		plan.SetTick(opts.Budget.TickFunc())
 		cr := compiledRule{rule: r, plan: plan, proj: proj}
+		cr.runner = plan.NewRunner()
+		cr.row = make(rel.Tuple, proj.Arity())
 		for i, a := range r.Body {
 			if inStratum[a.Pred] && !a.Negated {
 				cr.idbOccs = append(cr.idbOccs, i)
@@ -138,47 +157,65 @@ func runStratum(rules []ast.Rule, inStratum map[string]bool, view *database.Data
 
 	baseSrc := conj.DBSource(view.Relation)
 
-	runRule := func(cr *compiledRule, src conj.RelSource, into *rel.Relation) {
-		row := make(rel.Tuple, cr.proj.Arity())
-		cr.plan.Run(src, nil, func(binding []rel.Value) {
-			into.Insert(cr.proj.Tuple(binding, row))
-		})
-	}
-
-	observe := func() {
-		for p := range inStratum {
-			opts.Collector.Observe(p, total[p].Len())
+	// runRule pulls the rule's satisfying bindings one at a time and
+	// streams each projected head straight into the round sink — nothing
+	// between the body's index scans and the sink is materialized.
+	runRule := func(cr *compiledRule, src conj.RelSource, into *RoundSink) {
+		s := cr.runner.Stream(src, nil)
+		for b, ok := s.Next(); ok; b, ok = s.Next() {
+			into.Add(cr.proj.Tuple(b, cr.row))
 		}
 	}
 
 	pr := newParRunner(opts)
+	sinks := make(map[string]*RoundSink, len(inStratum))
+
+	startRound := func() {
+		for p := range inStratum {
+			sinks[p] = NewRoundSink(total[p], opts.MaterializeRounds)
+		}
+	}
+
+	// finishRound is the round boundary: fold each sink's delta into the
+	// stratum totals, account for the work, and feed the round's observed
+	// fan-out back into the parallel profit gate.
+	finishRound := func(work int) bool {
+		changed := false
+		emitted := 0
+		var interBytes int64
+		for p, s := range sinks {
+			d := s.Delta()
+			delta[p] = d
+			added := total[p].InsertAll(d)
+			opts.Collector.AddInserted(added)
+			opts.Budget.AddDerived(added, total[p].Arity())
+			emitted += s.Emitted()
+			interBytes += int64(s.IntermediateLen(d)) * int64(total[p].Arity()) * int64(rel.ValueBytes)
+			if added > 0 {
+				changed = true
+			}
+		}
+		pr.observe(work, emitted)
+		opts.Collector.ObserveIntermediate(interBytes)
+		for p := range inStratum {
+			opts.Collector.Observe(p, total[p].Len())
+		}
+		return changed
+	}
 
 	// Round 0: evaluate every rule against the initial totals.
 	opts.Budget.Round()
-	newFacts := make(map[string]*rel.Relation)
-	for p := range inStratum {
-		newFacts[p] = rel.New(total[p].Arity())
-	}
-	if pr.eligible(baseWork(compiled, view.Relation)) {
-		pr.runTasks(baseTasks(compiled, baseSrc), newFacts, opts.Budget)
+	startRound()
+	work := baseWork(compiled, view.Relation)
+	if pr.eligible(work) {
+		pr.runTasks(baseTasks(compiled, baseSrc), sinks, opts.Budget)
 	} else {
 		for i := range compiled {
-			runRule(&compiled[i], baseSrc, newFacts[compiled[i].rule.Head.Pred])
+			runRule(&compiled[i], baseSrc, sinks[compiled[i].rule.Head.Pred])
 		}
 	}
 	opts.Collector.AddIteration()
-	changed := false
-	for p, nf := range newFacts {
-		d := nf.Difference(total[p])
-		delta[p] = d
-		added := total[p].InsertAll(d)
-		opts.Collector.AddInserted(added)
-		opts.Budget.AddDerived(added, total[p].Arity())
-		if added > 0 {
-			changed = true
-		}
-	}
-	observe()
+	changed := finishRound(work)
 
 	round := 1
 	for changed {
@@ -188,18 +225,21 @@ func runStratum(rules []ast.Rule, inStratum map[string]bool, view *database.Data
 		round++
 		opts.Budget.Round()
 		opts.Collector.AddIteration()
-		for p := range inStratum {
-			newFacts[p] = rel.New(total[p].Arity())
+		startRound()
+		if opts.Naive {
+			work = baseWork(compiled, view.Relation)
+		} else {
+			work = deltaWork(compiled, delta)
 		}
 		switch {
-		case opts.Naive && pr.eligible(baseWork(compiled, view.Relation)):
-			pr.runTasks(baseTasks(compiled, baseSrc), newFacts, opts.Budget)
+		case opts.Naive && pr.eligible(work):
+			pr.runTasks(baseTasks(compiled, baseSrc), sinks, opts.Budget)
 		case opts.Naive:
 			for i := range compiled {
-				runRule(&compiled[i], baseSrc, newFacts[compiled[i].rule.Head.Pred])
+				runRule(&compiled[i], baseSrc, sinks[compiled[i].rule.Head.Pred])
 			}
-		case pr.eligible(deltaWork(compiled, delta)):
-			pr.runTasks(pr.deltaTasks(compiled, delta, baseSrc), newFacts, opts.Budget)
+		case pr.eligible(work):
+			pr.runTasks(pr.deltaTasks(compiled, delta, baseSrc), sinks, opts.Budget)
 		default:
 			for i := range compiled {
 				cr := &compiled[i]
@@ -214,22 +254,11 @@ func runStratum(rules []ast.Rule, inStratum map[string]bool, view *database.Data
 						}
 						return view.Relation(pred)
 					}
-					runRule(cr, src, newFacts[cr.rule.Head.Pred])
+					runRule(cr, src, sinks[cr.rule.Head.Pred])
 				}
 			}
 		}
-		changed = false
-		for p, nf := range newFacts {
-			d := nf.Difference(total[p])
-			delta[p] = d
-			added := total[p].InsertAll(d)
-			opts.Collector.AddInserted(added)
-			opts.Budget.AddDerived(added, total[p].Arity())
-			if added > 0 {
-				changed = true
-			}
-		}
-		observe()
+		changed = finishRound(work)
 	}
 	return nil
 }

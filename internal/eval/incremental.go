@@ -255,14 +255,18 @@ func (m *Materialized) propagate(pred string, delta *rel.Relation) {
 		m.bud.Round()
 		w := queue[0]
 		queue = queue[1:]
-		newByHead := make(map[string]*rel.Relation)
+		// One RoundSink per head predicate: emissions stream into it and
+		// only tuples absent from the maintained totals materialize. The
+		// totals are frozen until the fold below, so the membership check
+		// is exact.
+		sinks := make(map[string]*RoundSink)
 		for _, oc := range m.occs[w.pred] {
 			cr := &m.rules[oc.rule]
 			head := cr.rule.Head.Pred
-			into := newByHead[head]
+			into := sinks[head]
 			if into == nil {
-				into = rel.New(cr.proj.Arity())
-				newByHead[head] = into
+				into = NewRoundSink(m.total[head], false)
+				sinks[head] = into
 			}
 			occAtom := oc.atom
 			src := func(atomIdx int, p string) *rel.Relation {
@@ -272,12 +276,15 @@ func (m *Materialized) propagate(pred string, delta *rel.Relation) {
 				return m.view.Relation(p)
 			}
 			row := make(rel.Tuple, cr.proj.Arity())
-			cr.plan.Run(src, nil, func(binding []rel.Value) {
-				into.Insert(cr.proj.Tuple(binding, row))
-			})
+			s := cr.plan.Stream(src, nil)
+			for b, ok := s.Next(); ok; b, ok = s.Next() {
+				into.Add(cr.proj.Tuple(b, row))
+			}
 		}
-		for head, nf := range newByHead {
-			d := nf.Difference(m.total[head])
+		var interBytes int64
+		for head, sink := range sinks {
+			d := sink.Delta()
+			interBytes += int64(sink.IntermediateLen(d)) * int64(m.total[head].Arity()) * int64(rel.ValueBytes)
 			if d.Empty() {
 				continue
 			}
@@ -287,6 +294,7 @@ func (m *Materialized) propagate(pred string, delta *rel.Relation) {
 			m.col.Observe(head, m.total[head].Len())
 			queue = append(queue, work{head, d})
 		}
+		m.col.ObserveIntermediate(interBytes)
 		m.col.AddIteration()
 	}
 }

@@ -7,11 +7,16 @@ import (
 	"sepdl/internal/rel"
 )
 
-// DefaultParallelThreshold is the round work size — tuples feeding the
-// round's joins — below which a parallel-enabled evaluation still runs the
-// round sequentially. Fan-out has a fixed cost (goroutines, channel, tuple
-// clones), and on the small rounds that dominate most workloads it loses
-// to the plain loop; 4096 input tuples is comfortably past break-even.
+// DefaultParallelThreshold is the adaptive profit gate's break-even point:
+// the estimated number of head-tuple emissions a round must produce before
+// fanning out beats the plain loop. Fan-out has a fixed cost (goroutines,
+// channel, per-tuple clones into merge batches), and on the small rounds
+// that dominate most workloads it loses to the sequential pull loop; 4096
+// estimated emissions is comfortably past break-even. The estimate is the
+// round's input work (tuples feeding its joins) times the join fan-out
+// observed over previous rounds, so a workload whose deltas stay small
+// never pays the fan-out tax — and one whose tiny deltas explode through a
+// dense join still engages the pool.
 const DefaultParallelThreshold = 4096
 
 // mergeBatchSize is how many head tuples a worker buffers before handing
@@ -28,31 +33,56 @@ type roundTask struct {
 }
 
 // parRunner is the per-stratum handle on the parallel round machinery;
-// nil means the run is sequential.
+// nil means the run is sequential. It carries the profit gate's state: an
+// exponential moving average of the join fan-out (emissions per input
+// tuple) observed over completed rounds.
 type parRunner struct {
 	workers   int
 	threshold int
+	fanout    float64
+	observed  bool
 }
 
 func newParRunner(opts Options) *parRunner {
 	if opts.Parallelism <= 1 {
 		return nil
 	}
-	th := opts.ParallelThreshold
-	if th == 0 {
-		th = DefaultParallelThreshold
-	}
-	return &parRunner{workers: opts.Parallelism, threshold: th}
+	return &parRunner{workers: opts.Parallelism, threshold: opts.ParallelThreshold, fanout: 1}
 }
 
 // eligible reports whether a round with the given input work size should
-// fan out. A negative threshold forces fan-out (tests use it to drive the
-// parallel path on tiny programs).
+// fan out. With threshold 0 (the default) the profit gate estimates the
+// round's emissions as work × the observed fan-out EMA and engages the
+// pool only past break-even. A positive threshold is the deprecated
+// static floor on input size; a negative one forces fan-out (tests use it
+// to drive the parallel path on tiny programs).
 func (pr *parRunner) eligible(work int) bool {
 	if pr == nil {
 		return false
 	}
-	return pr.threshold < 0 || work >= pr.threshold
+	switch {
+	case pr.threshold < 0:
+		return true
+	case pr.threshold > 0:
+		return work >= pr.threshold
+	}
+	return float64(work)*pr.fanout >= DefaultParallelThreshold
+}
+
+// observe feeds a completed round's measured fan-out back into the gate's
+// EMA. The first observation replaces the neutral prior outright; later
+// ones blend 50/50, so the estimate tracks phase changes (e.g. the
+// frontier reaching a dense region) within a round or two.
+func (pr *parRunner) observe(work, emitted int) {
+	if pr == nil || work == 0 {
+		return
+	}
+	f := float64(emitted) / float64(work)
+	if !pr.observed {
+		pr.fanout, pr.observed = f, true
+		return
+	}
+	pr.fanout = 0.5*pr.fanout + 0.5*f
 }
 
 type mergeBatch struct {
@@ -63,13 +93,13 @@ type mergeBatch struct {
 // runTasks evaluates tasks on the worker pool. Workers read the round's
 // immutable (total, delta, base) relations through their task sources and
 // batch emitted head tuples to a single merger goroutine, which is the
-// only writer of newFacts for the round — so dedup against the growing
-// round output needs no locking. A budget abort in any worker (their
-// runners tick per candidate) or in the merger (it ticks per batch)
-// re-panics here on the calling goroutine, where the evaluation's
-// budget.Guard recovers it; before that the merger drains the channel so
-// no worker is left blocked on send.
-func (pr *parRunner) runTasks(tasks []roundTask, newFacts map[string]*rel.Relation, bud *budget.Budget) {
+// only writer of the round's sinks — so the sinks' dedup against the
+// frozen totals and the growing delta needs no locking. A budget abort in
+// any worker (their runners tick per candidate) or in the merger (it
+// ticks per batch) re-panics here on the calling goroutine, where the
+// evaluation's budget.Guard recovers it; before that the merger drains
+// the channel so no worker is left blocked on send.
+func (pr *parRunner) runTasks(tasks []roundTask, sinks map[string]*RoundSink, bud *budget.Budget) {
 	ch := make(chan mergeBatch, pr.workers*2)
 	mergeDone := make(chan any, 1)
 	go func() {
@@ -78,9 +108,9 @@ func (pr *parRunner) runTasks(tasks []roundTask, newFacts map[string]*rel.Relati
 			defer func() { p = recover() }()
 			for b := range ch {
 				bud.Tick()
-				nf := newFacts[b.pred]
+				s := sinks[b.pred]
 				for _, row := range b.rows {
-					nf.Insert(row)
+					s.Add(row)
 				}
 			}
 		}()

@@ -110,7 +110,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 		seed[i] = intern(q.Args[p].Name)
 	}
 
-	var ruleTrans []*conj.Transition
+	var ruleTrans []*conj.TransitionRunner
 	if driver >= 0 {
 		cls := &a.Classes[driver]
 		for _, r := range cls.Rules {
@@ -119,7 +119,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 				return nil, err
 			}
 			tr.SetTick(opts.Budget.TickFunc())
-			ruleTrans = append(ruleTrans, tr)
+			ruleTrans = append(ruleTrans, tr.NewRunner())
 		}
 	}
 
@@ -141,17 +141,17 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 		}
 		return vs
 	}
-	var exits []*conj.Transition
+	var exits []*conj.TransitionRunner
 	for _, ex := range a.Exit {
 		tr, err := conj.NewTransition(ex.Body, headAt(driverCols), headAt(outCols), intern)
 		if err != nil {
 			return nil, err
 		}
 		tr.SetTick(opts.Budget.TickFunc())
-		exits = append(exits, tr)
+		exits = append(exits, tr.NewRunner())
 	}
 	type p2trans struct {
-		tr     *conj.Transition
+		tr     *conj.TransitionRunner
 		colIdx []int
 	}
 	outIdx := make(map[int]int)
@@ -174,7 +174,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 				return nil, err
 			}
 			tr.SetTick(opts.Budget.TickFunc())
-			p2 = append(p2, p2trans{tr: tr, colIdx: colIdx})
+			p2 = append(p2, p2trans{tr: tr.NewRunner(), colIdx: colIdx})
 		}
 	}
 
@@ -188,6 +188,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 	// binding set: exit rules, then the remaining classes to a per-string
 	// fixpoint.
 	strings, bindingsTotal := 0, 0
+	rowBuf := make(rel.Tuple, 0, 8)
 	answerString := func(bindings *rel.Relation) {
 		carry := rel.New(len(outCols))
 		for _, ex := range exits {
@@ -203,23 +204,32 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 			opts.Budget.Round()
 			next := rel.New(len(outCols))
 			classVals := make(rel.Tuple, 0, 8)
+			var base rel.Tuple
+			var pt *p2trans
+			// Streaming sink: overlay the class's output onto the carried
+			// tuple in the reused buffer and materialize only unseen rows,
+			// instead of cloning per emission and differencing afterwards.
+			emit := func(out rel.Tuple) {
+				rowBuf = append(rowBuf[:0], base...)
+				for k, j := range pt.colIdx {
+					rowBuf[j] = out[k]
+				}
+				if !seen.Contains(rowBuf) {
+					next.Insert(rowBuf)
+				}
+			}
 			for _, tup := range carry.Rows() {
+				base = tup
 				for i := range p2 {
-					pt := &p2[i]
+					pt = &p2[i]
 					classVals = classVals[:0]
 					for _, j := range pt.colIdx {
 						classVals = append(classVals, tup[j])
 					}
-					pt.tr.Apply(src, classVals, func(out rel.Tuple) {
-						row := tup.Clone()
-						for k, j := range pt.colIdx {
-							row[j] = out[k]
-						}
-						next.Insert(row)
-					})
+					pt.tr.Apply(src, classVals, emit)
 				}
 			}
-			carry = next.Difference(seen)
+			carry = next
 			added := seen.InsertAll(carry)
 			opts.Budget.AddDerived(added, len(outCols))
 		}

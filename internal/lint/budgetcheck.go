@@ -38,6 +38,18 @@
 // therefore fires only in internal/wal, where replay lives. Explicitly
 // listed directories always get the full rule set.
 //
+// A fifth rule covers the streaming executor's pull loops: any loop (for
+// or range) that drains an iterator (a Next call anywhere in the
+// statement) and materializes what it pulls (Insert, InsertAll, or a
+// sink Add) must reach a budget hook — in the loop itself, through one
+// same-package function, or anywhere in the enclosing function
+// declaration. The enclosing-function allowance exists because streaming
+// rounds hoist the hook to the round boundary (Budget.Round before the
+// drain) or push it into the stream's own tick hook; a pull loop in a
+// function that never touches the budget at all, though, drains an
+// unbounded stream into a relation with no cancellation point. Loops the
+// first rule already reports are not reported again.
+//
 // Exemptions carry a "// sepvet:ignore" (or legacy "// budgetcheck:ignore")
 // comment with a justification, on the offending line or the line above.
 package lint
@@ -45,6 +57,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"sort"
 	"strings"
 )
@@ -74,6 +87,14 @@ var replayMaterializing = map[string]bool{
 // payload that way still owes the budget for it.
 var cacheFillMaterializing = []string{"Insert", "InsertAll", "FromRows", "FromTuples"}
 
+// pullMaterializing are the calls that grow a relation from inside a
+// pull loop, checked in this order so findings are deterministic. Add
+// joins the set here (and only here) because the streaming rounds
+// accumulate through sink Add methods, which the first rule's narrower
+// set never sees; requiring a Next call in the same statement keeps the
+// common name from flagging unrelated loops.
+var pullMaterializing = []string{"Insert", "InsertAll", "Add"}
+
 // budgetHooks are the budget.Budget calls that satisfy the invariant.
 var budgetHooks = map[string]bool{
 	"Round":      true,
@@ -90,7 +111,7 @@ var budgetHooks = map[string]bool{
 func Budgetcheck() *Analyzer {
 	return &Analyzer{
 		Name: "budgetcheck",
-		Doc:  "fixpoint, spawn, cache-fill, and replay bodies that materialize tuples must reach a budget hook",
+		Doc:  "fixpoint, spawn, cache-fill, replay, and iterator pull bodies that materialize tuples must reach a budget hook",
 		Run:  runBudgetcheck,
 	}
 }
@@ -103,6 +124,9 @@ func runBudgetcheck(p *Pass) []Finding {
 	replayScope := p.Explicit || p.Dir == "internal/wal" ||
 		strings.Contains(p.Dir, "testdata/budgetcheck")
 	var findings []Finding
+	// flaggedLoops records the loop statements the first rule reported, so
+	// the pull-loop rule never reports the same loop twice.
+	flaggedLoops := make(map[token.Pos]bool)
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
@@ -169,8 +193,62 @@ func runBudgetcheck(p *Pass) []Finding {
 				Pos: p.Fset.Position(n.Pos()),
 				Msg: fmt.Sprintf("%s materializes tuples (%s) without a budget call (Round/Tick/AddDerived/Err/TickFunc/Guard); see the budget invariant", kind, mat),
 			})
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				flaggedLoops[n.Pos()] = true
+			}
 			return true
 		})
+	}
+	findings = append(findings, pullLoopFindings(p, flaggedLoops)...)
+	return findings
+}
+
+// pullLoopFindings applies the fifth rule: a loop that drains an
+// iterator (calls Next anywhere in the statement — the pull loop's
+// init/post for the idiomatic `for b, ok := s.Next(); ok; b, ok =
+// s.Next()` shape, or the body) and materializes what it pulls must
+// reach a budget hook in the loop, through one same-package function, or
+// anywhere in the enclosing function declaration.
+func pullLoopFindings(p *Pass, flaggedLoops map[token.Pos]bool) []Finding {
+	var findings []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fnReaches := callsBudget(calledNames(fd.Body), p.Funcs, 1)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+				default:
+					return true
+				}
+				if flaggedLoops[n.Pos()] {
+					return true
+				}
+				called := calledNames(n)
+				if !called["Next"] {
+					return true
+				}
+				mat := ""
+				for _, name := range pullMaterializing {
+					if called[name] {
+						mat = name
+						break
+					}
+				}
+				if mat == "" || fnReaches || callsBudget(called, p.Funcs, 1) {
+					return true
+				}
+				findings = append(findings, Finding{
+					Pos: p.Fset.Position(n.Pos()),
+					Msg: fmt.Sprintf("pull loop drains an iterator (Next) and materializes tuples (%s) without a budget call (Round/Tick/AddDerived/Err/TickFunc/Guard) in the loop or its enclosing function; streaming drains must be budget-accounted", mat),
+				})
+				return true
+			})
+		}
 	}
 	return findings
 }

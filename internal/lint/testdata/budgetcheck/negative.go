@@ -62,3 +62,30 @@ func boundedRangeInsert(out Rel, rows []Tuple) {
 		out.Insert(t)
 	}
 }
+
+// A pull loop whose enclosing function rounds the budget at the round
+// boundary: the pull rule accepts hooks anywhere in the function, because
+// streaming rounds hoist the hook out of the drain.
+func pullWithRoundAtBoundary(b Budget, s Stream, sink RoundSink) {
+	b.Round()
+	for t, ok := s.Next(); ok; t, ok = s.Next() {
+		sink.Add(t)
+	}
+}
+
+// A pull loop that ticks per element inside the loop satisfies both the
+// fixpoint rule and the pull rule.
+func pullWithTick(b Budget, s Stream, out Rel) {
+	for t, ok := s.Next(); ok; t, ok = s.Next() {
+		b.Tick()
+		out.Insert(t)
+	}
+}
+
+// A pull loop that only forwards bindings to a callback materializes
+// nothing; the executor's own Run loop has this shape.
+func pullEmitOnly(s Stream, emit func(Tuple)) {
+	for t, ok := s.Next(); ok; t, ok = s.Next() {
+		emit(t)
+	}
+}

@@ -52,3 +52,33 @@ func replayNoHook(sink Sink, recs []Rec) {
 		sink.AddFact(r.Line)
 	}
 }
+
+// A pull loop that drains an iterator into a relation with no hook
+// anywhere in the enclosing function: the stream can be unbounded, so
+// the drain has no cancellation point. The first rule reports this loop
+// too (Insert in a non-range for); the pull rule must not double-report.
+func pullNoHook(s Stream, out Rel) {
+	for t, ok := s.Next(); ok; t, ok = s.Next() { // want budgetcheck
+		out.Insert(t)
+	}
+}
+
+// A pull loop accumulating through a sink Add — invisible to the first
+// rule's narrower materializing set, caught only by the pull rule.
+func pullSinkNoHook(s Stream, sink RoundSink) {
+	for { // want budgetcheck
+		t, ok := s.Next()
+		if !ok {
+			break
+		}
+		sink.Add(t)
+	}
+}
+
+// A batch-pull range loop: Next yields a chunk, the range drains it into
+// a sink, and nothing in the function touches the budget.
+func pullBatchNoHook(s Stream, sink RoundSink) {
+	for _, t := range s.Next() { // want budgetcheck
+		sink.Add(t)
+	}
+}

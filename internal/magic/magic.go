@@ -164,10 +164,11 @@ type Options struct {
 	// Budget, when non-nil, governs the bottom-up evaluation of the
 	// rewritten program at round and join-inner-loop granularity.
 	Budget *budget.Budget
-	// Parallelism and ParallelThreshold forward to the semi-naive fixpoint
-	// over the rewritten program (eval.Options).
+	// Parallelism, ParallelThreshold, and MaterializeRounds forward to the
+	// semi-naive fixpoint over the rewritten program (eval.Options).
 	Parallelism       int
 	ParallelThreshold int
+	MaterializeRounds bool
 	// Template, when non-nil, supplies the precompiled rewrite for the
 	// query's form (from a plan cache): Answer binds the query's constants
 	// into it instead of rewriting, and Supplementary is ignored in favor
@@ -201,6 +202,7 @@ func Answer(prog *ast.Program, db *database.Database, q ast.Atom, opts Options) 
 		Budget:            opts.Budget,
 		Parallelism:       opts.Parallelism,
 		ParallelThreshold: opts.ParallelThreshold,
+		MaterializeRounds: opts.MaterializeRounds,
 	})
 	if err != nil {
 		return nil, err

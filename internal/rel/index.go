@@ -87,7 +87,10 @@ func (r *Relation) buildIndex(cols []int, key string) *Index {
 			return idx
 		}
 	}
-	idx := &Index{cols: append([]int(nil), cols...), buckets: make(map[string][]Tuple)}
+	// Presize the bucket map from the relation's cardinality: the row
+	// count is an upper bound on distinct keys, so the build — the hash
+	// join's build side — never rehashes mid-construction.
+	idx := &Index{cols: append([]int(nil), cols...), buckets: make(map[string][]Tuple, len(r.rows))}
 	for _, t := range r.rows {
 		idx.add(t)
 	}

@@ -1,0 +1,51 @@
+package rel
+
+// Scan is a resumable cursor over tuple storage — the unit of streaming
+// the iterator executor pulls from. A Scan yields zero-copy tuple views:
+// the returned tuples alias the relation's (or index bucket's) backing
+// storage, so callers must not modify them and must clone anything they
+// keep past the next mutation of the relation. Scan is a small value type
+// by design: embedding it in per-step cursors costs no allocation, and its
+// methods are trivially inlinable, which is what keeps the pull-based
+// executor competitive with the old recursive push evaluator.
+type Scan struct {
+	rows []Tuple
+	pos  int
+}
+
+// ScanOf wraps an existing tuple slice in a Scan (used by the executor for
+// pre-resolved candidate sets).
+func ScanOf(rows []Tuple) Scan { return Scan{rows: rows} }
+
+// Next yields the next tuple view, or (nil, false) when exhausted.
+func (s *Scan) Next() (Tuple, bool) {
+	if s.pos >= len(s.rows) {
+		return nil, false
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	return t, true
+}
+
+// Remaining reports how many tuples the scan has left to yield.
+func (s *Scan) Remaining() int { return len(s.rows) - s.pos }
+
+// Reset rewinds the scan to its first tuple.
+func (s *Scan) Reset() { s.pos = 0 }
+
+// Scan returns a full-relation scan over the current rows. The cursor
+// captures the row slice at call time: tuples inserted afterwards are not
+// yielded, which is exactly the snapshot semantics the fixpoint rounds
+// rely on (a round never sees its own output).
+func (r *Relation) Scan() Scan {
+	if r == nil {
+		return Scan{}
+	}
+	return Scan{rows: r.rows}
+}
+
+// Scan returns a cursor over the index bucket matching vals — the probe
+// side of a hash join, yielding zero-copy tuple views in insertion order.
+func (idx *Index) Scan(vals []Value) Scan {
+	return Scan{rows: idx.Lookup(vals)}
+}

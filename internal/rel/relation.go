@@ -17,6 +17,10 @@ import (
 // tuple is an interned constant.
 type Value = symtab.Value
 
+// ValueBytes is the in-memory size of one tuple cell, for converting
+// tuple counts into byte figures (e.g. peak-intermediate accounting).
+const ValueBytes = 4
+
 // Tuple is a fixed-length row of interned constants.
 type Tuple []Value
 

@@ -31,6 +31,13 @@ type Collector struct {
 	// disabled.
 	ClosureHits   int
 	ClosureMisses int
+	// PeakIntermediateBytes is the largest transient materialization any
+	// single fixpoint round (or carry-loop step) held outside the growing
+	// totals — the streamed delta, plus, under the materializing ablation,
+	// the round's raw emission relation. It is kept separate from Sizes so
+	// the per-relation peak-size accounting the paper's §4 claims are
+	// checked against is unperturbed.
+	PeakIntermediateBytes int64
 }
 
 // New returns an empty collector.
@@ -80,6 +87,30 @@ func (c *Collector) ClosureCounts() (hits, misses int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ClosureHits, c.ClosureMisses
+}
+
+// ObserveIntermediate records that a round held bytes of transient tuple
+// storage outside the totals, keeping the maximum across calls.
+func (c *Collector) ObserveIntermediate(bytes int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if bytes > c.PeakIntermediateBytes {
+		c.PeakIntermediateBytes = bytes
+	}
+	c.mu.Unlock()
+}
+
+// PeakIntermediate returns the largest transient round materialization
+// observed, in bytes.
+func (c *Collector) PeakIntermediate() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.PeakIntermediateBytes
 }
 
 // AddIteration counts one fixpoint round.

@@ -1,0 +1,93 @@
+package sepdl
+
+// Streaming-executor equivalence: the streaming round pipeline must be
+// byte-identical to the materializing ablation on every corpus entry
+// under every strategy, and the deprecated WithParallelThreshold override
+// must keep its documented semantics.
+
+import "testing"
+
+// TestStreamingMaterializedEquivalence runs the integration corpus under
+// all nine strategies twice — streaming (the default) and with
+// withMaterializedRounds() restoring the pre-iterator pipeline — and
+// requires byte-identical rendered results. Scope rejections must be
+// identical too: streaming may not change which queries a strategy
+// accepts.
+func TestStreamingMaterializedEquivalence(t *testing.T) {
+	strategies := []Strategy{
+		Separable, MagicSets, MagicSetsSup, Counting, HenschenNaqvi,
+		AhoUllman, Tabling, SemiNaive, Naive,
+	}
+	for _, entry := range corpus {
+		entry := entry
+		t.Run(entry.name, func(t *testing.T) {
+			e := New()
+			if err := e.LoadProgram(entry.program); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.LoadFacts(entry.facts); err != nil {
+				t.Fatal(err)
+			}
+			for _, query := range entry.queries {
+				for _, s := range strategies {
+					stream, serr := e.Query(query, WithStrategy(s))
+					mat, merr := e.Query(query, WithStrategy(s), withMaterializedRounds())
+					if (serr == nil) != (merr == nil) {
+						t.Errorf("%s [%s]: streaming err %v, materialized err %v", query, s, serr, merr)
+						continue
+					}
+					if serr != nil {
+						continue // both rejected: scope error, fine
+					}
+					if stream.String() != mat.String() {
+						t.Errorf("%s [%s]: streaming %s, materialized %s", query, s, stream, mat)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelThresholdOverride pins the deprecated WithParallelThreshold
+// semantics against the adaptive default: zero gates each round by
+// estimated emissions, a positive value restores the fixed work floor, a
+// negative value removes the gate entirely. All three must answer
+// identically; the knob only moves where fan-out happens.
+func TestParallelThresholdOverride(t *testing.T) {
+	const program = `
+path(X, Y) :- e(X, W) & path(W, Y).
+path(X, Y) :- e(X, Y).
+`
+	const facts = `
+e(a, b). e(b, c). e(c, d). e(d, e1). e(e1, f). e(a, c). e(b, d).
+`
+	ref := ""
+	for _, tc := range []struct {
+		name      string
+		threshold int
+	}{
+		{"adaptive-default", 0},
+		{"static-floor-deprecated", 1}, // every round clears the floor: always parallel
+		{"static-floor-huge", 1 << 20}, // no round clears the floor: never parallel
+		{"gate-disabled", -1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := New(WithParallelism(2), WithParallelThreshold(tc.threshold))
+			if err := e.LoadProgram(program); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.LoadFacts(facts); err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Query(`path(a, Y)?`, WithStrategy(SemiNaive))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == "" {
+				ref = res.String()
+			} else if res.String() != ref {
+				t.Fatalf("threshold %d answers %s, want %s", tc.threshold, res, ref)
+			}
+		})
+	}
+}
