@@ -8,10 +8,11 @@ vet:
 	go vet ./...
 
 # lint runs go vet plus sepvet, the project's static-analysis suite
-# (internal/lint): five analyzers enforcing the budget, write-ahead
-# ordering, snapshot-immutability, error-taxonomy, and leak-registration
-# invariants over every package in the module, plus the driver's own
-# directive checks (stale or unjustified ignores are findings too).
+# (internal/lint): six analyzers enforcing the budget, write-ahead
+# ordering, segment-publish ordering, snapshot-immutability,
+# error-taxonomy, and leak-registration invariants over every package in
+# the module, plus the driver's own directive checks (stale or
+# unjustified ignores are findings too).
 lint: vet
 	go run ./cmd/sepvet
 
@@ -23,6 +24,9 @@ lint-selftest:
 	@go run ./cmd/sepvet internal/lint/testdata/budgetcheck >/dev/null 2>/dev/null; \
 	st=$$?; if [ $$st -ne 1 ]; then \
 		echo "lint-selftest: sepvet exited $$st on the seeded corpus, want 1"; exit 1; fi
+	@go run ./cmd/sepvet internal/lint/testdata/segorder >/dev/null 2>/dev/null; \
+	st=$$?; if [ $$st -ne 1 ]; then \
+		echo "lint-selftest: sepvet exited $$st on the segorder corpus, want 1"; exit 1; fi
 	@go run ./cmd/sepvet cmd/sepvet/testdata/clean >/dev/null; \
 	st=$$?; if [ $$st -ne 0 ]; then \
 		echo "lint-selftest: sepvet exited $$st on the clean fixture, want 0"; exit 1; fi
@@ -41,6 +45,7 @@ bench:
 	go run ./cmd/sepbench -serve-bench -json BENCH_serve.json
 	go run ./cmd/sepbench -wal-bench -json BENCH_wal.json
 	go run ./cmd/sepbench -stream-bench -classes 3 -json BENCH_stream.json
+	go run ./cmd/sepbench -segment-bench -classes 3 -json BENCH_segments.json
 
 # serve-smoke boots a real sepdld process, answers a query and a prepared
 # batch over HTTP, SIGTERMs it mid-load, and asserts 503 + Retry-After
@@ -53,9 +58,11 @@ serve-smoke:
 # different point each cycle, and the reopened database must contain
 # every acknowledged fact, exactly a prefix of the ingest order, and
 # answer queries identically to an in-RAM oracle under all nine
-# evaluation strategies.
+# evaluation strategies. The second pass bounds the memtable so kills
+# land around segment builds and recovery serves from the cold tier.
 crash-smoke:
 	go run ./cmd/crashsmoke -iterations 8 -facts 200 -v
+	go run ./cmd/crashsmoke -iterations 8 -facts 200 -memtable-bytes 2048 -v
 
 # stress repeats the concurrent-serving tests under the race detector and
 # replays the parser fuzz seed corpus. It is slower than tier-1 and meant

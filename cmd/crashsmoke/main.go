@@ -16,7 +16,13 @@
 //
 // Usage:
 //
-//	crashsmoke [-iterations 12] [-facts 400] [-dir DIR] [-v]
+//	crashsmoke [-iterations 12] [-facts 400] [-dir DIR] [-memtable-bytes N] [-v]
+//
+// With -memtable-bytes > 0 the child runs over the segment-backed store:
+// the overlay budget forces background checkpoints that flush facts into
+// sorted segment files mid-ingest, so kills land before, during, and
+// after segment builds, and recovery must serve the surviving prefix
+// from whatever mix of cold segments and log tail the tear left behind.
 //
 // Exit status 0 when every iteration verifies, 1 otherwise. The harness
 // is wired into `make crash-smoke`; it is a real-process complement to
@@ -68,20 +74,31 @@ func main() {
 		dir        = flag.String("dir", "", "data directory (default: a temp dir)")
 		iterations = flag.Int("iterations", 12, "kill-recover-verify cycles")
 		facts      = flag.Int("facts", 400, "facts the child tries to ingest per run")
+		memtable   = flag.Int64("memtable-bytes", 0, "overlay budget triggering segment flushes (0: flat checkpoints only)")
 		verbose    = flag.Bool("v", false, "log each iteration")
 	)
 	flag.Parse()
 	if *child {
-		os.Exit(runChild(*dir, *facts))
+		os.Exit(runChild(*dir, *facts, *memtable))
 	}
-	os.Exit(runParent(*dir, *iterations, *facts, *verbose))
+	os.Exit(runParent(*dir, *iterations, *facts, *memtable, *verbose))
+}
+
+// storeOpts returns the engine options both the child and the verifier
+// open the directory with, so recovery sees the same tiering config the
+// writer ran under.
+func storeOpts(memtable int64) []sepdl.EngineOption {
+	if memtable <= 0 {
+		return nil
+	}
+	return []sepdl.EngineOption{sepdl.WithMemtableBytes(memtable)}
 }
 
 // runChild ingests facts into the durable engine, printing "acked N"
 // only after AddFact returned — i.e. after the record is fsynced. It is
 // the process the parent kills mid-write.
-func runChild(dir string, n int) int {
-	e, err := sepdl.Open(dir)
+func runChild(dir string, n int, memtable int64) int {
+	e, err := sepdl.Open(dir, storeOpts(memtable)...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "child:", err)
 		return 1
@@ -113,7 +130,7 @@ func runChild(dir string, n int) int {
 }
 
 // runParent drives the kill loop.
-func runParent(dir string, iterations, facts int, verbose bool) int {
+func runParent(dir string, iterations, facts int, memtable int64, verbose bool) int {
 	self, err := os.Executable()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crashsmoke:", err)
@@ -135,12 +152,12 @@ func runParent(dir string, iterations, facts int, verbose bool) int {
 		// ingest size the child finishes and exits on its own (the clean
 		// shutdown is part of the sweep too).
 		killAt := 1 + (it*37)%facts
-		lastAcked, err := spawnAndKill(self, dir, facts, killAt)
+		lastAcked, err := spawnAndKill(self, dir, facts, killAt, memtable)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "crashsmoke: iteration %d: %v\n", it, err)
 			return 1
 		}
-		if err := verify(dir, lastAcked, facts); err != nil {
+		if err := verify(dir, lastAcked, facts, memtable); err != nil {
 			fmt.Fprintf(os.Stderr, "crashsmoke: iteration %d (acked %d): FAIL: %v\n", it, lastAcked, err)
 			failures++
 			continue
@@ -160,8 +177,9 @@ func runParent(dir string, iterations, facts int, verbose bool) int {
 // spawnAndKill runs the child and SIGKILLs it once it has acknowledged
 // killAt dynamic facts, returning the highest index the parent saw
 // acknowledged (-1 if none).
-func spawnAndKill(self, dir string, facts, killAt int) (lastAcked int, err error) {
-	cmd := exec.Command(self, "-child", "-dir", dir, "-facts", strconv.Itoa(facts))
+func spawnAndKill(self, dir string, facts, killAt int, memtable int64) (lastAcked int, err error) {
+	cmd := exec.Command(self, "-child", "-dir", dir, "-facts", strconv.Itoa(facts),
+		"-memtable-bytes", strconv.FormatInt(memtable, 10))
 	cmd.Stderr = os.Stderr
 	out, err := cmd.StdoutPipe()
 	if err != nil {
@@ -201,8 +219,8 @@ func spawnAndKill(self, dir string, facts, killAt int) (lastAcked int, err error
 
 // verify reopens the directory and checks durability, prefix
 // consistency, and nine-strategy equivalence against an in-RAM oracle.
-func verify(dir string, lastAcked, facts int) error {
-	e, err := sepdl.Open(dir)
+func verify(dir string, lastAcked, facts int, memtable int64) error {
+	e, err := sepdl.Open(dir, storeOpts(memtable)...)
 	if err != nil {
 		return fmt.Errorf("reopen: %w", err)
 	}

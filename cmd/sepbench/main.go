@@ -40,13 +40,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		serveBench  = fs.Bool("serve-bench", false, "run the sepdld serving-layer load benchmark (cold vs warm vs overloaded over HTTP) instead of the experiments")
 		walBench    = fs.Bool("wal-bench", false, "run the durability benchmark (in-RAM vs WAL fsync modes, plus recovery cost) instead of the experiments")
 		streamBench = fs.Bool("stream-bench", false, "run the streaming-vs-materializing executor benchmark instead of the experiments")
-		jsonPath    = fs.String("json", "", "with -parallel-bench, -cache-bench, -serve-bench, -wal-bench, or -stream-bench: also write the report as JSON to this path")
+		segBench    = fs.Bool("segment-bench", false, "run the beyond-RAM storage benchmark (in-RAM vs disk-cold vs disk-warm over segment files) instead of the experiments")
+		jsonPath    = fs.String("json", "", "with -parallel-bench, -cache-bench, -serve-bench, -wal-bench, -stream-bench, or -segment-bench: also write the report as JSON to this path")
 		sizes       = fs.String("sizes", "16,32,48", "with -parallel-bench, -cache-bench, or -stream-bench: comma-separated problem sizes")
 		classes     = fs.Int("classes", 4, "with -parallel-bench or -stream-bench: equivalence classes in the separable query family")
 		par         = fs.Int("parallelism", 0, "with -parallel-bench: worker count for the parallel runs (0 = GOMAXPROCS)")
 		seeds       = fs.Int("seeds", 8, "with -cache-bench or -serve-bench: distinct query constants per point")
 		size        = fs.Int("size", 400, "with -serve-bench: chain length of the served database")
 		walFacts    = fs.Int("wal-facts", 2000, "with -wal-bench: facts ingested per storage mode")
+		memtable    = fs.Int64("memtable-bytes", 8<<10, "with -segment-bench: in-RAM overlay budget that triggers flushes during ingest")
 		walCkpt     = fs.Int64("wal-ckpt-bytes", 16<<10, "with -wal-bench: checkpoint threshold for the wal-ckpt mode")
 		requests    = fs.Int("requests", 200, "with -serve-bench: requests per regime")
 		clients     = fs.Int("clients", 4, "with -serve-bench: concurrent clients in the cold and warm regimes")
@@ -64,6 +66,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			streamSizes = "64,96,128"
 		}
 		return runStreamBench(streamSizes, *classes, *jsonPath, stdout, stderr)
+	}
+	if *segBench {
+		segSizes := *sizes
+		if segSizes == "16,32,48" {
+			segSizes = "48,96"
+		}
+		return runSegmentBench(segSizes, *classes, *memtable, *jsonPath, stdout, stderr)
 	}
 	if *serveBench {
 		return runServeBench(*size, *seeds, *requests, *clients, *jsonPath, stdout, stderr)
@@ -330,6 +339,36 @@ func runStreamBench(sizeList string, classes int, jsonPath string, stdout, stder
 			p.Family, p.Size, p.Answers, p.MatWarmNs, p.StreamWarmNs, p.Speedup,
 			p.MatPeakBytes, p.StreamPeakBytes, 100*p.PeakBytesReduction)
 	}
+	if jsonPath != "" {
+		out, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(stderr, "sepbench: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(jsonPath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "sepbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", jsonPath)
+	}
+	if rep.Failed() {
+		return 1
+	}
+	return 0
+}
+
+// runSegmentBench runs the beyond-RAM storage harness and renders a
+// table (plus optional JSON artifact, the BENCH_segments.json that make
+// bench commits to the repository root). Exit status 1 means a storage
+// mode diverged from the in-RAM oracle — a correctness failure; being
+// slower than the 2x target is reported but does not fail the run.
+func runSegmentBench(sizeList string, classes int, memtable int64, jsonPath string, stdout, stderr io.Writer) int {
+	sizes, ok := parseSizes(sizeList, stderr)
+	if !ok {
+		return 2
+	}
+	rep := bench.RunSegment(bench.SegmentConfig{Sizes: sizes, Classes: classes, MemtableBytes: memtable})
+	fmt.Fprint(stdout, bench.FormatSegment(rep))
 	if jsonPath != "" {
 		out, err := rep.JSON()
 		if err != nil {

@@ -58,6 +58,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		programPath = fs.String("program", "", "path to the Datalog rules file (required unless -data-dir has state)")
 		factsPath   = fs.String("facts", "", "comma-separated paths to ground-facts files")
 		dataDir     = fs.String("data-dir", "", "durable data directory (write-ahead log); empty = in-RAM only")
+		memBytes    = fs.Int64("memtable-bytes", 0, "in-RAM overlay budget before facts flush to sorted segment files; 0 disables the trigger")
+		cacheBytes  = fs.Int64("block-cache-bytes", 0, "segment block-cache budget; 0 = default (32 MiB), negative disables retention")
 		query       = fs.String("query", "", "query to evaluate; omit for a REPL")
 		strategy    = fs.String("strategy", "auto", "auto|separable|magic|magic-sup|counting|hn|aho|tabling|seminaive|naive")
 		showStats   = fs.Bool("stats", false, "print evaluation statistics (relation sizes, iterations, time)")
@@ -90,6 +92,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		// Recover the durable state first; -program/-facts then only
 		// bootstrap an empty directory, so re-running with the same flags
 		// never double-loads the rules into a recovered database.
+		engOpts = append(engOpts,
+			sepdl.WithMemtableBytes(*memBytes), sepdl.WithBlockCacheBytes(*cacheBytes))
 		var err error
 		if e, err = sepdl.Open(*dataDir, engOpts...); err != nil {
 			fmt.Fprintln(stderr, "sepdl:", err)
@@ -304,8 +308,8 @@ func runQuery(e *sepdl.Engine, w io.Writer, query, strategy string, relaxed, sho
 		}
 		fmt.Fprintf(w, "%% strategy=%s%s time=%s iterations=%d inserted=%d max=%s(%d)\n",
 			st.Strategy, from, st.Duration, st.Iterations, st.Inserted, st.MaxRelation, st.MaxRelationSize)
-		fmt.Fprintf(w, "%% plan-cache=%s closure-hits=%d closure-misses=%d batch=%d\n",
-			plan, st.ClosureCacheHits, st.ClosureCacheMisses, st.BatchSize)
+		fmt.Fprintf(w, "%% plan-cache=%s closure-hits=%d closure-misses=%d batch=%d peak-intermediate=%dB\n",
+			plan, st.ClosureCacheHits, st.ClosureCacheMisses, st.BatchSize, st.PeakIntermediateBytes)
 		for name, size := range st.RelationSizes {
 			fmt.Fprintf(w, "%%   %s: %d\n", name, size)
 		}

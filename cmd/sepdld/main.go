@@ -65,9 +65,11 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		programPath = fs.String("program", "", "path to the Datalog rules file (required unless -data-dir has state)")
 		factsPath   = fs.String("facts", "", "comma-separated paths to ground-facts files")
 
-		dataDir   = fs.String("data-dir", "", "durable data directory (write-ahead log); empty = in-RAM only")
-		ckptBytes = fs.Int64("checkpoint-bytes", 0, "log growth that triggers a checkpoint; 0 = default, negative disables")
-		noSync    = fs.Bool("no-sync", false, "skip fsync per write; durability only at checkpoints and shutdown")
+		dataDir    = fs.String("data-dir", "", "durable data directory (write-ahead log); empty = in-RAM only")
+		ckptBytes  = fs.Int64("checkpoint-bytes", 0, "log growth that triggers a checkpoint; 0 = default, negative disables")
+		noSync     = fs.Bool("no-sync", false, "skip fsync per write; durability only at checkpoints and shutdown")
+		memBytes   = fs.Int64("memtable-bytes", 0, "in-RAM overlay budget before facts flush to sorted segment files; 0 disables the trigger")
+		cacheBytes = fs.Int64("block-cache-bytes", 0, "segment block-cache budget; 0 = default (32 MiB), negative disables retention")
 
 		concurrency = fs.Int("concurrency", 0, "max queries evaluated at once; 0 unlimited")
 		admitWait   = fs.Duration("admit-wait", 100*time.Millisecond, "how long an over-limit query queues before 503")
@@ -115,7 +117,8 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		// Open recovers the persisted state (replaying the log, truncating
 		// any crash-torn tail) before returning, so by the time the
 		// listener binds and /readyz answers, the database is complete.
-		opts = append(opts, sepdl.WithCheckpointBytes(*ckptBytes), sepdl.WithSyncWrites(!*noSync))
+		opts = append(opts, sepdl.WithCheckpointBytes(*ckptBytes), sepdl.WithSyncWrites(!*noSync),
+			sepdl.WithMemtableBytes(*memBytes), sepdl.WithBlockCacheBytes(*cacheBytes))
 		var err error
 		if eng, err = sepdl.Open(*dataDir, opts...); err != nil {
 			fmt.Fprintln(stderr, "sepdld:", err)

@@ -7,6 +7,8 @@ import (
 	"sepdl/internal/ast"
 	"sepdl/internal/database"
 	"sepdl/internal/parser"
+	"sepdl/internal/rel"
+	"sepdl/internal/segment"
 	"sepdl/internal/wal"
 )
 
@@ -41,6 +43,36 @@ func WithSyncWrites(sync bool) EngineOption {
 	return func(e *Engine) { e.noSync = !sync }
 }
 
+// WithMemtableBytes bounds the in-RAM overlay of a durable engine: when
+// the resident rows on top of the cold tier outgrow n bytes, the engine
+// checkpoints and rebases onto the fresh segment regardless of log
+// growth, so memory stays bounded by the memtable budget plus the block
+// cache even when the dataset does not fit in RAM. 0 (the default)
+// leaves flushing to the log-growth threshold alone. Ignored by New and
+// by engines running WithColdStorage(false).
+func WithMemtableBytes(n int64) EngineOption {
+	return func(e *Engine) { e.memtableBytes = n }
+}
+
+// WithBlockCacheBytes budgets the decoded-block cache segment reads go
+// through: the disk-warm working set. 0 (the default) uses
+// segment.DefaultCacheBytes; negative disables retention, making every
+// cold read hit the disk (the honest disk-cold benchmark mode). Ignored
+// by New.
+func WithBlockCacheBytes(n int64) EngineOption {
+	return func(e *Engine) { e.blockCacheBytes = n }
+}
+
+// WithColdStorage controls whether a durable engine serves checkpointed
+// data from segment files (the default) or keeps everything resident.
+// false recovers segment checkpoints by replaying them fact by fact into
+// RAM and never rebases after a flush — the in-RAM oracle the
+// equivalence suites and benches compare cold execution against.
+// Ignored by New.
+func WithColdStorage(on bool) EngineOption {
+	return func(e *Engine) { e.coldOff = !on }
+}
+
 // Open returns an engine whose facts and rules are durable in dir,
 // creating the directory on first use. Open replays the existing log —
 // checkpoint first, then every acknowledged write after it, truncating a
@@ -50,9 +82,17 @@ func WithSyncWrites(sync bool) EngineOption {
 // release the log; a crash instead of a Close loses nothing acknowledged.
 func Open(dir string, opts ...EngineOption) (*Engine, error) {
 	e := New(opts...)
+	cacheBytes := e.blockCacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = segment.DefaultCacheBytes
+	}
 	st, err := wal.Open(dir, wal.Options{
 		CheckpointBytes: e.ckptBytes,
 		NoSync:          e.noSync,
+		// The codec is attached even with cold storage off: existing
+		// segment-backed checkpoints must stay readable (Recover then
+		// replays them fact by fact instead of installing cold bases).
+		Checkpointer: segment.NewCodec(dir, cacheBytes, 0),
 		Tick: func() error {
 			if e.closed.Load() {
 				return ErrEngineClosed
@@ -74,7 +114,14 @@ func Open(dir string, opts ...EngineOption) (*Engine, error) {
 // seam: replay the persisted history into the in-memory state, then start
 // logging. Split from Open so tests can attach a store with fault hooks.
 func (e *Engine) attach(st database.Store) error {
-	if err := st.Recover(recoverSink{e}); err != nil {
+	var sink database.RecoverSink = recoverSink{e}
+	if !e.coldOff {
+		// The ColdSink extension lets a segment-backed checkpoint install
+		// its predicates as disk-resident cold bases instead of replaying
+		// every fact into RAM.
+		sink = coldRecoverSink{recoverSink{e}}
+	}
+	if err := st.Recover(sink); err != nil {
 		return fmt.Errorf("sepdl: recovering %w", err)
 	}
 	e.mu.Lock()
@@ -114,7 +161,11 @@ func (e *Engine) Checkpoint() error {
 	if seq == 0 {
 		return nil // MemStore: nothing to checkpoint
 	}
-	return e.store.WriteCheckpoint(seq, prog, snap.WriteFacts)
+	if err := e.store.WriteCheckpoint(seq, prog, snap); err != nil {
+		return err
+	}
+	e.rebaseCold()
+	return nil
 }
 
 // maybeCheckpointLocked starts a background checkpoint when the log has
@@ -124,7 +175,7 @@ func (e *Engine) Checkpoint() error {
 // expensive write streams from the immutable snapshot off-lock,
 // concurrent with new appends and with readers.
 func (e *Engine) maybeCheckpointLocked() {
-	if !e.store.NeedCheckpoint() || !e.ckptBusy.CompareAndSwap(false, true) {
+	if !e.needCheckpointLocked() || !e.ckptBusy.CompareAndSwap(false, true) {
 		return
 	}
 	seq, err := e.store.Rotate()
@@ -142,8 +193,53 @@ func (e *Engine) maybeCheckpointLocked() {
 		// Failure is recorded in StoreStats.CheckpointErrors; the sealed
 		// segments stay live, so nothing acknowledged is at risk and the
 		// next threshold crossing retries.
-		st.WriteCheckpoint(seq, prog, snap.WriteFacts)
+		if st.WriteCheckpoint(seq, prog, snap) == nil {
+			e.rebaseCold()
+		}
 	}()
+}
+
+// needCheckpointLocked reports whether a background checkpoint should
+// start: the store's log-growth threshold, or — on a cold-storage engine
+// with a memtable budget — the in-RAM overlay outgrowing that budget.
+func (e *Engine) needCheckpointLocked() bool {
+	if e.store.NeedCheckpoint() {
+		return true
+	}
+	if e.memtableBytes <= 0 || e.coldOff {
+		return false
+	}
+	if _, ok := e.store.(database.ColdStore); !ok {
+		return false // flushing would not shrink the overlay
+	}
+	return e.db.OverlayBytes() >= e.memtableBytes
+}
+
+// rebaseCold swaps every predicate the newest checkpoint covered onto
+// its segment-backed cold base, dropping the flushed rows from RAM while
+// keeping writes that landed after the rotation as the new overlay. The
+// database revision is NOT bumped: the content is identical, so plan and
+// closure caches stay warm. No-op for flat stores and with cold storage
+// off.
+func (e *Engine) rebaseCold() {
+	if e.coldOff {
+		return
+	}
+	cs, ok := e.store.(database.ColdStore)
+	if !ok {
+		return
+	}
+	set := cs.ColdSet()
+	if set == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, pred := range set.Preds() {
+		if base, arity, ok := set.Cold(pred); ok {
+			e.db.SetCold(pred, arity, base)
+		}
+	}
 }
 
 // recoverSink applies the store's replayed history directly to the
@@ -188,3 +284,30 @@ func (s recoverSink) ClearProgram() error {
 	s.e.state = newProgState(&ast.Program{})
 	return nil
 }
+
+// coldRecoverSink extends recoverSink with the database.ColdSink methods
+// a segment-backed checkpoint uses to install disk-resident bases
+// instead of replaying facts. InstallSymbols must run before anything
+// else interns a name: cold tuples reference interned ids, so the
+// recovered table has to assign exactly the ids the segment recorded.
+type coldRecoverSink struct{ recoverSink }
+
+func (s coldRecoverSink) InstallSymbols(names []string) error {
+	s.e.mu.Lock()
+	defer s.e.mu.Unlock()
+	tab := s.e.db.SymbolTable()
+	for i, name := range names {
+		if got := tab.Intern(name); int(got) != i {
+			return fmt.Errorf("sepdl: recovering segment symbols: %q interned as %d, want %d", name, got, i)
+		}
+	}
+	return nil
+}
+
+func (s coldRecoverSink) InstallCold(pred string, arity int, base rel.ColdBase) error {
+	s.e.mu.Lock()
+	defer s.e.mu.Unlock()
+	return s.e.db.SetCold(pred, arity, base)
+}
+
+var _ database.ColdSink = coldRecoverSink{}

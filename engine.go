@@ -89,6 +89,15 @@ type Engine struct {
 	closures      *plancache.Closures
 	ckptBytes     int64
 	noSync        bool
+	// memtableBytes, when positive, is the in-RAM overlay footprint that
+	// triggers a checkpoint flush on a cold-storage engine, independent of
+	// log growth. blockCacheBytes budgets the segment block cache
+	// (0 = segment.DefaultCacheBytes, negative = no retention). coldOff
+	// keeps recovered and checkpointed data fully resident (the in-RAM
+	// oracle mode benches and equivalence tests compare against).
+	memtableBytes   int64
+	blockCacheBytes int64
+	coldOff         bool
 
 	// ckptBusy single-flights background checkpoints; ckptWG lets Close
 	// wait out one still in flight; closed gates writes after Close.

@@ -66,6 +66,42 @@ func (db *Database) Ensure(pred string, arity int) (*rel.Relation, error) {
 // Set installs a relation under pred, replacing any existing one.
 func (db *Database) Set(pred string, r *rel.Relation) { db.rels[pred] = r }
 
+// SymbolTable returns the database's symbol table (the CheckpointState
+// accessor; the Syms field remains the direct handle).
+func (db *Database) SymbolTable() *symtab.Table { return db.Syms }
+
+// SetCold rebases pred onto a disk-resident sorted base: the relation is
+// replaced by one serving its bulk from base, with any rows the current
+// relation holds beyond the base re-inserted into the fresh overlay
+// (tuples the base already contains deduplicate away). Recovery uses it
+// with an empty current relation; post-checkpoint rebase uses it to drop
+// the flushed overlay from RAM without losing post-rotation writes.
+func (db *Database) SetCold(pred string, arity int, base rel.ColdBase) error {
+	if cur := db.rels[pred]; cur != nil && cur.Arity() != arity {
+		return fmt.Errorf("database: %s has arity %d, cold base has %d", pred, cur.Arity(), arity)
+	}
+	fresh := rel.NewCold(arity, base)
+	if cur := db.rels[pred]; cur != nil {
+		for _, t := range cur.OverlayRows() {
+			fresh.Insert(t)
+		}
+	}
+	db.rels[pred] = fresh
+	return nil
+}
+
+// OverlayBytes estimates the resident footprint of the in-RAM overlays —
+// the memtable size a durable engine compares against its flush budget.
+// Each overlay tuple costs its cells plus per-tuple slice/map overhead.
+func (db *Database) OverlayBytes() int64 {
+	const tupleOverhead = 48 // slice header + set key + rows entry, roughly
+	var n int64
+	for _, r := range db.rels {
+		n += int64(r.OverlayLen()) * (int64(r.Arity())*rel.ValueBytes + tupleOverhead)
+	}
+	return n
+}
+
 // AddFact interns args and inserts the tuple into pred's relation, creating
 // it if needed. It reports whether the tuple was new.
 func (db *Database) AddFact(pred string, args ...string) (bool, error) {

@@ -1,6 +1,11 @@
 package database
 
-import "io"
+import (
+	"io"
+
+	"sepdl/internal/rel"
+	"sepdl/internal/symtab"
+)
 
 // Store is the durability seam behind the engine's writers. Every logical
 // mutation of the extensional database — a single fact, a parsed fact
@@ -48,8 +53,11 @@ type Store interface {
 	Rotate() (seq uint64, err error)
 	// WriteCheckpoint durably writes the state covering all segments below
 	// seq, then deletes the log segments and checkpoints it supersedes. It
-	// may run concurrently with appends to the post-Rotate segment.
-	WriteCheckpoint(seq uint64, program string, facts func(io.Writer) error) error
+	// may run concurrently with appends to the post-Rotate segment. state
+	// must be an immutable snapshot taken at the Rotate instant; stores
+	// either render it flat (state.WriteFacts) or hand it to a segment
+	// codec that builds a queryable sorted structure from it.
+	WriteCheckpoint(seq uint64, program string, state CheckpointState) error
 
 	// Stats returns the store's cumulative counters.
 	Stats() StoreStats
@@ -65,6 +73,51 @@ type RecoverSink interface {
 	LoadFacts(src string) error
 	LoadProgram(src string) error
 	ClearProgram() error
+}
+
+// CheckpointState is the read surface a checkpoint writer needs from the
+// engine's snapshot: the predicate directory, each relation (for sorted
+// enumeration of cold base + overlay), the symbol table (segment files
+// persist interned ids, so the id→name mapping must travel with them),
+// and the flat textual rendering legacy checkpoints use. The snapshot is
+// immutable, so all methods are safe to call off the engine's locks.
+// *Database implements it.
+type CheckpointState interface {
+	Preds() []string
+	Relation(pred string) *rel.Relation
+	SymbolTable() *symtab.Table
+	WriteFacts(w io.Writer) error
+}
+
+// ColdSink is the optional extension of RecoverSink a segment-aware
+// recovery target implements: instead of replaying every checkpointed
+// fact, the store installs the symbol table and per-predicate cold bases
+// (disk-resident sorted tuple sets) directly, and only post-checkpoint
+// log records replay fact by fact.
+type ColdSink interface {
+	// InstallSymbols interns names in id order into the target's symbol
+	// table and fails if the resulting ids do not align — cold tuples
+	// reference these ids, so misalignment would silently corrupt answers.
+	InstallSymbols(names []string) error
+	// InstallCold rebases pred onto base: the relation's bulk serves from
+	// base with an empty in-RAM overlay on top.
+	InstallCold(pred string, arity int, base rel.ColdBase) error
+}
+
+// ColdSet is the directory of cold bases a checkpoint produced, handed
+// back to the engine after a flush so it can rebase its relations onto
+// the freshly written segment (dropping the flushed overlay from RAM).
+type ColdSet interface {
+	Preds() []string
+	Cold(pred string) (base rel.ColdBase, arity int, ok bool)
+}
+
+// ColdStore is the optional Store extension for stores whose checkpoints
+// are queryable segments. ColdSet returns the newest durably installed
+// checkpoint's cold bases, or nil before the first segment checkpoint.
+type ColdStore interface {
+	Store
+	ColdSet() ColdSet
 }
 
 // StoreStats are a store's cumulative counters, the durability slice of
@@ -99,6 +152,26 @@ type StoreStats struct {
 	RecoveryTruncations uint64
 	// RecoveryNanos is how long boot-time recovery took.
 	RecoveryNanos uint64
+	// Segment describes the segment tier of a ColdStore (zeros otherwise).
+	Segment SegmentStats
+}
+
+// SegmentStats are the segment tier's cumulative counters (exported by
+// sepdld as Prometheus sepdl_store_* series).
+type SegmentStats struct {
+	// SegmentFiles is the number of live segment files (a gauge);
+	// SegmentTuples the tuple count of the newest installed segment.
+	SegmentFiles  uint64
+	SegmentTuples uint64
+	// SegmentBuilds counts segment files durably written; SegmentBuildErrors
+	// counts builds abandoned on error.
+	SegmentBuilds      uint64
+	SegmentBuildErrors uint64
+	// BlockCacheHits/Misses count decoded-block cache probes;
+	// SegmentBytesRead totals bytes fetched from segment files on misses.
+	BlockCacheHits   uint64
+	BlockCacheMisses uint64
+	SegmentBytesRead uint64
 }
 
 // MemStore is the in-RAM Store: it persists nothing, recovers nothing,
@@ -131,7 +204,7 @@ func (*MemStore) NeedCheckpoint() bool { return false }
 func (*MemStore) Rotate() (uint64, error) { return 0, nil }
 
 // WriteCheckpoint is a no-op.
-func (*MemStore) WriteCheckpoint(uint64, string, func(io.Writer) error) error { return nil }
+func (*MemStore) WriteCheckpoint(uint64, string, CheckpointState) error { return nil }
 
 // Stats reports zeros.
 func (*MemStore) Stats() StoreStats { return StoreStats{} }

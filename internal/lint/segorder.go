@@ -1,0 +1,196 @@
+// segorder enforces the segment writer's crash-safety discipline: a
+// durable file published by rename must be assembled in a *.tmp sibling,
+// fsynced, renamed over the final name, and the directory entry fsynced
+// — in that order. A crash at any point then leaves either no file or a
+// complete one under the final name, never a torn segment. The rules are
+// scoped to internal/segment (plus its corpus): that package owns the
+// build-and-publish path; the WAL's own ordering is walorder's job.
+//
+// Three rules, all within a single function body:
+//
+//  1. Any function that calls os.Rename must fsync the written bytes
+//     first: a file Sync() call must appear before the rename. Renaming
+//     an unsynced file publishes a name whose contents may still be
+//     dirty page cache.
+//  2. The same function must also reach syncDir (directly or through one
+//     same-package function): without the directory fsync the rename
+//     itself is not durable, and a crash can forget the published name.
+//  3. Any file created for writing (os.Create, or os.OpenFile with
+//     os.O_CREATE) must target a *.tmp name — a ".tmp" literal in the
+//     argument, or a variable assigned from one. Creating the final name
+//     directly bypasses the atomic-publish protocol entirely.
+//
+// Like every sepvet rule, exemptions carry a justified
+// "// sepvet:ignore" comment on the offending line or the line above.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Segorder returns the segment publish-ordering analyzer.
+func Segorder() *Analyzer {
+	return &Analyzer{
+		Name:  "segorder",
+		Doc:   "segment writers must follow tmp-file → fsync → rename → dir-fsync ordering",
+		Paths: []string{"internal/segment"},
+		Run:   runSegorder,
+	}
+}
+
+func runSegorder(p *Pass) []Finding {
+	var findings []Finding
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			findings = append(findings, checkRenameOrder(p, fd)...)
+			findings = append(findings, checkTmpCreate(p, fd)...)
+		}
+	}
+	return findings
+}
+
+// checkRenameOrder applies rules 1 and 2 to one function.
+func checkRenameOrder(p *Pass, fd *ast.FuncDecl) []Finding {
+	firstRename := token.Pos(-1)
+	syncBefore := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isOSCall(call, "Rename") {
+			if firstRename < 0 || call.Pos() < firstRename {
+				firstRename = call.Pos()
+			}
+		}
+		return true
+	})
+	if firstRename < 0 {
+		return nil
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, ok := selectorName(call); ok && name == "Sync" && call.Pos() < firstRename {
+				syncBefore = true
+			}
+		}
+		return true
+	})
+
+	var findings []Finding
+	if !syncBefore {
+		findings = append(findings, Finding{
+			Pos: p.Fset.Position(firstRename),
+			Msg: "rename publishes a file with no prior Sync(); an unsynced file under the final name can be torn after a crash",
+		})
+	}
+	if !reaches(calledNames(fd.Body), map[string]bool{"syncDir": true}, p.Funcs, 1) {
+		findings = append(findings, Finding{
+			Pos: p.Fset.Position(firstRename),
+			Msg: "rename without a reachable directory fsync (syncDir); the published name is not durable until its directory entry is synced",
+		})
+	}
+	return findings
+}
+
+// checkTmpCreate applies rule 3: every creating open targets a tmp name.
+func checkTmpCreate(p *Pass, fd *ast.FuncDecl) []Finding {
+	tmpIdents := tmpAssignedIdents(fd.Body)
+	var findings []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		creating := isOSCall(call, "Create") ||
+			(isOSCall(call, "OpenFile") && hasCreateFlag(call))
+		if !creating {
+			return true
+		}
+		if !isTmpName(call.Args[0], tmpIdents) {
+			findings = append(findings, Finding{
+				Pos: p.Fset.Position(call.Pos()),
+				Msg: "file created for writing under its final name; assemble in a *.tmp sibling and publish it with fsync+rename+dir-fsync",
+			})
+		}
+		return true
+	})
+	return findings
+}
+
+// isOSCall reports whether call is os.<name>(...).
+func isOSCall(call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "os"
+}
+
+// hasCreateFlag reports whether any argument mentions O_CREATE.
+func hasCreateFlag(call *ast.CallExpr) bool {
+	found := false
+	for _, a := range call.Args {
+		ast.Inspect(a, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "O_CREATE" {
+				found = true
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// tmpAssignedIdents collects names assigned from an expression containing
+// a ".tmp" string literal (tmp := path + ".tmp").
+func tmpAssignedIdents(body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !mentionsTmpLit(rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				out[id.Name] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isTmpName reports whether the path expression is a tmp target: it
+// mentions a ".tmp" literal itself, or is an identifier assigned one.
+func isTmpName(e ast.Expr, tmpIdents map[string]bool) bool {
+	if mentionsTmpLit(e) {
+		return true
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		return tmpIdents[id.Name]
+	}
+	return false
+}
+
+// mentionsTmpLit reports whether the expression subtree holds a string
+// literal containing ".tmp".
+func mentionsTmpLit(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.STRING && strings.Contains(lit.Value, ".tmp") {
+			found = true
+		}
+		return true
+	})
+	return found
+}

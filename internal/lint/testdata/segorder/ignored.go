@@ -1,0 +1,14 @@
+// Ignored corpus for segorder: a real violation excused with a
+// justification. Nothing here may surface, and the directive must count
+// as used.
+package corpus
+
+// A crash-test harness deliberately publishes without the directory
+// fsync to simulate the torn state recovery must tolerate.
+func tearForTest(f File, tmp, path string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	// sepvet:ignore:segorder — fault-injection helper: the missing dir fsync is the scenario under test
+	return os.Rename(tmp, path)
+}

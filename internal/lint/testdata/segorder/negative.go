@@ -1,0 +1,57 @@
+// Negative corpus for segorder: the correct publish shape — assemble in
+// a *.tmp sibling, Sync, Rename, syncDir — plus creating opens that
+// already target tmp names and non-creating opens of final names.
+// Nothing here may be flagged.
+package corpus
+
+// The full discipline, with the tmp name flowing through a variable.
+func correctPublish(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(path)
+}
+
+// The directory fsync one same-package call away still counts.
+func publishViaHelper(f File, tmp, path string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return finish(path)
+}
+
+func finish(dir string) error {
+	return syncDir(dir)
+}
+
+// A ".tmp" literal directly in the creating open is a tmp target.
+func createTmpInline(path string) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Read-only opens of final names are not creating and not publish steps.
+func openForRead(path string) error {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,52 @@
+// Positive corpus for segorder: publish paths that rename without the
+// fsyncs, or create the final name directly. Finding lines are marked
+// "want segorder". Parse-only — helpers stay undefined.
+package corpus
+
+// Rename with no prior file Sync: the published contents may still be
+// dirty page cache.
+func renameUnsynced(tmp, path string) error {
+	f, err := os.OpenFile(tmp+".tmp", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	f.Close()
+	if err := os.Rename(tmp, path); err != nil { // want segorder
+		return err
+	}
+	return syncDir(path)
+}
+
+// Rename with the file synced but no reachable directory fsync: the new
+// name itself is not durable.
+func renameNoDirSync(f File, tmp, path string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // want segorder
+}
+
+// Creating the final name directly bypasses atomic publish; the rename
+// ordering is otherwise correct, so only the open is flagged.
+func createFinalName(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644) // want segorder
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename(path, path+".done"); err != nil {
+		return err
+	}
+	return syncDir(path)
+}
+
+// os.Create is a creating open too.
+func createShorthand(path string) error {
+	f, err := os.Create(path) // want segorder
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

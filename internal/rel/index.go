@@ -10,9 +10,19 @@ import (
 // built lazily by Relation.Index and kept current as tuples are inserted.
 // A built Index is safe for concurrent Lookup as long as the relation is
 // not being mutated — the isolation contract every snapshot provides.
+//
+// On a cold relation there are two builds. When cols is a leading prefix
+// (0, 1, ..., k-1), the order-preserving key encoding makes the matching
+// cold tuples one contiguous key range, so the index keeps a pointer to
+// the cold base and buckets only the in-RAM overlay: a probe is a range
+// scan of the segment merged with the overlay bucket, and the build never
+// pulls the base into RAM. Any other column set has no contiguous range,
+// so the build materializes the relation once and buckets everything —
+// the hash join needs the build side resident anyway.
 type Index struct {
 	cols    []int
 	buckets map[string][]Tuple
+	cold    ColdBase // non-nil for a bound-prefix index over a cold relation
 }
 
 // colsKey appends a fixed-width binary encoding of the column list to dst
@@ -43,6 +53,14 @@ func (c *idxCache) load() map[string]*Index {
 		return *m
 	}
 	return nil
+}
+
+// drop discards every built index (used by thaw: a bound-prefix index
+// holds a pointer to the cold base being dissolved).
+func (c *idxCache) drop() {
+	c.mu.Lock()
+	c.p.Store(nil)
+	c.mu.Unlock()
 }
 
 // insert publishes a new index under key; the caller must hold mu.
@@ -90,12 +108,35 @@ func (r *Relation) buildIndex(cols []int, key string) *Index {
 	// Presize the bucket map from the relation's cardinality: the row
 	// count is an upper bound on distinct keys, so the build — the hash
 	// join's build side — never rehashes mid-construction.
-	idx := &Index{cols: append([]int(nil), cols...), buckets: make(map[string][]Tuple, len(r.rows))}
-	for _, t := range r.rows {
-		idx.add(t)
+	var idx *Index
+	if r.cold != nil && leadingPrefix(cols) {
+		// Bound-prefix over cold data: bucket only the overlay and range-
+		// scan the segment at probe time. The base stays on disk.
+		idx = &Index{cols: append([]int(nil), cols...), cold: r.cold.base, buckets: make(map[string][]Tuple, len(r.rows))}
+		for _, t := range r.rows {
+			idx.add(t)
+		}
+	} else {
+		rows := r.Rows()
+		idx = &Index{cols: append([]int(nil), cols...), buckets: make(map[string][]Tuple, len(rows))}
+		for _, t := range rows {
+			idx.add(t)
+		}
 	}
 	r.idx.insert(key, idx)
 	return idx
+}
+
+// leadingPrefix reports whether cols is exactly the leading columns
+// 0..len(cols)-1, the shape whose matching tuples form one contiguous
+// range under the order-preserving key encoding.
+func leadingPrefix(cols []int) bool {
+	for i, c := range cols {
+		if c != i {
+			return false
+		}
+	}
+	return true
 }
 
 func (idx *Index) add(t Tuple) {
@@ -124,8 +165,25 @@ func (idx *Index) remove(t Tuple) {
 // Lookup returns the tuples whose indexed columns equal vals, which must
 // have one value per indexed column. The returned slice must not be
 // modified. The probe key is built in a per-call buffer, so concurrent
-// readers of one index never interfere.
+// readers of one index never interfere. On a bound-prefix cold index the
+// matching cold range is drained into a fresh slice per call — callers
+// that can consume incrementally should prefer Scan, which streams it.
 func (idx *Index) Lookup(vals []Value) []Tuple {
+	bucket := idx.bucket(vals)
+	if idx.cold == nil {
+		return bucket
+	}
+	cur := idx.cold.Scan(vals)
+	out := make([]Tuple, 0, cur.Remaining()+len(bucket))
+	for t, ok := cur.Next(); ok; t, ok = cur.Next() {
+		out = append(out, t)
+	}
+	return append(out, bucket...)
+}
+
+// bucket returns the overlay bucket for vals (every bucket on a fully
+// resident index).
+func (idx *Index) bucket(vals []Value) []Tuple {
 	if len(vals) != len(idx.cols) {
 		panic(fmt.Sprintf("rel: index lookup with %d values for %d columns", len(vals), len(idx.cols)))
 	}

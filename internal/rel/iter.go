@@ -8,9 +8,20 @@ package rel
 // by design: embedding it in per-step cursors costs no allocation, and its
 // methods are trivially inlinable, which is what keeps the pull-based
 // executor competitive with the old recursive push evaluator.
+// On a cold relation a Scan carries a second source: a Cursor over the
+// matching key range of the cold tier, drained before the in-RAM rows.
+// Cold tuples stream off disk block by block — the executor's pull loop
+// (budget-ticked per candidate) is then bounded by the block cache, not
+// the relation size.
 type Scan struct {
 	rows []Tuple
 	pos  int
+	// cur yields the cold tier's tuples first; nil once drained (or for a
+	// fully resident source). src/prefix remember how to reopen it so
+	// Reset still rewinds the whole scan.
+	cur    Cursor
+	src    ColdBase
+	prefix []Value
 }
 
 // ScanOf wraps an existing tuple slice in a Scan (used by the executor for
@@ -19,6 +30,12 @@ func ScanOf(rows []Tuple) Scan { return Scan{rows: rows} }
 
 // Next yields the next tuple view, or (nil, false) when exhausted.
 func (s *Scan) Next() (Tuple, bool) {
+	if s.cur != nil {
+		if t, ok := s.cur.Next(); ok {
+			return t, true
+		}
+		s.cur = nil
+	}
 	if s.pos >= len(s.rows) {
 		return nil, false
 	}
@@ -27,25 +44,50 @@ func (s *Scan) Next() (Tuple, bool) {
 	return t, true
 }
 
-// Remaining reports how many tuples the scan has left to yield.
-func (s *Scan) Remaining() int { return len(s.rows) - s.pos }
+// Remaining reports how many tuples the scan has left to yield (an upper
+// bound on a cold range scan, exact otherwise — see Cursor.Remaining).
+func (s *Scan) Remaining() int {
+	n := len(s.rows) - s.pos
+	if s.cur != nil {
+		n += s.cur.Remaining()
+	}
+	return n
+}
 
-// Reset rewinds the scan to its first tuple.
-func (s *Scan) Reset() { s.pos = 0 }
+// Reset rewinds the scan to its first tuple, reopening the cold cursor if
+// the scan has one.
+func (s *Scan) Reset() {
+	s.pos = 0
+	if s.src != nil {
+		s.cur = s.src.Scan(s.prefix)
+	}
+}
 
 // Scan returns a full-relation scan over the current rows. The cursor
-// captures the row slice at call time: tuples inserted afterwards are not
-// yielded, which is exactly the snapshot semantics the fixpoint rounds
-// rely on (a round never sees its own output).
+// captures the row slice (and cold tier) at call time: tuples inserted
+// afterwards are not yielded, which is exactly the snapshot semantics the
+// fixpoint rounds rely on (a round never sees its own output).
 func (r *Relation) Scan() Scan {
 	if r == nil {
 		return Scan{}
 	}
+	if r.cold != nil {
+		base := r.cold.base
+		return Scan{rows: r.rows, cur: base.Scan(nil), src: base}
+	}
 	return Scan{rows: r.rows}
 }
 
-// Scan returns a cursor over the index bucket matching vals — the probe
-// side of a hash join, yielding zero-copy tuple views in insertion order.
+// Scan returns a cursor over the tuples matching vals — the probe side of
+// a hash join. On a fully resident index this yields zero-copy tuple
+// views of the bucket in insertion order; on a bound-prefix cold index it
+// streams the segment's key range first, then the overlay bucket.
 func (idx *Index) Scan(vals []Value) Scan {
+	if idx.cold != nil {
+		// Copy the probe: the executor reuses vals' backing buffer across
+		// rebinds, and this scan may outlive the current binding.
+		prefix := append([]Value(nil), vals...)
+		return Scan{rows: idx.bucket(vals), cur: idx.cold.Scan(prefix), src: idx.cold, prefix: prefix}
+	}
 	return Scan{rows: idx.Lookup(vals)}
 }

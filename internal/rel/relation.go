@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"sepdl/internal/symtab"
 )
@@ -81,6 +82,16 @@ type Relation struct {
 	rows  []Tuple
 	set   map[string]struct{}
 	idx   idxCache
+	// cold, when non-nil, is an immutable sorted tuple tier (a segment
+	// file's rows) underneath the in-RAM overlay: rows/set then hold only
+	// tuples inserted since the last rebase, and every read merges both
+	// tiers. The coldState pointer is shared with snapshots.
+	cold *coldState
+	// all caches the combined cold+overlay row slice Rows() hands out on a
+	// cold relation; mutations through this handle clear it. Unused (and
+	// never touched) when cold is nil, keeping the hot write path free of
+	// the atomic store.
+	all atomic.Pointer[[]Tuple]
 	// shared marks rows and set as aliased by at least one Snapshot; the
 	// next mutation through this handle copies them first (copy-on-write),
 	// so the aliased storage is frozen forever once a snapshot exists.
@@ -133,15 +144,16 @@ func FromRows(arity int, rows []Tuple) *Relation {
 // evenly. Tuple storage is shared with r (see FromRows). k below 2 (or a
 // relation smaller than k) returns r itself as the only part.
 func (r *Relation) PartitionHash(k int) []*Relation {
-	if k < 2 || len(r.rows) < k {
+	rows := r.Rows()
+	if k < 2 || len(rows) < k {
 		return []*Relation{r}
 	}
 	parts := make([][]Tuple, k)
-	est := len(r.rows)/k + 1
+	est := len(rows)/k + 1
 	for i := range parts {
 		parts[i] = make([]Tuple, 0, est)
 	}
-	for _, t := range r.rows {
+	for _, t := range rows {
 		h := uint64(14695981039346656037)
 		for _, v := range t {
 			h = (h ^ uint64(uint32(v))) * 1099511628211
@@ -158,11 +170,19 @@ func (r *Relation) PartitionHash(k int) []*Relation {
 // Arity returns the number of columns.
 func (r *Relation) Arity() int { return r.arity }
 
-// Len returns the number of distinct tuples.
-func (r *Relation) Len() int { return len(r.rows) }
+// Len returns the number of distinct tuples across both tiers. Inserts
+// deduplicate against the cold base, so the tiers are disjoint and the
+// count is a sum — no merge needed.
+func (r *Relation) Len() int {
+	n := len(r.rows)
+	if r.cold != nil {
+		n += r.cold.base.Len()
+	}
+	return n
+}
 
 // Empty reports whether the relation holds no tuples.
-func (r *Relation) Empty() bool { return len(r.rows) == 0 }
+func (r *Relation) Empty() bool { return r.Len() == 0 }
 
 // Snapshot returns an immutable point-in-time view of r: a relation that
 // holds exactly r's current tuples and never changes, sharing storage with
@@ -174,7 +194,7 @@ func (r *Relation) Empty() bool { return len(r.rows) == 0 }
 // this under its writer lock.
 func (r *Relation) Snapshot() *Relation {
 	r.shared = true
-	return &Relation{arity: r.arity, rows: r.rows, set: r.set, shared: true}
+	return &Relation{arity: r.arity, rows: r.rows, set: r.set, cold: r.cold, shared: true}
 }
 
 // detach un-aliases storage shared with a snapshot before a mutation: the
@@ -207,6 +227,12 @@ func (r *Relation) Insert(t Tuple) bool {
 	if _, ok := r.set[string(key)]; ok {
 		return false
 	}
+	if r.cold != nil {
+		if r.cold.base.Contains(t) {
+			return false
+		}
+		r.all.Store(nil)
+	}
 	r.detach()
 	c := t.Clone()
 	r.set[string(key)] = struct{}{}
@@ -224,7 +250,7 @@ func (r *Relation) InsertAll(other *Relation) int {
 		panic(fmt.Sprintf("rel: union of arity %d and %d", r.arity, other.arity))
 	}
 	n := 0
-	for _, t := range other.rows {
+	for _, t := range other.Rows() {
 		if r.Insert(t) {
 			n++
 		}
@@ -242,7 +268,15 @@ func (r *Relation) Delete(t Tuple) bool {
 	var buf [keyBufLen]byte
 	key := string(encode(buf[:0], t, nil))
 	if _, ok := r.set[key]; !ok {
-		return false
+		if r.cold == nil || !r.cold.base.Contains(t) {
+			return false
+		}
+		// The tuple lives in the cold tier: materialize it into the
+		// overlay first (see thaw), then delete through the normal path.
+		r.thaw()
+	}
+	if r.cold != nil {
+		r.all.Store(nil)
 	}
 	r.detach()
 	delete(r.set, key)
@@ -267,18 +301,38 @@ func (r *Relation) Contains(t Tuple) bool {
 		return false
 	}
 	var buf [keyBufLen]byte
-	_, ok := r.set[string(encode(buf[:0], t, nil))]
-	return ok
+	if _, ok := r.set[string(encode(buf[:0], t, nil))]; ok {
+		return true
+	}
+	return r.cold != nil && r.cold.base.Contains(t)
 }
 
-// Rows returns the backing tuple slice in insertion order. Callers must not
-// modify the returned tuples.
-func (r *Relation) Rows() []Tuple { return r.rows }
+// Rows returns every tuple of the relation as one slice. On a fully
+// resident relation this is the backing slice in insertion order, at zero
+// cost; on a cold relation it materializes base rows (sorted) followed by
+// overlay rows, cached until the next mutation through this handle. The
+// streaming executor avoids this path — prefer Scan where a cursor will
+// do. Callers must not modify the returned tuples.
+func (r *Relation) Rows() []Tuple {
+	if r.cold == nil {
+		return r.rows
+	}
+	if p := r.all.Load(); p != nil {
+		return *p
+	}
+	base := r.cold.rows()
+	out := make([]Tuple, 0, len(base)+len(r.rows))
+	out = append(out, base...)
+	out = append(out, r.rows...)
+	r.all.Store(&out)
+	return out
+}
 
 // Clone returns a deep copy of the relation (indexes are not copied).
+// Cloning a cold relation materializes it: the clone is fully resident.
 func (r *Relation) Clone() *Relation {
 	out := New(r.arity)
-	for _, t := range r.rows {
+	for _, t := range r.Rows() {
 		out.Insert(t)
 	}
 	return out
@@ -286,10 +340,10 @@ func (r *Relation) Clone() *Relation {
 
 // Equal reports whether r and other contain exactly the same tuple set.
 func (r *Relation) Equal(other *Relation) bool {
-	if r.arity != other.arity || len(r.rows) != len(other.rows) {
+	if r.arity != other.arity || r.Len() != other.Len() {
 		return false
 	}
-	for _, t := range r.rows {
+	for _, t := range r.Rows() {
 		if !other.Contains(t) {
 			return false
 		}
@@ -300,8 +354,9 @@ func (r *Relation) Equal(other *Relation) bool {
 // String renders the relation as a sorted, braced tuple list. Values print
 // as raw ids; use Dump for symbolic output.
 func (r *Relation) String() string {
-	lines := make([]string, 0, len(r.rows))
-	for _, t := range r.rows {
+	rows := r.Rows()
+	lines := make([]string, 0, len(rows))
+	for _, t := range rows {
 		parts := make([]string, len(t))
 		for i, v := range t {
 			parts[i] = fmt.Sprintf("%d", v)
@@ -315,8 +370,9 @@ func (r *Relation) String() string {
 // Dump renders the relation with symbol names resolved through st, sorted
 // for deterministic test output.
 func (r *Relation) Dump(st *symtab.Table) string {
-	lines := make([]string, 0, len(r.rows))
-	for _, t := range r.rows {
+	rows := r.Rows()
+	lines := make([]string, 0, len(rows))
+	for _, t := range rows {
 		parts := make([]string, len(t))
 		for i, v := range t {
 			parts[i] = st.Name(v)

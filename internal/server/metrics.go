@@ -29,6 +29,11 @@ import (
 //	sepdl_wal_*                     durable-store counters: appends, fsyncs,
 //	                                checkpoints, boot-time recovery (all zero
 //	                                with sepdl_wal_durable 0)
+//	sepdl_store_*                   segment-tier counters: live segment files
+//	                                (gauge), tuples in the newest segment
+//	                                (gauge), builds, block-cache hits/misses,
+//	                                bytes read from segments (all zero without
+//	                                segment-backed checkpoints)
 //	sepdld_http_requests_total{endpoint,code}  responses sent
 //	sepdld_quota_rejections_total   requests shed by per-client quotas
 //	sepdld_prepared_handles         gauge: live prepared handles
@@ -80,6 +85,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("sepdl_wal_recovered_bytes_total", "Log bytes replayed by boot-time recovery.", wal.RecoveredBytes)
 	counter("sepdl_wal_recovery_truncations_total", "Torn log tails cut off during recovery.", wal.RecoveryTruncations)
 	gauge("sepdl_wal_recovery_nanos", "Duration of boot-time recovery.", int64(wal.RecoveryNanos))
+
+	seg := wal.Segment
+	gauge("sepdl_store_segment_files", "Live segment files in the data directory.", int64(seg.SegmentFiles))
+	gauge("sepdl_store_segment_tuples", "Tuples in the newest installed segment.", int64(seg.SegmentTuples))
+	counter("sepdl_store_segment_builds_total", "Segment files durably written.", seg.SegmentBuilds)
+	counter("sepdl_store_segment_build_errors_total", "Segment builds abandoned on error.", seg.SegmentBuildErrors)
+	counter("sepdl_store_block_cache_hits_total", "Decoded-block cache hits.", seg.BlockCacheHits)
+	counter("sepdl_store_block_cache_misses_total", "Decoded-block cache misses.", seg.BlockCacheMisses)
+	counter("sepdl_store_segment_read_bytes_total", "Bytes fetched from segment files on cache misses.", seg.SegmentBytesRead)
 
 	s.mu.Lock()
 	quotaRejects := s.quotaRejects

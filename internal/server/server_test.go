@@ -492,6 +492,9 @@ func TestHealthzReadyzMetrics(t *testing.T) {
 		"sepdl_batch_queries_total 2",
 		"sepdl_inflight_queries 0",
 		"sepdl_facts 5",
+		"sepdl_store_segment_files 0",
+		"sepdl_store_block_cache_hits_total 0",
+		"sepdl_store_segment_read_bytes_total 0",
 		`sepdld_http_requests_total{endpoint="/v1/query",code="200"} 2`,
 		`sepdld_http_requests_total{endpoint="/v1/query",code="429"} 1`,
 		"sepdld_prepared_handles 0",

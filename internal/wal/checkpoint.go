@@ -5,76 +5,110 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
+	"sepdl/internal/database"
 	"sepdl/internal/leakcheck"
 )
 
 // Checkpoint file format:
 //
-//	magic "sepdl-ckpt1\n"
+//	magic "sepdl-ckpt1\n" (flat) or "sepdl-ckpt2\n" (segment-backed)
 //	u32le progLen | program text
-//	u32le factLen | facts text (database/io.WriteFacts form)
+//	u32le factLen | facts text (database/io.WriteFacts form; ckpt1 only)
 //	u32le crc32c over everything between magic and crc
+//
+// A ckpt1 file carries the whole database as parseable fact text. A
+// ckpt2 file carries only the program: its facts live in the segment
+// file of the same sequence (seg-%016d.seg, written by the Checkpointer
+// *before* the marker, and fully verified before the marker is trusted
+// at open). The two magics are what disambiguate an empty flat database
+// from a segment-backed checkpoint — both have factLen 0.
 //
 // The file is written to a .tmp name, fsynced, renamed into place, and
 // the directory fsynced — so a checkpoint either exists whole and valid
 // or not at all, and recovery can always fall back to an older one (or
 // to full log replay) when the payload fails its checksum.
-const ckptMagic = "sepdl-ckpt1\n"
+const (
+	ckptMagic  = "sepdl-ckpt1\n"
+	ckptMagic2 = "sepdl-ckpt2\n"
+)
 
-// loadCheckpoint reads and validates one checkpoint file.
-func loadCheckpoint(path string) (prog, facts string, err error) {
+// loadCheckpoint reads and validates one checkpoint file. segBacked
+// reports the ckpt2 form, whose facts must come from the Checkpointer.
+func loadCheckpoint(path string) (prog, facts string, segBacked bool, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return "", "", err
+		return "", "", false, err
 	}
-	if len(data) < len(ckptMagic)+12 || string(data[:len(ckptMagic)]) != ckptMagic {
-		return "", "", fmt.Errorf("%w: checkpoint %s: bad header", ErrCorrupt, filepath.Base(path))
+	if len(data) >= len(ckptMagic2) && string(data[:len(ckptMagic2)]) == ckptMagic2 {
+		segBacked = true
+	}
+	if len(data) < len(ckptMagic)+12 || (!segBacked && string(data[:len(ckptMagic)]) != ckptMagic) {
+		return "", "", false, fmt.Errorf("%w: checkpoint %s: bad header", ErrCorrupt, filepath.Base(path))
 	}
 	body := data[len(ckptMagic) : len(data)-4]
 	crc := binary.LittleEndian.Uint32(data[len(data)-4:])
 	if crc32.Checksum(body, castagnoli) != crc {
-		return "", "", fmt.Errorf("%w: checkpoint %s: checksum mismatch", ErrCorrupt, filepath.Base(path))
+		return "", "", false, fmt.Errorf("%w: checkpoint %s: checksum mismatch", ErrCorrupt, filepath.Base(path))
 	}
 	progLen := int(binary.LittleEndian.Uint32(body))
 	if progLen < 0 || 4+progLen+4 > len(body) {
-		return "", "", fmt.Errorf("%w: checkpoint %s: bad program length", ErrCorrupt, filepath.Base(path))
+		return "", "", false, fmt.Errorf("%w: checkpoint %s: bad program length", ErrCorrupt, filepath.Base(path))
 	}
 	prog = string(body[4 : 4+progLen])
 	rest := body[4+progLen:]
 	factLen := int(binary.LittleEndian.Uint32(rest))
 	if factLen < 0 || 4+factLen != len(rest) {
-		return "", "", fmt.Errorf("%w: checkpoint %s: bad facts length", ErrCorrupt, filepath.Base(path))
+		return "", "", false, fmt.Errorf("%w: checkpoint %s: bad facts length", ErrCorrupt, filepath.Base(path))
+	}
+	if segBacked && factLen != 0 {
+		return "", "", false, fmt.Errorf("%w: checkpoint %s: segment-backed marker carries %d fact bytes", ErrCorrupt, filepath.Base(path), factLen)
 	}
 	facts = string(rest[4 : 4+factLen])
-	return prog, facts, nil
+	return prog, facts, segBacked, nil
 }
 
 // WriteCheckpoint atomically persists a snapshot covering every segment
 // below seq (the sequence Rotate returned), then deletes the superseded
-// segments and older checkpoints. program and facts must be the engine
-// state at the exact instant of that rotation. The write runs concurrent
-// with appends to the new segment; only bookkeeping takes the store lock.
-func (s *Store) WriteCheckpoint(seq uint64, program string, facts func(io.Writer) error) error {
+// segments and older checkpoints. state must be the engine state at the
+// exact instant of that rotation. With a Checkpointer attached, the
+// state lands as a segment file first and the ckpt marker records only
+// the program (ckpt2); otherwise the whole database is rendered into a
+// flat ckpt1 file. The write runs concurrent with appends to the new
+// segment; only bookkeeping takes the store lock.
+func (s *Store) WriteCheckpoint(seq uint64, program string, state database.CheckpointState) error {
 	var body bytes.Buffer
 	var lb [4]byte
 	binary.LittleEndian.PutUint32(lb[:], uint32(len(program)))
 	body.Write(lb[:])
 	body.WriteString(program)
-	// Reserve the facts length slot, stream the facts, then patch it in.
-	factAt := body.Len()
-	body.Write(lb[:])
-	if err := facts(&body); err != nil {
-		s.noteCheckpointError()
-		return fmt.Errorf("wal: checkpoint snapshot: %w", err)
+	magic := ckptMagic
+	if c := s.opts.Checkpointer; c != nil {
+		// Segment first, marker second: a marker must never point at a
+		// segment that did not finish.
+		if err := c.Write(seq, state); err != nil {
+			s.noteCheckpointError()
+			return fmt.Errorf("wal: checkpoint segment: %w", err)
+		}
+		magic = ckptMagic2
+		var zero [4]byte
+		body.Write(zero[:]) // factLen 0: the facts live in the segment
+	} else {
+		// Reserve the facts length slot, stream the facts, then patch it in.
+		factAt := body.Len()
+		body.Write(lb[:])
+		if err := state.WriteFacts(&body); err != nil {
+			s.noteCheckpointError()
+			return fmt.Errorf("wal: checkpoint snapshot: %w", err)
+		}
+		binary.LittleEndian.PutUint32(body.Bytes()[factAt:], uint32(body.Len()-factAt-4))
 	}
-	binary.LittleEndian.PutUint32(body.Bytes()[factAt:], uint32(body.Len()-factAt-4))
 
-	out := make([]byte, 0, len(ckptMagic)+body.Len()+4)
-	out = append(out, ckptMagic...)
+	out := make([]byte, 0, len(magic)+body.Len()+4)
+	out = append(out, magic...)
 	out = append(out, body.Bytes()...)
 	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(body.Bytes(), castagnoli))
 
@@ -138,13 +172,18 @@ func (s *Store) writeCheckpointFile(seq uint64, out []byte) error {
 	return nil
 }
 
-// compact deletes segments and checkpoints the new checkpoint at seq
-// supersedes. Removal is best-effort: a leftover file wastes disk until
-// the next checkpoint but can never be replayed (recovery prefers the
-// newest valid checkpoint), so errors here don't fail the checkpoint.
+// compact deletes every log segment, checkpoint, and codec segment the
+// new checkpoint at seq supersedes. It rescans the directory rather than
+// trusting bookkeeping: files a previous compaction failed to remove, or
+// stale checkpoints from runs that crashed between install and cleanup,
+// must not accumulate — the one guarantee is that nothing at or above
+// seq is touched. An individual removal error leaves a file the *next*
+// compaction's rescan retries, so leftovers are transient, not permanent;
+// errors never fail the checkpoint itself (recovery always prefers the
+// newest valid checkpoint).
 func (s *Store) compact(seq uint64) {
 	s.mu.Lock()
-	lo, hi := s.minSeq, s.seq
+	hi := s.seq
 	if seq > s.minSeq {
 		s.minSeq = seq
 	}
@@ -152,15 +191,31 @@ func (s *Store) compact(seq uint64) {
 	if hi >= s.minSeq {
 		s.stats.Segments = hi - s.minSeq + 1
 	}
-	prevCkp := s.ckpSeq
 	s.ckpSeq, s.ckpProg, s.ckpFact = seq, "", ""
+	s.ckpSegs = s.opts.Checkpointer != nil
 	s.mu.Unlock()
 
-	for q := lo; q < seq; q++ {
-		os.Remove(filepath.Join(s.dir, segName(q)))
+	if entries, err := os.ReadDir(s.dir); err == nil {
+		for _, e := range entries {
+			name := e.Name()
+			var q uint64
+			switch {
+			case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+				if _, err := fmt.Sscanf(name, "wal-%016d.log", &q); err != nil || q >= seq {
+					continue
+				}
+			case strings.HasPrefix(name, "ckpt-") && strings.HasSuffix(name, ".ckpt"):
+				if _, err := fmt.Sscanf(name, "ckpt-%016d.ckpt", &q); err != nil || q >= seq {
+					continue
+				}
+			default:
+				continue
+			}
+			os.Remove(filepath.Join(s.dir, name))
+		}
 	}
-	if prevCkp > 0 && prevCkp < seq {
-		os.Remove(filepath.Join(s.dir, ckptName(prevCkp)))
+	if c := s.opts.Checkpointer; c != nil {
+		c.DropBelow(seq)
 	}
 }
 

@@ -50,11 +50,26 @@ func (s *Store) Recover(sink database.RecoverSink) error {
 	return nil
 }
 
-// replayCheckpoint loads the checkpoint located at open time: its program
-// in one call (programs are small), its facts in newline-aligned chunks
-// with the budget hook ticking between them.
+// replayCheckpoint loads the checkpoint located at open time. A
+// segment-backed checkpoint installs through the Checkpointer — symbols
+// first (cold tuples reference interned ids, so the table must align
+// before anything else interns a name), then the per-predicate cold
+// bases, then the program. A flat checkpoint replays its program in one
+// call (programs are small) and its facts in newline-aligned chunks with
+// the budget hook ticking between them.
 func (s *Store) replayCheckpoint(sink database.RecoverSink) error {
 	if s.ckpSeq == 0 {
+		return nil
+	}
+	if s.ckpSegs {
+		if err := s.opts.Checkpointer.Recover(s.ckpSeq, sink, s.tick.Tick); err != nil {
+			return fmt.Errorf("wal: checkpoint segment: %w", err)
+		}
+		if s.ckpProg != "" {
+			if err := sink.LoadProgram(s.ckpProg); err != nil {
+				return fmt.Errorf("wal: checkpoint program: %w", err)
+			}
+		}
 		return nil
 	}
 	if s.ckpProg != "" {

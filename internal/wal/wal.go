@@ -84,6 +84,31 @@ type Options struct {
 	// cancellable and accounted (the budgetcheck lint enforces that every
 	// replay loop reaches one).
 	Tick func() error
+
+	// Checkpointer, if set, replaces flat checkpoint snapshots with a
+	// pluggable checkpoint engine (in practice internal/segment's Codec):
+	// WriteCheckpoint hands it the state to persist as a queryable
+	// structure, the ckpt marker file records only the program text, and
+	// recovery installs the structure through the RecoverSink's ColdSink
+	// extension instead of replaying every fact. Old flat checkpoints
+	// remain readable either way, so a directory migrates forward on its
+	// next checkpoint.
+	Checkpointer Checkpointer
+}
+
+// Checkpointer is the seam a segment codec implements. The store calls
+// Write before installing a ckpt marker for seq (so a crash between the
+// two leaves an orphan the next DropBelow removes), Validate before
+// trusting a marker at open, Recover to install the validated state, and
+// DropBelow after a newer checkpoint supersedes older sequences.
+type Checkpointer interface {
+	Write(seq uint64, state database.CheckpointState) error
+	Validate(seq uint64) error
+	Recover(seq uint64, sink database.RecoverSink, tick func() error) error
+	DropBelow(keep uint64)
+	ColdSet() database.ColdSet
+	Stats() database.SegmentStats
+	Close() error
 }
 
 // progress adapts Options.Tick to a method named Tick so replay loops
@@ -118,7 +143,8 @@ type Store struct {
 	stats   database.StoreStats
 	ckpSeq  uint64 // newest valid checkpoint at open (0 = none)
 	ckpProg string // its program text
-	ckpFact string // its facts text
+	ckpFact string // its facts text (flat checkpoints only)
+	ckpSegs bool   // the checkpoint's facts live in a validated segment
 }
 
 // Open opens (creating if necessary) the log in dir. The store is ready
@@ -160,12 +186,25 @@ func Open(dir string, opts Options) (*Store, error) {
 		if c > s.seq || !chainIntact(segSet, c, s.seq) {
 			continue
 		}
-		prog, facts, err := loadCheckpoint(filepath.Join(dir, ckptName(c)))
+		prog, facts, segBacked, err := loadCheckpoint(filepath.Join(dir, ckptName(c)))
 		if err != nil {
 			s.stats.CheckpointErrors++
 			continue
 		}
-		s.ckpSeq, s.ckpProg, s.ckpFact = c, prog, facts
+		if segBacked {
+			// The marker's facts live in a segment file: fully verify it
+			// (index, symbols, every data block) before trusting the
+			// checkpoint, falling back to an older one on any damage.
+			if opts.Checkpointer == nil {
+				s.stats.CheckpointErrors++
+				continue
+			}
+			if err := opts.Checkpointer.Validate(c); err != nil {
+				s.stats.CheckpointErrors++
+				continue
+			}
+		}
+		s.ckpSeq, s.ckpProg, s.ckpFact, s.ckpSegs = c, prog, facts, segBacked
 		break
 	}
 	if s.ckpSeq == 0 && !chainIntact(segSet, s.minSeq, s.seq) {
@@ -400,11 +439,26 @@ func (s *Store) Rotate() (uint64, error) {
 	return s.seq, nil
 }
 
-// Stats returns a copy of the store's counters.
+// Stats returns a copy of the store's counters, with the segment tier's
+// counters merged in when a Checkpointer is attached.
 func (s *Store) Stats() database.StoreStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	s.mu.Unlock()
+	if c := s.opts.Checkpointer; c != nil {
+		st.Segment = c.Stats()
+	}
+	return st
+}
+
+// ColdSet exposes the newest installed segment checkpoint's predicates as
+// cold bases (database.ColdStore); nil without a Checkpointer or before
+// the first segment checkpoint.
+func (s *Store) ColdSet() database.ColdSet {
+	if c := s.opts.Checkpointer; c != nil {
+		return c.ColdSet()
+	}
+	return nil
 }
 
 // Close releases the store's file handles. In-flight checkpoints must be
@@ -417,14 +471,19 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
-	if s.f == nil {
-		return nil
+	var err error
+	if s.f != nil {
+		err = s.f.Sync()
+		if cerr := s.f.Close(); err == nil {
+			err = cerr
+		}
+		leakcheck.CloseResource(s.tok)
+		s.f = nil
 	}
-	err := s.f.Sync()
-	if cerr := s.f.Close(); err == nil {
-		err = cerr
+	if c := s.opts.Checkpointer; c != nil {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
 	}
-	leakcheck.CloseResource(s.tok)
-	s.f = nil
 	return err
 }

@@ -11,6 +11,8 @@ import (
 
 	"sepdl/internal/faultinject"
 	"sepdl/internal/leakcheck"
+	"sepdl/internal/rel"
+	"sepdl/internal/symtab"
 )
 
 // memSink records replayed operations as strings, the oracle every
@@ -24,6 +26,15 @@ func (m *memSink) AddFact(pred string, args []string) error {
 func (m *memSink) LoadFacts(src string) error   { m.ops = append(m.ops, "facts:"+src); return nil }
 func (m *memSink) LoadProgram(src string) error { m.ops = append(m.ops, "prog:"+src); return nil }
 func (m *memSink) ClearProgram() error          { m.ops = append(m.ops, "clear"); return nil }
+
+// flatState adapts a facts string to database.CheckpointState for flat
+// (no-Checkpointer) checkpoints, where only WriteFacts is ever called.
+type flatState string
+
+func (s flatState) Preds() []string               { return nil }
+func (s flatState) Relation(string) *rel.Relation { return nil }
+func (s flatState) SymbolTable() *symtab.Table    { return nil }
+func (s flatState) WriteFacts(w io.Writer) error  { _, err := io.WriteString(w, string(s)); return err }
 
 func mustOpen(t *testing.T, dir string, opts Options) *Store {
 	t.Helper()
@@ -403,10 +414,7 @@ func TestCheckpointCompaction(t *testing.T) {
 		t.Fatal(err)
 	}
 	prog := "p(X) :- q(X)."
-	err = s.WriteCheckpoint(seq, prog, func(w io.Writer) error {
-		_, err := io.WriteString(w, "q(a).\nq(b).\n")
-		return err
-	})
+	err = s.WriteCheckpoint(seq, prog, flatState("q(a).\nq(b).\n"))
 	if err != nil {
 		t.Fatalf("WriteCheckpoint: %v", err)
 	}
@@ -450,10 +458,7 @@ func TestCheckpointFaults(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			err = s.WriteCheckpoint(seq, "", func(w io.Writer) error {
-				_, err := io.WriteString(w, "a(1).\n")
-				return err
-			})
+			err = s.WriteCheckpoint(seq, "", flatState("a(1).\n"))
 			if !errors.Is(err, faultinject.ErrDisk) {
 				t.Fatalf("WriteCheckpoint = %v, want ErrDisk", err)
 			}
@@ -482,10 +487,7 @@ func TestCorruptCheckpointFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.WriteCheckpoint(seq, "", func(w io.Writer) error {
-		_, err := io.WriteString(w, "a(1).\n")
-		return err
-	}); err != nil {
+	if err := s.WriteCheckpoint(seq, "", flatState("a(1).\n")); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.AppendFact("b", []string{"2"}); err != nil {
